@@ -1,0 +1,65 @@
+// Section 5.3 (extension): multi-object (join) views — materialization
+// cost across cluster sizes and predicate selectivity, plus the
+// integrity checker that database owners run after deletions.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "odb/integrity.h"
+
+namespace ode::bench {
+namespace {
+
+void BM_JoinMaterialization(benchmark::State& state) {
+  int employees = static_cast<int>(state.range(0));
+  odb::LabDbConfig config;
+  config.employees = employees;
+  config.managers = 8;
+  config.departments = 8;
+  LabSession session = LabSession::Create(config);
+  size_t pairs = 0;
+  for (auto _ : state) {
+    Result<view::JoinView*> join = session.interactor->OpenJoinView(
+        "employee", "manager", "left.age == right.age");
+    CheckOk(join.status(), "join");
+    pairs = (*join)->pair_count();
+    benchmark::DoNotOptimize(pairs);
+  }
+  // Nested loop: |employee| x |manager| evaluations.
+  state.SetItemsProcessed(state.iterations() * employees * 8);
+  state.counters["pairs"] = static_cast<double>(pairs);
+}
+BENCHMARK(BM_JoinMaterialization)->Arg(50)->Arg(200)->Arg(1000);
+
+void BM_JoinSequencing(benchmark::State& state) {
+  LabSession session = LabSession::Create();
+  Result<view::JoinView*> join = session.interactor->OpenJoinView(
+      "employee", "department", "left.title == \"MTS\"");
+  CheckOk(join.status(), "join");
+  for (auto _ : state) {
+    if (!(*join)->Next().ok()) CheckOk((*join)->Reset(), "reset");
+  }
+  state.counters["pairs"] = static_cast<double>((*join)->pair_count());
+}
+BENCHMARK(BM_JoinSequencing);
+
+void BM_IntegrityCheck(benchmark::State& state) {
+  int employees = static_cast<int>(state.range(0));
+  odb::LabDbConfig config;
+  config.employees = employees;
+  LabSession session = LabSession::Create(config);
+  for (auto _ : state) {
+    Result<std::vector<odb::IntegrityIssue>> issues =
+        odb::CheckIntegrity(session.db.get());
+    CheckOk(issues.status(), "check");
+    benchmark::DoNotOptimize(issues->size());
+  }
+  state.counters["employees"] = employees;
+  state.SetItemsProcessed(state.iterations() * employees);
+}
+BENCHMARK(BM_IntegrityCheck)->Arg(55)->Arg(500);
+
+}  // namespace
+}  // namespace ode::bench
+
+BENCHMARK_MAIN();

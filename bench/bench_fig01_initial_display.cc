@@ -1,0 +1,64 @@
+// Figure 1: the initial display — a scrollable "database" window with
+// the names and iconified images of the current Ode databases.
+//
+// Measures opening the database window and compositing the screen as
+// the number of registered databases grows.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace ode::bench {
+namespace {
+
+std::unique_ptr<view::OdeViewApp> AppWithDatabases(int count) {
+  auto app = std::make_unique<view::OdeViewApp>(240, 100);
+  for (int i = 0; i < count; ++i) {
+    auto db = ValueOrDie(
+        odb::Database::CreateInMemory("db" + std::to_string(i)),
+        "create db");
+    CheckOk(app->AddDatabase(std::move(db)), "register");
+  }
+  return app;
+}
+
+void BM_OpenInitialWindow(benchmark::State& state) {
+  int databases = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto app = AppWithDatabases(databases);
+    state.ResumeTiming();
+    CheckOk(app->OpenInitialWindow(), "open");
+    benchmark::DoNotOptimize(app->initial_window());
+  }
+  state.SetItemsProcessed(state.iterations() * databases);
+}
+BENCHMARK(BM_OpenInitialWindow)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ClickDatabaseIcon(benchmark::State& state) {
+  // Clicking an icon spawns the db-interactor and its schema window.
+  for (auto _ : state) {
+    state.PauseTiming();
+    LabSession session = LabSession::Create();
+    CheckOk(session.app->CloseDatabase("lab"), "close");
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        ValueOrDie(session.app->OpenDatabase("lab"), "open"));
+  }
+}
+BENCHMARK(BM_ClickDatabaseIcon);
+
+void BM_CompositeScreen(benchmark::State& state) {
+  int databases = static_cast<int>(state.range(0));
+  auto app = AppWithDatabases(databases);
+  CheckOk(app->OpenInitialWindow(), "open");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(app->Screenshot());
+  }
+}
+BENCHMARK(BM_CompositeScreen)->Arg(4)->Arg(64);
+
+}  // namespace
+}  // namespace ode::bench
+
+BENCHMARK_MAIN();

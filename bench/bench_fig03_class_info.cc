@@ -1,0 +1,67 @@
+// Figures 3 & 5: class-information windows — superclasses, subclasses,
+// and metadata (object counts), for employee (single inheritance) and
+// manager (multiple inheritance).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "odb/ddl_parser.h"
+
+namespace ode::bench {
+namespace {
+
+void BM_ClassInfoOpen(benchmark::State& state) {
+  LabSession session = LabSession::Create();
+  const char* cls = state.range(0) == 0 ? "employee" : "manager";
+  for (auto _ : state) {
+    CheckOk(session.interactor->OpenClassInfo(cls), "open info");
+    state.PauseTiming();
+    // OnClassChanged destroys the window so the next open is cold.
+    CheckOk(session.interactor->OnClassChanged(cls), "reset");
+    state.ResumeTiming();
+  }
+  state.SetLabel(cls);
+}
+BENCHMARK(BM_ClassInfoOpen)->Arg(0)->Arg(1);
+
+void BM_ClassInfoReopenWarm(benchmark::State& state) {
+  LabSession session = LabSession::Create();
+  CheckOk(session.interactor->OpenClassInfo("employee"), "first open");
+  for (auto _ : state) {
+    CheckOk(session.interactor->OpenClassInfo("employee"), "reopen");
+  }
+}
+BENCHMARK(BM_ClassInfoReopenWarm);
+
+void BM_ClassMetadataQueries(benchmark::State& state) {
+  // The data the info window shows: supers, subs, and object count.
+  LabSession session = LabSession::Create();
+  odb::Database* db = session.db.get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ValueOrDie(db->schema().DirectSuperclasses("manager"), "supers"));
+    benchmark::DoNotOptimize(
+        ValueOrDie(db->schema().DirectSubclasses("employee"), "subs"));
+    benchmark::DoNotOptimize(
+        ValueOrDie(db->ClusterCount("employee"), "count"));
+  }
+}
+BENCHMARK(BM_ClassMetadataQueries);
+
+void BM_SubclassScanVsSchemaSize(benchmark::State& state) {
+  // DirectSubclasses scans every class definition; show the growth.
+  int classes = static_cast<int>(state.range(0));
+  odb::Schema schema = ValueOrDie(
+      odb::ParseSchema(odb::SyntheticSchemaDdl(classes, 2, 3)), "parse");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ValueOrDie(schema.DirectSubclasses("cls_0"), "subs"));
+  }
+  state.counters["classes"] = classes;
+}
+BENCHMARK(BM_SubclassScanVsSchemaSize)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace ode::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Figure 4: the class-definition window — retrieving and displaying a
+// class's verbatim O++ source.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "odb/ddl_parser.h"
+#include "owl/widgets.h"
+
+namespace ode::bench {
+namespace {
+
+void BM_ClassDefinitionOpen(benchmark::State& state) {
+  LabSession session = LabSession::Create();
+  for (auto _ : state) {
+    CheckOk(session.interactor->OpenClassDefinition("employee"), "open");
+    state.PauseTiming();
+    CheckOk(session.interactor->OnClassChanged("employee"), "reset");
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_ClassDefinitionOpen);
+
+void BM_ClassLookupVsSchemaSize(benchmark::State& state) {
+  int classes = static_cast<int>(state.range(0));
+  odb::Schema schema = ValueOrDie(
+      odb::ParseSchema(odb::SyntheticSchemaDdl(classes, 2, 5)), "parse");
+  std::string last = "cls_" + std::to_string(classes - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ValueOrDie(schema.GetClass(last), "get"));
+  }
+  state.counters["classes"] = classes;
+}
+BENCHMARK(BM_ClassLookupVsSchemaSize)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_DdlParseThroughput(benchmark::State& state) {
+  // The cost of (re)loading schema source, which is what populates the
+  // definition window in the first place.
+  int classes = static_cast<int>(state.range(0));
+  std::string ddl = odb::SyntheticSchemaDdl(classes, 2, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ValueOrDie(odb::ParseSchema(ddl), "parse"));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(ddl.size()));
+  state.counters["classes"] = classes;
+}
+BENCHMARK(BM_DdlParseThroughput)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_DefinitionScrolling(benchmark::State& state) {
+  // Scrolling the definition text (the window's scroll bars).
+  LabSession session = LabSession::Create();
+  CheckOk(session.interactor->OpenClassDefinition("employee"), "open");
+  owl::Window* window = session.app->server()->FindWindow(
+      session.interactor->class_def_window("employee"));
+  auto* text = dynamic_cast<owl::ScrollText*>(window->FindWidget("source"));
+  for (auto _ : state) {
+    text->ScrollBy(1);
+    benchmark::DoNotOptimize(text->VisibleLines());
+    text->ScrollBy(-1);
+  }
+}
+BENCHMARK(BM_DefinitionScrolling);
+
+}  // namespace
+}  // namespace ode::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Figure 8: browsing a set-valued member (department -> employees):
+// an object-set window over the references, with sequencing.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace ode::bench {
+namespace {
+
+LabSession SessionWithDeptOf(int employees) {
+  odb::LabDbConfig config;
+  config.employees = employees;
+  config.departments = 1;  // everyone in one department
+  config.managers = 1;
+  return LabSession::Create(config);
+}
+
+void BM_OpenReferenceSetWindow(benchmark::State& state) {
+  int dept_size = static_cast<int>(state.range(0));
+  LabSession session = SessionWithDeptOf(dept_size);
+  view::BrowseNode* node =
+      ValueOrDie(session.interactor->OpenObjectSet("department"), "set");
+  CheckOk(node->Next(), "next");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ValueOrDie(node->FollowReferenceSet("employees"), "follow"));
+    state.PauseTiming();
+    CheckOk(session.interactor->CloseObjectSet("department"), "close");
+    node = ValueOrDie(session.interactor->OpenObjectSet("department"),
+                      "reopen");
+    CheckOk(node->Next(), "next");
+    state.ResumeTiming();
+  }
+  state.counters["set_size"] = dept_size;
+}
+BENCHMARK(BM_OpenReferenceSetWindow)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_SequenceThroughColleagues(benchmark::State& state) {
+  int dept_size = static_cast<int>(state.range(0));
+  LabSession session = SessionWithDeptOf(dept_size);
+  view::BrowseNode* dept =
+      ValueOrDie(session.interactor->OpenObjectSet("department"), "set");
+  CheckOk(dept->Next(), "next");
+  view::BrowseNode* colleagues =
+      ValueOrDie(dept->FollowReferenceSet("employees"), "follow");
+  int walked = 0;
+  for (auto _ : state) {
+    if (!colleagues->Next().ok()) {
+      CheckOk(colleagues->Reset(), "reset");
+      CheckOk(colleagues->Next().ok() ? Status::OK()
+                                      : Status::Internal("empty"),
+              "restart");
+    }
+    ++walked;
+  }
+  benchmark::DoNotOptimize(walked);
+  state.counters["set_size"] = dept_size;
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SequenceThroughColleagues)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_SetResolutionOnParentStep(benchmark::State& state) {
+  // When the parent department changes, the employees set window must
+  // re-resolve the whole target list.
+  odb::LabDbConfig config;
+  config.employees = static_cast<int>(state.range(0));
+  config.departments = 4;
+  LabSession session = LabSession::Create(config);
+  view::BrowseNode* dept =
+      ValueOrDie(session.interactor->OpenObjectSet("department"), "set");
+  CheckOk(dept->Next(), "next");
+  (void)ValueOrDie(dept->FollowReferenceSet("employees"), "follow");
+  for (auto _ : state) {
+    if (!dept->Next().ok()) CheckOk(dept->Reset(), "reset");
+  }
+  state.counters["employees"] = config.employees;
+}
+BENCHMARK(BM_SetResolutionOnParentStep)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace ode::bench
+
+BENCHMARK_MAIN();

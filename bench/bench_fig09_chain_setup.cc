@@ -1,0 +1,70 @@
+// Figure 9: setting up a chain of windows by following embedded
+// references (employee -> department -> manager).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace ode::bench {
+namespace {
+
+/// Builds an alternating dept/head chain below `node`, `depth` links
+/// long (the object graph is cyclic — department.head is a manager
+/// whose dept points back — so the *window tree* can be arbitrarily
+/// deep, exactly as a user clicking buttons could make it).
+view::BrowseNode* BuildChain(view::BrowseNode* node, int depth) {
+  for (int i = 0; i < depth; ++i) {
+    const char* member = (i % 2 == 0) ? "dept" : "head";
+    node = ValueOrDie(node->FollowReference(member), "follow");
+  }
+  return node;
+}
+
+void BM_ChainConstruction(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  LabSession session = LabSession::Create();
+  for (auto _ : state) {
+    state.PauseTiming();
+    if (session.interactor->FindObjectSet("employee") != nullptr) {
+      CheckOk(session.interactor->CloseObjectSet("employee"), "close");
+    }
+    view::BrowseNode* root =
+        ValueOrDie(session.interactor->OpenObjectSet("employee"), "set");
+    CheckOk(root->Next(), "next");
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(BuildChain(root, depth));
+  }
+  state.counters["depth"] = depth;
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_ChainConstruction)->Arg(1)->Arg(2)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_ChainWithDisplaysOpen(benchmark::State& state) {
+  // The Fig. 9 configuration: employee (text) -> dept (text) ->
+  // manager (text), all display windows open.
+  LabSession session = LabSession::Create();
+  for (auto _ : state) {
+    state.PauseTiming();
+    if (session.interactor->FindObjectSet("employee") != nullptr) {
+      CheckOk(session.interactor->CloseObjectSet("employee"), "close");
+    }
+    state.ResumeTiming();
+    view::BrowseNode* root =
+        ValueOrDie(session.interactor->OpenObjectSet("employee"), "set");
+    CheckOk(root->Next(), "next");
+    CheckOk(root->ToggleFormat("text"), "emp text");
+    view::BrowseNode* dept =
+        ValueOrDie(root->FollowReference("dept"), "dept");
+    CheckOk(dept->ToggleFormat("text"), "dept text");
+    view::BrowseNode* head =
+        ValueOrDie(dept->FollowReference("head"), "head");
+    CheckOk(head->ToggleFormat("text"), "head text");
+    benchmark::DoNotOptimize(root->SubtreeSize());
+  }
+}
+BENCHMARK(BM_ChainWithDisplaysOpen);
+
+}  // namespace
+}  // namespace ode::bench
+
+BENCHMARK_MAIN();

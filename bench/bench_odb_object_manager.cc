@@ -1,0 +1,128 @@
+// Substrate benchmark: the Ode object manager (storage engine) that
+// every OdeView interaction sits on — create/get/update throughput,
+// cluster scans, and buffer-pool sensitivity.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "odb/value_codec.h"
+
+namespace ode::bench {
+namespace {
+
+constexpr char kSchema[] = R"(
+persistent class item {
+public:
+  string name;
+  int rank;
+  real score;
+  set<item*> related;
+};
+)";
+
+odb::Value Item(int i) {
+  return odb::Value::Struct({
+      {"name", odb::Value::String("item-" + std::to_string(i))},
+      {"rank", odb::Value::Int(i)},
+      {"score", odb::Value::Real(i * 0.5)},
+      {"related", odb::Value::Set({})},
+  });
+}
+
+std::unique_ptr<odb::Database> Db(size_t pool_pages = 256) {
+  odb::DatabaseOptions options;
+  options.buffer_pool_pages = pool_pages;
+  auto db = ValueOrDie(odb::Database::CreateInMemory("bench", options),
+                       "db");
+  CheckOk(db->DefineSchema(kSchema), "schema");
+  return db;
+}
+
+void BM_CreateObject(benchmark::State& state) {
+  auto db = Db();
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ValueOrDie(db->CreateObject("item", Item(i++)), "create"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CreateObject);
+
+void BM_GetObject(benchmark::State& state) {
+  size_t pool_pages = static_cast<size_t>(state.range(0));
+  auto db = Db(pool_pages);
+  std::vector<odb::Oid> oids;
+  for (int i = 0; i < 10000; ++i) {
+    oids.push_back(ValueOrDie(db->CreateObject("item", Item(i)), "c"));
+  }
+  uint64_t x = 12345;
+  for (auto _ : state) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    benchmark::DoNotOptimize(ValueOrDie(
+        db->GetObject(oids[(x >> 33) % oids.size()]), "get"));
+  }
+  const auto& stats = db->buffer_pool()->stats();
+  state.counters["pool_pages"] = static_cast<double>(pool_pages);
+  state.counters["hit_rate"] =
+      static_cast<double>(stats.hits) /
+      static_cast<double>(stats.hits + stats.misses);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GetObject)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_UpdateObject(benchmark::State& state) {
+  auto db = Db();
+  odb::Oid oid = ValueOrDie(db->CreateObject("item", Item(0)), "create");
+  int i = 0;
+  for (auto _ : state) {
+    CheckOk(db->UpdateObject(oid, Item(++i)), "update");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UpdateObject);
+
+void BM_ClusterScan(benchmark::State& state) {
+  int objects = static_cast<int>(state.range(0));
+  auto db = Db();
+  for (int i = 0; i < objects; ++i) {
+    (void)ValueOrDie(db->CreateObject("item", Item(i)), "create");
+  }
+  for (auto _ : state) {
+    odb::ObjectCursor cursor(db.get(), "item");
+    int n = 0;
+    while (cursor.Next().ok()) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * objects);
+  state.counters["objects"] = objects;
+}
+BENCHMARK(BM_ClusterScan)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ValueCodecRoundTrip(benchmark::State& state) {
+  odb::Value value = Item(42);
+  for (auto _ : state) {
+    std::string bytes = odb::EncodeValueToString(value);
+    benchmark::DoNotOptimize(
+        ValueOrDie(odb::DecodeValue(bytes), "decode"));
+  }
+}
+BENCHMARK(BM_ValueCodecRoundTrip);
+
+void BM_LabDatabaseBuild(benchmark::State& state) {
+  int employees = static_cast<int>(state.range(0));
+  odb::LabDbConfig config;
+  config.employees = employees;
+  for (auto _ : state) {
+    auto db = ValueOrDie(odb::Database::CreateInMemory("lab"), "db");
+    CheckOk(odb::BuildLabDatabase(db.get(), config), "build");
+    benchmark::DoNotOptimize(db);
+  }
+  state.counters["employees"] = employees;
+}
+BENCHMARK(BM_LabDatabaseBuild)->Arg(55)->Arg(500);
+
+}  // namespace
+}  // namespace ode::bench
+
+BENCHMARK_MAIN();

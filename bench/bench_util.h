@@ -1,0 +1,55 @@
+#ifndef ODEVIEW_BENCH_BENCH_UTIL_H_
+#define ODEVIEW_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+
+#include "dynlink/lab_modules.h"
+#include "odb/database.h"
+#include "odb/labdb.h"
+#include "odeview/app.h"
+
+namespace ode::bench {
+
+/// Aborts the benchmark binary on an unexpected error — benchmarks
+/// must not silently measure failure paths.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "benchmark setup failed (%s): %s\n", what,
+                 status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T ValueOrDie(Result<T> result, const char* what) {
+  CheckOk(result.status(), what);
+  return std::move(result).value();
+}
+
+/// A ready-to-browse OdeView session over the lab database.
+struct LabSession {
+  std::unique_ptr<odb::Database> db;
+  std::unique_ptr<view::OdeViewApp> app;
+  view::DbInteractor* interactor = nullptr;
+
+  static LabSession Create(const odb::LabDbConfig& config = {}) {
+    LabSession session;
+    session.db = ValueOrDie(odb::Database::CreateInMemory("lab"),
+                            "create db");
+    CheckOk(odb::BuildLabDatabase(session.db.get(), config), "build lab");
+    session.app = std::make_unique<view::OdeViewApp>(240, 100);
+    CheckOk(dynlink::RegisterLabDisplayModules(session.app->repository(),
+                                               "lab", session.db->schema()),
+            "register modules");
+    CheckOk(session.app->AddDatabaseBorrowed(session.db.get()), "add db");
+    CheckOk(session.app->OpenInitialWindow(), "initial window");
+    session.interactor =
+        ValueOrDie(session.app->OpenDatabase("lab"), "open db");
+    return session;
+  }
+};
+
+}  // namespace ode::bench
+
+#endif  // ODEVIEW_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,157 @@
+// lab_session: a faithful replay of the paper's Section 3 "A Sample
+// Session", printing an ASCII rendering of the screen after each step
+// so every figure of the paper (Figs. 1-10) can be compared against
+// this program's output.
+
+#include <cstdio>
+#include <string>
+
+#include "dynlink/lab_modules.h"
+#include "odb/database.h"
+#include "odb/labdb.h"
+#include "odeview/app.h"
+#include "owl/widgets.h"
+
+namespace {
+
+#define CHECK_OK(expr)                                              \
+  do {                                                              \
+    ::ode::Status _st = (expr);                                     \
+    if (!_st.ok()) {                                                \
+      std::fprintf(stderr, "FATAL %s:%d: %s\n", __FILE__, __LINE__, \
+                   _st.ToString().c_str());                         \
+      return 1;                                                     \
+    }                                                               \
+  } while (0)
+
+#define CHECK_ASSIGN(lhs, expr)                                     \
+  auto lhs##_result = (expr);                                       \
+  if (!lhs##_result.ok()) {                                         \
+    std::fprintf(stderr, "FATAL %s:%d: %s\n", __FILE__, __LINE__,   \
+                 lhs##_result.status().ToString().c_str());         \
+    return 1;                                                       \
+  }                                                                 \
+  auto& lhs = *lhs##_result
+
+void Figure(const char* id, const char* caption) {
+  std::printf("\n================ %s: %s ================\n", id, caption);
+}
+
+void Screen(ode::view::OdeViewApp& app) {
+  std::fputs(app.Screenshot().c_str(), stdout);
+}
+
+}  // namespace
+
+int main() {
+  using namespace ode;
+
+  // The lab database: 55 employees, 7 managers, as in the paper.
+  CHECK_ASSIGN(db, odb::Database::CreateInMemory("lab"));
+  CHECK_OK(odb::BuildLabDatabase(db.get()));
+
+  view::OdeViewApp app(150, 56);
+  CHECK_OK(dynlink::RegisterLabDisplayModules(app.repository(), "lab",
+                                              db->schema()));
+  CHECK_OK(app.AddDatabaseBorrowed(db.get()));
+
+  // ---- Figure 1: Initial Display -------------------------------------
+  Figure("Figure 1", "Initial Display (the database window)");
+  CHECK_OK(app.OpenInitialWindow());
+  Screen(app);
+
+  // ---- Figure 2: Lab Database (schema window) ------------------------
+  Figure("Figure 2", "Lab Database - class relationship window");
+  CHECK_OK(app.server()->ClickWidget(app.initial_window(), "db:lab"));
+  view::DbInteractor* lab = app.FindInteractor("lab");
+  if (lab == nullptr) return 1;
+  std::printf("(DAG placement: %llu edge crossings)\n",
+              static_cast<unsigned long long>(
+                  lab->dag_view()->layout().crossings));
+  Screen(app);
+
+  // ---- Figure 3: Class Information Window for Employee ----------------
+  Figure("Figure 3", "Class Information Window for employee");
+  CHECK_OK(lab->OpenClassInfo("employee"));
+  Screen(app);
+
+  // ---- Figure 4: Class Definition --------------------------------------
+  Figure("Figure 4", "Class Definition window for employee");
+  CHECK_OK(app.server()->ClickWidget(lab->class_info_window("employee"),
+                                     "definition"));
+  Screen(app);
+
+  // ---- Figure 5: Class Information Window for Manager -------------------
+  Figure("Figure 5", "Class Information Window for manager");
+  // The paper clicks manager in employee's subclass list.
+  {
+    owl::Window* info =
+        app.server()->FindWindow(lab->class_info_window("employee"));
+    auto* subs = dynamic_cast<owl::Menu*>(info->FindWidget("subs-menu"));
+    CHECK_OK(subs->SelectItem("manager"));
+  }
+  Screen(app);
+
+  // ---- Figure 6: Employee Object (text + picture) ------------------------
+  Figure("Figure 6", "Employee object displayed in text and picture form");
+  CHECK_OK(app.server()->ClickWidget(lab->class_info_window("employee"),
+                                     "objects"));
+  view::BrowseNode* employees = lab->FindObjectSet("employee");
+  if (employees == nullptr) return 1;
+  CHECK_OK(app.server()->ClickWidget(employees->panel_window(), "next"));
+  CHECK_OK(app.server()->ClickWidget(employees->panel_window(),
+                                     "fmt:text"));
+  CHECK_OK(app.server()->ClickWidget(employees->panel_window(),
+                                     "fmt:picture"));
+  Screen(app);
+
+  // ---- Figure 7: Employee's Department -------------------------------------
+  Figure("Figure 7", "Employee's department via the dept button");
+  CHECK_OK(app.server()->ClickWidget(employees->panel_window(),
+                                     "ref:dept"));
+  view::BrowseNode* dept = employees->FindChild("dept");
+  if (dept == nullptr) return 1;
+  CHECK_OK(dept->ToggleFormat("text"));
+  Screen(app);
+
+  // ---- Figure 8: Employee's Colleague -----------------------------------------
+  Figure("Figure 8", "A colleague working in the same department");
+  CHECK_OK(app.server()->ClickWidget(dept->panel_window(),
+                                     "set:employees"));
+  view::BrowseNode* colleagues = dept->FindChild("employees");
+  if (colleagues == nullptr) return 1;
+  CHECK_OK(colleagues->ToggleFormat("text"));
+  CHECK_OK(app.server()->ClickWidget(colleagues->panel_window(), "next"));
+  Screen(app);
+
+  // ---- Figure 9: Employee's Manager ---------------------------------------------
+  Figure("Figure 9", "Chain of references: employee -> dept -> manager");
+  CHECK_OK(app.server()->ClickWidget(dept->panel_window(), "ref:head"));
+  view::BrowseNode* head = dept->FindChild("head");
+  if (head == nullptr) return 1;
+  CHECK_OK(head->ToggleFormat("text"));
+  Screen(app);
+
+  // ---- Figure 10: Synchronized Display ---------------------------------------------
+  Figure("Figure 10",
+         "After `next` on the employee set: the whole chain refreshed");
+  CHECK_ASSIGN(before, dept->Current());
+  CHECK_OK(app.server()->ClickWidget(employees->panel_window(), "next"));
+  CHECK_ASSIGN(emp_now, employees->Current());
+  CHECK_ASSIGN(dept_now, dept->Current());
+  CHECK_ASSIGN(head_now, head->Current());
+  std::printf(
+      "(employee is now %s; department window follows to %s; manager "
+      "window follows to %s — department changed: %s)\n",
+      emp_now.value.FindField("name")->AsString().c_str(),
+      dept_now.value.FindField("name")->AsString().c_str(),
+      head_now.value.FindField("name")->AsString().c_str(),
+      dept_now.oid == before.oid ? "no" : "yes");
+  Screen(app);
+
+  std::printf("\nsession complete: %zu windows, %llu events dispatched\n",
+              app.server()->window_count(),
+              static_cast<unsigned long long>(
+                  app.server()->stats().events_dispatched));
+  return 0;
+}

@@ -1,0 +1,159 @@
+// odb_tour: the Ode substrate on its own — persistence to disk,
+// constraints, triggers, versioned objects, and selection, without
+// the GUI. This is the database a downstream user gets even if they
+// never open OdeView.
+
+#include <cstdio>
+#include <string>
+
+#include "odb/database.h"
+#include "odb/predicate.h"
+
+namespace {
+
+#define CHECK_OK(expr)                                              \
+  do {                                                              \
+    ::ode::Status _st = (expr);                                     \
+    if (!_st.ok()) {                                                \
+      std::fprintf(stderr, "FATAL %s:%d: %s\n", __FILE__, __LINE__, \
+                   _st.ToString().c_str());                         \
+      return 1;                                                     \
+    }                                                               \
+  } while (0)
+
+#define CHECK_ASSIGN(lhs, expr)                                     \
+  auto lhs##_result = (expr);                                       \
+  if (!lhs##_result.ok()) {                                         \
+    std::fprintf(stderr, "FATAL %s:%d: %s\n", __FILE__, __LINE__,   \
+                 lhs##_result.status().ToString().c_str());         \
+    return 1;                                                       \
+  }                                                                 \
+  auto& lhs = *lhs##_result
+
+constexpr char kSchema[] = R"(
+// An issue tracker, in the O++ subset.
+persistent class user {
+public:
+  string login;
+  int karma;
+  constraint karma >= 0;
+};
+
+persistent versioned class ticket {
+public:
+  string title;
+  string state;
+  int priority;
+  user* assignee;
+  set<user*> watchers;
+  displaylist title, state, priority;
+  selectlist title, state, priority;
+  constraint priority >= 0 && priority <= 4;
+  trigger escalated: on_update when priority >= 3 do page_oncall;
+};
+)";
+
+}  // namespace
+
+int main() {
+  using namespace ode;
+  const std::string path = "/tmp/odeview_odb_tour.db";
+  std::remove(path.c_str());
+
+  // ---- create a database on disk ---------------------------------------
+  odb::Oid ticket_oid;
+  {
+    CHECK_ASSIGN(db, odb::Database::CreateOnDisk(path, "tracker"));
+    CHECK_OK(db->DefineSchema(kSchema));
+
+    CHECK_ASSIGN(amy, db->CreateObject(
+                          "user", odb::Value::Struct(
+                                      {{"login", odb::Value::String("amy")},
+                                       {"karma", odb::Value::Int(10)}})));
+    CHECK_ASSIGN(bob, db->CreateObject(
+                          "user", odb::Value::Struct(
+                                      {{"login", odb::Value::String("bob")},
+                                       {"karma", odb::Value::Int(3)}})));
+
+    // Constraints reject bad objects atomically.
+    Status bad = db->CreateObject(
+                       "user", odb::Value::Struct(
+                                   {{"login", odb::Value::String("evil")},
+                                    {"karma", odb::Value::Int(-1)}}))
+                     .status();
+    std::printf("negative karma rejected: %s\n", bad.ToString().c_str());
+
+    CHECK_ASSIGN(
+        ticket,
+        db->CreateObject(
+            "ticket",
+            odb::Value::Struct(
+                {{"title", odb::Value::String("browser crashes on zoom")},
+                 {"state", odb::Value::String("open")},
+                 {"priority", odb::Value::Int(1)},
+                 {"assignee", odb::Value::Ref(amy, "user")},
+                 {"watchers", odb::Value::Set(
+                                  {odb::Value::Ref(bob, "user")})}})));
+    ticket_oid = ticket;
+
+    // Versioned updates retain history; the trigger fires at p3.
+    for (int priority = 2; priority <= 4; ++priority) {
+      CHECK_ASSIGN(buffer, db->GetObject(ticket));
+      *buffer.value.FindMutableField("priority") =
+          odb::Value::Int(priority);
+      if (priority == 4) {
+        *buffer.value.FindMutableField("state") =
+            odb::Value::String("critical");
+      }
+      CHECK_OK(db->UpdateObject(ticket, buffer.value));
+    }
+    std::printf("\ntrigger log:\n");
+    for (const odb::TriggerFiring& firing : db->trigger_log()) {
+      std::printf("  %s on %s %s -> action %s\n",
+                  firing.trigger_name.c_str(),
+                  firing.class_name.c_str(), firing.oid.ToString().c_str(),
+                  firing.action.c_str());
+    }
+
+    CHECK_ASSIGN(versions, db->ListVersions(ticket));
+    std::printf("\nretained versions of %s:", ticket.ToString().c_str());
+    for (uint32_t v : versions) std::printf(" v%u", v);
+    std::printf("\n");
+    CHECK_ASSIGN(v1, db->GetObjectVersion(ticket, 1));
+    std::printf("  v1 priority = %lld\n",
+                static_cast<long long>(
+                    v1.value.FindField("priority")->AsInt()));
+
+    CHECK_OK(db->Sync());
+  }  // database closed
+
+  // ---- reopen from disk --------------------------------------------------
+  {
+    CHECK_ASSIGN(db, odb::Database::OpenOnDisk(path));
+    std::printf("\nreopened '%s': %zu classes, %llu tickets\n",
+                db->name().c_str(), db->schema().size(),
+                static_cast<unsigned long long>(
+                    *db->ClusterCount("ticket")));
+    CHECK_ASSIGN(ticket, db->GetObject(ticket_oid));
+    std::printf("ticket survives restart at v%u: %s\n", ticket.version,
+                ticket.value.ToString().c_str());
+
+    // Selection through the object manager (what §5.2 pushes down).
+    CHECK_ASSIGN(p, odb::ParsePredicate(
+                        "priority >= 3 && state == \"critical\""));
+    CHECK_ASSIGN(hot, db->Select("ticket", p));
+    std::printf("critical tickets: %zu\n", hot.size());
+
+    // Sequencing — the object-set window's engine.
+    odb::ObjectCursor cursor(db.get(), "user");
+    std::printf("users:");
+    while (true) {
+      Result<odb::ObjectBuffer> next = cursor.Next();
+      if (!next.ok()) break;
+      std::printf(" %s", next->value.FindField("login")->AsString().c_str());
+    }
+    std::printf("\n");
+  }
+  std::remove(path.c_str());
+  return 0;
+}

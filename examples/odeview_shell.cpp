@@ -1,0 +1,209 @@
+// odeview_shell: an interactive (and scriptable) driver for OdeView.
+// Reads commands from stdin and operates the same public API the GUI
+// buttons call, printing ASCII screenshots on demand.
+//
+//   $ ./odeview_shell <<'EOF'
+//   open lab
+//   info employee
+//   objects employee
+//   next employee
+//   show employee text
+//   follow employee dept
+//   screen
+//   EOF
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "dynlink/lab_modules.h"
+#include "odb/database.h"
+#include "odb/integrity.h"
+#include "odb/labdb.h"
+#include "odeview/app.h"
+
+namespace {
+
+using ode::Status;
+
+void Help() {
+  std::puts(R"(commands:
+  dbs                          list registered databases
+  open <db>                    open a database (schema window)
+  schema                       render the schema DAG
+  zoom in|out                  change schema detail level
+  info <class>                 class information window
+  def <class>                  class definition window
+  objects <class>              open the object-set window
+  next|prev|reset <class>      sequence the object set
+  show <class> <format>        toggle a display format
+  follow <class> <member>      follow a reference member
+  followset <class> <member>   follow a set-of-references member
+  project <class> <attrs,...>  project onto attributes (empty = ALL)
+  select <class> <predicate>   apply a selection predicate
+  join <left> <right> <pred>   open a §5.3 join view
+  versions <class>             open the version-history window
+  check                        run the referential-integrity checker
+  screen                       print the composed screen
+  quit)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ode;
+  int employees = argc > 1 ? std::atoi(argv[1]) : 55;
+
+  odb::LabDbConfig config;
+  config.employees = employees;
+  auto db_result = odb::Database::CreateInMemory("lab");
+  if (!db_result.ok()) return 1;
+  auto db = std::move(*db_result);
+  if (Status s = odb::BuildLabDatabase(db.get(), config); !s.ok()) {
+    std::fprintf(stderr, "build: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  view::OdeViewApp app(150, 56);
+  (void)dynlink::RegisterLabDisplayModules(app.repository(), "lab",
+                                           db->schema());
+  (void)app.AddDatabaseBorrowed(db.get());
+  (void)app.OpenInitialWindow();
+
+  auto interactor = [&]() -> view::DbInteractor* {
+    return app.FindInteractor("lab");
+  };
+  auto need_set = [&](const std::string& cls) -> view::BrowseNode* {
+    if (interactor() == nullptr) return nullptr;
+    Result<view::BrowseNode*> node = interactor()->OpenObjectSet(cls);
+    return node.ok() ? *node : nullptr;
+  };
+  auto report = [](const Status& status) {
+    std::printf("%s\n", status.ToString().c_str());
+  };
+
+  std::puts("OdeView shell — 'help' for commands.");
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty() || cmd[0] == '#') continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      Help();
+    } else if (cmd == "dbs") {
+      for (const std::string& name : app.DatabaseNames()) {
+        std::printf("  %s\n", name.c_str());
+      }
+    } else if (cmd == "open") {
+      std::string name;
+      in >> name;
+      report(app.OpenDatabase(name).status());
+    } else if (interactor() == nullptr) {
+      std::puts("open a database first ('open lab')");
+    } else if (cmd == "schema") {
+      for (const std::string& row :
+           interactor()->dag_view()->RenderLines()) {
+        std::printf("%s\n", row.c_str());
+      }
+    } else if (cmd == "zoom") {
+      std::string dir;
+      in >> dir;
+      report(dir == "in" ? interactor()->ZoomIn()
+                         : interactor()->ZoomOut());
+    } else if (cmd == "info") {
+      std::string cls;
+      in >> cls;
+      report(interactor()->OpenClassInfo(cls));
+    } else if (cmd == "def") {
+      std::string cls;
+      in >> cls;
+      report(interactor()->OpenClassDefinition(cls));
+    } else if (cmd == "objects") {
+      std::string cls;
+      in >> cls;
+      report(interactor()->OpenObjectSet(cls).status());
+    } else if (cmd == "next" || cmd == "prev" || cmd == "reset") {
+      std::string cls;
+      in >> cls;
+      view::BrowseNode* node = need_set(cls);
+      if (node == nullptr) continue;
+      Status status = cmd == "next"   ? node->Next()
+                      : cmd == "prev" ? node->Prev()
+                                      : node->Reset();
+      if (status.ok() && node->has_current()) {
+        auto current = node->Current();
+        std::printf("-> %s\n", current->value.ToString().c_str());
+      } else {
+        report(status);
+      }
+    } else if (cmd == "show") {
+      std::string cls, format;
+      in >> cls >> format;
+      view::BrowseNode* node = need_set(cls);
+      if (node != nullptr) report(node->ToggleFormat(format));
+    } else if (cmd == "follow" || cmd == "followset") {
+      std::string cls, member;
+      in >> cls >> member;
+      view::BrowseNode* node = need_set(cls);
+      if (node == nullptr) continue;
+      auto child = cmd == "follow" ? node->FollowReference(member)
+                                   : node->FollowReferenceSet(member);
+      report(child.status());
+    } else if (cmd == "project") {
+      std::string cls, attrs;
+      in >> cls >> attrs;
+      view::BrowseNode* node = need_set(cls);
+      if (node == nullptr) continue;
+      if (attrs.empty()) {
+        report(node->ClearProjection());
+      } else {
+        std::vector<std::string> chosen = Split(attrs, ',');
+        report(node->SetProjection(chosen));
+      }
+    } else if (cmd == "select") {
+      std::string cls;
+      in >> cls;
+      std::string predicate;
+      std::getline(in, predicate);
+      report(interactor()->ApplyConditionBox(
+          cls, std::string(StripWhitespace(predicate))));
+    } else if (cmd == "join") {
+      std::string left, right;
+      in >> left >> right;
+      std::string predicate;
+      std::getline(in, predicate);
+      auto join = interactor()->OpenJoinView(
+          left, right, std::string(StripWhitespace(predicate)));
+      if (join.ok()) {
+        std::printf("%zu matching pairs\n", (*join)->pair_count());
+      } else {
+        report(join.status());
+      }
+    } else if (cmd == "versions") {
+      std::string cls;
+      in >> cls;
+      view::BrowseNode* node = need_set(cls);
+      if (node != nullptr) report(node->OpenVersionsWindow());
+    } else if (cmd == "check") {
+      auto issues = odb::CheckIntegrity(db.get());
+      if (!issues.ok()) {
+        report(issues.status());
+      } else if (issues->empty()) {
+        std::puts("no integrity issues");
+      } else {
+        for (const odb::IntegrityIssue& issue : *issues) {
+          std::printf("  %s\n", issue.ToString().c_str());
+        }
+      }
+    } else if (cmd == "screen") {
+      std::fputs(app.Screenshot().c_str(), stdout);
+    } else {
+      std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
+    }
+  }
+  return 0;
+}

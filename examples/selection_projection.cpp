@@ -1,0 +1,144 @@
+// selection_projection: the Section 5 extensions — projecting an
+// object display onto chosen attributes (§5.1) and filtering an
+// object set with selection predicates built both ways (§5.2).
+
+#include <cstdio>
+
+#include "dynlink/lab_modules.h"
+#include "odb/database.h"
+#include "odb/labdb.h"
+#include "odeview/app.h"
+#include "owl/widgets.h"
+
+namespace {
+
+#define CHECK_OK(expr)                                              \
+  do {                                                              \
+    ::ode::Status _st = (expr);                                     \
+    if (!_st.ok()) {                                                \
+      std::fprintf(stderr, "FATAL %s:%d: %s\n", __FILE__, __LINE__, \
+                   _st.ToString().c_str());                         \
+      return 1;                                                     \
+    }                                                               \
+  } while (0)
+
+#define CHECK_ASSIGN(lhs, expr)                                     \
+  auto lhs##_result = (expr);                                       \
+  if (!lhs##_result.ok()) {                                         \
+    std::fprintf(stderr, "FATAL %s:%d: %s\n", __FILE__, __LINE__,   \
+                 lhs##_result.status().ToString().c_str());         \
+    return 1;                                                       \
+  }                                                                 \
+  auto& lhs = *lhs##_result
+
+std::string DisplayText(ode::view::OdeViewApp& app,
+                        ode::view::BrowseNode* node) {
+  ode::owl::Window* window =
+      app.server()->FindWindow(node->DisplayWindow("text"));
+  if (window == nullptr) return "<no display>";
+  auto* text =
+      dynamic_cast<ode::owl::ScrollText*>(window->FindWidget("content"));
+  if (text == nullptr) return "<no content>";
+  std::string out;
+  for (const std::string& line : text->lines()) out += line + "\n";
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ode;
+
+  CHECK_ASSIGN(db, odb::Database::CreateInMemory("lab"));
+  CHECK_OK(odb::BuildLabDatabase(db.get()));
+  view::OdeViewApp app(160, 60);
+  CHECK_OK(dynlink::RegisterLabDisplayModules(app.repository(), "lab",
+                                              db->schema()));
+  CHECK_OK(app.AddDatabaseBorrowed(db.get()));
+  CHECK_OK(app.OpenInitialWindow());
+  CHECK_ASSIGN(lab, app.OpenDatabase("lab"));
+
+  CHECK_ASSIGN(node, lab->OpenObjectSet("employee"));
+  CHECK_OK(node->Next());
+  CHECK_OK(node->ToggleFormat("text"));
+
+  // ---- §5.1 Projection --------------------------------------------------
+  std::printf("== default display (class designer's attribute set) ==\n%s\n",
+              DisplayText(app, node).c_str());
+
+  CHECK_ASSIGN(displaylist, node->DisplayList());
+  std::printf("displaylist of employee:");
+  for (const std::string& attr : displaylist) std::printf(" %s", attr.c_str());
+  std::printf("\n\n");
+
+  // The user clicks `project`, picks name + age, then apply — here via
+  // the projection dialog's buttons.
+  CHECK_OK(lab->OpenProjectionDialog("employee"));
+  owl::WindowId dialog = lab->projection_dialog("employee");
+  CHECK_OK(app.server()->ClickWidget(dialog, "attr:name"));
+  CHECK_OK(app.server()->ClickWidget(dialog, "attr:age"));
+  CHECK_OK(app.server()->ClickWidget(dialog, "apply"));
+  std::printf("== projected onto {name, age} ==\n%s\n",
+              DisplayText(app, node).c_str());
+
+  // ALL lifts the projection.
+  CHECK_OK(app.server()->ClickWidget(dialog, "ALL"));
+  std::printf("== after ALL (projection lifted) ==\n%s\n",
+              DisplayText(app, node).c_str());
+
+  // ---- §5.2 Selection -----------------------------------------------------
+  CHECK_ASSIGN(selectlist, node->SelectList());
+  std::printf("selectlist of employee:");
+  for (const std::string& attr : selectlist) std::printf(" %s", attr.c_str());
+  std::printf("\n\n");
+
+  // Scheme 1: menus + typed value (Pasta-3 style).
+  CHECK_OK(lab->OpenSelectionDialog("employee"));
+  owl::WindowId sel = lab->selection_dialog("employee");
+  owl::Window* sel_window = app.server()->FindWindow(sel);
+  auto* attr_menu =
+      dynamic_cast<owl::Menu*>(sel_window->FindWidget("attr-menu"));
+  auto* op_menu =
+      dynamic_cast<owl::Menu*>(sel_window->FindWidget("op-menu"));
+  auto* value =
+      dynamic_cast<owl::TextInput*>(sel_window->FindWidget("value"));
+  CHECK_OK(attr_menu->SelectItem("age"));
+  CHECK_OK(op_menu->SelectItem(">="));
+  value->set_text("55");
+  CHECK_OK(app.server()->ClickWidget(sel, "add-and"));
+  CHECK_OK(app.server()->ClickWidget(sel, "apply"));
+  std::printf("== menu-built predicate: employees with age >= 55 ==\n");
+  int count = 0;
+  CHECK_OK(node->Reset());
+  while (node->Next().ok()) {
+    CHECK_ASSIGN(current, node->Current());
+    std::printf("  %-10s age %2lld\n",
+                current.value.FindField("name")->AsString().c_str(),
+                static_cast<long long>(
+                    current.value.FindField("age")->AsInt()));
+    ++count;
+  }
+  std::printf("  (%d of 55 employees)\n\n", count);
+
+  // Scheme 2: the QBE-style condition box — type the whole predicate.
+  CHECK_OK(lab->ApplyConditionBox(
+      "employee", "age < 30 && salary > 60000 || name contains \"ra\""));
+  std::printf(
+      "== condition box: age < 30 && salary > 60000 || name contains "
+      "\"ra\" ==\n");
+  CHECK_OK(node->Reset());
+  while (node->Next().ok()) {
+    CHECK_ASSIGN(current, node->Current());
+    std::printf("  %-10s age %2lld salary %.0f\n",
+                current.value.FindField("name")->AsString().c_str(),
+                static_cast<long long>(
+                    current.value.FindField("age")->AsInt()),
+                current.value.FindField("salary")->AsReal());
+  }
+
+  // Selection errors are validated against the selectlist.
+  Status bad = lab->ApplyConditionBox("employee", "picture == \"x\"");
+  std::printf("\nselecting on a non-selectlist attribute: %s\n",
+              bad.ToString().c_str());
+  return 0;
+}

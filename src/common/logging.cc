@@ -1,0 +1,42 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace ode {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::atomic<LogSink> g_sink{nullptr};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+void SetLogSink(LogSink sink) { g_sink.store(sink); }
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message) {
+  if (level < g_level.load()) return;
+  if (LogSink sink = g_sink.load()) {
+    sink(level, message);
+    return;
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), file, line,
+               message.c_str());
+}
+
+}  // namespace ode

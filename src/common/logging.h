@@ -1,0 +1,53 @@
+#ifndef ODEVIEW_COMMON_LOGGING_H_
+#define ODEVIEW_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ode {
+
+/// Severity for library log records.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum severity; records below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one log record to stderr (or a test-installed sink).
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+
+/// Installs a sink capturing log records; pass nullptr to restore stderr.
+/// The sink signature receives (level, formatted message).
+using LogSink = void (*)(LogLevel, const std::string&);
+void SetLogSink(LogSink sink);
+
+namespace internal {
+
+/// Stream-style builder used by the ODE_LOG macro.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ode
+
+#define ODE_LOG(level)                                                \
+  ::ode::internal::LogStream(::ode::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // ODEVIEW_COMMON_LOGGING_H_

@@ -1,0 +1,86 @@
+#ifndef ODEVIEW_COMMON_RESULT_H_
+#define ODEVIEW_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ode {
+
+/// A value-or-error type: either holds a `T` or a non-OK `Status`.
+///
+/// Mirrors `arrow::Result`. Construction from a `Status` must use a
+/// non-OK status; constructing from OK is an internal error.
+template <typename T>
+class Result {
+ public:
+  /// Wraps a successful value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+
+  /// Wraps a failure; `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Accessors; must only be called when `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this result is an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present
+};
+
+}  // namespace ode
+
+/// Assigns the value of a `Result<T>` expression to `lhs`, or propagates
+/// its error status. `lhs` may declare a new variable.
+#define ODE_ASSIGN_OR_RETURN(lhs, expr)             \
+  ODE_ASSIGN_OR_RETURN_IMPL(                        \
+      ODE_RESULT_CONCAT(_result_, __LINE__), lhs, expr)
+
+#define ODE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)   \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define ODE_RESULT_CONCAT_INNER(a, b) a##b
+#define ODE_RESULT_CONCAT(a, b) ODE_RESULT_CONCAT_INNER(a, b)
+
+#endif  // ODEVIEW_COMMON_RESULT_H_

@@ -1,0 +1,45 @@
+#include "common/status.h"
+
+namespace ode {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kIOError:
+      return "I/O error";
+    case StatusCode::kOutOfRange:
+      return "out of range";
+    case StatusCode::kFailedPrecondition:
+      return "failed precondition";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kConstraintViolation:
+      return "constraint violation";
+    case StatusCode::kDisplayFault:
+      return "display fault";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code()));
+  if (!message().empty()) {
+    out += ": ";
+    out += message();
+  }
+  return out;
+}
+
+}  // namespace ode

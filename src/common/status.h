@@ -1,0 +1,133 @@
+#ifndef ODEVIEW_COMMON_STATUS_H_
+#define ODEVIEW_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ode {
+
+/// Error category for a failed operation. `kOk` means success.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed a malformed argument.
+  kNotFound,          ///< A named entity (class, object, window) is absent.
+  kAlreadyExists,     ///< Creation of an entity that already exists.
+  kCorruption,        ///< On-disk or in-buffer data failed validation.
+  kIOError,           ///< Underlying file/pager operation failed.
+  kOutOfRange,        ///< Index/cursor moved past a valid boundary.
+  kFailedPrecondition,///< Operation invoked in the wrong state.
+  kUnimplemented,     ///< Feature declared by the API but not available.
+  kInternal,          ///< Invariant violation inside the library.
+  kConstraintViolation,///< An Ode object constraint rejected an update.
+  kDisplayFault,      ///< A class-designer display function misbehaved.
+};
+
+/// Returns the canonical lowercase name of `code` (e.g. "not found").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail, in the RocksDB/Arrow idiom.
+///
+/// A `Status` is cheap to copy in the success case (no allocation) and
+/// carries a code plus a human-readable message otherwise. The library
+/// never throws; every fallible API returns `Status` or `Result<T>`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(const Status& other)
+      : rep_(other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status DisplayFault(std::string msg) {
+    return Status(StatusCode::kDisplayFault, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return rep_ == nullptr; }
+  /// The status code; `kOk` when `ok()`.
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  /// The error message; empty when `ok()`.
+  const std::string& message() const {
+    static const std::string* empty = new std::string();
+    return rep_ ? rep_->message : *empty;
+  }
+
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsDisplayFault() const { return code() == StatusCode::kDisplayFault; }
+  bool IsConstraintViolation() const {
+    return code() == StatusCode::kConstraintViolation;
+  }
+
+  /// "OK" or "<code>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+
+  Status(StatusCode code, std::string msg)
+      : rep_(std::make_unique<Rep>(Rep{code, std::move(msg)})) {}
+
+  std::unique_ptr<Rep> rep_;  // null == OK
+};
+
+}  // namespace ode
+
+/// Propagates a non-OK status to the caller. Usable only in functions
+/// returning `Status` (or a type constructible from it, e.g. Result<T>).
+#define ODE_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::ode::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#endif  // ODEVIEW_COMMON_STATUS_H_

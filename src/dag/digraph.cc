@@ -1,0 +1,89 @@
+#include "dag/digraph.h"
+
+#include <deque>
+
+namespace ode::dag {
+
+Result<NodeId> Digraph::AddNode(std::string label) {
+  if (index_.count(label) != 0) {
+    return Status::AlreadyExists("node '" + label + "'");
+  }
+  NodeId id = node_count();
+  index_[label] = id;
+  labels_.push_back(std::move(label));
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+NodeId Digraph::EnsureNode(std::string_view label) {
+  auto it = index_.find(std::string(label));
+  if (it != index_.end()) return it->second;
+  return *AddNode(std::string(label));
+}
+
+Result<NodeId> Digraph::FindNode(std::string_view label) const {
+  auto it = index_.find(std::string(label));
+  if (it == index_.end()) {
+    return Status::NotFound("node '" + std::string(label) + "'");
+  }
+  return it->second;
+}
+
+Status Digraph::AddEdge(NodeId from, NodeId to) {
+  if (from < 0 || to < 0 || from >= node_count() || to >= node_count()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (from == to) {
+    return Status::InvalidArgument("self loop on '" + labels_[from] + "'");
+  }
+  if (HasEdge(from, to)) {
+    return Status::AlreadyExists("edge " + labels_[from] + " -> " +
+                                 labels_[to]);
+  }
+  out_[from].push_back(to);
+  in_[to].push_back(from);
+  edges_.emplace_back(from, to);
+  ++edge_count_;
+  return Status::OK();
+}
+
+bool Digraph::HasEdge(NodeId from, NodeId to) const {
+  if (from < 0 || from >= node_count()) return false;
+  for (NodeId n : out_[from]) {
+    if (n == to) return true;
+  }
+  return false;
+}
+
+bool Digraph::IsAcyclic() const {
+  std::vector<int> in_degree(static_cast<size_t>(node_count()), 0);
+  for (const auto& [from, to] : edges_) ++in_degree[to];
+  std::deque<NodeId> ready;
+  for (NodeId n = 0; n < node_count(); ++n) {
+    if (in_degree[n] == 0) ready.push_back(n);
+  }
+  int processed = 0;
+  while (!ready.empty()) {
+    NodeId n = ready.front();
+    ready.pop_front();
+    ++processed;
+    for (NodeId m : out_[n]) {
+      if (--in_degree[m] == 0) ready.push_back(m);
+    }
+  }
+  return processed == node_count();
+}
+
+Digraph Digraph::FromEdges(
+    const std::vector<std::pair<std::string, std::string>>& edges) {
+  Digraph graph;
+  for (const auto& [from, to] : edges) {
+    NodeId f = graph.EnsureNode(from);
+    NodeId t = graph.EnsureNode(to);
+    (void)graph.AddEdge(f, t);  // duplicates silently ignored
+  }
+  return graph;
+}
+
+}  // namespace ode::dag

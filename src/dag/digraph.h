@@ -1,0 +1,70 @@
+#ifndef ODEVIEW_DAG_DIGRAPH_H_
+#define ODEVIEW_DAG_DIGRAPH_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ode::dag {
+
+/// Node handle within a `Digraph` (dense, 0-based).
+using NodeId = int;
+
+/// A simple labeled directed graph — the input to the DAG placement
+/// algorithm that draws the class-inheritance relationship (edges run
+/// base -> derived).
+class Digraph {
+ public:
+  Digraph() = default;
+
+  /// Adds a node; duplicate labels are rejected.
+  Result<NodeId> AddNode(std::string label);
+
+  /// Adds the node if absent, otherwise returns the existing id.
+  NodeId EnsureNode(std::string_view label);
+
+  Result<NodeId> FindNode(std::string_view label) const;
+
+  /// Adds a directed edge; self-loops and duplicates are rejected.
+  Status AddEdge(NodeId from, NodeId to);
+
+  int node_count() const { return static_cast<int>(labels_.size()); }
+  int edge_count() const { return edge_count_; }
+
+  const std::string& label(NodeId id) const { return labels_[id]; }
+  const std::vector<NodeId>& OutNeighbors(NodeId id) const {
+    return out_[id];
+  }
+  const std::vector<NodeId>& InNeighbors(NodeId id) const { return in_[id]; }
+
+  /// All edges as (from, to) pairs, insertion order.
+  const std::vector<std::pair<NodeId, NodeId>>& edges() const {
+    return edges_;
+  }
+
+  bool HasEdge(NodeId from, NodeId to) const;
+
+  /// True iff the graph has no directed cycle.
+  bool IsAcyclic() const;
+
+  /// Builds a graph from labeled edges (nodes created on demand).
+  static Digraph FromEdges(
+      const std::vector<std::pair<std::string, std::string>>& edges);
+
+ private:
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, NodeId> index_;
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+  int edge_count_ = 0;
+};
+
+}  // namespace ode::dag
+
+#endif  // ODEVIEW_DAG_DIGRAPH_H_

@@ -1,0 +1,459 @@
+#include "dag/layout.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numeric>
+
+namespace ode::dag {
+
+namespace {
+
+/// Fenwick tree for counting inversions in the bilayer sweep.
+class Bit {
+ public:
+  explicit Bit(int n) : tree_(static_cast<size_t>(n) + 1, 0) {}
+
+  void Add(int i) {
+    for (++i; i < static_cast<int>(tree_.size()); i += i & (-i)) {
+      ++tree_[static_cast<size_t>(i)];
+    }
+  }
+
+  /// Sum of counts in [0, i].
+  uint64_t Prefix(int i) const {
+    uint64_t s = 0;
+    for (++i; i > 0; i -= i & (-i)) s += tree_[static_cast<size_t>(i)];
+    return s;
+  }
+
+  uint64_t Total() const { return Prefix(static_cast<int>(tree_.size()) - 2); }
+
+ private:
+  std::vector<uint64_t> tree_;
+};
+
+/// Internal node in the dummy-expanded graph.
+struct LNode {
+  NodeId original = -1;  ///< -1 for dummy nodes
+  int layer = 0;
+  int order = 0;
+  double x_center = 0;  ///< working coordinate during placement
+  int width = 1;
+  std::vector<int> up;    ///< neighbors in layer-1 (internal ids)
+  std::vector<int> down;  ///< neighbors in layer+1
+};
+
+/// Working state for the Sugiyama pipeline.
+struct Pipeline {
+  const Digraph* graph;
+  LayoutOptions options;
+  std::vector<std::pair<NodeId, NodeId>> acyclic_edges;  // possibly reversed
+  std::vector<bool> reversed;       // per input edge
+  std::vector<int> layer_of;        // per original node
+  std::vector<LNode> lnodes;        // internal nodes (originals first)
+  std::vector<std::vector<int>> layers;  // internal ids per layer
+  /// Per input edge: chain of internal ids source..target.
+  std::vector<std::vector<int>> edge_chains;
+};
+
+/// 1. Cycle removal: DFS marking back edges, which get reversed.
+void RemoveCycles(Pipeline* p) {
+  const Digraph& g = *p->graph;
+  int n = g.node_count();
+  std::vector<int> state(static_cast<size_t>(n), 0);  // 0 new 1 open 2 done
+  p->reversed.assign(g.edges().size(), false);
+  // Map (from,to) -> edge index for marking.
+  std::vector<std::vector<std::pair<NodeId, size_t>>> out_index(
+      static_cast<size_t>(n));
+  for (size_t e = 0; e < g.edges().size(); ++e) {
+    out_index[static_cast<size_t>(g.edges()[e].first)].push_back(
+        {g.edges()[e].second, e});
+  }
+  // Iterative DFS.
+  for (NodeId root = 0; root < n; ++root) {
+    if (state[static_cast<size_t>(root)] != 0) continue;
+    std::vector<std::pair<NodeId, size_t>> stack;  // node, next-child idx
+    stack.push_back({root, 0});
+    state[static_cast<size_t>(root)] = 1;
+    while (!stack.empty()) {
+      auto& [node, child_idx] = stack.back();
+      auto& children = out_index[static_cast<size_t>(node)];
+      if (child_idx >= children.size()) {
+        state[static_cast<size_t>(node)] = 2;
+        stack.pop_back();
+        continue;
+      }
+      auto [next, edge_idx] = children[child_idx++];
+      if (state[static_cast<size_t>(next)] == 1) {
+        p->reversed[edge_idx] = true;  // back edge
+      } else if (state[static_cast<size_t>(next)] == 0) {
+        state[static_cast<size_t>(next)] = 1;
+        stack.push_back({next, 0});
+      }
+    }
+  }
+  p->acyclic_edges.clear();
+  for (size_t e = 0; e < g.edges().size(); ++e) {
+    auto [from, to] = g.edges()[e];
+    if (p->reversed[e]) std::swap(from, to);
+    p->acyclic_edges.emplace_back(from, to);
+  }
+}
+
+/// 2. Layer assignment over the acyclic edge set.
+void AssignLayers(Pipeline* p) {
+  int n = p->graph->node_count();
+  std::vector<std::vector<NodeId>> out(static_cast<size_t>(n));
+  std::vector<int> in_degree(static_cast<size_t>(n), 0);
+  for (const auto& [from, to] : p->acyclic_edges) {
+    out[static_cast<size_t>(from)].push_back(to);
+    ++in_degree[static_cast<size_t>(to)];
+  }
+  p->layer_of.assign(static_cast<size_t>(n), 0);
+  std::deque<NodeId> ready;
+  std::vector<int> remaining = in_degree;
+  for (NodeId v = 0; v < n; ++v) {
+    if (remaining[static_cast<size_t>(v)] == 0) ready.push_back(v);
+  }
+  int width_bound = p->options.max_width;
+  if (p->options.layering == LayeringMethod::kCoffmanGraham &&
+      width_bound <= 0) {
+    width_bound = std::max(1, static_cast<int>(std::ceil(std::sqrt(
+                                  static_cast<double>(n)))));
+  }
+  std::vector<int> layer_fill;  // nodes per layer so far
+  while (!ready.empty()) {
+    NodeId v = ready.front();
+    ready.pop_front();
+    int layer = p->layer_of[static_cast<size_t>(v)];
+    if (p->options.layering == LayeringMethod::kCoffmanGraham) {
+      while (static_cast<size_t>(layer) < layer_fill.size() &&
+             layer_fill[static_cast<size_t>(layer)] >= width_bound) {
+        ++layer;
+      }
+      if (static_cast<size_t>(layer) >= layer_fill.size()) {
+        layer_fill.resize(static_cast<size_t>(layer) + 1, 0);
+      }
+      ++layer_fill[static_cast<size_t>(layer)];
+      p->layer_of[static_cast<size_t>(v)] = layer;
+    }
+    for (NodeId w : out[static_cast<size_t>(v)]) {
+      p->layer_of[static_cast<size_t>(w)] =
+          std::max(p->layer_of[static_cast<size_t>(w)], layer + 1);
+      if (--remaining[static_cast<size_t>(w)] == 0) ready.push_back(w);
+    }
+  }
+}
+
+/// 3. Dummy-node insertion and initial ordering.
+void BuildLayeredGraph(Pipeline* p) {
+  const Digraph& g = *p->graph;
+  int n = g.node_count();
+  int max_layer = 0;
+  for (int l : p->layer_of) max_layer = std::max(max_layer, l);
+  p->lnodes.clear();
+  p->lnodes.resize(static_cast<size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    LNode& node = p->lnodes[static_cast<size_t>(v)];
+    node.original = v;
+    node.layer = p->layer_of[static_cast<size_t>(v)];
+    node.width = p->options.fixed_node_width > 0
+                     ? p->options.fixed_node_width
+                     : static_cast<int>(g.label(v).size()) + 2;
+  }
+  p->edge_chains.assign(g.edges().size(), {});
+  for (size_t e = 0; e < p->acyclic_edges.size(); ++e) {
+    auto [from, to] = p->acyclic_edges[e];
+    std::vector<int> chain;
+    chain.push_back(from);
+    int lf = p->layer_of[static_cast<size_t>(from)];
+    int lt = p->layer_of[static_cast<size_t>(to)];
+    int prev = from;
+    for (int layer = lf + 1; layer < lt; ++layer) {
+      LNode dummy;
+      dummy.original = -1;
+      dummy.layer = layer;
+      dummy.width = 1;
+      int id = static_cast<int>(p->lnodes.size());
+      p->lnodes.push_back(dummy);
+      p->lnodes[static_cast<size_t>(prev)].down.push_back(id);
+      p->lnodes[static_cast<size_t>(id)].up.push_back(prev);
+      chain.push_back(id);
+      prev = id;
+    }
+    p->lnodes[static_cast<size_t>(prev)].down.push_back(to);
+    p->lnodes[static_cast<size_t>(to)].up.push_back(prev);
+    chain.push_back(to);
+    p->edge_chains[e] = std::move(chain);
+  }
+  // Initial order: BFS from in-degree-0 nodes, appended per layer.
+  p->layers.assign(static_cast<size_t>(max_layer) + 1, {});
+  std::vector<bool> placed(p->lnodes.size(), false);
+  std::deque<int> queue;
+  for (size_t i = 0; i < p->lnodes.size(); ++i) {
+    if (p->lnodes[i].up.empty()) queue.push_back(static_cast<int>(i));
+  }
+  while (!queue.empty()) {
+    int id = queue.front();
+    queue.pop_front();
+    if (placed[static_cast<size_t>(id)]) continue;
+    placed[static_cast<size_t>(id)] = true;
+    p->layers[static_cast<size_t>(p->lnodes[static_cast<size_t>(id)].layer)]
+        .push_back(id);
+    for (int down : p->lnodes[static_cast<size_t>(id)].down) {
+      queue.push_back(down);
+    }
+  }
+  for (size_t i = 0; i < p->lnodes.size(); ++i) {
+    if (!placed[i]) {
+      p->layers[static_cast<size_t>(p->lnodes[i].layer)].push_back(
+          static_cast<int>(i));
+    }
+  }
+  for (auto& layer : p->layers) {
+    for (size_t i = 0; i < layer.size(); ++i) {
+      p->lnodes[static_cast<size_t>(layer[i])].order = static_cast<int>(i);
+    }
+  }
+}
+
+uint64_t TotalCrossings(const Pipeline& p) {
+  uint64_t total = 0;
+  for (size_t layer = 0; layer + 1 < p.layers.size(); ++layer) {
+    std::vector<std::pair<int, int>> edges;
+    for (int id : p.layers[layer]) {
+      const LNode& node = p.lnodes[static_cast<size_t>(id)];
+      for (int down : node.down) {
+        edges.emplace_back(node.order,
+                           p.lnodes[static_cast<size_t>(down)].order);
+      }
+    }
+    total += CountBilayerCrossings(std::move(edges));
+  }
+  return total;
+}
+
+/// One ordering pass: reorder `layer` by the barycenter/median of each
+/// node's neighbors in the fixed adjacent layer.
+void OrderLayer(Pipeline* p, size_t layer, bool use_up, bool median) {
+  auto& nodes = p->layers[layer];
+  std::vector<std::pair<double, int>> keyed;
+  keyed.reserve(nodes.size());
+  for (int id : nodes) {
+    const LNode& node = p->lnodes[static_cast<size_t>(id)];
+    const std::vector<int>& neighbors = use_up ? node.up : node.down;
+    double key;
+    if (neighbors.empty()) {
+      key = node.order;  // keep position
+    } else if (median) {
+      std::vector<int> pos;
+      pos.reserve(neighbors.size());
+      for (int nb : neighbors) {
+        pos.push_back(p->lnodes[static_cast<size_t>(nb)].order);
+      }
+      std::sort(pos.begin(), pos.end());
+      key = pos[pos.size() / 2];
+      if (pos.size() % 2 == 0) {
+        key = (key + pos[pos.size() / 2 - 1]) / 2.0;
+      }
+    } else {
+      double sum = 0;
+      for (int nb : neighbors) {
+        sum += p->lnodes[static_cast<size_t>(nb)].order;
+      }
+      key = sum / static_cast<double>(neighbors.size());
+    }
+    keyed.emplace_back(key, id);
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  for (size_t i = 0; i < keyed.size(); ++i) {
+    nodes[i] = keyed[i].second;
+    p->lnodes[static_cast<size_t>(nodes[i])].order = static_cast<int>(i);
+  }
+}
+
+/// 4. Crossing-minimization sweeps, keeping the best ordering seen.
+void MinimizeCrossings(Pipeline* p) {
+  if (p->options.ordering == OrderingMethod::kNone) return;
+  bool median = p->options.ordering == OrderingMethod::kMedian;
+  uint64_t best = TotalCrossings(*p);
+  std::vector<std::vector<int>> best_layers = p->layers;
+  for (int sweep = 0; sweep < p->options.sweeps; ++sweep) {
+    for (size_t layer = 1; layer < p->layers.size(); ++layer) {
+      OrderLayer(p, layer, /*use_up=*/true, median);
+    }
+    for (size_t layer = p->layers.size(); layer-- > 1;) {
+      OrderLayer(p, layer - 1, /*use_up=*/false, median);
+    }
+    uint64_t now = TotalCrossings(*p);
+    if (now < best) {
+      best = now;
+      best_layers = p->layers;
+      if (best == 0) break;
+    }
+  }
+  p->layers = best_layers;
+  for (auto& layer : p->layers) {
+    for (size_t i = 0; i < layer.size(); ++i) {
+      p->lnodes[static_cast<size_t>(layer[i])].order = static_cast<int>(i);
+    }
+  }
+}
+
+/// 5. Horizontal coordinates: sequential packing + neighbor-median
+/// relaxation passes that respect left-to-right order.
+void AssignCoordinates(Pipeline* p) {
+  int gap = std::max(1, p->options.node_gap);
+  // Initial packing.
+  for (auto& layer : p->layers) {
+    double x = 0;
+    for (int id : layer) {
+      LNode& node = p->lnodes[static_cast<size_t>(id)];
+      node.x_center = x + node.width / 2.0;
+      x += node.width + gap;
+    }
+  }
+  auto relax = [&](size_t layer, bool use_up) {
+    auto& nodes = p->layers[layer];
+    // Desired positions.
+    std::vector<double> desired(nodes.size());
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      LNode& node = p->lnodes[static_cast<size_t>(nodes[i])];
+      const std::vector<int>& neighbors = use_up ? node.up : node.down;
+      if (neighbors.empty()) {
+        desired[i] = node.x_center;
+      } else {
+        double sum = 0;
+        for (int nb : neighbors) {
+          sum += p->lnodes[static_cast<size_t>(nb)].x_center;
+        }
+        desired[i] = sum / static_cast<double>(neighbors.size());
+      }
+    }
+    // Left-to-right pass with minimum separation.
+    double min_x = -1e18;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      LNode& node = p->lnodes[static_cast<size_t>(nodes[i])];
+      double lo = min_x + node.width / 2.0;
+      node.x_center = std::max(desired[i], lo);
+      min_x = node.x_center + node.width / 2.0 + gap;
+    }
+    // Right-to-left pass pulls nodes back toward desired positions.
+    double max_x = 1e18;
+    for (size_t i = nodes.size(); i-- > 0;) {
+      LNode& node = p->lnodes[static_cast<size_t>(nodes[i])];
+      double hi = max_x - node.width / 2.0;
+      node.x_center = std::min(std::max(desired[i], node.x_center), hi);
+      if (node.x_center < desired[i]) {
+        node.x_center = std::min(desired[i], hi);
+      }
+      max_x = node.x_center - node.width / 2.0 - gap;
+    }
+  };
+  for (int pass = 0; pass < 3; ++pass) {
+    for (size_t layer = 1; layer < p->layers.size(); ++layer) {
+      relax(layer, /*use_up=*/true);
+    }
+    for (size_t layer = p->layers.size(); layer-- > 1;) {
+      relax(layer - 1, /*use_up=*/false);
+    }
+  }
+  // Normalize to x >= 0.
+  double min_x = 0;
+  bool first = true;
+  for (const LNode& node : p->lnodes) {
+    double left = node.x_center - node.width / 2.0;
+    if (first || left < min_x) {
+      min_x = left;
+      first = false;
+    }
+  }
+  for (LNode& node : p->lnodes) node.x_center -= min_x;
+}
+
+}  // namespace
+
+uint64_t CountBilayerCrossings(std::vector<std::pair<int, int>> edges) {
+  if (edges.empty()) return 0;
+  std::sort(edges.begin(), edges.end());
+  int max_lower = 0;
+  for (const auto& [u, v] : edges) max_lower = std::max(max_lower, v);
+  Bit bit(max_lower + 1);
+  uint64_t crossings = 0;
+  // Process in (u, v) order; an earlier edge crosses the current one
+  // iff its lower endpoint is strictly greater.
+  for (size_t i = 0; i < edges.size(); ++i) {
+    int v = edges[i].second;
+    crossings += bit.Total() - bit.Prefix(v);
+    bit.Add(v);
+  }
+  return crossings;
+}
+
+Result<DagLayout> LayoutDag(const Digraph& graph,
+                            const LayoutOptions& options) {
+  DagLayout layout;
+  if (graph.node_count() == 0) return layout;
+  Pipeline p;
+  p.graph = &graph;
+  p.options = options;
+  RemoveCycles(&p);
+  AssignLayers(&p);
+  BuildLayeredGraph(&p);
+  MinimizeCrossings(&p);
+  AssignCoordinates(&p);
+  layout.crossings = TotalCrossings(p);
+
+  int layer_height = 1 + std::max(1, options.layer_gap);
+  layout.nodes.resize(static_cast<size_t>(graph.node_count()));
+  layout.layers.assign(p.layers.size(), {});
+  for (size_t layer = 0; layer < p.layers.size(); ++layer) {
+    for (int id : p.layers[layer]) {
+      const LNode& node = p.lnodes[static_cast<size_t>(id)];
+      if (node.original < 0) continue;
+      PlacedNode placed;
+      placed.node = node.original;
+      placed.layer = node.layer;
+      placed.order = node.order;
+      placed.width = node.width;
+      placed.x = static_cast<int>(std::lround(node.x_center -
+                                              node.width / 2.0));
+      placed.y = node.layer * layer_height;
+      layout.nodes[static_cast<size_t>(node.original)] = placed;
+      layout.layers[layer].push_back(node.original);
+    }
+  }
+  // Edge polylines through dummy positions.
+  layout.edge_paths.resize(p.edge_chains.size());
+  for (size_t e = 0; e < p.edge_chains.size(); ++e) {
+    std::vector<EdgeBend> path;
+    for (size_t i = 0; i < p.edge_chains[e].size(); ++i) {
+      const LNode& node =
+          p.lnodes[static_cast<size_t>(p.edge_chains[e][i])];
+      EdgeBend bend;
+      bend.x = static_cast<int>(std::lround(node.x_center));
+      bend.y = node.layer * layer_height;
+      path.push_back(bend);
+    }
+    if (p.reversed[e]) std::reverse(path.begin(), path.end());
+    layout.edge_paths[e] = std::move(path);
+  }
+  // Extents.
+  for (const PlacedNode& node : layout.nodes) {
+    layout.width = std::max(layout.width, node.x + node.width);
+    layout.height = std::max(layout.height, node.y + 1);
+  }
+  for (const auto& path : layout.edge_paths) {
+    for (const EdgeBend& bend : path) {
+      layout.width = std::max(layout.width, bend.x + 1);
+      layout.height = std::max(layout.height, bend.y + 1);
+    }
+  }
+  return layout;
+}
+
+}  // namespace ode::dag

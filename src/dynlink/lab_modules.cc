@@ -1,0 +1,143 @@
+#include "dynlink/lab_modules.h"
+
+#include "dynlink/synthesized.h"
+
+namespace ode::dynlink {
+
+namespace {
+
+/// Text display built on the shared formatter, with a per-class title
+/// attribute highlighted first — what a class designer would write.
+DisplayFunction MakeTextDisplay(const odb::Schema* schema,
+                                std::string title_attr) {
+  return [schema, title_attr](
+             const odb::ObjectBuffer& object,
+             const std::vector<std::string>& attributes,
+             const std::vector<bool>& mask) -> Result<DisplayResources> {
+    ODE_ASSIGN_OR_RETURN(
+        std::string text,
+        FormatObjectText(*schema, object, attributes, mask,
+                         /*privileged=*/false));
+    DisplayResources resources;
+    WindowSpec window;
+    window.kind = WindowKind::kScrollText;
+    window.format = "text";
+    const odb::Value* title_value = object.value.FindField(title_attr);
+    window.title = object.class_name;
+    if (title_value != nullptr &&
+        title_value->kind() == odb::ValueKind::kString) {
+      window.title += ": " + title_value->AsString();
+    }
+    window.size = owl::Size{36, 12};
+    window.text = std::move(text);
+    resources.windows.push_back(std::move(window));
+    return resources;
+  };
+}
+
+/// Raster display from a blob member holding an ASCII PBM.
+DisplayFunction MakeRasterDisplay(std::string blob_attr,
+                                  std::string format_name) {
+  return [blob_attr, format_name](
+             const odb::ObjectBuffer& object,
+             const std::vector<std::string>& attributes,
+             const std::vector<bool>& mask) -> Result<DisplayResources> {
+    (void)attributes;
+    (void)mask;  // raster media ignore projection
+    const odb::Value* blob = object.value.FindField(blob_attr);
+    if (blob == nullptr || blob->kind() != odb::ValueKind::kBlob) {
+      return Status::DisplayFault("object " + object.oid.ToString() +
+                                  " has no blob member '" + blob_attr +
+                                  "'");
+    }
+    DisplayResources resources;
+    WindowSpec window;
+    window.kind = WindowKind::kRasterImage;
+    window.format = format_name;
+    window.title = object.class_name + " " + object.oid.ToString() + " [" +
+                   format_name + "]";
+    window.size = owl::Size{18, 10};
+    window.image_pbm = blob->AsString();
+    resources.windows.push_back(std::move(window));
+    return resources;
+  };
+}
+
+/// Raw text window from a string/blob member (postscript view).
+DisplayFunction MakeRawTextDisplay(std::string attr,
+                                   std::string format_name) {
+  return [attr, format_name](
+             const odb::ObjectBuffer& object,
+             const std::vector<std::string>& attributes,
+             const std::vector<bool>& mask) -> Result<DisplayResources> {
+    (void)attributes;
+    (void)mask;
+    const odb::Value* value = object.value.FindField(attr);
+    if (value == nullptr || (value->kind() != odb::ValueKind::kBlob &&
+                             value->kind() != odb::ValueKind::kString)) {
+      return Status::DisplayFault("object " + object.oid.ToString() +
+                                  " has no text member '" + attr + "'");
+    }
+    DisplayResources resources;
+    WindowSpec window;
+    window.kind = WindowKind::kScrollText;
+    window.format = format_name;
+    window.title = object.class_name + " " + object.oid.ToString() + " [" +
+                   format_name + "]";
+    window.text = value->AsString();
+    resources.windows.push_back(std::move(window));
+    return resources;
+  };
+}
+
+}  // namespace
+
+Status RegisterLabDisplayModules(ModuleRepository* repository,
+                                 const std::string& db_name,
+                                 const odb::Schema& schema) {
+  const odb::Schema* s = &schema;
+  auto reg = [&](const std::string& cls, const std::string& format,
+                 DisplayFunction fn, size_t code_size) {
+    return repository->Register(
+        DisplayModule{db_name, cls, format, std::move(fn), code_size});
+  };
+  ODE_RETURN_IF_ERROR(
+      reg("employee", "text", MakeTextDisplay(s, "name"), 24 * 1024));
+  ODE_RETURN_IF_ERROR(reg("employee", "picture",
+                          MakeRasterDisplay("picture", "picture"),
+                          40 * 1024));
+  ODE_RETURN_IF_ERROR(
+      reg("manager", "text", MakeTextDisplay(s, "name"), 26 * 1024));
+  ODE_RETURN_IF_ERROR(reg("manager", "picture",
+                          MakeRasterDisplay("picture", "picture"),
+                          40 * 1024));
+  ODE_RETURN_IF_ERROR(
+      reg("department", "text", MakeTextDisplay(s, "name"), 20 * 1024));
+  ODE_RETURN_IF_ERROR(
+      reg("project", "text", MakeTextDisplay(s, "title"), 20 * 1024));
+  ODE_RETURN_IF_ERROR(
+      reg("document", "text", MakeTextDisplay(s, "title"), 22 * 1024));
+  ODE_RETURN_IF_ERROR(reg("document", "postscript",
+                          MakeRawTextDisplay("postscript", "postscript"),
+                          30 * 1024));
+  ODE_RETURN_IF_ERROR(reg("document", "bitmap",
+                          MakeRasterDisplay("bitmap", "bitmap"),
+                          36 * 1024));
+  return Status::OK();
+}
+
+Status RegisterFaultyDisplayModule(ModuleRepository* repository,
+                                   const std::string& db_name,
+                                   const std::string& class_name) {
+  DisplayFunction crash =
+      [](const odb::ObjectBuffer& object, const std::vector<std::string>&,
+         const std::vector<bool>&) -> Result<DisplayResources> {
+    return Status::DisplayFault(
+        "simulated crash in class-designer display code for object " +
+        object.oid.ToString());
+  };
+  return repository->Register(
+      DisplayModule{db_name, class_name, "crash", std::move(crash), 8192});
+}
+
+}  // namespace ode::dynlink

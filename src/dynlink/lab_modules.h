@@ -1,0 +1,36 @@
+#ifndef ODEVIEW_DYNLINK_LAB_MODULES_H_
+#define ODEVIEW_DYNLINK_LAB_MODULES_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "dynlink/repository.h"
+#include "odb/schema.h"
+
+namespace ode::dynlink {
+
+/// Registers the class-designer display modules for the lab database
+/// (the compiled functions the paper's dynamic linker would load):
+///  * employee: "text" (formatted attributes) and "picture" (the
+///    portrait bitmap) — the two buttons of Fig. 6;
+///  * manager: "text" and "picture" (inherits employee's media);
+///  * department / project: "text";
+///  * document: "text", "postscript", and "bitmap" (§4.1's multiple
+///    media example).
+///
+/// `schema` must outlive the repository entries (the functions hold a
+/// pointer to it for member/access metadata).
+Status RegisterLabDisplayModules(ModuleRepository* repository,
+                                 const std::string& db_name,
+                                 const odb::Schema& schema);
+
+/// Registers a deliberately buggy module (format "crash") for
+/// `class_name`: it always returns a DisplayFault. Used to exercise
+/// the fault-isolation behaviour of object-interactors (§4.6).
+Status RegisterFaultyDisplayModule(ModuleRepository* repository,
+                                   const std::string& db_name,
+                                   const std::string& class_name);
+
+}  // namespace ode::dynlink
+
+#endif  // ODEVIEW_DYNLINK_LAB_MODULES_H_

@@ -1,0 +1,61 @@
+#include "dynlink/linker.h"
+
+namespace ode::dynlink {
+
+namespace {
+/// Deterministic busy-work standing in for relocation/symbol
+/// resolution: checksums `size` pseudo-bytes.
+uint64_t SimulateLoadWork(size_t size) {
+  uint64_t checksum = 0x811c9dc5;
+  for (size_t i = 0; i < size; ++i) {
+    checksum = (checksum ^ (i & 0xff)) * 0x01000193;
+  }
+  return checksum;
+}
+}  // namespace
+
+Result<const DisplayFunction*> DynamicLinker::Load(
+    const std::string& db_name, const std::string& class_name,
+    const std::string& format) {
+  Key key{db_name, class_name, format};
+  auto it = loaded_.find(key);
+  if (it != loaded_.end()) {
+    ++stats_.cache_hits;
+    return &it->second;
+  }
+  ODE_ASSIGN_OR_RETURN(const DisplayModule* module,
+                       repository_->Find(db_name, class_name, format));
+  // "ld_dispfn": simulate the load.
+  volatile uint64_t sink = SimulateLoadWork(module->code_size);
+  (void)sink;
+  ++stats_.loads;
+  stats_.bytes_loaded += module->code_size;
+  auto [pos, inserted] = loaded_.emplace(key, module->function);
+  (void)inserted;
+  return &pos->second;
+}
+
+bool DynamicLinker::IsLoaded(const std::string& db_name,
+                             const std::string& class_name,
+                             const std::string& format) const {
+  return loaded_.find(Key{db_name, class_name, format}) != loaded_.end();
+}
+
+int DynamicLinker::Invalidate(const std::string& db_name,
+                              const std::string& class_name) {
+  int removed = 0;
+  for (auto it = loaded_.begin(); it != loaded_.end();) {
+    if (it->first.db == db_name && it->first.cls == class_name) {
+      it = loaded_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  if (removed > 0) ++stats_.invalidations;
+  return removed;
+}
+
+void DynamicLinker::UnloadAll() { loaded_.clear(); }
+
+}  // namespace ode::dynlink

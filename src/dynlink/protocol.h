@@ -1,0 +1,79 @@
+#ifndef ODEVIEW_DYNLINK_PROTOCOL_H_
+#define ODEVIEW_DYNLINK_PROTOCOL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "odb/database.h"
+#include "owl/geometry.h"
+
+namespace ode::dynlink {
+
+/// The generic window types of the OdeView <-> display-function
+/// protocol (paper §4.2): "a set of generic window types corresponding
+/// to the kind of windows that are supported by most windowing
+/// systems". A display function describes its output purely in these
+/// terms and never touches the windowing library — the "principle of
+/// separation".
+enum class WindowKind : uint8_t {
+  kStaticText = 0,  ///< fixed text
+  kScrollText,      ///< text with horizontal + vertical scroll bars
+  kRasterImage,     ///< a monochrome raster image (ASCII PBM payload)
+};
+
+std::string_view WindowKindName(WindowKind kind);
+
+/// One window a display function asks OdeView to materialize. The
+/// types are "parameterized to allow the display function to choose
+/// the window sizes and to specify the relative placement between the
+/// windows".
+struct WindowSpec {
+  WindowKind kind = WindowKind::kStaticText;
+  /// Stable name of this representation ("text", "picture", ...);
+  /// must match one of the class's declared display formats.
+  std::string format;
+  /// Window title shown by OdeView.
+  std::string title;
+  /// Requested content size in cells (0,0 = let OdeView choose).
+  owl::Size size;
+  /// Placement relative to the previous window of the same object
+  /// ((-1,-1) = let OdeView choose).
+  owl::Point placement{-1, -1};
+  /// Text payload (kStaticText / kScrollText).
+  std::string text;
+  /// ASCII PBM payload (kRasterImage).
+  std::string image_pbm;
+};
+
+/// Everything a display function returns: the windows to create.
+/// (The fragment in the paper calls this `display_resources`.)
+struct DisplayResources {
+  std::vector<WindowSpec> windows;
+};
+
+/// A compiled display function. Arguments:
+///  * `object` — the object buffer fetched by the object manager;
+///  * `attributes` — the class's displaylist (projection vocabulary);
+///  * `mask` — the projection bit vector aligned with `attributes`
+///    (empty = the class designer's default attribute selection, §5.1).
+///
+/// Display functions are pure: they compute window contents and never
+/// interact with the GUI. They report failures via Status — a
+/// `DisplayFault` models a buggy class-designer function, which the
+/// object-interactor isolates.
+using DisplayFunction = std::function<Result<DisplayResources>(
+    const odb::ObjectBuffer& object,
+    const std::vector<std::string>& attributes,
+    const std::vector<bool>& mask)>;
+
+/// Returns true when `attr` is selected by `mask` over `attributes`.
+/// An empty mask selects everything.
+bool AttributeSelected(const std::vector<std::string>& attributes,
+                       const std::vector<bool>& mask,
+                       std::string_view attr);
+
+}  // namespace ode::dynlink
+
+#endif  // ODEVIEW_DYNLINK_PROTOCOL_H_

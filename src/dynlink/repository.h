@@ -1,0 +1,82 @@
+#ifndef ODEVIEW_DYNLINK_REPOSITORY_H_
+#define ODEVIEW_DYNLINK_REPOSITORY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dynlink/protocol.h"
+#include "odb/schema.h"
+
+namespace ode::dynlink {
+
+/// A compiled display module "on disk": the unit the dynamic linker
+/// loads. Keyed by (database, class, format).
+struct DisplayModule {
+  std::string db_name;
+  std::string class_name;
+  std::string format;        ///< "text", "picture", "postscript", ...
+  DisplayFunction function;
+  /// Simulated object-file size in bytes; drives the simulated load
+  /// cost so cold-vs-warm benchmarks behave like real dynamic linking.
+  size_t code_size = 32 * 1024;
+};
+
+/// The store of compiled display functions — the stand-in for the
+/// filesystem of `.o` files the paper's scavenged dynamic linker read.
+/// Class designers register modules here; OdeView never links them
+/// statically (that would force recompiling OdeView on schema change).
+class ModuleRepository {
+ public:
+  ModuleRepository() = default;
+
+  /// Registers (or replaces) a module.
+  Status Register(DisplayModule module);
+
+  /// Removes every module of (db, class); returns how many.
+  int Unregister(const std::string& db_name, const std::string& class_name);
+
+  Result<const DisplayModule*> Find(const std::string& db_name,
+                                    const std::string& class_name,
+                                    const std::string& format) const;
+
+  /// Formats registered for a class, registration order.
+  std::vector<std::string> FormatsFor(const std::string& db_name,
+                                      const std::string& class_name) const;
+
+  /// Like Find, but display functions are member functions: a class
+  /// inherits its ancestors' display modules. Resolution walks the
+  /// class, then its ancestors in BFS order, returning the first
+  /// registered module for `format` and the class it was found on.
+  Result<const DisplayModule*> FindInherited(
+      const odb::Schema& schema, const std::string& db_name,
+      const std::string& class_name, const std::string& format) const;
+
+  /// Formats available to a class including inherited ones (own
+  /// formats first, then ancestors', deduplicated).
+  std::vector<std::string> InheritedFormatsFor(
+      const odb::Schema& schema, const std::string& db_name,
+      const std::string& class_name) const;
+
+  size_t size() const { return modules_.size(); }
+
+ private:
+  struct Key {
+    std::string db;
+    std::string cls;
+    std::string format;
+    bool operator<(const Key& o) const {
+      if (db != o.db) return db < o.db;
+      if (cls != o.cls) return cls < o.cls;
+      return format < o.format;
+    }
+  };
+  std::map<Key, DisplayModule> modules_;
+  std::vector<Key> order_;  ///< registration order for FormatsFor
+};
+
+}  // namespace ode::dynlink
+
+#endif  // ODEVIEW_DYNLINK_REPOSITORY_H_

@@ -1,0 +1,115 @@
+#include "dynlink/synthesized.h"
+
+#include <sstream>
+
+namespace ode::dynlink {
+
+namespace {
+
+bool IsScalar(const odb::TypeRef& type) {
+  using Kind = odb::TypeRef::Kind;
+  return type.kind == Kind::kInt || type.kind == Kind::kReal ||
+         type.kind == Kind::kBool || type.kind == Kind::kString;
+}
+
+/// One line (or indented block) for an attribute value.
+void AppendAttribute(std::ostringstream& out, const std::string& name,
+                     const odb::Value& value) {
+  using odb::ValueKind;
+  switch (value.kind()) {
+    case ValueKind::kStruct:
+    case ValueKind::kSet:
+    case ValueKind::kArray:
+      out << name << ":\n" << value.ToIndentedString(1);
+      break;
+    case ValueKind::kRef:
+      if (value.AsRef().IsNull()) {
+        out << name << ": <no " << value.RefClass() << ">\n";
+      } else {
+        out << name << ": -> " << value.RefClass() << " "
+            << value.AsRef().ToString() << "\n";
+      }
+      break;
+    case ValueKind::kBlob:
+      out << name << ": <blob " << value.AsString().size() << "B>\n";
+      break;
+    default:
+      out << name << ": " << value.ToString() << "\n";
+  }
+}
+
+}  // namespace
+
+Result<std::string> FormatObjectText(const odb::Schema& schema,
+                                     const odb::ObjectBuffer& object,
+                                     const std::vector<std::string>& attrs,
+                                     const std::vector<bool>& mask,
+                                     bool privileged) {
+  ODE_ASSIGN_OR_RETURN(std::vector<odb::MemberDef> members,
+                       schema.AllMembers(object.class_name));
+  std::ostringstream out;
+  out << object.class_name << " " << object.oid.ToString() << " (v"
+      << object.version << ")\n";
+  for (const odb::MemberDef& member : members) {
+    if (!privileged && member.access != odb::Access::kPublic) continue;
+    if (!AttributeSelected(attrs, mask, member.name)) continue;
+    const odb::Value* value = object.value.FindField(member.name);
+    if (value == nullptr) continue;
+    AppendAttribute(out, member.name, *value);
+  }
+  return out.str();
+}
+
+DisplayFunction SynthesizeDisplayFunction(const odb::Schema& schema,
+                                          const std::string& class_name,
+                                          bool privileged) {
+  // Capture by value: the display function must outlive this call.
+  const odb::Schema* schema_ptr = &schema;
+  return [schema_ptr, class_name, privileged](
+             const odb::ObjectBuffer& object,
+             const std::vector<std::string>& attributes,
+             const std::vector<bool>& mask) -> Result<DisplayResources> {
+    if (object.class_name != class_name) {
+      return Status::DisplayFault(
+          "synthesized display for '" + class_name +
+          "' invoked on an object of class '" + object.class_name + "'");
+    }
+    ODE_ASSIGN_OR_RETURN(
+        std::string text,
+        FormatObjectText(*schema_ptr, object, attributes, mask, privileged));
+    DisplayResources resources;
+    WindowSpec window;
+    window.kind = WindowKind::kScrollText;
+    window.format = "text";
+    window.title = object.class_name + " " + object.oid.ToString();
+    window.text = std::move(text);
+    resources.windows.push_back(std::move(window));
+    return resources;
+  };
+}
+
+Result<std::vector<std::string>> SynthesizeDisplayList(
+    const odb::Schema& schema, const std::string& class_name) {
+  ODE_ASSIGN_OR_RETURN(std::vector<odb::MemberDef> members,
+                       schema.AllMembers(class_name));
+  std::vector<std::string> out;
+  for (const odb::MemberDef& member : members) {
+    if (member.access == odb::Access::kPublic) out.push_back(member.name);
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> SynthesizeSelectList(
+    const odb::Schema& schema, const std::string& class_name) {
+  ODE_ASSIGN_OR_RETURN(std::vector<odb::MemberDef> members,
+                       schema.AllMembers(class_name));
+  std::vector<std::string> out;
+  for (const odb::MemberDef& member : members) {
+    if (member.access == odb::Access::kPublic && IsScalar(member.type)) {
+      out.push_back(member.name);
+    }
+  }
+  return out;
+}
+
+}  // namespace ode::dynlink

@@ -1,0 +1,46 @@
+#ifndef ODEVIEW_DYNLINK_SYNTHESIZED_H_
+#define ODEVIEW_DYNLINK_SYNTHESIZED_H_
+
+#include <string>
+#include <vector>
+
+#include "dynlink/protocol.h"
+#include "odb/schema.h"
+
+namespace ode::dynlink {
+
+/// Synthesized fallbacks, per the paper: "If the display function is
+/// not provided, then OdeView will synthesize a display function,
+/// possibly a rudimentary one" (§4.1), and likewise for `displaylist`
+/// and `selectlist` (§5).
+
+/// A rudimentary textual display function for `class_name`:
+/// one scrollable text window showing, for each selected attribute,
+/// `name: value` with nested structures indented and sets listed.
+/// Honors encapsulation: only public data members are shown unless
+/// `privileged` (the paper's debug mode that "selectively violates"
+/// encapsulation).
+DisplayFunction SynthesizeDisplayFunction(const odb::Schema& schema,
+                                          const std::string& class_name,
+                                          bool privileged = false);
+
+/// Default displaylist: the public data members (own + inherited).
+Result<std::vector<std::string>> SynthesizeDisplayList(
+    const odb::Schema& schema, const std::string& class_name);
+
+/// Default selectlist: public scalar members (int/real/bool/string) —
+/// the attribute kinds the predicate language can compare.
+Result<std::vector<std::string>> SynthesizeSelectList(
+    const odb::Schema& schema, const std::string& class_name);
+
+/// Renders the attribute lines the synthesized display shows (shared
+/// with designer-written text displays and tests).
+Result<std::string> FormatObjectText(const odb::Schema& schema,
+                                     const odb::ObjectBuffer& object,
+                                     const std::vector<std::string>& attrs,
+                                     const std::vector<bool>& mask,
+                                     bool privileged);
+
+}  // namespace ode::dynlink
+
+#endif  // ODEVIEW_DYNLINK_SYNTHESIZED_H_

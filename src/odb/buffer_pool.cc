@@ -1,0 +1,137 @@
+#include "odb/buffer_pool.h"
+
+#include <cassert>
+
+namespace ode::odb {
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    id_ = other.id_;
+    page_ = other.page_;
+    dirty_ = other.dirty_;
+    other.pool_ = nullptr;
+    other.page_ = nullptr;
+    other.id_ = kNoPage;
+    other.dirty_ = false;
+  }
+  return *this;
+}
+
+PageHandle::~PageHandle() { Release(); }
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(id_, dirty_);
+    pool_ = nullptr;
+    page_ = nullptr;
+    dirty_ = false;
+  }
+}
+
+BufferPool::BufferPool(Pager* pager, size_t capacity) : pager_(pager) {
+  if (capacity == 0) capacity = 1;
+  frames_.resize(capacity);
+}
+
+Result<PageHandle> BufferPool::Fetch(PageId id) {
+  auto it = page_to_frame_.find(id);
+  if (it != page_to_frame_.end()) {
+    ++stats_.hits;
+    Frame& frame = frames_[it->second];
+    ++frame.pin_count;
+    TouchLru(it->second);
+    return PageHandle(this, id, &frame.page);
+  }
+  ++stats_.misses;
+  ODE_ASSIGN_OR_RETURN(size_t idx, AcquireFrame());
+  Frame& frame = frames_[idx];
+  ODE_RETURN_IF_ERROR(pager_->Read(id, &frame.page));
+  frame.id = id;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  frame.in_use = true;
+  page_to_frame_[id] = idx;
+  TouchLru(idx);
+  return PageHandle(this, id, &frame.page);
+}
+
+Result<PageHandle> BufferPool::NewPage() {
+  ODE_ASSIGN_OR_RETURN(PageId id, pager_->Allocate());
+  ODE_ASSIGN_OR_RETURN(size_t idx, AcquireFrame());
+  Frame& frame = frames_[idx];
+  frame.page.Zero();
+  frame.id = id;
+  frame.pin_count = 1;
+  frame.dirty = true;  // ensure the zeroed page reaches the backend
+  frame.in_use = true;
+  page_to_frame_[id] = idx;
+  TouchLru(idx);
+  return PageHandle(this, id, &frame.page);
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (frame.in_use && frame.dirty) {
+      ODE_RETURN_IF_ERROR(pager_->Write(frame.id, frame.page));
+      frame.dirty = false;
+      ++stats_.writebacks;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::Sync() {
+  ODE_RETURN_IF_ERROR(FlushAll());
+  return pager_->Sync();
+}
+
+void BufferPool::Unpin(PageId id, bool dirty) {
+  auto it = page_to_frame_.find(id);
+  assert(it != page_to_frame_.end());
+  if (it == page_to_frame_.end()) return;
+  Frame& frame = frames_[it->second];
+  assert(frame.pin_count > 0);
+  if (frame.pin_count > 0) --frame.pin_count;
+  if (dirty) frame.dirty = true;
+}
+
+Result<size_t> BufferPool::AcquireFrame() {
+  // Unused frame first.
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (!frames_[i].in_use) return i;
+  }
+  // Evict the least recently used unpinned frame.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    size_t idx = *it;
+    Frame& frame = frames_[idx];
+    if (frame.pin_count > 0) continue;
+    if (frame.dirty) {
+      ODE_RETURN_IF_ERROR(pager_->Write(frame.id, frame.page));
+      ++stats_.writebacks;
+    }
+    page_to_frame_.erase(frame.id);
+    auto pos = lru_pos_.find(idx);
+    if (pos != lru_pos_.end()) {
+      lru_.erase(pos->second);
+      lru_pos_.erase(pos);
+    }
+    frame.in_use = false;
+    frame.id = kNoPage;
+    frame.dirty = false;
+    ++stats_.evictions;
+    return idx;
+  }
+  return Status::FailedPrecondition(
+      "buffer pool exhausted: all frames pinned");
+}
+
+void BufferPool::TouchLru(size_t frame_index) {
+  auto pos = lru_pos_.find(frame_index);
+  if (pos != lru_pos_.end()) lru_.erase(pos->second);
+  lru_.push_front(frame_index);
+  lru_pos_[frame_index] = lru_.begin();
+}
+
+}  // namespace ode::odb

@@ -1,0 +1,111 @@
+#ifndef ODEVIEW_ODB_BUFFER_POOL_H_
+#define ODEVIEW_ODB_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "odb/page.h"
+#include "odb/pager.h"
+
+namespace ode::odb {
+
+class BufferPool;
+
+/// RAII pin on a buffered page. While a handle is alive the frame
+/// cannot be evicted. Call `MarkDirty()` after mutating the page.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(PageHandle&& other) noexcept { *this = std::move(other); }
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  ~PageHandle();
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId id() const { return id_; }
+  Page* page() { return page_; }
+  const Page* page() const { return page_; }
+  /// Records that the page content changed and must be written back.
+  void MarkDirty() { dirty_ = true; }
+  /// Drops the pin early (also done by the destructor).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageHandle(BufferPool* pool, PageId id, Page* page)
+      : pool_(pool), id_(id), page_(page) {}
+
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kNoPage;
+  Page* page_ = nullptr;
+  bool dirty_ = false;
+};
+
+/// Fixed-capacity page cache with LRU eviction and pin counting.
+///
+/// All storage-layer reads and writes go through the pool; dirty frames
+/// are written back on eviction and on `FlushAll()`.
+class BufferPool {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t writebacks = 0;
+  };
+
+  /// `capacity` is the number of frames; must be >= 1.
+  BufferPool(Pager* pager, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins page `id`, reading it from the pager on a miss.
+  Result<PageHandle> Fetch(PageId id);
+
+  /// Allocates a fresh zeroed page, pins it, and reports its id.
+  Result<PageHandle> NewPage();
+
+  /// Writes back every dirty frame (does not evict).
+  Status FlushAll();
+
+  /// Writes back dirty frames and syncs the pager.
+  Status Sync();
+
+  const Stats& stats() const { return stats_; }
+  size_t capacity() const { return frames_.size(); }
+  Pager* pager() { return pager_; }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    Page page;
+    PageId id = kNoPage;
+    int pin_count = 0;
+    bool dirty = false;
+    bool in_use = false;
+  };
+
+  void Unpin(PageId id, bool dirty);
+  /// Returns a frame index to (re)use, evicting an unpinned LRU frame
+  /// if necessary. Fails when every frame is pinned.
+  Result<size_t> AcquireFrame();
+  void TouchLru(size_t frame_index);
+
+  Pager* pager_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> page_to_frame_;
+  std::list<size_t> lru_;  // front = most recent
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
+  Stats stats_;
+};
+
+}  // namespace ode::odb
+
+#endif  // ODEVIEW_ODB_BUFFER_POOL_H_

@@ -1,0 +1,311 @@
+#include "odb/catalog.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace ode::odb {
+
+namespace {
+constexpr uint64_t kMagic = 0x4f44455649455731ull;  // "ODEVIEW1"
+constexpr uint32_t kFormatVersion = 1;
+
+// Superblock layout (page 0):
+//   magic u64 | format u32 | catalog_head u32 | free_head u32 |
+//   name_len u16 | name bytes
+constexpr size_t kMagicOffset = 0;
+constexpr size_t kFormatOffset = 8;
+constexpr size_t kCatalogHeadOffset = 12;
+constexpr size_t kFreeHeadOffset = 16;
+constexpr size_t kNameLenOffset = 20;
+constexpr size_t kNameOffset = 22;
+
+void StoreU32(char* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+void StoreU64(char* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+void StoreU16(char* p, uint16_t v) {
+  p[0] = static_cast<char>(v & 0xff);
+  p[1] = static_cast<char>((v >> 8) & 0xff);
+}
+
+// Blob page layout: next u32 | length u16 | payload
+constexpr size_t kBlobHeaderSize = 6;
+constexpr size_t kBlobPayloadPerPage = kPageSize - kBlobHeaderSize;
+}  // namespace
+
+Result<PageId> FreeList::Acquire() {
+  if (head_ == kNoPage) {
+    ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->NewPage());
+    PageId id = handle.id();
+    handle.MarkDirty();
+    return id;
+  }
+  PageId id = head_;
+  ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(id));
+  head_ = DecodeFixed32(handle.page()->bytes());
+  handle.page()->Zero();
+  handle.MarkDirty();
+  return id;
+}
+
+Status FreeList::Release(PageId id) {
+  ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(id));
+  handle.page()->Zero();
+  StoreU32(handle.page()->bytes(), head_);
+  handle.MarkDirty();
+  head_ = id;
+  return Status::OK();
+}
+
+Result<uint32_t> FreeList::Size() const {
+  uint32_t n = 0;
+  PageId current = head_;
+  while (current != kNoPage) {
+    ++n;
+    ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(current));
+    current = DecodeFixed32(handle.page()->bytes());
+    if (n > pool_->pager()->page_count()) {
+      return Status::Corruption("free list cycle");
+    }
+  }
+  return n;
+}
+
+Result<PageId> WriteBlob(BufferPool* pool, FreeList* free_list,
+                         std::string_view bytes) {
+  PageId head = kNoPage;
+  PageId prev = kNoPage;
+  size_t offset = 0;
+  do {
+    size_t chunk = std::min(kBlobPayloadPerPage, bytes.size() - offset);
+    ODE_ASSIGN_OR_RETURN(PageId id, free_list->Acquire());
+    ODE_ASSIGN_OR_RETURN(PageHandle handle, pool->Fetch(id));
+    handle.page()->Zero();
+    StoreU32(handle.page()->bytes(), kNoPage);
+    StoreU16(handle.page()->bytes() + 4, static_cast<uint16_t>(chunk));
+    std::memcpy(handle.page()->bytes() + kBlobHeaderSize,
+                bytes.data() + offset, chunk);
+    handle.MarkDirty();
+    handle.Release();
+    if (prev != kNoPage) {
+      ODE_ASSIGN_OR_RETURN(PageHandle prev_handle, pool->Fetch(prev));
+      StoreU32(prev_handle.page()->bytes(), id);
+      prev_handle.MarkDirty();
+    } else {
+      head = id;
+    }
+    prev = id;
+    offset += chunk;
+  } while (offset < bytes.size());
+  return head;
+}
+
+Result<std::string> ReadBlob(BufferPool* pool, PageId head) {
+  std::string out;
+  PageId current = head;
+  uint32_t guard = 0;
+  while (current != kNoPage) {
+    if (++guard > pool->pager()->page_count()) {
+      return Status::Corruption("blob chain cycle");
+    }
+    ODE_ASSIGN_OR_RETURN(PageHandle handle, pool->Fetch(current));
+    uint16_t len = DecodeFixed16(handle.page()->bytes() + 4);
+    if (len > kBlobPayloadPerPage) {
+      return Status::Corruption("blob page length out of range");
+    }
+    out.append(handle.page()->bytes() + kBlobHeaderSize, len);
+    current = DecodeFixed32(handle.page()->bytes());
+  }
+  return out;
+}
+
+Status FreeBlob(BufferPool* pool, FreeList* free_list, PageId head) {
+  PageId current = head;
+  uint32_t guard = 0;
+  while (current != kNoPage) {
+    if (++guard > pool->pager()->page_count()) {
+      return Status::Corruption("blob chain cycle");
+    }
+    ODE_ASSIGN_OR_RETURN(PageHandle handle, pool->Fetch(current));
+    PageId next = DecodeFixed32(handle.page()->bytes());
+    handle.Release();
+    ODE_RETURN_IF_ERROR(free_list->Release(current));
+    current = next;
+  }
+  return Status::OK();
+}
+
+Result<Catalog> Catalog::Format(BufferPool* pool, std::string db_name) {
+  if (pool->pager()->page_count() != 0) {
+    return Status::FailedPrecondition("Format requires an empty database");
+  }
+  if (db_name.size() > kPageSize - kNameOffset) {
+    return Status::InvalidArgument("database name too long");
+  }
+  ODE_ASSIGN_OR_RETURN(PageHandle super, pool->NewPage());
+  if (super.id() != 0) {
+    return Status::Internal("superblock did not land on page 0");
+  }
+  super.MarkDirty();
+  super.Release();
+  Catalog catalog(pool, std::move(db_name), FreeList(pool, kNoPage));
+  ODE_RETURN_IF_ERROR(catalog.Persist());
+  return catalog;
+}
+
+Result<Catalog> Catalog::Load(BufferPool* pool) {
+  ODE_ASSIGN_OR_RETURN(PageHandle super, pool->Fetch(0));
+  const char* bytes = super.page()->bytes();
+  if (DecodeFixed64(bytes + kMagicOffset) != kMagic) {
+    return Status::Corruption("bad database magic");
+  }
+  uint32_t format = DecodeFixed32(bytes + kFormatOffset);
+  if (format != kFormatVersion) {
+    return Status::Corruption("unsupported format version " +
+                              std::to_string(format));
+  }
+  PageId catalog_head = DecodeFixed32(bytes + kCatalogHeadOffset);
+  PageId free_head = DecodeFixed32(bytes + kFreeHeadOffset);
+  uint16_t name_len = DecodeFixed16(bytes + kNameLenOffset);
+  if (name_len > kPageSize - kNameOffset) {
+    return Status::Corruption("database name length out of range");
+  }
+  std::string name(bytes + kNameOffset, name_len);
+  super.Release();
+  Catalog catalog(pool, std::move(name), FreeList(pool, free_head));
+  catalog.catalog_head_ = catalog_head;
+  if (catalog_head != kNoPage) {
+    ODE_ASSIGN_OR_RETURN(std::string body, ReadBlob(pool, catalog_head));
+    ODE_RETURN_IF_ERROR(catalog.DecodeBody(body));
+  }
+  return catalog;
+}
+
+Result<ClusterId> Catalog::AddCluster(const std::string& class_name,
+                                      PageId first_page) {
+  for (const auto& [id, info] : clusters_) {
+    if (info.class_name == class_name) {
+      return Status::AlreadyExists("cluster for class '" + class_name + "'");
+    }
+  }
+  ClusterId id = next_cluster_id_++;
+  clusters_[id] = ClusterInfo{class_name, id, first_page, 1};
+  return id;
+}
+
+Status Catalog::RemoveCluster(const std::string& class_name) {
+  for (auto it = clusters_.begin(); it != clusters_.end(); ++it) {
+    if (it->second.class_name == class_name) {
+      clusters_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("cluster for class '" + class_name + "'");
+}
+
+Result<const ClusterInfo*> Catalog::FindCluster(
+    const std::string& class_name) const {
+  for (const auto& [id, info] : clusters_) {
+    if (info.class_name == class_name) return &info;
+  }
+  return Status::NotFound("cluster for class '" + class_name + "'");
+}
+
+Result<const ClusterInfo*> Catalog::FindCluster(ClusterId id) const {
+  auto it = clusters_.find(id);
+  if (it == clusters_.end()) {
+    return Status::NotFound("cluster " + std::to_string(id));
+  }
+  return &it->second;
+}
+
+std::vector<const ClusterInfo*> Catalog::clusters() const {
+  std::vector<const ClusterInfo*> out;
+  out.reserve(clusters_.size());
+  for (const auto& [id, info] : clusters_) out.push_back(&info);
+  return out;
+}
+
+Result<uint64_t> Catalog::NextLocalId(ClusterId id) {
+  auto it = clusters_.find(id);
+  if (it == clusters_.end()) {
+    return Status::NotFound("cluster " + std::to_string(id));
+  }
+  return it->second.next_local++;
+}
+
+Status Catalog::BumpNextLocalId(ClusterId id, uint64_t at_least) {
+  auto it = clusters_.find(id);
+  if (it == clusters_.end()) {
+    return Status::NotFound("cluster " + std::to_string(id));
+  }
+  if (it->second.next_local < at_least) it->second.next_local = at_least;
+  return Status::OK();
+}
+
+Status Catalog::Persist() {
+  std::string body;
+  EncodeBody(&body);
+  PageId old_head = catalog_head_;
+  ODE_ASSIGN_OR_RETURN(PageId new_head,
+                       WriteBlob(pool_, &free_list_, body));
+  catalog_head_ = new_head;
+  if (old_head != kNoPage) {
+    ODE_RETURN_IF_ERROR(FreeBlob(pool_, &free_list_, old_head));
+  }
+  return WriteSuperblock(new_head);
+}
+
+Status Catalog::WriteSuperblock(PageId catalog_head) {
+  ODE_ASSIGN_OR_RETURN(PageHandle super, pool_->Fetch(0));
+  char* bytes = super.page()->bytes();
+  super.page()->Zero();
+  StoreU64(bytes + kMagicOffset, kMagic);
+  StoreU32(bytes + kFormatOffset, kFormatVersion);
+  StoreU32(bytes + kCatalogHeadOffset, catalog_head);
+  StoreU32(bytes + kFreeHeadOffset, free_list_.head());
+  StoreU16(bytes + kNameLenOffset, static_cast<uint16_t>(db_name_.size()));
+  std::memcpy(bytes + kNameOffset, db_name_.data(), db_name_.size());
+  super.MarkDirty();
+  return Status::OK();
+}
+
+void Catalog::EncodeBody(std::string* dst) const {
+  schema_.Encode(dst);
+  PutVarint32(dst, next_cluster_id_);
+  PutVarint64(dst, clusters_.size());
+  for (const auto& [id, info] : clusters_) {
+    PutVarint32(dst, info.id);
+    PutLengthPrefixed(dst, info.class_name);
+    PutFixed32(dst, info.first_page);
+    PutVarint64(dst, info.next_local);
+  }
+}
+
+Status Catalog::DecodeBody(std::string_view bytes) {
+  Decoder decoder(bytes);
+  ODE_ASSIGN_OR_RETURN(schema_, Schema::Decode(&decoder));
+  ODE_RETURN_IF_ERROR(decoder.GetVarint32(&next_cluster_id_));
+  uint64_t n = 0;
+  ODE_RETURN_IF_ERROR(decoder.GetVarint64(&n));
+  clusters_.clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    ClusterInfo info;
+    ODE_RETURN_IF_ERROR(decoder.GetVarint32(&info.id));
+    std::string_view name;
+    ODE_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&name));
+    info.class_name = std::string(name);
+    ODE_RETURN_IF_ERROR(decoder.GetFixed32(&info.first_page));
+    ODE_RETURN_IF_ERROR(decoder.GetVarint64(&info.next_local));
+    clusters_[info.id] = std::move(info);
+  }
+  if (!decoder.empty()) {
+    return Status::Corruption("trailing bytes after catalog body");
+  }
+  return Status::OK();
+}
+
+}  // namespace ode::odb

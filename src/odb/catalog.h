@@ -1,0 +1,121 @@
+#ifndef ODEVIEW_ODB_CATALOG_H_
+#define ODEVIEW_ODB_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "odb/buffer_pool.h"
+#include "odb/oid.h"
+#include "odb/page.h"
+#include "odb/schema.h"
+
+namespace ode::odb {
+
+/// Page-allocation bookkeeping: a singly-linked free list threaded
+/// through freed pages (first 4 bytes = next free page). The head lives
+/// in the superblock and is managed by `Catalog`.
+class FreeList {
+ public:
+  FreeList(BufferPool* pool, PageId head) : pool_(pool), head_(head) {}
+
+  PageId head() const { return head_; }
+
+  /// Pops a free page, or allocates a fresh one from the pager.
+  Result<PageId> Acquire();
+
+  /// Pushes `id` onto the free list.
+  Status Release(PageId id);
+
+  /// Number of pages currently on the list (walks the chain).
+  Result<uint32_t> Size() const;
+
+ private:
+  BufferPool* pool_;
+  PageId head_;
+};
+
+/// Reads/writes a byte blob across a chain of pages from `free_list`.
+/// Blob page layout: next u32 | length u16 | payload.
+Result<PageId> WriteBlob(BufferPool* pool, FreeList* free_list,
+                         std::string_view bytes);
+Result<std::string> ReadBlob(BufferPool* pool, PageId head);
+Status FreeBlob(BufferPool* pool, FreeList* free_list, PageId head);
+
+/// Descriptor of one cluster (the extent of one persistent class).
+struct ClusterInfo {
+  std::string class_name;
+  ClusterId id = 0;
+  PageId first_page = kNoPage;
+  /// Next logical object id to assign; ids are never reused.
+  uint64_t next_local = 1;
+};
+
+/// The persistent catalog: database schema plus the cluster table.
+///
+/// Page 0 is the superblock (magic, format version, catalog blob head,
+/// free-list head). The catalog body is one serialized blob, rewritten
+/// on schema changes and on `Sync()`; the freed pages of the previous
+/// blob return to the free list.
+class Catalog {
+ public:
+  /// Formats a brand-new database (writes the superblock).
+  static Result<Catalog> Format(BufferPool* pool, std::string db_name);
+
+  /// Loads the catalog of an existing database.
+  static Result<Catalog> Load(BufferPool* pool);
+
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  const std::string& db_name() const { return db_name_; }
+  const Schema& schema() const { return schema_; }
+  Schema* mutable_schema() { return &schema_; }
+
+  /// Registers a new cluster for `class_name` rooted at `first_page`.
+  Result<ClusterId> AddCluster(const std::string& class_name,
+                               PageId first_page);
+  Status RemoveCluster(const std::string& class_name);
+
+  Result<const ClusterInfo*> FindCluster(const std::string& class_name) const;
+  Result<const ClusterInfo*> FindCluster(ClusterId id) const;
+  /// All clusters, ordered by id (== class registration order).
+  std::vector<const ClusterInfo*> clusters() const;
+
+  /// Assigns the next logical id for a cluster (monotonic, never reused).
+  Result<uint64_t> NextLocalId(ClusterId id);
+  /// Raises the stored next-id watermark (used after reopening heaps).
+  Status BumpNextLocalId(ClusterId id, uint64_t at_least);
+
+  FreeList* free_list() { return &free_list_; }
+
+  /// Serializes the catalog body and rewrites superblock pointers.
+  Status Persist();
+
+ private:
+  Catalog(BufferPool* pool, std::string db_name, FreeList free_list)
+      : pool_(pool),
+        db_name_(std::move(db_name)),
+        free_list_(std::move(free_list)) {}
+
+  Status WriteSuperblock(PageId catalog_head);
+  void EncodeBody(std::string* dst) const;
+  Status DecodeBody(std::string_view bytes);
+
+  BufferPool* pool_;
+  std::string db_name_;
+  FreeList free_list_;
+  Schema schema_;
+  std::map<ClusterId, ClusterInfo> clusters_;
+  ClusterId next_cluster_id_ = 1;
+  PageId catalog_head_ = kNoPage;
+};
+
+}  // namespace ode::odb
+
+#endif  // ODEVIEW_ODB_CATALOG_H_

@@ -1,0 +1,604 @@
+#include "odb/database.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/logging.h"
+#include "odb/ddl_parser.h"
+#include "odb/typecheck.h"
+#include "odb/value_codec.h"
+
+namespace ode::odb {
+
+namespace {
+
+/// Stored object record:
+///   varint current_version
+///   varint history_count
+///   repeat: varint version || length-prefixed value bytes
+///   current value bytes (to end of record)
+struct ObjectRecord {
+  uint32_t version = 1;
+  std::vector<std::pair<uint32_t, Value>> history;  // oldest first
+  Value value;
+};
+
+std::string EncodeObjectRecord(const ObjectRecord& record) {
+  std::string out;
+  PutVarint32(&out, record.version);
+  PutVarint64(&out, record.history.size());
+  for (const auto& [ver, val] : record.history) {
+    PutVarint32(&out, ver);
+    PutLengthPrefixed(&out, EncodeValueToString(val));
+  }
+  EncodeValue(record.value, &out);
+  return out;
+}
+
+Result<ObjectRecord> DecodeObjectRecord(std::string_view bytes) {
+  Decoder decoder(bytes);
+  ObjectRecord record;
+  ODE_RETURN_IF_ERROR(decoder.GetVarint32(&record.version));
+  uint64_t n = 0;
+  ODE_RETURN_IF_ERROR(decoder.GetVarint64(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t ver = 0;
+    std::string_view val_bytes;
+    ODE_RETURN_IF_ERROR(decoder.GetVarint32(&ver));
+    ODE_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&val_bytes));
+    ODE_ASSIGN_OR_RETURN(Value val, DecodeValue(val_bytes));
+    record.history.emplace_back(ver, std::move(val));
+  }
+  ODE_ASSIGN_OR_RETURN(record.value, DecodeValue(&decoder));
+  if (!decoder.empty()) {
+    return Status::Corruption("trailing bytes after object record");
+  }
+  return record;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Database>> Database::CreateInMemory(
+    std::string name, DatabaseOptions options) {
+  auto pager = std::make_unique<MemPager>();
+  auto pool =
+      std::make_unique<BufferPool>(pager.get(), options.buffer_pool_pages);
+  std::unique_ptr<Database> db(
+      new Database(std::move(pager), std::move(pool), options));
+  ODE_ASSIGN_OR_RETURN(Catalog catalog,
+                       Catalog::Format(db->pool_.get(), std::move(name)));
+  db->catalog_.emplace(std::move(catalog));
+  return db;
+}
+
+Result<std::unique_ptr<Database>> Database::CreateOnDisk(
+    const std::string& path, std::string name, DatabaseOptions options) {
+  ODE_ASSIGN_OR_RETURN(std::unique_ptr<FilePager> pager,
+                       FilePager::Open(path, /*create=*/true));
+  auto pool =
+      std::make_unique<BufferPool>(pager.get(), options.buffer_pool_pages);
+  std::unique_ptr<Database> db(
+      new Database(std::move(pager), std::move(pool), options));
+  ODE_ASSIGN_OR_RETURN(Catalog catalog,
+                       Catalog::Format(db->pool_.get(), std::move(name)));
+  db->catalog_.emplace(std::move(catalog));
+  ODE_RETURN_IF_ERROR(db->Sync());
+  return db;
+}
+
+Result<std::unique_ptr<Database>> Database::OpenOnDisk(
+    const std::string& path, DatabaseOptions options) {
+  ODE_ASSIGN_OR_RETURN(std::unique_ptr<FilePager> pager,
+                       FilePager::Open(path, /*create=*/false));
+  auto pool =
+      std::make_unique<BufferPool>(pager.get(), options.buffer_pool_pages);
+  std::unique_ptr<Database> db(
+      new Database(std::move(pager), std::move(pool), options));
+  ODE_ASSIGN_OR_RETURN(Catalog catalog, Catalog::Load(db->pool_.get()));
+  db->catalog_.emplace(std::move(catalog));
+  // Raise next-id watermarks above anything already stored, so ids are
+  // not reused even if the catalog was last persisted before a crash.
+  for (const ClusterInfo* info : db->catalog_->clusters()) {
+    ODE_ASSIGN_OR_RETURN(HeapFile * heap, db->GetHeap(info->id));
+    Result<uint64_t> last = heap->LastId();
+    if (last.ok()) {
+      ODE_RETURN_IF_ERROR(
+          db->catalog_->BumpNextLocalId(info->id, *last + 1));
+    }
+  }
+  return db;
+}
+
+const std::string& Database::name() const { return catalog_->db_name(); }
+
+Status Database::DefineSchema(std::string_view ddl) {
+  ODE_ASSIGN_OR_RETURN(Schema parsed, ParseSchema(ddl));
+  for (const ClassDef& def : parsed.classes()) {
+    ODE_RETURN_IF_ERROR(AddClassInternal(def, /*persist=*/false));
+  }
+  ODE_RETURN_IF_ERROR(catalog_->mutable_schema()->Validate());
+  return catalog_->Persist();
+}
+
+Status Database::AddClass(ClassDef def) {
+  ODE_RETURN_IF_ERROR(AddClassInternal(std::move(def), /*persist=*/true));
+  return Status::OK();
+}
+
+Status Database::AddClassInternal(ClassDef def, bool persist) {
+  bool persistent = def.persistent;
+  std::string class_name = def.name;
+  ODE_RETURN_IF_ERROR(catalog_->mutable_schema()->AddClass(std::move(def)));
+  if (persistent) {
+    ODE_ASSIGN_OR_RETURN(HeapFile heap, HeapFile::Create(pool_.get(), catalog_->free_list()));
+    PageId first_page = heap.first_page();
+    Result<ClusterId> id = catalog_->AddCluster(class_name, first_page);
+    if (!id.ok()) {
+      (void)catalog_->mutable_schema()->DropClass(class_name);
+      return id.status();
+    }
+    heaps_.emplace(*id, std::move(heap));
+  }
+  if (persist) {
+    ODE_RETURN_IF_ERROR(catalog_->mutable_schema()->Validate());
+    return catalog_->Persist();
+  }
+  return Status::OK();
+}
+
+Status Database::AlterClass(ClassDef def) {
+  ODE_ASSIGN_OR_RETURN(const ClassDef* old_def, schema().GetClass(def.name));
+  if (old_def->bases != def.bases) {
+    return Status::InvalidArgument(
+        "AlterClass cannot change the bases of '" + def.name + "'");
+  }
+  std::string class_name = def.name;
+  // Try the new definition against the rest of the schema.
+  ClassDef backup = *old_def;
+  ODE_RETURN_IF_ERROR(catalog_->mutable_schema()->ReplaceClass(std::move(def)));
+  Status valid = catalog_->mutable_schema()->Validate();
+  if (!valid.ok()) {
+    (void)catalog_->mutable_schema()->ReplaceClass(std::move(backup));
+    return valid;
+  }
+  // Migrate stored objects of this class and of every descendant (their
+  // effective member sets include this class's members).
+  std::vector<std::string> affected{class_name};
+  ODE_ASSIGN_OR_RETURN(std::vector<std::string> descendants,
+                       schema().Descendants(class_name));
+  affected.insert(affected.end(), descendants.begin(), descendants.end());
+  for (const std::string& cls : affected) {
+    Result<const ClusterInfo*> info = catalog_->FindCluster(cls);
+    if (!info.ok()) continue;  // transient class
+    ODE_ASSIGN_OR_RETURN(std::vector<MemberDef> members,
+                         schema().AllMembers(cls));
+    ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap((*info)->id));
+    for (uint64_t local : heap->AllIds()) {
+      ODE_ASSIGN_OR_RETURN(std::string bytes, heap->Get(local));
+      ODE_ASSIGN_OR_RETURN(ObjectRecord record, DecodeObjectRecord(bytes));
+      // Rebuild the struct in declaration order: keep compatible old
+      // fields, default new/retyped ones, drop removed ones.
+      std::vector<Value::Field> fields;
+      fields.reserve(members.size());
+      for (const MemberDef& member : members) {
+        const Value* old_value = record.value.FindField(member.name);
+        if (old_value != nullptr &&
+            TypeCheckValue(schema(), member.type, *old_value,
+                           cls + "." + member.name)
+                .ok()) {
+          fields.push_back({member.name, *old_value});
+        } else {
+          ODE_ASSIGN_OR_RETURN(Value fresh,
+                               DefaultMemberValue(member));
+          fields.push_back({member.name, std::move(fresh)});
+        }
+      }
+      record.value = Value::Struct(std::move(fields));
+      record.version += 1;
+      ODE_RETURN_IF_ERROR(
+          heap->Update(local, EncodeObjectRecord(record)));
+    }
+  }
+  return catalog_->Persist();
+}
+
+Result<Value> Database::DefaultMemberValue(const MemberDef& member) {
+  // DefaultInstance handles whole classes; single members reuse the
+  // same rules through a one-field wrapper schema lookup.
+  switch (member.type.kind) {
+    case TypeRef::Kind::kClass:
+      return DefaultInstance(schema(), member.type.class_name);
+    default: {
+      // Build via DefaultInstance of a synthetic holder is overkill;
+      // replicate the scalar defaults here.
+      using Kind = TypeRef::Kind;
+      switch (member.type.kind) {
+        case Kind::kBool:
+          return Value::Bool(false);
+        case Kind::kInt:
+          return Value::Int(0);
+        case Kind::kReal:
+          return Value::Real(0.0);
+        case Kind::kString:
+          return Value::String("");
+        case Kind::kBlob:
+          return Value::Blob("");
+        case Kind::kRef:
+          return Value::Ref(Oid::Null(), member.type.class_name);
+        case Kind::kSet:
+          return Value::Set({});
+        case Kind::kArray: {
+          std::vector<Value> elements;
+          // Sized arrays of scalars default element-wise; nested
+          // containers default empty.
+          for (uint32_t i = 0; i < member.type.array_size; ++i) {
+            elements.push_back(Value::Null());
+          }
+          return Value::Array(std::move(elements));
+        }
+        default:
+          return Status::InvalidArgument("member '" + member.name +
+                                         "' has no default value");
+      }
+    }
+  }
+}
+
+Status Database::DropClass(const std::string& class_name) {
+  Result<const ClusterInfo*> cluster = catalog_->FindCluster(class_name);
+  if (cluster.ok()) {
+    ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap((*cluster)->id));
+    if (heap->count() != 0) {
+      return Status::FailedPrecondition(
+          "cluster of class '" + class_name + "' still holds " +
+          std::to_string(heap->count()) + " objects");
+    }
+  }
+  ODE_RETURN_IF_ERROR(catalog_->mutable_schema()->DropClass(class_name));
+  if (cluster.ok()) {
+    heaps_.erase((*cluster)->id);
+    ODE_RETURN_IF_ERROR(catalog_->RemoveCluster(class_name));
+  }
+  return catalog_->Persist();
+}
+
+Result<HeapFile*> Database::GetHeap(ClusterId id) {
+  auto it = heaps_.find(id);
+  if (it != heaps_.end()) return &it->second;
+  ODE_ASSIGN_OR_RETURN(const ClusterInfo* info, catalog_->FindCluster(id));
+  ODE_ASSIGN_OR_RETURN(HeapFile heap,
+                       HeapFile::Open(pool_.get(), catalog_->free_list(),
+                                     info->first_page));
+  auto pos = heaps_.emplace(id, std::move(heap)).first;
+  return &pos->second;
+}
+
+Result<std::vector<const ConstraintDef*>> Database::EffectiveConstraints(
+    const std::string& class_name) const {
+  ODE_ASSIGN_OR_RETURN(const ClassDef* def, schema().GetClass(class_name));
+  std::vector<const ConstraintDef*> out;
+  for (const ConstraintDef& c : def->constraints) out.push_back(&c);
+  ODE_ASSIGN_OR_RETURN(std::vector<std::string> ancestors,
+                       schema().Ancestors(class_name));
+  for (const std::string& a : ancestors) {
+    ODE_ASSIGN_OR_RETURN(const ClassDef* base, schema().GetClass(a));
+    for (const ConstraintDef& c : base->constraints) out.push_back(&c);
+  }
+  return out;
+}
+
+Result<std::vector<const TriggerDef*>> Database::EffectiveTriggers(
+    const std::string& class_name) const {
+  ODE_ASSIGN_OR_RETURN(const ClassDef* def, schema().GetClass(class_name));
+  std::vector<const TriggerDef*> out;
+  for (const TriggerDef& t : def->triggers) out.push_back(&t);
+  ODE_ASSIGN_OR_RETURN(std::vector<std::string> ancestors,
+                       schema().Ancestors(class_name));
+  for (const std::string& a : ancestors) {
+    ODE_ASSIGN_OR_RETURN(const ClassDef* base, schema().GetClass(a));
+    for (const TriggerDef& t : base->triggers) out.push_back(&t);
+  }
+  return out;
+}
+
+Status Database::CheckConstraints(const std::string& class_name,
+                                  const Value& value) {
+  ODE_ASSIGN_OR_RETURN(std::vector<const ConstraintDef*> constraints,
+                       EffectiveConstraints(class_name));
+  for (const ConstraintDef* c : constraints) {
+    auto it = predicate_cache_.find(c->predicate_text);
+    if (it == predicate_cache_.end()) {
+      ODE_ASSIGN_OR_RETURN(Predicate p, ParsePredicate(c->predicate_text));
+      it = predicate_cache_.emplace(c->predicate_text, std::move(p)).first;
+    }
+    ODE_ASSIGN_OR_RETURN(bool ok, it->second.Evaluate(value));
+    if (!ok) {
+      return Status::ConstraintViolation("constraint '" +
+                                         c->predicate_text +
+                                         "' violated for class '" +
+                                         class_name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::FireTriggers(const std::string& class_name, Oid oid,
+                              TriggerEvent event, const Value& value) {
+  ODE_ASSIGN_OR_RETURN(std::vector<const TriggerDef*> triggers,
+                       EffectiveTriggers(class_name));
+  for (const TriggerDef* t : triggers) {
+    if (t->event != event) continue;
+    bool fires = true;
+    if (!t->condition_text.empty()) {
+      auto it = predicate_cache_.find(t->condition_text);
+      if (it == predicate_cache_.end()) {
+        ODE_ASSIGN_OR_RETURN(Predicate p, ParsePredicate(t->condition_text));
+        it = predicate_cache_.emplace(t->condition_text, std::move(p)).first;
+      }
+      ODE_ASSIGN_OR_RETURN(fires, it->second.Evaluate(value));
+    }
+    if (fires) {
+      trigger_log_.push_back(
+          TriggerFiring{class_name, oid, t->name, t->action, event});
+    }
+  }
+  return Status::OK();
+}
+
+Result<Oid> Database::CreateObject(const std::string& class_name,
+                                   Value value) {
+  ODE_ASSIGN_OR_RETURN(const ClassDef* def, schema().GetClass(class_name));
+  if (!def->persistent) {
+    return Status::InvalidArgument("class '" + class_name +
+                                   "' is not persistent");
+  }
+  ODE_RETURN_IF_ERROR(TypeCheckObject(schema(), class_name, value));
+  ODE_RETURN_IF_ERROR(CheckConstraints(class_name, value));
+  ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
+                       catalog_->FindCluster(class_name));
+  ClusterId cluster_id = info->id;
+  ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(cluster_id));
+  ODE_ASSIGN_OR_RETURN(uint64_t local, catalog_->NextLocalId(cluster_id));
+  ObjectRecord record;
+  record.version = 1;
+  record.value = std::move(value);
+  ODE_RETURN_IF_ERROR(heap->Insert(local, EncodeObjectRecord(record)));
+  Oid oid{cluster_id, local};
+  ODE_RETURN_IF_ERROR(
+      FireTriggers(class_name, oid, TriggerEvent::kCreate, record.value));
+  return oid;
+}
+
+Result<ObjectBuffer> Database::GetObject(Oid oid) {
+  ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
+                       catalog_->FindCluster(oid.cluster));
+  ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(oid.cluster));
+  ODE_ASSIGN_OR_RETURN(std::string bytes, heap->Get(oid.local));
+  ODE_ASSIGN_OR_RETURN(ObjectRecord record, DecodeObjectRecord(bytes));
+  ObjectBuffer buffer;
+  buffer.oid = oid;
+  buffer.class_name = info->class_name;
+  buffer.version = record.version;
+  buffer.value = std::move(record.value);
+  return buffer;
+}
+
+Result<ObjectBuffer> Database::GetObjectVersion(Oid oid, uint32_t version) {
+  ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
+                       catalog_->FindCluster(oid.cluster));
+  ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(oid.cluster));
+  ODE_ASSIGN_OR_RETURN(std::string bytes, heap->Get(oid.local));
+  ODE_ASSIGN_OR_RETURN(ObjectRecord record, DecodeObjectRecord(bytes));
+  ObjectBuffer buffer;
+  buffer.oid = oid;
+  buffer.class_name = info->class_name;
+  if (version == record.version) {
+    buffer.version = record.version;
+    buffer.value = std::move(record.value);
+    return buffer;
+  }
+  for (auto& [ver, val] : record.history) {
+    if (ver == version) {
+      buffer.version = ver;
+      buffer.value = std::move(val);
+      return buffer;
+    }
+  }
+  return Status::NotFound("version " + std::to_string(version) +
+                          " of object " + oid.ToString() +
+                          " is not retained");
+}
+
+Result<std::vector<uint32_t>> Database::ListVersions(Oid oid) {
+  ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(oid.cluster));
+  ODE_ASSIGN_OR_RETURN(std::string bytes, heap->Get(oid.local));
+  ODE_ASSIGN_OR_RETURN(ObjectRecord record, DecodeObjectRecord(bytes));
+  std::vector<uint32_t> versions;
+  versions.reserve(record.history.size() + 1);
+  for (const auto& [ver, val] : record.history) versions.push_back(ver);
+  versions.push_back(record.version);
+  return versions;
+}
+
+Status Database::UpdateObject(Oid oid, Value value) {
+  ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
+                       catalog_->FindCluster(oid.cluster));
+  ODE_ASSIGN_OR_RETURN(const ClassDef* def,
+                       schema().GetClass(info->class_name));
+  ODE_RETURN_IF_ERROR(TypeCheckObject(schema(), info->class_name, value));
+  ODE_RETURN_IF_ERROR(CheckConstraints(info->class_name, value));
+  ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(oid.cluster));
+  ODE_ASSIGN_OR_RETURN(std::string bytes, heap->Get(oid.local));
+  ODE_ASSIGN_OR_RETURN(ObjectRecord record, DecodeObjectRecord(bytes));
+  if (def->versioned) {
+    record.history.emplace_back(record.version, std::move(record.value));
+    while (record.history.size() > options_.version_history_limit) {
+      record.history.erase(record.history.begin());
+    }
+  }
+  record.version += 1;
+  record.value = std::move(value);
+  ODE_RETURN_IF_ERROR(heap->Update(oid.local, EncodeObjectRecord(record)));
+  return FireTriggers(info->class_name, oid, TriggerEvent::kUpdate,
+                      record.value);
+}
+
+Status Database::DeleteObject(Oid oid) {
+  ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
+                       catalog_->FindCluster(oid.cluster));
+  ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(oid.cluster));
+  ODE_ASSIGN_OR_RETURN(std::string bytes, heap->Get(oid.local));
+  ODE_ASSIGN_OR_RETURN(ObjectRecord record, DecodeObjectRecord(bytes));
+  ODE_RETURN_IF_ERROR(heap->Delete(oid.local));
+  return FireTriggers(info->class_name, oid, TriggerEvent::kDelete,
+                      record.value);
+}
+
+Result<uint64_t> Database::ClusterCount(const std::string& class_name) {
+  ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
+                       catalog_->FindCluster(class_name));
+  ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(info->id));
+  return heap->count();
+}
+
+Result<ClusterId> Database::ClusterOf(const std::string& class_name) const {
+  ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
+                       catalog_->FindCluster(class_name));
+  return info->id;
+}
+
+Result<std::string> Database::ClassOfCluster(ClusterId id) const {
+  ODE_ASSIGN_OR_RETURN(const ClusterInfo* info, catalog_->FindCluster(id));
+  return info->class_name;
+}
+
+Result<Oid> Database::FirstObject(const std::string& class_name) {
+  ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
+                       catalog_->FindCluster(class_name));
+  ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(info->id));
+  ODE_ASSIGN_OR_RETURN(uint64_t id, heap->FirstId());
+  return Oid{info->id, id};
+}
+
+Result<Oid> Database::LastObject(const std::string& class_name) {
+  ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
+                       catalog_->FindCluster(class_name));
+  ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(info->id));
+  ODE_ASSIGN_OR_RETURN(uint64_t id, heap->LastId());
+  return Oid{info->id, id};
+}
+
+Result<Oid> Database::NextObject(Oid oid) {
+  ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(oid.cluster));
+  ODE_ASSIGN_OR_RETURN(uint64_t id, heap->NextId(oid.local));
+  return Oid{oid.cluster, id};
+}
+
+Result<Oid> Database::PrevObject(Oid oid) {
+  ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(oid.cluster));
+  ODE_ASSIGN_OR_RETURN(uint64_t id, heap->PrevId(oid.local));
+  return Oid{oid.cluster, id};
+}
+
+Result<std::vector<Oid>> Database::ScanCluster(
+    const std::string& class_name) {
+  ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
+                       catalog_->FindCluster(class_name));
+  ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(info->id));
+  std::vector<Oid> out;
+  for (uint64_t id : heap->AllIds()) out.push_back(Oid{info->id, id});
+  return out;
+}
+
+Result<std::vector<Oid>> Database::ScanClusterDeep(
+    const std::string& class_name) {
+  ODE_ASSIGN_OR_RETURN(std::vector<Oid> out, ScanCluster(class_name));
+  ODE_ASSIGN_OR_RETURN(std::vector<std::string> descendants,
+                       schema().Descendants(class_name));
+  for (const std::string& cls : descendants) {
+    Result<std::vector<Oid>> sub = ScanCluster(cls);
+    if (!sub.ok()) continue;  // transient subclass
+    out.insert(out.end(), sub->begin(), sub->end());
+  }
+  return out;
+}
+
+Result<std::vector<Oid>> Database::Select(const std::string& class_name,
+                                          const Predicate& predicate) {
+  ODE_ASSIGN_OR_RETURN(std::vector<Oid> all, ScanCluster(class_name));
+  std::vector<Oid> out;
+  for (Oid oid : all) {
+    ODE_ASSIGN_OR_RETURN(ObjectBuffer buffer, GetObject(oid));
+    ODE_ASSIGN_OR_RETURN(bool match, predicate.Evaluate(buffer.value));
+    if (match) out.push_back(oid);
+  }
+  return out;
+}
+
+Status Database::Sync() {
+  ODE_RETURN_IF_ERROR(catalog_->Persist());
+  return pool_->Sync();
+}
+
+Result<Oid> ObjectCursor::Current() const {
+  if (!current_.has_value()) {
+    return Status::FailedPrecondition("cursor has no current object");
+  }
+  return *current_;
+}
+
+Result<bool> ObjectCursor::Matches(const ObjectBuffer& buffer) const {
+  if (!filtered_) return true;
+  return predicate_.Evaluate(buffer.value);
+}
+
+Result<ObjectBuffer> ObjectCursor::Step(bool forward) {
+  std::optional<Oid> candidate;
+  if (!current_.has_value()) {
+    Result<Oid> edge = forward ? db_->FirstObject(class_name_)
+                               : db_->LastObject(class_name_);
+    if (!edge.ok()) {
+      return Status::OutOfRange("cluster '" + class_name_ + "' is empty");
+    }
+    candidate = *edge;
+  } else {
+    Result<Oid> step =
+        forward ? db_->NextObject(*current_) : db_->PrevObject(*current_);
+    if (!step.ok()) return step.status();
+    candidate = *step;
+  }
+  while (true) {
+    ODE_ASSIGN_OR_RETURN(ObjectBuffer buffer, db_->GetObject(*candidate));
+    ODE_ASSIGN_OR_RETURN(bool match, Matches(buffer));
+    if (match) {
+      current_ = *candidate;
+      return buffer;
+    }
+    Result<Oid> step = forward ? db_->NextObject(*candidate)
+                               : db_->PrevObject(*candidate);
+    if (!step.ok()) return step.status();
+    candidate = *step;
+  }
+}
+
+Result<ObjectBuffer> ObjectCursor::Next() { return Step(/*forward=*/true); }
+
+Result<ObjectBuffer> ObjectCursor::Prev() { return Step(/*forward=*/false); }
+
+Status ObjectCursor::Seek(Oid oid) {
+  ODE_ASSIGN_OR_RETURN(ObjectBuffer buffer, db_->GetObject(oid));
+  if (buffer.class_name != class_name_) {
+    return Status::InvalidArgument("object " + oid.ToString() +
+                                   " is not in cluster '" + class_name_ +
+                                   "'");
+  }
+  ODE_ASSIGN_OR_RETURN(bool match, Matches(buffer));
+  if (!match) {
+    return Status::InvalidArgument("object " + oid.ToString() +
+                                   " does not satisfy the cursor predicate");
+  }
+  current_ = oid;
+  return Status::OK();
+}
+
+}  // namespace ode::odb

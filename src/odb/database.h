@@ -1,0 +1,252 @@
+#ifndef ODEVIEW_ODB_DATABASE_H_
+#define ODEVIEW_ODB_DATABASE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "odb/buffer_pool.h"
+#include "odb/catalog.h"
+#include "odb/heap_file.h"
+#include "odb/oid.h"
+#include "odb/pager.h"
+#include "odb/predicate.h"
+#include "odb/schema.h"
+#include "odb/value.h"
+
+namespace ode::odb {
+
+/// The in-memory copy of a persistent object — the paper's "object
+/// buffer" that the object manager hands to display functions.
+struct ObjectBuffer {
+  Oid oid;
+  std::string class_name;
+  uint32_t version = 1;
+  Value value;
+};
+
+/// A record of one trigger firing (the simulated trigger action queue).
+struct TriggerFiring {
+  std::string class_name;
+  Oid oid;
+  std::string trigger_name;
+  std::string action;
+  TriggerEvent event = TriggerEvent::kUpdate;
+};
+
+/// Tuning knobs for a database instance.
+struct DatabaseOptions {
+  /// Buffer-pool frames (pages held in memory).
+  size_t buffer_pool_pages = 256;
+  /// Versions retained per object of a `versioned` class (oldest
+  /// versions are dropped beyond the limit).
+  size_t version_history_limit = 8;
+};
+
+/// One Ode database: schema catalog + clusters of persistent objects.
+///
+/// This is the stand-in for the Ode object manager the paper's OdeView
+/// calls into: it materializes stored objects into `ObjectBuffer`s,
+/// sequences through clusters (`first` / `next` / `previous`), filters
+/// with selection predicates, and enforces O++ constraints/triggers.
+class Database {
+ public:
+  /// Creates a volatile database (MemPager).
+  static Result<std::unique_ptr<Database>> CreateInMemory(
+      std::string name, DatabaseOptions options = {});
+  /// Creates a new database file at `path`.
+  static Result<std::unique_ptr<Database>> CreateOnDisk(
+      const std::string& path, std::string name,
+      DatabaseOptions options = {});
+  /// Opens an existing database file.
+  static Result<std::unique_ptr<Database>> OpenOnDisk(
+      const std::string& path, DatabaseOptions options = {});
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  const std::string& name() const;
+  const Schema& schema() const { return catalog_->schema(); }
+
+  // --- Schema (DDL) ---------------------------------------------------
+
+  /// Parses O++ DDL and adds every class it defines (creating clusters
+  /// for persistent classes). Validates the combined schema and
+  /// persists the catalog. OdeView itself never calls this: schema
+  /// changes happen out-of-band, which is why the paper dynamic-links
+  /// display functions instead of compiling them in.
+  Status DefineSchema(std::string_view ddl);
+
+  /// Adds one class programmatically.
+  Status AddClass(ClassDef def);
+
+  /// Drops a class; its cluster must be empty and no other class may
+  /// derive from or reference it.
+  Status DropClass(const std::string& class_name);
+
+  /// Schema evolution: replaces the definition of an existing class
+  /// and migrates every stored object of that class (and of its
+  /// descendants, whose effective member set may change):
+  ///  * members added by the new definition are filled with defaults;
+  ///  * members removed are dropped from stored objects;
+  ///  * members whose type changed are reset to the new default;
+  ///  * bases may not change (that would reparent clusters).
+  /// The caller is expected to notify open OdeViews via
+  /// `DbInteractor::OnClassChanged` afterwards.
+  Status AlterClass(ClassDef def);
+
+  Result<const ClassDef*> GetClass(const std::string& class_name) const {
+    return schema().GetClass(class_name);
+  }
+
+  // --- Objects (DML) --------------------------------------------------
+
+  /// Creates a persistent object of `class_name` from `value`
+  /// (type-checked, constraint-checked; fires on_create triggers).
+  Result<Oid> CreateObject(const std::string& class_name, Value value);
+
+  /// Materializes the stored object into an ObjectBuffer.
+  Result<ObjectBuffer> GetObject(Oid oid);
+
+  /// Fetches a historical version of an object of a versioned class.
+  Result<ObjectBuffer> GetObjectVersion(Oid oid, uint32_t version);
+
+  /// Lists retained version numbers, oldest first (current included).
+  Result<std::vector<uint32_t>> ListVersions(Oid oid);
+
+  /// Replaces the object's value (type/constraint-checked; bumps the
+  /// version; retains history for versioned classes; fires triggers).
+  Status UpdateObject(Oid oid, Value value);
+
+  /// Deletes the object (fires on_delete triggers).
+  Status DeleteObject(Oid oid);
+
+  // --- Cluster sequencing (the object-set window's control panel) -----
+
+  Result<uint64_t> ClusterCount(const std::string& class_name);
+  Result<ClusterId> ClusterOf(const std::string& class_name) const;
+  Result<std::string> ClassOfCluster(ClusterId id) const;
+
+  Result<Oid> FirstObject(const std::string& class_name);
+  Result<Oid> LastObject(const std::string& class_name);
+  Result<Oid> NextObject(Oid oid);
+  Result<Oid> PrevObject(Oid oid);
+
+  /// OIDs of every object in the cluster, creation order.
+  Result<std::vector<Oid>> ScanCluster(const std::string& class_name);
+
+  /// Deep extent: the class's own cluster plus the clusters of all its
+  /// descendants (e.g. employees *and* managers), creation order
+  /// within each cluster, base cluster first.
+  Result<std::vector<Oid>> ScanClusterDeep(const std::string& class_name);
+
+  /// OIDs of objects satisfying `predicate`, creation order (§5.2:
+  /// the object manager filters objects retrieved from the database).
+  Result<std::vector<Oid>> Select(const std::string& class_name,
+                                  const Predicate& predicate);
+
+  // --- Triggers --------------------------------------------------------
+
+  /// Fired triggers since the last `ClearTriggerLog()`.
+  const std::vector<TriggerFiring>& trigger_log() const {
+    return trigger_log_;
+  }
+  void ClearTriggerLog() { trigger_log_.clear(); }
+
+  // --- Maintenance -----------------------------------------------------
+
+  /// Flushes dirty pages and persists the catalog.
+  Status Sync();
+
+  BufferPool* buffer_pool() { return pool_.get(); }
+  const DatabaseOptions& options() const { return options_; }
+
+ private:
+  Database(std::unique_ptr<Pager> pager, std::unique_ptr<BufferPool> pool,
+           DatabaseOptions options)
+      : pager_(std::move(pager)),
+        pool_(std::move(pool)),
+        options_(options) {}
+
+  /// Loads (and caches) the heap file of a cluster.
+  Result<HeapFile*> GetHeap(ClusterId id);
+
+  /// Adds one class + cluster; optionally validates and persists.
+  Status AddClassInternal(ClassDef def, bool persist);
+
+  /// Default value for one member (used by AlterClass migration).
+  Result<Value> DefaultMemberValue(const MemberDef& member);
+
+  /// Runs constraint checks for the class and its ancestors.
+  Status CheckConstraints(const std::string& class_name, const Value& value);
+
+  /// Evaluates and logs triggers for `event`.
+  Status FireTriggers(const std::string& class_name, Oid oid,
+                      TriggerEvent event, const Value& value);
+
+  /// All constraint/trigger definitions effective for a class
+  /// (own + inherited).
+  Result<std::vector<const ConstraintDef*>> EffectiveConstraints(
+      const std::string& class_name) const;
+  Result<std::vector<const TriggerDef*>> EffectiveTriggers(
+      const std::string& class_name) const;
+
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+  DatabaseOptions options_;
+  std::optional<Catalog> catalog_;
+  std::map<ClusterId, HeapFile> heaps_;
+  std::vector<TriggerFiring> trigger_log_;
+  /// Parsed-predicate cache for constraints/trigger conditions.
+  std::map<std::string, Predicate> predicate_cache_;
+};
+
+/// Stateful cursor over one cluster with an optional selection
+/// predicate — the model behind the object-set window's `reset`,
+/// `next`, and `previous` buttons.
+class ObjectCursor {
+ public:
+  /// Creates a cursor over `class_name`; no object is current until
+  /// the first `Next()` (or after `Reset()`).
+  ObjectCursor(Database* db, std::string class_name)
+      : db_(db), class_name_(std::move(class_name)) {}
+  ObjectCursor(Database* db, std::string class_name, Predicate predicate)
+      : db_(db),
+        class_name_(std::move(class_name)),
+        predicate_(std::move(predicate)),
+        filtered_(true) {}
+
+  const std::string& class_name() const { return class_name_; }
+  bool has_current() const { return current_.has_value(); }
+  Result<Oid> Current() const;
+
+  /// Forgets the position; the next `Next()` yields the first object.
+  void Reset() { current_.reset(); }
+
+  /// Advances to the next / previous matching object and returns its
+  /// buffer; OutOfRange at either end (position is kept).
+  Result<ObjectBuffer> Next();
+  Result<ObjectBuffer> Prev();
+
+  /// Positions on a specific object (it must match the predicate).
+  Status Seek(Oid oid);
+
+ private:
+  Result<ObjectBuffer> Step(bool forward);
+  Result<bool> Matches(const ObjectBuffer& buffer) const;
+
+  Database* db_;
+  std::string class_name_;
+  Predicate predicate_ = Predicate::True();
+  bool filtered_ = false;
+  std::optional<Oid> current_;
+};
+
+}  // namespace ode::odb
+
+#endif  // ODEVIEW_ODB_DATABASE_H_

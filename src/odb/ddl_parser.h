@@ -1,0 +1,47 @@
+#ifndef ODEVIEW_ODB_DDL_PARSER_H_
+#define ODEVIEW_ODB_DDL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "odb/schema.h"
+
+namespace ode::odb {
+
+/// Parses an O++-subset schema definition into a `Schema`.
+///
+/// The grammar covers the slice of O++ that OdeView needs: class
+/// definitions with multiple inheritance, access sections, data members
+/// of scalar / string / blob / embedded / reference / set / array types,
+/// method signatures (metadata only), and the OdeView-protocol clauses
+/// `display`, `displaylist`, `selectlist`, `constraint`, and `trigger`:
+///
+/// ```
+/// persistent class employee : public person {
+/// public:
+///   string name;
+///   int age;
+///   department* dept;          // reference to another persistent object
+///   set<employee*> peers;      // set of references
+///   int scores[4];             // fixed array
+///   void raise_salary(int pct);
+///   display text, picture;
+///   displaylist name, age, salary;
+///   selectlist name, age;
+///   constraint age >= 0;
+///   trigger big_raise: on_update when salary > 100000 do alert;
+/// private:
+///   real salary;
+/// };
+/// ```
+///
+/// Each class's verbatim source text is captured into `ClassDef::source`
+/// so the class-definition window (paper Fig. 4) can show it unchanged.
+Result<Schema> ParseSchema(std::string_view source);
+
+/// Parses a single class definition (convenience for tests/tools).
+Result<ClassDef> ParseClassDef(std::string_view source);
+
+}  // namespace ode::odb
+
+#endif  // ODEVIEW_ODB_DDL_PARSER_H_

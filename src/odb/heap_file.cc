@@ -1,0 +1,301 @@
+#include "odb/heap_file.h"
+
+#include "common/coding.h"
+#include "odb/slotted_page.h"
+
+namespace ode::odb {
+
+namespace {
+
+constexpr uint8_t kInlineFlag = 0;
+constexpr uint8_t kOverflowFlag = 1;
+
+/// Headroom for the id varint + flag when deciding whether a payload
+/// still fits inline.
+constexpr size_t kRecordHeaderBudget = 12;
+
+struct ParsedRecord {
+  uint64_t local_id = 0;
+  bool overflow = false;
+  std::string_view inline_payload;  ///< when !overflow
+  PageId overflow_head = kNoPage;   ///< when overflow
+  uint64_t overflow_size = 0;
+};
+
+Result<ParsedRecord> ParseStoredRecord(std::string_view record) {
+  Decoder decoder(record);
+  ParsedRecord parsed;
+  ODE_RETURN_IF_ERROR(decoder.GetVarint64(&parsed.local_id));
+  std::string_view flag;
+  ODE_RETURN_IF_ERROR(decoder.GetRaw(1, &flag));
+  if (static_cast<uint8_t>(flag[0]) == kOverflowFlag) {
+    parsed.overflow = true;
+    uint32_t head = 0;
+    ODE_RETURN_IF_ERROR(decoder.GetFixed32(&head));
+    ODE_RETURN_IF_ERROR(decoder.GetVarint64(&parsed.overflow_size));
+    parsed.overflow_head = head;
+  } else {
+    parsed.inline_payload = decoder.remaining();
+  }
+  return parsed;
+}
+
+}  // namespace
+
+Result<HeapFile> HeapFile::Create(BufferPool* pool, FreeList* free_list) {
+  ODE_ASSIGN_OR_RETURN(PageHandle handle, pool->NewPage());
+  SlottedPage sp(handle.page());
+  sp.Init();
+  handle.MarkDirty();
+  HeapFile heap(pool, free_list, handle.id());
+  heap.last_page_ = handle.id();
+  return heap;
+}
+
+Result<HeapFile> HeapFile::Open(BufferPool* pool, FreeList* free_list,
+                                PageId first_page) {
+  HeapFile heap(pool, free_list, first_page);
+  ODE_RETURN_IF_ERROR(heap.ScanChain());
+  return heap;
+}
+
+Status HeapFile::ScanChain() {
+  directory_.clear();
+  PageId current = first_page_;
+  while (current != kNoPage) {
+    ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(current));
+    SlottedPage sp(handle.page());
+    for (uint16_t s = 0; s < sp.slot_count(); ++s) {
+      Result<std::string_view> record = sp.Get(s);
+      if (!record.ok()) continue;  // tombstone
+      ODE_ASSIGN_OR_RETURN(ParsedRecord parsed, ParseStoredRecord(*record));
+      if (directory_.count(parsed.local_id) != 0) {
+        return Status::Corruption("duplicate record id " +
+                                  std::to_string(parsed.local_id) +
+                                  " in heap chain");
+      }
+      directory_[parsed.local_id] = Location{current, s};
+    }
+    last_page_ = current;
+    current = sp.next_page();
+  }
+  return Status::OK();
+}
+
+Result<std::string> HeapFile::MakeStoredRecord(uint64_t local_id,
+                                               std::string_view payload) {
+  std::string record;
+  PutVarint64(&record, local_id);
+  if (payload.size() + kRecordHeaderBudget <= SlottedPage::kMaxRecordSize) {
+    record.push_back(static_cast<char>(kInlineFlag));
+    record.append(payload.data(), payload.size());
+    return record;
+  }
+  if (free_list_ == nullptr) {
+    return Status::InvalidArgument(
+        "object too large for a page and no overflow free list");
+  }
+  ODE_ASSIGN_OR_RETURN(PageId head, WriteBlob(pool_, free_list_, payload));
+  record.push_back(static_cast<char>(kOverflowFlag));
+  PutFixed32(&record, head);
+  PutVarint64(&record, payload.size());
+  return record;
+}
+
+Status HeapFile::ReleaseOverflow(std::string_view stored_record) {
+  ODE_ASSIGN_OR_RETURN(ParsedRecord parsed,
+                       ParseStoredRecord(stored_record));
+  if (!parsed.overflow) return Status::OK();
+  if (free_list_ == nullptr) {
+    return Status::Internal("overflow record without a free list");
+  }
+  return FreeBlob(pool_, free_list_, parsed.overflow_head);
+}
+
+Result<PageId> HeapFile::FindPageWithRoom(size_t needed) {
+  // Check the last page first (the common append path), then extend.
+  {
+    ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(last_page_));
+    SlottedPage sp(handle.page());
+    if (sp.FreeSpace() >= needed + SlottedPage::kSlotSize) {
+      return last_page_;
+    }
+  }
+  ODE_ASSIGN_OR_RETURN(PageHandle fresh, pool_->NewPage());
+  SlottedPage fresh_sp(fresh.page());
+  fresh_sp.Init();
+  fresh.MarkDirty();
+  PageId fresh_id = fresh.id();
+  fresh.Release();
+  // Link the old tail to the new page.
+  ODE_ASSIGN_OR_RETURN(PageHandle tail, pool_->Fetch(last_page_));
+  SlottedPage tail_sp(tail.page());
+  tail_sp.set_next_page(fresh_id);
+  tail.MarkDirty();
+  last_page_ = fresh_id;
+  return fresh_id;
+}
+
+Status HeapFile::Insert(uint64_t local_id, std::string_view payload) {
+  if (Contains(local_id)) {
+    return Status::AlreadyExists("record id " + std::to_string(local_id));
+  }
+  ODE_ASSIGN_OR_RETURN(std::string record,
+                       MakeStoredRecord(local_id, payload));
+  ODE_ASSIGN_OR_RETURN(PageId target, FindPageWithRoom(record.size()));
+  ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(target));
+  SlottedPage sp(handle.page());
+  ODE_ASSIGN_OR_RETURN(uint16_t slot, sp.Insert(record));
+  handle.MarkDirty();
+  directory_[local_id] = Location{target, slot};
+  return Status::OK();
+}
+
+Result<std::string> HeapFile::Get(uint64_t local_id) const {
+  auto it = directory_.find(local_id);
+  if (it == directory_.end()) {
+    return Status::NotFound("record id " + std::to_string(local_id));
+  }
+  ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(it->second.page));
+  SlottedPage sp(handle.page());
+  ODE_ASSIGN_OR_RETURN(std::string_view record, sp.Get(it->second.slot));
+  ODE_ASSIGN_OR_RETURN(ParsedRecord parsed, ParseStoredRecord(record));
+  if (parsed.local_id != local_id) {
+    return Status::Corruption("directory/record id mismatch");
+  }
+  if (!parsed.overflow) {
+    return std::string(parsed.inline_payload);
+  }
+  // The record view dies with the handle; read the blob afterwards.
+  PageId head = parsed.overflow_head;
+  uint64_t size = parsed.overflow_size;
+  handle.Release();
+  ODE_ASSIGN_OR_RETURN(std::string payload, ReadBlob(pool_, head));
+  if (payload.size() != size) {
+    return Status::Corruption("overflow chain length mismatch for id " +
+                              std::to_string(local_id));
+  }
+  return payload;
+}
+
+Status HeapFile::Update(uint64_t local_id, std::string_view payload) {
+  auto it = directory_.find(local_id);
+  if (it == directory_.end()) {
+    return Status::NotFound("record id " + std::to_string(local_id));
+  }
+  // Release a previous overflow chain before writing the new record.
+  {
+    ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(it->second.page));
+    SlottedPage sp(handle.page());
+    ODE_ASSIGN_OR_RETURN(std::string_view old_record,
+                         sp.Get(it->second.slot));
+    std::string old_copy(old_record);
+    handle.Release();
+    ODE_RETURN_IF_ERROR(ReleaseOverflow(old_copy));
+  }
+  ODE_ASSIGN_OR_RETURN(std::string record,
+                       MakeStoredRecord(local_id, payload));
+  {
+    ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(it->second.page));
+    SlottedPage sp(handle.page());
+    Status in_place = sp.Update(it->second.slot, record);
+    if (in_place.ok()) {
+      handle.MarkDirty();
+      return Status::OK();
+    }
+    if (!in_place.IsOutOfRange()) return in_place;
+    // Fall through: relocate.
+    ODE_RETURN_IF_ERROR(sp.Delete(it->second.slot));
+    handle.MarkDirty();
+  }
+  directory_.erase(it);
+  ODE_ASSIGN_OR_RETURN(PageId target, FindPageWithRoom(record.size()));
+  ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(target));
+  SlottedPage sp(handle.page());
+  ODE_ASSIGN_OR_RETURN(uint16_t slot, sp.Insert(record));
+  handle.MarkDirty();
+  directory_[local_id] = Location{target, slot};
+  return Status::OK();
+}
+
+Status HeapFile::Delete(uint64_t local_id) {
+  auto it = directory_.find(local_id);
+  if (it == directory_.end()) {
+    return Status::NotFound("record id " + std::to_string(local_id));
+  }
+  {
+    ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(it->second.page));
+    SlottedPage sp(handle.page());
+    ODE_ASSIGN_OR_RETURN(std::string_view record, sp.Get(it->second.slot));
+    std::string copy(record);
+    handle.Release();
+    ODE_RETURN_IF_ERROR(ReleaseOverflow(copy));
+  }
+  ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(it->second.page));
+  SlottedPage sp(handle.page());
+  ODE_RETURN_IF_ERROR(sp.Delete(it->second.slot));
+  handle.MarkDirty();
+  directory_.erase(it);
+  return Status::OK();
+}
+
+Result<uint64_t> HeapFile::FirstId() const {
+  if (directory_.empty()) return Status::NotFound("cluster is empty");
+  return directory_.begin()->first;
+}
+
+Result<uint64_t> HeapFile::LastId() const {
+  if (directory_.empty()) return Status::NotFound("cluster is empty");
+  return directory_.rbegin()->first;
+}
+
+Result<uint64_t> HeapFile::NextId(uint64_t after) const {
+  auto it = directory_.upper_bound(after);
+  if (it == directory_.end()) {
+    return Status::OutOfRange("no object after id " + std::to_string(after));
+  }
+  return it->first;
+}
+
+Result<uint64_t> HeapFile::PrevId(uint64_t before) const {
+  auto it = directory_.lower_bound(before);
+  if (it == directory_.begin()) {
+    return Status::OutOfRange("no object before id " +
+                              std::to_string(before));
+  }
+  --it;
+  return it->first;
+}
+
+std::vector<uint64_t> HeapFile::AllIds() const {
+  std::vector<uint64_t> ids;
+  ids.reserve(directory_.size());
+  for (const auto& [id, loc] : directory_) ids.push_back(id);
+  return ids;
+}
+
+Result<uint32_t> HeapFile::PageCount() const {
+  uint32_t n = 0;
+  PageId current = first_page_;
+  while (current != kNoPage) {
+    ++n;
+    ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(current));
+    SlottedPage sp(handle.page());
+    current = sp.next_page();
+  }
+  return n;
+}
+
+Result<uint64_t> HeapFile::OverflowCount() const {
+  uint64_t n = 0;
+  for (const auto& [id, loc] : directory_) {
+    ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(loc.page));
+    SlottedPage sp(handle.page());
+    ODE_ASSIGN_OR_RETURN(std::string_view record, sp.Get(loc.slot));
+    ODE_ASSIGN_OR_RETURN(ParsedRecord parsed, ParseStoredRecord(record));
+    if (parsed.overflow) ++n;
+  }
+  return n;
+}
+
+}  // namespace ode::odb

@@ -1,0 +1,111 @@
+#ifndef ODEVIEW_ODB_HEAP_FILE_H_
+#define ODEVIEW_ODB_HEAP_FILE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "odb/buffer_pool.h"
+#include "odb/catalog.h"
+#include "odb/page.h"
+
+namespace ode::odb {
+
+/// A chain of slotted pages storing the records of one cluster.
+///
+/// Records are keyed by a 64-bit logical id (the `Oid::local` part).
+/// Each stored record is `varint(local_id) || flag || body`, so the
+/// id→location directory can be rebuilt by scanning the chain at open.
+/// Small payloads are stored inline (flag 0); payloads that do not fit
+/// a page spill to an overflow blob chain (flag 1, body = head page +
+/// size) allocated from the shared free list — a large object (e.g. a
+/// department whose `employees` set holds thousands of references) is
+/// transparent to callers. Iteration order is ascending logical id,
+/// which equals creation order because ids are assigned monotonically —
+/// this is the order the paper's `next` / `previous` buttons sequence
+/// through a cluster.
+class HeapFile {
+ public:
+  /// Physical address of a record.
+  struct Location {
+    PageId page = kNoPage;
+    uint16_t slot = 0;
+  };
+
+  /// Creates an empty heap (allocates the first page). `free_list`
+  /// supplies/reclaims overflow pages and must outlive the heap.
+  static Result<HeapFile> Create(BufferPool* pool, FreeList* free_list);
+
+  /// Opens an existing heap rooted at `first_page`, rebuilding the
+  /// directory by scanning the chain.
+  static Result<HeapFile> Open(BufferPool* pool, FreeList* free_list,
+                               PageId first_page);
+
+  HeapFile(HeapFile&&) = default;
+  HeapFile& operator=(HeapFile&&) = default;
+  HeapFile(const HeapFile&) = delete;
+  HeapFile& operator=(const HeapFile&) = delete;
+
+  PageId first_page() const { return first_page_; }
+  uint64_t count() const { return directory_.size(); }
+
+  /// Inserts the record for `local_id`; the id must be fresh.
+  Status Insert(uint64_t local_id, std::string_view payload);
+
+  /// Copies out the payload for `local_id`.
+  Result<std::string> Get(uint64_t local_id) const;
+
+  /// Replaces the payload (relocating the record when it grew).
+  Status Update(uint64_t local_id, std::string_view payload);
+
+  /// Removes the record.
+  Status Delete(uint64_t local_id);
+
+  bool Contains(uint64_t local_id) const {
+    return directory_.find(local_id) != directory_.end();
+  }
+
+  /// Sequencing in ascending-id order; all fail with NotFound on an
+  /// empty heap / OutOfRange past either end.
+  Result<uint64_t> FirstId() const;
+  Result<uint64_t> LastId() const;
+  Result<uint64_t> NextId(uint64_t after) const;
+  Result<uint64_t> PrevId(uint64_t before) const;
+
+  /// All ids in ascending order (for tests and bulk operations).
+  std::vector<uint64_t> AllIds() const;
+
+  /// Number of pages in the chain.
+  Result<uint32_t> PageCount() const;
+
+  /// Count of records currently stored out-of-line (for tests/stats).
+  Result<uint64_t> OverflowCount() const;
+
+ private:
+  HeapFile(BufferPool* pool, FreeList* free_list, PageId first_page)
+      : pool_(pool), free_list_(free_list), first_page_(first_page) {}
+
+  Status ScanChain();
+  /// Finds a page with room for `needed` bytes, extending the chain if
+  /// necessary; returns the page id.
+  Result<PageId> FindPageWithRoom(size_t needed);
+  /// Builds the stored record for `payload` (inline or spilled).
+  Result<std::string> MakeStoredRecord(uint64_t local_id,
+                                       std::string_view payload);
+  /// Frees the overflow chain of a stored record, if it has one.
+  Status ReleaseOverflow(std::string_view stored_record);
+
+  BufferPool* pool_;
+  FreeList* free_list_;
+  PageId first_page_;
+  PageId last_page_ = kNoPage;
+  std::map<uint64_t, Location> directory_;
+};
+
+}  // namespace ode::odb
+
+#endif  // ODEVIEW_ODB_HEAP_FILE_H_

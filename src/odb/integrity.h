@@ -1,0 +1,38 @@
+#ifndef ODEVIEW_ODB_INTEGRITY_H_
+#define ODEVIEW_ODB_INTEGRITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "odb/database.h"
+
+namespace ode::odb {
+
+/// One referential-integrity problem found by `CheckIntegrity`.
+struct IntegrityIssue {
+  enum class Kind : uint8_t {
+    kDanglingReference,   ///< ref to a deleted / never-existing object
+    kWrongClassReference, ///< ref whose target's class is incompatible
+    kTypeMismatch,        ///< stored value fails the class's type check
+  };
+
+  Kind kind = Kind::kDanglingReference;
+  Oid holder;          ///< the object containing the bad value
+  std::string member;  ///< dotted path of the offending attribute
+  Oid target;          ///< the referenced OID (reference kinds)
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+/// Scans every cluster and verifies that each stored object still
+/// type-checks against its class and that every embedded reference
+/// resolves to a live object of a compatible class. Browsing tolerates
+/// dangling references (an object window shows "<no object>"), but a
+/// database owner can use this to find them after deletions.
+Result<std::vector<IntegrityIssue>> CheckIntegrity(Database* db);
+
+}  // namespace ode::odb
+
+#endif  // ODEVIEW_ODB_INTEGRITY_H_

@@ -1,0 +1,42 @@
+#ifndef ODEVIEW_ODB_LABDB_H_
+#define ODEVIEW_ODB_LABDB_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "odb/database.h"
+
+namespace ode::odb {
+
+/// Parameters for the synthetic "lab" database — the AT&T research
+/// center database the paper browses in Section 3. The defaults
+/// reproduce the cardinalities visible in the paper's screenshots:
+/// 55 employee objects (Fig. 3) and 7 managers (Fig. 5), with manager
+/// inheriting from both employee and department (Fig. 5).
+struct LabDbConfig {
+  int employees = 55;
+  int managers = 7;
+  int departments = 4;
+  int projects = 6;
+  int documents = 5;
+  uint64_t seed = 1990;  ///< deterministic generator seed
+};
+
+/// The O++ DDL for the lab database schema.
+std::string LabSchemaDdl();
+
+/// Populates `db` (which must be freshly created) with the lab schema
+/// and objects. The first employee is "rakesh" in the "research"
+/// department, matching the paper's session (Figs. 6-10).
+Status BuildLabDatabase(Database* db, const LabDbConfig& config = {});
+
+/// Builds a scalable synthetic schema of `num_classes` classes whose
+/// inheritance DAG has roughly `avg_bases` parents per class — the
+/// workload for schema-browsing / DAG-layout benchmarks (Fig. 2).
+std::string SyntheticSchemaDdl(int num_classes, int avg_bases,
+                               uint64_t seed);
+
+}  // namespace ode::odb
+
+#endif  // ODEVIEW_ODB_LABDB_H_

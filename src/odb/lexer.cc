@@ -1,0 +1,229 @@
+#include "odb/lexer.h"
+
+#include <cctype>
+
+namespace ode::odb {
+
+namespace {
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+}  // namespace
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1;
+  const size_t n = input_.size();
+  while (i < n) {
+    char c = input_[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && input_[i + 1] == '/') {
+      while (i < n && input_[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && input_[i + 1] == '*') {
+      size_t start_line = static_cast<size_t>(line);
+      i += 2;
+      while (i + 1 < n && !(input_[i] == '*' && input_[i + 1] == '/')) {
+        if (input_[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(start_line) + ": unterminated comment");
+      }
+      i += 2;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    token.line = line;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(input_[i])) ++i;
+      token.kind = TokenKind::kIdent;
+      token.text = std::string(input_.substr(start, i - start));
+      token.length = i - start;
+      out.push_back(std::move(token));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input_[i + 1])))) {
+      size_t start = i;
+      bool is_real = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input_[i]))) {
+        ++i;
+      }
+      if (i < n && input_[i] == '.') {
+        is_real = true;
+        ++i;
+        while (i < n &&
+               std::isdigit(static_cast<unsigned char>(input_[i]))) {
+          ++i;
+        }
+      }
+      if (i < n && (input_[i] == 'e' || input_[i] == 'E')) {
+        is_real = true;
+        ++i;
+        if (i < n && (input_[i] == '+' || input_[i] == '-')) ++i;
+        while (i < n &&
+               std::isdigit(static_cast<unsigned char>(input_[i]))) {
+          ++i;
+        }
+      }
+      token.kind = is_real ? TokenKind::kReal : TokenKind::kInt;
+      token.text = std::string(input_.substr(start, i - start));
+      token.length = i - start;
+      out.push_back(std::move(token));
+      continue;
+    }
+    if (c == '"') {
+      size_t start = i;
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        char d = input_[i];
+        if (d == '\\' && i + 1 < n) {
+          char e = input_[i + 1];
+          if (e == 'n') {
+            text.push_back('\n');
+          } else if (e == 't') {
+            text.push_back('\t');
+          } else {
+            text.push_back(e);
+          }
+          i += 2;
+          continue;
+        }
+        if (d == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        if (d == '\n') break;
+        text.push_back(d);
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("line " + std::to_string(line) +
+                                       ": unterminated string literal");
+      }
+      token.kind = TokenKind::kString;
+      token.text = std::move(text);
+      token.length = i - start;
+      out.push_back(std::move(token));
+      continue;
+    }
+    // Multi-character operators first.
+    static constexpr std::string_view kTwoCharOps[] = {
+        "==", "!=", "<=", ">=", "&&", "||", "::", "->"};
+    bool matched = false;
+    if (i + 1 < n) {
+      std::string_view two = input_.substr(i, 2);
+      for (std::string_view op : kTwoCharOps) {
+        if (two == op) {
+          token.kind = TokenKind::kPunct;
+          token.text = std::string(op);
+          token.length = 2;
+          out.push_back(std::move(token));
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (matched) continue;
+    static constexpr std::string_view kOneCharOps = "{}()<>[]*;:,.=!+-/%&|";
+    if (kOneCharOps.find(c) != std::string_view::npos) {
+      token.kind = TokenKind::kPunct;
+      token.text = std::string(1, c);
+      token.length = 1;
+      out.push_back(std::move(token));
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument("line " + std::to_string(line) +
+                                   ": unexpected character '" +
+                                   std::string(1, c) + "'");
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  end.line = line;
+  out.push_back(std::move(end));
+  return out;
+}
+
+const Token& TokenCursor::Peek(size_t ahead) const {
+  size_t idx = pos_ + ahead;
+  if (idx >= tokens_.size()) idx = tokens_.size() - 1;  // the kEnd token
+  return tokens_[idx];
+}
+
+const Token& TokenCursor::Next() {
+  const Token& t = Peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool TokenCursor::TryConsumePunct(std::string_view p) {
+  if (Peek().IsPunct(p)) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+bool TokenCursor::TryConsumeIdent(std::string_view id) {
+  if (Peek().IsIdent(id)) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+Status TokenCursor::ExpectPunct(std::string_view p) {
+  if (!TryConsumePunct(p)) {
+    return ErrorHere("expected '" + std::string(p) + "'");
+  }
+  return Status::OK();
+}
+
+Status TokenCursor::ExpectIdent(std::string_view id) {
+  if (!TryConsumeIdent(id)) {
+    return ErrorHere("expected '" + std::string(id) + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::string> TokenCursor::ExpectAnyIdent() {
+  if (!Peek().Is(TokenKind::kIdent)) {
+    return ErrorHere("expected identifier");
+  }
+  return Next().text;
+}
+
+Status TokenCursor::ErrorHere(const std::string& msg) const {
+  const Token& t = Peek();
+  std::string got = t.kind == TokenKind::kEnd ? "end of input"
+                                              : "'" + t.text + "'";
+  return Status::InvalidArgument("line " + std::to_string(t.line) + ": " +
+                                 msg + ", got " + got);
+}
+
+}  // namespace ode::odb

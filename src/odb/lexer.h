@@ -1,0 +1,90 @@
+#ifndef ODEVIEW_ODB_LEXER_H_
+#define ODEVIEW_ODB_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ode::odb {
+
+/// Token categories produced by `Lexer`.
+enum class TokenKind : uint8_t {
+  kEnd = 0,
+  kIdent,    ///< identifier or keyword
+  kInt,      ///< integer literal
+  kReal,     ///< floating literal
+  kString,   ///< double-quoted string (text() has quotes stripped)
+  kPunct,    ///< punctuation / operator, possibly multi-char ("==", "&&")
+};
+
+/// One lexical token with its source location.
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     ///< spelling (unescaped for strings)
+  size_t offset = 0;    ///< byte offset of the token start in the input
+  size_t length = 0;    ///< byte length in the input
+  int line = 1;         ///< 1-based line number
+
+  bool Is(TokenKind k) const { return kind == k; }
+  bool IsPunct(std::string_view p) const {
+    return kind == TokenKind::kPunct && text == p;
+  }
+  bool IsIdent(std::string_view id) const {
+    return kind == TokenKind::kIdent && text == id;
+  }
+};
+
+/// A small hand-written lexer for the O++ schema subset and the
+/// selection-predicate language. Handles `//` and `/* */` comments,
+/// multi-character operators (== != <= >= && ||), and string escapes.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  /// Tokenizes the whole input; fails on unterminated strings/comments
+  /// or bytes outside the language alphabet.
+  Result<std::vector<Token>> Tokenize();
+
+  /// The raw input (for slicing source text by token offsets).
+  std::string_view input() const { return input_; }
+
+ private:
+  std::string_view input_;
+};
+
+/// Sequential cursor over a token vector with convenience checks.
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t ahead = 0) const;
+  const Token& Next();
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+  size_t position() const { return pos_; }
+  void Rewind(size_t position) { pos_ = position; }
+
+  /// Consumes the next token if it matches; returns whether it did.
+  bool TryConsumePunct(std::string_view p);
+  bool TryConsumeIdent(std::string_view id);
+
+  /// Consumes a required token or fails with a located message.
+  Status ExpectPunct(std::string_view p);
+  Status ExpectIdent(std::string_view id);
+  Result<std::string> ExpectAnyIdent();
+
+  /// Formats "line N: msg" using the current token's location.
+  Status ErrorHere(const std::string& msg) const;
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace ode::odb
+
+#endif  // ODEVIEW_ODB_LEXER_H_

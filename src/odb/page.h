@@ -1,0 +1,31 @@
+#ifndef ODEVIEW_ODB_PAGE_H_
+#define ODEVIEW_ODB_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace ode::odb {
+
+/// Size of every database page in bytes.
+inline constexpr size_t kPageSize = 4096;
+
+/// Page number within a database file. Page 0 is the superblock.
+using PageId = uint32_t;
+
+/// Sentinel meaning "no page" (end of a chain, empty free list...).
+inline constexpr PageId kNoPage = 0xFFFFFFFFu;
+
+/// A raw database page. Interpretation (superblock, slotted data page,
+/// blob page) is up to the layer using it.
+struct Page {
+  std::array<char, kPageSize> data;
+
+  void Zero() { data.fill(0); }
+  char* bytes() { return data.data(); }
+  const char* bytes() const { return data.data(); }
+};
+
+}  // namespace ode::odb
+
+#endif  // ODEVIEW_ODB_PAGE_H_

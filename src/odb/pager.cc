@@ -1,0 +1,110 @@
+#include "odb/pager.h"
+
+#include <sys/stat.h>
+
+namespace ode::odb {
+
+Result<PageId> MemPager::Allocate() {
+  auto page = std::make_unique<Page>();
+  page->Zero();
+  pages_.push_back(std::move(page));
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status MemPager::Read(PageId id, Page* page) {
+  if (id >= pages_.size()) {
+    return Status::IOError("read of unallocated page " + std::to_string(id));
+  }
+  *page = *pages_[id];
+  return Status::OK();
+}
+
+Status MemPager::Write(PageId id, const Page& page) {
+  if (id >= pages_.size()) {
+    return Status::IOError("write of unallocated page " +
+                           std::to_string(id));
+  }
+  *pages_[id] = page;
+  return Status::OK();
+}
+
+uint32_t MemPager::page_count() const {
+  return static_cast<uint32_t>(pages_.size());
+}
+
+Result<std::unique_ptr<FilePager>> FilePager::Open(const std::string& path,
+                                                   bool create) {
+  std::FILE* file = std::fopen(path.c_str(), create ? "w+b" : "r+b");
+  if (file == nullptr) {
+    return Status::IOError("cannot open database file '" + path + "'");
+  }
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    return Status::IOError("cannot seek in '" + path + "'");
+  }
+  long size = std::ftell(file);
+  if (size < 0) {
+    std::fclose(file);
+    return Status::IOError("cannot stat '" + path + "'");
+  }
+  if (static_cast<size_t>(size) % kPageSize != 0) {
+    std::fclose(file);
+    return Status::Corruption("database file '" + path +
+                              "' is not page-aligned");
+  }
+  auto count = static_cast<uint32_t>(static_cast<size_t>(size) / kPageSize);
+  return std::unique_ptr<FilePager>(new FilePager(file, count, path));
+}
+
+FilePager::~FilePager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<PageId> FilePager::Allocate() {
+  Page zero;
+  zero.Zero();
+  PageId id = page_count_;
+  ODE_RETURN_IF_ERROR(Write(id, zero));  // Write checks id < count+1 below
+  return id;
+}
+
+Status FilePager::Read(PageId id, Page* page) {
+  if (id >= page_count_) {
+    return Status::IOError("read of unallocated page " + std::to_string(id));
+  }
+  if (std::fseek(file_, static_cast<long>(id) * static_cast<long>(kPageSize),
+                 SEEK_SET) != 0) {
+    return Status::IOError("seek failed in '" + path_ + "'");
+  }
+  if (std::fread(page->bytes(), 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError("short read of page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status FilePager::Write(PageId id, const Page& page) {
+  if (id > page_count_) {
+    return Status::IOError("write of unallocated page " +
+                           std::to_string(id));
+  }
+  if (std::fseek(file_, static_cast<long>(id) * static_cast<long>(kPageSize),
+                 SEEK_SET) != 0) {
+    return Status::IOError("seek failed in '" + path_ + "'");
+  }
+  if (std::fwrite(page.bytes(), 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError("short write of page " + std::to_string(id));
+  }
+  if (id == page_count_) ++page_count_;
+  return Status::OK();
+}
+
+uint32_t FilePager::page_count() const { return page_count_; }
+
+Status FilePager::Sync() {
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("fflush failed for '" + path_ + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace ode::odb

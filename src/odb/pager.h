@@ -1,0 +1,80 @@
+#ifndef ODEVIEW_ODB_PAGER_H_
+#define ODEVIEW_ODB_PAGER_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "odb/page.h"
+
+namespace ode::odb {
+
+/// Abstract page-granular storage: the bottom of the storage stack.
+///
+/// Two backends exist: `MemPager` (volatile, for tests and scratch
+/// databases) and `FilePager` (a single database file). All I/O above
+/// this layer goes through the `BufferPool`.
+class Pager {
+ public:
+  virtual ~Pager() = default;
+
+  Pager() = default;
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Appends a zeroed page and returns its id.
+  virtual Result<PageId> Allocate() = 0;
+  /// Reads page `id` into `*page`; fails for out-of-range ids.
+  virtual Status Read(PageId id, Page* page) = 0;
+  /// Writes `page` at `id`; fails for out-of-range ids.
+  virtual Status Write(PageId id, const Page& page) = 0;
+  /// Number of pages currently allocated.
+  virtual uint32_t page_count() const = 0;
+  /// Forces durability of previous writes (no-op for MemPager).
+  virtual Status Sync() = 0;
+};
+
+/// In-memory pager.
+class MemPager final : public Pager {
+ public:
+  MemPager() = default;
+
+  Result<PageId> Allocate() override;
+  Status Read(PageId id, Page* page) override;
+  Status Write(PageId id, const Page& page) override;
+  uint32_t page_count() const override;
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  std::vector<std::unique_ptr<Page>> pages_;
+};
+
+/// File-backed pager over a single database file.
+class FilePager final : public Pager {
+ public:
+  /// Opens (or creates with `create`) the file at `path`.
+  static Result<std::unique_ptr<FilePager>> Open(const std::string& path,
+                                                 bool create);
+  ~FilePager() override;
+
+  Result<PageId> Allocate() override;
+  Status Read(PageId id, Page* page) override;
+  Status Write(PageId id, const Page& page) override;
+  uint32_t page_count() const override;
+  Status Sync() override;
+
+ private:
+  FilePager(std::FILE* file, uint32_t page_count, std::string path)
+      : file_(file), page_count_(page_count), path_(std::move(path)) {}
+
+  std::FILE* file_;
+  uint32_t page_count_;
+  std::string path_;
+};
+
+}  // namespace ode::odb
+
+#endif  // ODEVIEW_ODB_PAGER_H_

@@ -1,0 +1,112 @@
+#ifndef ODEVIEW_ODB_PREDICATE_H_
+#define ODEVIEW_ODB_PREDICATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "odb/value.h"
+
+namespace ode::odb {
+
+/// Comparison operators usable in selection predicates.
+enum class CompareOp : uint8_t {
+  kEq = 0,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kContains,  ///< substring for strings; membership for sets/arrays
+};
+
+std::string_view CompareOpName(CompareOp op);
+
+/// One operand of a comparison: either an attribute path into the
+/// object ("dept.name") or a literal value.
+struct Operand {
+  enum class Kind : uint8_t { kAttribute, kLiteral };
+  Kind kind = Kind::kLiteral;
+  std::string path;  ///< dotted attribute path (kAttribute)
+  Value literal;     ///< (kLiteral)
+
+  static Operand Attribute(std::string p) {
+    Operand o;
+    o.kind = Kind::kAttribute;
+    o.path = std::move(p);
+    return o;
+  }
+  static Operand Literal(Value v) {
+    Operand o;
+    o.kind = Kind::kLiteral;
+    o.literal = std::move(v);
+    return o;
+  }
+};
+
+/// A boolean predicate over an object's attribute values.
+///
+/// Built either programmatically (the menu-based predicate builder of
+/// §5.2) or by parsing a QBE-style condition string ("age > 30 &&
+/// dept.name == \"research\"") via `ParsePredicate`.
+class Predicate {
+ public:
+  enum class Kind : uint8_t { kTrue, kCompare, kAnd, kOr, kNot };
+
+  /// The always-true predicate (an empty condition box).
+  static Predicate True();
+  static Predicate Compare(Operand lhs, CompareOp op, Operand rhs);
+  static Predicate And(Predicate lhs, Predicate rhs);
+  static Predicate Or(Predicate lhs, Predicate rhs);
+  static Predicate Not(Predicate operand);
+
+  Predicate(const Predicate&) = default;
+  Predicate(Predicate&&) noexcept = default;
+  Predicate& operator=(const Predicate&) = default;
+  Predicate& operator=(Predicate&&) noexcept = default;
+
+  Kind kind() const { return kind_; }
+
+  /// Evaluates against `object` (normally a struct value).
+  ///
+  /// A missing attribute makes the enclosing comparison false rather
+  /// than an error (QBE semantics); type mismatches (comparing a
+  /// string to a number with `<`) are errors.
+  Result<bool> Evaluate(const Value& object) const;
+
+  /// Attribute paths mentioned anywhere in the predicate.
+  std::vector<std::string> AttributePaths() const;
+
+  /// Source-like rendering ("(age > 30) && (name == \"amy\")").
+  std::string ToString() const;
+
+ private:
+  Predicate() = default;
+
+  Kind kind_ = Kind::kTrue;
+  // kCompare
+  Operand lhs_;
+  CompareOp op_ = CompareOp::kEq;
+  Operand rhs_;
+  // kAnd / kOr / kNot (children_[0], children_[1])
+  std::vector<Predicate> children_;
+};
+
+/// Parses a condition-box string into a predicate. Grammar:
+/// ```
+/// expr   := or
+/// or     := and { "||" and }
+/// and    := unary { "&&" unary }
+/// unary  := "!" unary | "(" expr ")" | cmp
+/// cmp    := operand op operand
+/// op     := == | != | < | <= | > | >= | contains
+/// operand:= INT | REAL | STRING | true | false | null | path
+/// path   := IDENT { "." IDENT }
+/// ```
+Result<Predicate> ParsePredicate(std::string_view text);
+
+}  // namespace ode::odb
+
+#endif  // ODEVIEW_ODB_PREDICATE_H_

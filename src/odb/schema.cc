@@ -1,0 +1,528 @@
+#include "odb/schema.h"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/coding.h"
+
+namespace ode::odb {
+
+std::string_view AccessName(Access access) {
+  switch (access) {
+    case Access::kPublic:
+      return "public";
+    case Access::kProtected:
+      return "protected";
+    case Access::kPrivate:
+      return "private";
+  }
+  return "?";
+}
+
+std::string_view TriggerEventName(TriggerEvent event) {
+  switch (event) {
+    case TriggerEvent::kCreate:
+      return "on_create";
+    case TriggerEvent::kUpdate:
+      return "on_update";
+    case TriggerEvent::kDelete:
+      return "on_delete";
+  }
+  return "?";
+}
+
+std::string TypeRef::ToString() const {
+  switch (kind) {
+    case Kind::kVoid:
+      return "void";
+    case Kind::kBool:
+      return "bool";
+    case Kind::kInt:
+      return "int";
+    case Kind::kReal:
+      return "real";
+    case Kind::kString:
+      return "string";
+    case Kind::kBlob:
+      return "blob";
+    case Kind::kClass:
+      return class_name;
+    case Kind::kRef:
+      return class_name + "*";
+    case Kind::kSet:
+      return "set<" + (element ? element->ToString() : "?") + ">";
+    case Kind::kArray:
+      return (element ? element->ToString() : "?") + "[" +
+             (array_size ? std::to_string(array_size) : "") + "]";
+  }
+  return "?";
+}
+
+bool operator==(const TypeRef& a, const TypeRef& b) {
+  if (a.kind != b.kind || a.class_name != b.class_name ||
+      a.array_size != b.array_size) {
+    return false;
+  }
+  if ((a.element == nullptr) != (b.element == nullptr)) return false;
+  return a.element == nullptr || *a.element == *b.element;
+}
+
+const MemberDef* ClassDef::FindMember(std::string_view member_name) const {
+  for (const MemberDef& m : members) {
+    if (m.name == member_name) return &m;
+  }
+  return nullptr;
+}
+
+int Schema::IndexOf(std::string_view name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+void Schema::RebuildIndex() {
+  index_.clear();
+  for (size_t i = 0; i < classes_.size(); ++i) {
+    index_[classes_[i].name] = static_cast<int>(i);
+  }
+}
+
+Status Schema::AddClass(ClassDef def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("class name must be non-empty");
+  }
+  if (IndexOf(def.name) >= 0) {
+    return Status::AlreadyExists("class '" + def.name + "' already defined");
+  }
+  index_[def.name] = static_cast<int>(classes_.size());
+  classes_.push_back(std::move(def));
+  return Status::OK();
+}
+
+namespace {
+bool TypeMentionsClass(const TypeRef& type, std::string_view name) {
+  if ((type.kind == TypeRef::Kind::kRef ||
+       type.kind == TypeRef::Kind::kClass) &&
+      type.class_name == name) {
+    return true;
+  }
+  return type.element != nullptr && TypeMentionsClass(*type.element, name);
+}
+}  // namespace
+
+Status Schema::DropClass(std::string_view name) {
+  int idx = IndexOf(name);
+  if (idx < 0) return Status::NotFound("class '" + std::string(name) + "'");
+  for (const ClassDef& def : classes_) {
+    if (def.name == name) continue;
+    for (const std::string& base : def.bases) {
+      if (base == name) {
+        return Status::FailedPrecondition("class '" + def.name +
+                                          "' derives from '" +
+                                          std::string(name) + "'");
+      }
+    }
+    for (const MemberDef& m : def.members) {
+      if (TypeMentionsClass(m.type, name)) {
+        return Status::FailedPrecondition(
+            "class '" + def.name + "' member '" + m.name + "' references '" +
+            std::string(name) + "'");
+      }
+    }
+  }
+  classes_.erase(classes_.begin() + idx);
+  RebuildIndex();
+  return Status::OK();
+}
+
+Status Schema::ReplaceClass(ClassDef def) {
+  int idx = IndexOf(def.name);
+  if (idx < 0) return Status::NotFound("class '" + def.name + "'");
+  classes_[static_cast<size_t>(idx)] = std::move(def);
+  return Status::OK();
+}
+
+bool Schema::Contains(std::string_view name) const {
+  return IndexOf(name) >= 0;
+}
+
+Result<const ClassDef*> Schema::GetClass(std::string_view name) const {
+  int idx = IndexOf(name);
+  if (idx < 0) return Status::NotFound("class '" + std::string(name) + "'");
+  return &classes_[static_cast<size_t>(idx)];
+}
+
+Result<std::vector<std::string>> Schema::DirectSuperclasses(
+    std::string_view name) const {
+  ODE_ASSIGN_OR_RETURN(const ClassDef* def, GetClass(name));
+  return def->bases;
+}
+
+Result<std::vector<std::string>> Schema::DirectSubclasses(
+    std::string_view name) const {
+  if (!Contains(name)) {
+    return Status::NotFound("class '" + std::string(name) + "'");
+  }
+  std::vector<std::string> subs;
+  for (const ClassDef& def : classes_) {
+    for (const std::string& base : def.bases) {
+      if (base == name) {
+        subs.push_back(def.name);
+        break;
+      }
+    }
+  }
+  return subs;
+}
+
+namespace {
+/// BFS over base (up=true) or derived (up=false) edges.
+Result<std::vector<std::string>> Closure(const Schema& schema,
+                                         std::string_view start, bool up) {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  std::deque<std::string> queue;
+  queue.emplace_back(start);
+  seen.insert(std::string(start));
+  while (!queue.empty()) {
+    std::string cur = std::move(queue.front());
+    queue.pop_front();
+    Result<std::vector<std::string>> next =
+        up ? schema.DirectSuperclasses(cur) : schema.DirectSubclasses(cur);
+    if (!next.ok()) {
+      // A dangling base name: report only if it is the start class.
+      if (cur == start) return next.status();
+      continue;
+    }
+    for (const std::string& n : *next) {
+      if (seen.insert(n).second) {
+        out.push_back(n);
+        queue.push_back(n);
+      }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+Result<std::vector<std::string>> Schema::Ancestors(
+    std::string_view name) const {
+  return Closure(*this, name, /*up=*/true);
+}
+
+Result<std::vector<std::string>> Schema::Descendants(
+    std::string_view name) const {
+  return Closure(*this, name, /*up=*/false);
+}
+
+Result<std::vector<MemberDef>> Schema::AllMembers(
+    std::string_view name) const {
+  ODE_ASSIGN_OR_RETURN(const ClassDef* def, GetClass(name));
+  std::vector<MemberDef> out;
+  std::unordered_set<std::string> seen;  // derived shadows base
+  // Collect own members first to know which base members are shadowed,
+  // but emit base members first (base-first declaration order).
+  for (const MemberDef& m : def->members) seen.insert(m.name);
+  for (const std::string& base : def->bases) {
+    Result<std::vector<MemberDef>> inherited = AllMembers(base);
+    if (!inherited.ok()) continue;  // dangling base: tolerated here
+    for (MemberDef& m : *inherited) {
+      if (seen.insert(m.name).second) out.push_back(std::move(m));
+    }
+  }
+  for (const MemberDef& m : def->members) out.push_back(m);
+  return out;
+}
+
+namespace {
+/// Returns the class's own list, or the first non-empty list found on
+/// a breadth-first walk of its bases.
+Result<std::vector<std::string>> EffectiveList(
+    const Schema& schema, std::string_view name,
+    const std::vector<std::string> ClassDef::* list) {
+  ODE_ASSIGN_OR_RETURN(const ClassDef* def, schema.GetClass(name));
+  if (!(def->*list).empty()) return def->*list;
+  std::deque<std::string> queue(def->bases.begin(), def->bases.end());
+  std::unordered_set<std::string> seen(def->bases.begin(), def->bases.end());
+  while (!queue.empty()) {
+    std::string cur = std::move(queue.front());
+    queue.pop_front();
+    Result<const ClassDef*> base = schema.GetClass(cur);
+    if (!base.ok()) continue;
+    if (!((*base)->*list).empty()) return (*base)->*list;
+    for (const std::string& b : (*base)->bases) {
+      if (seen.insert(b).second) queue.push_back(b);
+    }
+  }
+  return std::vector<std::string>{};
+}
+}  // namespace
+
+Result<std::vector<std::string>> Schema::EffectiveDisplayFormats(
+    std::string_view name) const {
+  return EffectiveList(*this, name, &ClassDef::display_formats);
+}
+
+Result<std::vector<std::string>> Schema::EffectiveDisplayList(
+    std::string_view name) const {
+  return EffectiveList(*this, name, &ClassDef::displaylist);
+}
+
+Result<std::vector<std::string>> Schema::EffectiveSelectList(
+    std::string_view name) const {
+  return EffectiveList(*this, name, &ClassDef::selectlist);
+}
+
+std::vector<std::pair<std::string, std::string>> Schema::InheritanceEdges()
+    const {
+  std::vector<std::pair<std::string, std::string>> edges;
+  for (const ClassDef& def : classes_) {
+    for (const std::string& base : def.bases) {
+      edges.emplace_back(base, def.name);
+    }
+  }
+  return edges;
+}
+
+namespace {
+Status CheckTypeResolves(const Schema& schema, const ClassDef& def,
+                         const MemberDef& member, const TypeRef& type) {
+  if (type.kind == TypeRef::Kind::kRef ||
+      type.kind == TypeRef::Kind::kClass) {
+    if (!schema.Contains(type.class_name)) {
+      return Status::InvalidArgument("class '" + def.name + "' member '" +
+                                     member.name +
+                                     "' references unknown class '" +
+                                     type.class_name + "'");
+    }
+  }
+  if (type.element != nullptr) {
+    return CheckTypeResolves(schema, def, member, *type.element);
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Status Schema::Validate() const {
+  // Duplicate members and resolvable bases/types.
+  for (const ClassDef& def : classes_) {
+    std::unordered_set<std::string> names;
+    for (const MemberDef& m : def.members) {
+      if (!names.insert(m.name).second) {
+        return Status::InvalidArgument("class '" + def.name +
+                                       "' has duplicate member '" + m.name +
+                                       "'");
+      }
+      ODE_RETURN_IF_ERROR(CheckTypeResolves(*this, def, m, m.type));
+    }
+    for (const std::string& base : def.bases) {
+      if (!Contains(base)) {
+        return Status::InvalidArgument("class '" + def.name +
+                                       "' derives from unknown class '" +
+                                       base + "'");
+      }
+      if (base == def.name) {
+        return Status::InvalidArgument("class '" + def.name +
+                                       "' derives from itself");
+      }
+    }
+  }
+  // Acyclicity via repeated removal of classes with no unprocessed bases.
+  std::unordered_map<std::string, int> in_degree;
+  std::unordered_map<std::string, std::vector<std::string>> children;
+  for (const ClassDef& def : classes_) {
+    in_degree.try_emplace(def.name, 0);
+    for (const std::string& base : def.bases) {
+      ++in_degree[def.name];
+      children[base].push_back(def.name);
+    }
+  }
+  std::deque<std::string> ready;
+  for (const auto& [name, deg] : in_degree) {
+    if (deg == 0) ready.push_back(name);
+  }
+  size_t processed = 0;
+  while (!ready.empty()) {
+    std::string cur = std::move(ready.front());
+    ready.pop_front();
+    ++processed;
+    for (const std::string& child : children[cur]) {
+      if (--in_degree[child] == 0) ready.push_back(child);
+    }
+  }
+  if (processed != classes_.size()) {
+    return Status::InvalidArgument("inheritance graph contains a cycle");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+void EncodeTypeRef(const TypeRef& type, std::string* dst) {
+  dst->push_back(static_cast<char>(type.kind));
+  PutLengthPrefixed(dst, type.class_name);
+  PutVarint32(dst, type.array_size);
+  dst->push_back(type.element ? 1 : 0);
+  if (type.element) EncodeTypeRef(*type.element, dst);
+}
+
+Result<TypeRef> DecodeTypeRef(Decoder* decoder) {
+  std::string_view raw;
+  ODE_RETURN_IF_ERROR(decoder->GetRaw(1, &raw));
+  TypeRef type;
+  type.kind = static_cast<TypeRef::Kind>(static_cast<uint8_t>(raw[0]));
+  std::string_view name;
+  ODE_RETURN_IF_ERROR(decoder->GetLengthPrefixed(&name));
+  type.class_name = std::string(name);
+  ODE_RETURN_IF_ERROR(decoder->GetVarint32(&type.array_size));
+  ODE_RETURN_IF_ERROR(decoder->GetRaw(1, &raw));
+  if (raw[0]) {
+    ODE_ASSIGN_OR_RETURN(TypeRef element, DecodeTypeRef(decoder));
+    type.element = std::make_shared<TypeRef>(std::move(element));
+  }
+  return type;
+}
+
+void EncodeStringList(const std::vector<std::string>& list,
+                      std::string* dst) {
+  PutVarint64(dst, list.size());
+  for (const std::string& s : list) PutLengthPrefixed(dst, s);
+}
+
+Result<std::vector<std::string>> DecodeStringList(Decoder* decoder) {
+  uint64_t n = 0;
+  ODE_RETURN_IF_ERROR(decoder->GetVarint64(&n));
+  std::vector<std::string> out;
+  out.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string_view s;
+    ODE_RETURN_IF_ERROR(decoder->GetLengthPrefixed(&s));
+    out.emplace_back(s);
+  }
+  return out;
+}
+
+void EncodeClassDef(const ClassDef& def, std::string* dst) {
+  PutLengthPrefixed(dst, def.name);
+  dst->push_back(def.persistent ? 1 : 0);
+  dst->push_back(def.versioned ? 1 : 0);
+  EncodeStringList(def.bases, dst);
+  PutVarint64(dst, def.members.size());
+  for (const MemberDef& m : def.members) {
+    PutLengthPrefixed(dst, m.name);
+    EncodeTypeRef(m.type, dst);
+    dst->push_back(static_cast<char>(m.access));
+  }
+  PutVarint64(dst, def.methods.size());
+  for (const MethodDef& m : def.methods) {
+    PutLengthPrefixed(dst, m.name);
+    PutLengthPrefixed(dst, m.return_type);
+    PutLengthPrefixed(dst, m.params);
+    dst->push_back(static_cast<char>(m.access));
+  }
+  EncodeStringList(def.display_formats, dst);
+  EncodeStringList(def.displaylist, dst);
+  EncodeStringList(def.selectlist, dst);
+  PutVarint64(dst, def.constraints.size());
+  for (const ConstraintDef& c : def.constraints) {
+    PutLengthPrefixed(dst, c.predicate_text);
+  }
+  PutVarint64(dst, def.triggers.size());
+  for (const TriggerDef& t : def.triggers) {
+    PutLengthPrefixed(dst, t.name);
+    dst->push_back(static_cast<char>(t.event));
+    PutLengthPrefixed(dst, t.condition_text);
+    PutLengthPrefixed(dst, t.action);
+  }
+  PutLengthPrefixed(dst, def.source);
+}
+
+Result<ClassDef> DecodeClassDef(Decoder* decoder) {
+  ClassDef def;
+  std::string_view s;
+  std::string_view raw;
+  ODE_RETURN_IF_ERROR(decoder->GetLengthPrefixed(&s));
+  def.name = std::string(s);
+  ODE_RETURN_IF_ERROR(decoder->GetRaw(1, &raw));
+  def.persistent = raw[0] != 0;
+  ODE_RETURN_IF_ERROR(decoder->GetRaw(1, &raw));
+  def.versioned = raw[0] != 0;
+  ODE_ASSIGN_OR_RETURN(def.bases, DecodeStringList(decoder));
+  uint64_t n = 0;
+  ODE_RETURN_IF_ERROR(decoder->GetVarint64(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    MemberDef m;
+    ODE_RETURN_IF_ERROR(decoder->GetLengthPrefixed(&s));
+    m.name = std::string(s);
+    ODE_ASSIGN_OR_RETURN(m.type, DecodeTypeRef(decoder));
+    ODE_RETURN_IF_ERROR(decoder->GetRaw(1, &raw));
+    m.access = static_cast<Access>(static_cast<uint8_t>(raw[0]));
+    def.members.push_back(std::move(m));
+  }
+  ODE_RETURN_IF_ERROR(decoder->GetVarint64(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    MethodDef m;
+    ODE_RETURN_IF_ERROR(decoder->GetLengthPrefixed(&s));
+    m.name = std::string(s);
+    ODE_RETURN_IF_ERROR(decoder->GetLengthPrefixed(&s));
+    m.return_type = std::string(s);
+    ODE_RETURN_IF_ERROR(decoder->GetLengthPrefixed(&s));
+    m.params = std::string(s);
+    ODE_RETURN_IF_ERROR(decoder->GetRaw(1, &raw));
+    m.access = static_cast<Access>(static_cast<uint8_t>(raw[0]));
+    def.methods.push_back(std::move(m));
+  }
+  ODE_ASSIGN_OR_RETURN(def.display_formats, DecodeStringList(decoder));
+  ODE_ASSIGN_OR_RETURN(def.displaylist, DecodeStringList(decoder));
+  ODE_ASSIGN_OR_RETURN(def.selectlist, DecodeStringList(decoder));
+  ODE_RETURN_IF_ERROR(decoder->GetVarint64(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    ODE_RETURN_IF_ERROR(decoder->GetLengthPrefixed(&s));
+    def.constraints.push_back({std::string(s)});
+  }
+  ODE_RETURN_IF_ERROR(decoder->GetVarint64(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    TriggerDef t;
+    ODE_RETURN_IF_ERROR(decoder->GetLengthPrefixed(&s));
+    t.name = std::string(s);
+    ODE_RETURN_IF_ERROR(decoder->GetRaw(1, &raw));
+    t.event = static_cast<TriggerEvent>(static_cast<uint8_t>(raw[0]));
+    ODE_RETURN_IF_ERROR(decoder->GetLengthPrefixed(&s));
+    t.condition_text = std::string(s);
+    ODE_RETURN_IF_ERROR(decoder->GetLengthPrefixed(&s));
+    t.action = std::string(s);
+    def.triggers.push_back(std::move(t));
+  }
+  ODE_RETURN_IF_ERROR(decoder->GetLengthPrefixed(&s));
+  def.source = std::string(s);
+  return def;
+}
+
+}  // namespace
+
+void Schema::Encode(std::string* dst) const {
+  PutVarint64(dst, classes_.size());
+  for (const ClassDef& def : classes_) EncodeClassDef(def, dst);
+}
+
+Result<Schema> Schema::Decode(Decoder* decoder) {
+  uint64_t n = 0;
+  ODE_RETURN_IF_ERROR(decoder->GetVarint64(&n));
+  Schema schema;
+  for (uint64_t i = 0; i < n; ++i) {
+    ODE_ASSIGN_OR_RETURN(ClassDef def, DecodeClassDef(decoder));
+    ODE_RETURN_IF_ERROR(schema.AddClass(std::move(def)));
+  }
+  return schema;
+}
+
+Result<Schema> Schema::Decode(std::string_view bytes) {
+  Decoder decoder(bytes);
+  ODE_ASSIGN_OR_RETURN(Schema schema, Decode(&decoder));
+  if (!decoder.empty()) {
+    return Status::Corruption("trailing bytes after schema");
+  }
+  return schema;
+}
+
+}  // namespace ode::odb

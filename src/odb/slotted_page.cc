@@ -1,0 +1,207 @@
+#include "odb/slotted_page.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace ode::odb {
+
+namespace {
+void StoreU16(char* p, uint16_t v) {
+  p[0] = static_cast<char>(v & 0xff);
+  p[1] = static_cast<char>((v >> 8) & 0xff);
+}
+void StoreU32(char* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+}  // namespace
+
+void SlottedPage::Init() {
+  page_->Zero();
+  set_next_page(kNoPage);
+  set_slot_count(0);
+  set_free_end(static_cast<uint16_t>(kPageSize));
+  set_live_count(0);
+}
+
+PageId SlottedPage::next_page() const {
+  return DecodeFixed32(page_->bytes());
+}
+
+void SlottedPage::set_next_page(PageId id) {
+  StoreU32(page_->bytes(), id);
+}
+
+uint16_t SlottedPage::slot_count() const {
+  return DecodeFixed16(page_->bytes() + 4);
+}
+
+void SlottedPage::set_slot_count(uint16_t v) {
+  StoreU16(page_->bytes() + 4, v);
+}
+
+uint16_t SlottedPage::free_end() const {
+  return DecodeFixed16(page_->bytes() + 6);
+}
+
+void SlottedPage::set_free_end(uint16_t v) {
+  StoreU16(page_->bytes() + 6, v);
+}
+
+uint16_t SlottedPage::live_count() const {
+  return DecodeFixed16(page_->bytes() + 8);
+}
+
+void SlottedPage::set_live_count(uint16_t v) {
+  StoreU16(page_->bytes() + 8, v);
+}
+
+uint16_t SlottedPage::slot_offset(uint16_t slot) const {
+  return DecodeFixed16(page_->bytes() + kHeaderSize + slot * kSlotSize);
+}
+
+uint16_t SlottedPage::slot_length(uint16_t slot) const {
+  return DecodeFixed16(page_->bytes() + kHeaderSize + slot * kSlotSize + 2);
+}
+
+void SlottedPage::set_slot(uint16_t slot, uint16_t offset, uint16_t length) {
+  StoreU16(page_->bytes() + kHeaderSize + slot * kSlotSize, offset);
+  StoreU16(page_->bytes() + kHeaderSize + slot * kSlotSize + 2, length);
+}
+
+size_t SlottedPage::ContiguousFreeSpace() const {
+  size_t slots_end = kHeaderSize + slot_count() * kSlotSize;
+  size_t end = free_end();
+  return end > slots_end ? end - slots_end : 0;
+}
+
+size_t SlottedPage::FreeSpace() const {
+  // Live bytes + slot array + header subtracted from the page: the
+  // space Compact() can recover.
+  size_t live_bytes = 0;
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    if (slot_offset(s) != 0) live_bytes += slot_length(s);
+  }
+  size_t used = kHeaderSize + slot_count() * kSlotSize + live_bytes;
+  return used < kPageSize ? kPageSize - used : 0;
+}
+
+Result<uint16_t> SlottedPage::Insert(std::string_view record) {
+  if (record.size() > kMaxRecordSize) {
+    return Status::InvalidArgument("record exceeds page capacity (" +
+                                   std::to_string(record.size()) + "B)");
+  }
+  size_t needed = record.size() + kSlotSize;
+  // Reuse a tombstone slot when possible (no new slot entry needed).
+  int reuse = -1;
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    if (slot_offset(s) == 0) {
+      reuse = s;
+      needed = record.size();
+      break;
+    }
+  }
+  if (needed > FreeSpace()) {
+    return Status::OutOfRange("page full");
+  }
+  if (record.size() + (reuse < 0 ? kSlotSize : 0) >
+      ContiguousFreeSpace()) {
+    Compact();
+  }
+  uint16_t slot;
+  if (reuse >= 0) {
+    slot = static_cast<uint16_t>(reuse);
+  } else {
+    slot = slot_count();
+    set_slot_count(static_cast<uint16_t>(slot + 1));
+  }
+  auto offset = static_cast<uint16_t>(free_end() - record.size());
+  std::memcpy(page_->bytes() + offset, record.data(), record.size());
+  set_slot(slot, offset, static_cast<uint16_t>(record.size()));
+  set_free_end(offset);
+  set_live_count(static_cast<uint16_t>(live_count() + 1));
+  return slot;
+}
+
+Result<std::string_view> SlottedPage::Get(uint16_t slot) const {
+  if (slot >= slot_count()) {
+    return Status::NotFound("slot " + std::to_string(slot) +
+                            " out of range");
+  }
+  uint16_t offset = slot_offset(slot);
+  if (offset == 0) {
+    return Status::NotFound("slot " + std::to_string(slot) + " deleted");
+  }
+  return std::string_view(page_->bytes() + offset, slot_length(slot));
+}
+
+Status SlottedPage::Delete(uint16_t slot) {
+  if (slot >= slot_count()) {
+    return Status::NotFound("slot " + std::to_string(slot) +
+                            " out of range");
+  }
+  if (slot_offset(slot) == 0) {
+    return Status::NotFound("slot " + std::to_string(slot) +
+                            " already deleted");
+  }
+  set_slot(slot, 0, 0);
+  set_live_count(static_cast<uint16_t>(live_count() - 1));
+  return Status::OK();
+}
+
+Status SlottedPage::Update(uint16_t slot, std::string_view record) {
+  if (slot >= slot_count() || slot_offset(slot) == 0) {
+    return Status::NotFound("slot " + std::to_string(slot) + " not live");
+  }
+  uint16_t old_len = slot_length(slot);
+  uint16_t offset = slot_offset(slot);
+  if (record.size() <= old_len) {
+    // Write at the tail of the old region so offsets stay in-bounds.
+    auto new_offset =
+        static_cast<uint16_t>(offset + (old_len - record.size()));
+    std::memmove(page_->bytes() + new_offset, record.data(), record.size());
+    set_slot(slot, new_offset, static_cast<uint16_t>(record.size()));
+    return Status::OK();
+  }
+  // Grow: free the old bytes, then try an insert into this page while
+  // keeping the same slot id.
+  set_slot(slot, 0, 0);
+  if (record.size() > FreeSpace() || record.size() > kMaxRecordSize) {
+    // Roll back the tombstone so the caller still sees the old record.
+    set_slot(slot, offset, old_len);
+    return Status::OutOfRange("page full");
+  }
+  if (record.size() > ContiguousFreeSpace()) Compact();
+  auto new_offset = static_cast<uint16_t>(free_end() - record.size());
+  std::memcpy(page_->bytes() + new_offset, record.data(), record.size());
+  set_slot(slot, new_offset, static_cast<uint16_t>(record.size()));
+  set_free_end(new_offset);
+  return Status::OK();
+}
+
+void SlottedPage::Compact() {
+  struct LiveRecord {
+    uint16_t slot;
+    std::string bytes;
+  };
+  std::vector<LiveRecord> live;
+  live.reserve(live_count());
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    if (slot_offset(s) != 0) {
+      live.push_back(
+          {s, std::string(page_->bytes() + slot_offset(s),
+                          slot_length(s))});
+    }
+  }
+  uint16_t cursor = static_cast<uint16_t>(kPageSize);
+  for (const LiveRecord& rec : live) {
+    cursor = static_cast<uint16_t>(cursor - rec.bytes.size());
+    std::memcpy(page_->bytes() + cursor, rec.bytes.data(),
+                rec.bytes.size());
+    set_slot(rec.slot, cursor, static_cast<uint16_t>(rec.bytes.size()));
+  }
+  set_free_end(cursor);
+}
+
+}  // namespace ode::odb

@@ -1,0 +1,87 @@
+#ifndef ODEVIEW_ODB_SLOTTED_PAGE_H_
+#define ODEVIEW_ODB_SLOTTED_PAGE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "odb/page.h"
+
+namespace ode::odb {
+
+/// View over a `Page` formatted as a slotted data page.
+///
+/// Layout:
+/// ```
+/// [ header 12B | slot array ->   ...free...   <- record data ]
+/// header: next_page u32 | slot_count u16 | free_end u16 | live u16 | pad
+/// slot:   offset u16 | length u16        (offset 0 == tombstone)
+/// ```
+/// Records grow from the page end downward; the slot array grows
+/// forward. Deleting leaves a tombstone slot (slot indexes are stable
+/// because heap-file directories point at them); `Compact()` squeezes
+/// out dead record bytes but keeps tombstone slots.
+class SlottedPage {
+ public:
+  static constexpr size_t kHeaderSize = 12;
+  static constexpr size_t kSlotSize = 4;
+  /// Largest record a single page can hold.
+  static constexpr size_t kMaxRecordSize =
+      kPageSize - kHeaderSize - kSlotSize;
+
+  /// Wraps `page` without validating; call `Init()` on fresh pages.
+  explicit SlottedPage(Page* page) : page_(page) {}
+
+  /// Formats the page as empty.
+  void Init();
+
+  /// Chain pointer used by heap files; `kNoPage` terminates the chain.
+  PageId next_page() const;
+  void set_next_page(PageId id);
+
+  /// Number of slots ever created (including tombstones).
+  uint16_t slot_count() const;
+  /// Number of live (non-tombstone) records.
+  uint16_t live_count() const;
+
+  /// Bytes available for one more record (incl. its slot entry),
+  /// assuming a compaction is allowed.
+  size_t FreeSpace() const;
+  /// Contiguous free bytes without compaction.
+  size_t ContiguousFreeSpace() const;
+
+  /// Inserts `record`, compacting if fragmentation requires it.
+  /// Fails with OutOfRange when the page cannot hold the record.
+  Result<uint16_t> Insert(std::string_view record);
+
+  /// Returns the record bytes in slot `slot` (view into the page).
+  Result<std::string_view> Get(uint16_t slot) const;
+
+  /// Tombstones slot `slot`.
+  Status Delete(uint16_t slot);
+
+  /// Replaces slot `slot` with `record`. Succeeds in place when the new
+  /// record is not larger; otherwise tries delete+reinsert on this page
+  /// and fails with OutOfRange when it does not fit (the caller then
+  /// relocates to another page).
+  Status Update(uint16_t slot, std::string_view record);
+
+  /// Rewrites the record area dropping dead bytes. Slot ids unchanged.
+  void Compact();
+
+ private:
+  uint16_t slot_offset(uint16_t slot) const;
+  uint16_t slot_length(uint16_t slot) const;
+  void set_slot(uint16_t slot, uint16_t offset, uint16_t length);
+  uint16_t free_end() const;           // lowest used record offset
+  void set_free_end(uint16_t v);
+  void set_slot_count(uint16_t v);
+  void set_live_count(uint16_t v);
+
+  Page* page_;
+};
+
+}  // namespace ode::odb
+
+#endif  // ODEVIEW_ODB_SLOTTED_PAGE_H_

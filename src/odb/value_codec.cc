@@ -1,0 +1,151 @@
+#include "odb/value_codec.h"
+
+#include "common/coding.h"
+
+namespace ode::odb {
+
+namespace {
+constexpr int kMaxDepth = 64;  // guards against corrupt deeply-nested input
+}  // namespace
+
+void EncodeValue(const Value& value, std::string* dst) {
+  dst->push_back(static_cast<char>(value.kind()));
+  switch (value.kind()) {
+    case ValueKind::kNull:
+      break;
+    case ValueKind::kBool:
+      dst->push_back(value.AsBool() ? 1 : 0);
+      break;
+    case ValueKind::kInt: {
+      // Zigzag so negative ints stay compact.
+      auto v = static_cast<uint64_t>(value.AsInt());
+      uint64_t zz = (v << 1) ^ static_cast<uint64_t>(value.AsInt() >> 63);
+      PutVarint64(dst, zz);
+      break;
+    }
+    case ValueKind::kReal:
+      PutDouble(dst, value.AsReal());
+      break;
+    case ValueKind::kString:
+    case ValueKind::kBlob:
+      PutLengthPrefixed(dst, value.AsString());
+      break;
+    case ValueKind::kRef:
+      PutVarint32(dst, value.AsRef().cluster);
+      PutVarint64(dst, value.AsRef().local);
+      PutLengthPrefixed(dst, value.RefClass());
+      break;
+    case ValueKind::kStruct: {
+      PutVarint64(dst, value.fields().size());
+      for (const Value::Field& f : value.fields()) {
+        PutLengthPrefixed(dst, f.name);
+        EncodeValue(f.value, dst);
+      }
+      break;
+    }
+    case ValueKind::kArray:
+    case ValueKind::kSet: {
+      PutVarint64(dst, value.elements().size());
+      for (const Value& e : value.elements()) EncodeValue(e, dst);
+      break;
+    }
+  }
+}
+
+std::string EncodeValueToString(const Value& value) {
+  std::string out;
+  EncodeValue(value, &out);
+  return out;
+}
+
+namespace {
+
+Result<Value> DecodeValueImpl(Decoder* decoder, int depth) {
+  if (depth > kMaxDepth) {
+    return Status::Corruption("value nesting exceeds limit");
+  }
+  std::string_view tag_bytes;
+  ODE_RETURN_IF_ERROR(decoder->GetRaw(1, &tag_bytes));
+  auto kind = static_cast<ValueKind>(static_cast<uint8_t>(tag_bytes[0]));
+  switch (kind) {
+    case ValueKind::kNull:
+      return Value::Null();
+    case ValueKind::kBool: {
+      std::string_view b;
+      ODE_RETURN_IF_ERROR(decoder->GetRaw(1, &b));
+      return Value::Bool(b[0] != 0);
+    }
+    case ValueKind::kInt: {
+      uint64_t zz = 0;
+      ODE_RETURN_IF_ERROR(decoder->GetVarint64(&zz));
+      auto v = static_cast<int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
+      return Value::Int(v);
+    }
+    case ValueKind::kReal: {
+      double d = 0;
+      ODE_RETURN_IF_ERROR(decoder->GetDouble(&d));
+      return Value::Real(d);
+    }
+    case ValueKind::kString:
+    case ValueKind::kBlob: {
+      std::string_view s;
+      ODE_RETURN_IF_ERROR(decoder->GetLengthPrefixed(&s));
+      return kind == ValueKind::kString ? Value::String(std::string(s))
+                                        : Value::Blob(std::string(s));
+    }
+    case ValueKind::kRef: {
+      uint32_t cluster = 0;
+      uint64_t local = 0;
+      std::string_view cls;
+      ODE_RETURN_IF_ERROR(decoder->GetVarint32(&cluster));
+      ODE_RETURN_IF_ERROR(decoder->GetVarint64(&local));
+      ODE_RETURN_IF_ERROR(decoder->GetLengthPrefixed(&cls));
+      return Value::Ref(Oid{cluster, local}, std::string(cls));
+    }
+    case ValueKind::kStruct: {
+      uint64_t n = 0;
+      ODE_RETURN_IF_ERROR(decoder->GetVarint64(&n));
+      std::vector<Value::Field> fields;
+      fields.reserve(static_cast<size_t>(n));
+      for (uint64_t i = 0; i < n; ++i) {
+        std::string_view name;
+        ODE_RETURN_IF_ERROR(decoder->GetLengthPrefixed(&name));
+        ODE_ASSIGN_OR_RETURN(Value v, DecodeValueImpl(decoder, depth + 1));
+        fields.push_back({std::string(name), std::move(v)});
+      }
+      return Value::Struct(std::move(fields));
+    }
+    case ValueKind::kArray:
+    case ValueKind::kSet: {
+      uint64_t n = 0;
+      ODE_RETURN_IF_ERROR(decoder->GetVarint64(&n));
+      std::vector<Value> elements;
+      elements.reserve(static_cast<size_t>(n));
+      for (uint64_t i = 0; i < n; ++i) {
+        ODE_ASSIGN_OR_RETURN(Value v, DecodeValueImpl(decoder, depth + 1));
+        elements.push_back(std::move(v));
+      }
+      return kind == ValueKind::kArray ? Value::Array(std::move(elements))
+                                       : Value::Set(std::move(elements));
+    }
+  }
+  return Status::Corruption("unknown value tag " +
+                            std::to_string(static_cast<int>(kind)));
+}
+
+}  // namespace
+
+Result<Value> DecodeValue(Decoder* decoder) {
+  return DecodeValueImpl(decoder, 0);
+}
+
+Result<Value> DecodeValue(std::string_view bytes) {
+  Decoder decoder(bytes);
+  ODE_ASSIGN_OR_RETURN(Value v, DecodeValueImpl(&decoder, 0));
+  if (!decoder.empty()) {
+    return Status::Corruption("trailing bytes after value");
+  }
+  return v;
+}
+
+}  // namespace ode::odb

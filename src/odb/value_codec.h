@@ -1,0 +1,31 @@
+#ifndef ODEVIEW_ODB_VALUE_CODEC_H_
+#define ODEVIEW_ODB_VALUE_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/coding.h"
+#include "common/result.h"
+#include "odb/value.h"
+
+namespace ode::odb {
+
+/// Appends the storage encoding of `value` to `dst`.
+///
+/// The format is a compact tagged encoding (tag byte per node, varint
+/// lengths, little-endian scalars). `DecodeValue(EncodeValue(v)) == v`
+/// for all values; this invariant is property-tested.
+void EncodeValue(const Value& value, std::string* dst);
+
+/// Convenience wrapper returning the encoded bytes.
+std::string EncodeValueToString(const Value& value);
+
+/// Decodes one value from the front of `*decoder`.
+Result<Value> DecodeValue(Decoder* decoder);
+
+/// Decodes a buffer that must contain exactly one value.
+Result<Value> DecodeValue(std::string_view bytes);
+
+}  // namespace ode::odb
+
+#endif  // ODEVIEW_ODB_VALUE_CODEC_H_

@@ -1,0 +1,103 @@
+#include "odeview/app.h"
+
+#include "owl/widgets.h"
+
+namespace ode::view {
+
+OdeViewApp::OdeViewApp(int screen_width, int screen_height)
+    : server_(screen_width, screen_height) {}
+
+OdeViewApp::~OdeViewApp() {
+  interactors_.clear();  // interactors close their windows first
+}
+
+Status OdeViewApp::AddDatabase(std::unique_ptr<odb::Database> db) {
+  ODE_RETURN_IF_ERROR(AddDatabaseBorrowed(db.get()));
+  owned_databases_.push_back(std::move(db));
+  return Status::OK();
+}
+
+Status OdeViewApp::AddDatabaseBorrowed(odb::Database* db) {
+  if (db == nullptr) return Status::InvalidArgument("null database");
+  if (databases_.count(db->name()) != 0) {
+    return Status::AlreadyExists("database '" + db->name() +
+                                 "' already registered");
+  }
+  databases_[db->name()] = db;
+  return Status::OK();
+}
+
+std::vector<std::string> OdeViewApp::DatabaseNames() const {
+  std::vector<std::string> out;
+  out.reserve(databases_.size());
+  for (const auto& [name, db] : databases_) out.push_back(name);
+  return out;
+}
+
+Result<odb::Database*> OdeViewApp::FindDatabase(
+    const std::string& name) const {
+  auto it = databases_.find(name);
+  if (it == databases_.end()) {
+    return Status::NotFound("database '" + name + "'");
+  }
+  return it->second;
+}
+
+Status OdeViewApp::OpenInitialWindow() {
+  if (initial_window_ != owl::kNoWindow) {
+    if (owl::Window* window = server_.FindWindow(initial_window_)) {
+      window->set_open(true);
+      return Status::OK();
+    }
+  }
+  int rows = static_cast<int>(databases_.size());
+  owl::Size size{36, std::max(3, rows + 2)};
+  owl::Window* window =
+      server_.CreateWindow("Ode databases", owl::Server::kAutoPlace, size);
+  initial_window_ = window->id();
+  auto* header = static_cast<owl::Label*>(window->root()->AddChild(
+      std::make_unique<owl::Label>("header", "click a database icon:")));
+  header->set_rect(owl::Rect{0, 0, size.width, 1});
+  int y = 1;
+  for (const auto& [name, db] : databases_) {
+    auto* button = static_cast<owl::Button*>(window->root()->AddChild(
+        std::make_unique<owl::Button>(
+            "db:" + name, "() " + name, [this, name = name](owl::Button&) {
+              (void)OpenDatabase(name);
+            })));
+    button->set_rect(owl::Rect{1, y, size.width - 2, 1});
+    ++y;
+  }
+  return Status::OK();
+}
+
+Result<DbInteractor*> OdeViewApp::OpenDatabase(const std::string& name) {
+  auto existing = interactors_.find(name);
+  if (existing != interactors_.end()) {
+    ODE_RETURN_IF_ERROR(existing->second->OpenSchemaWindow());
+    return existing->second.get();
+  }
+  ODE_ASSIGN_OR_RETURN(odb::Database * db, FindDatabase(name));
+  auto interactor = std::make_unique<DbInteractor>(
+      &server_, &repository_, &display_states_, db);
+  ODE_RETURN_IF_ERROR(interactor->OpenSchemaWindow());
+  DbInteractor* raw = interactor.get();
+  interactors_[name] = std::move(interactor);
+  return raw;
+}
+
+DbInteractor* OdeViewApp::FindInteractor(const std::string& name) {
+  auto it = interactors_.find(name);
+  return it == interactors_.end() ? nullptr : it->second.get();
+}
+
+Status OdeViewApp::CloseDatabase(const std::string& name) {
+  auto it = interactors_.find(name);
+  if (it == interactors_.end()) {
+    return Status::NotFound("database '" + name + "' is not open");
+  }
+  interactors_.erase(it);
+  return Status::OK();
+}
+
+}  // namespace ode::view

@@ -1,0 +1,80 @@
+#ifndef ODEVIEW_ODEVIEW_APP_H_
+#define ODEVIEW_ODEVIEW_APP_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dynlink/repository.h"
+#include "odb/database.h"
+#include "odeview/db_interactor.h"
+#include "odeview/display_state.h"
+#include "owl/server.h"
+
+namespace ode::view {
+
+/// OdeView itself: the top-level application.
+///
+/// "OdeView begins as a single process that allows a user to choose
+/// among different databases. When the user selects a database, a
+/// 'db-interactor' process is created..." (§4.6). Here the initial
+/// process is this class: it owns the display server, the module
+/// repository, the registered databases, and one DbInteractor per
+/// database the user opened. Multiple databases can be browsed
+/// simultaneously.
+class OdeViewApp {
+ public:
+  /// `screen_width`/`screen_height` size the headless display.
+  explicit OdeViewApp(int screen_width = 132, int screen_height = 50);
+  ~OdeViewApp();
+
+  OdeViewApp(const OdeViewApp&) = delete;
+  OdeViewApp& operator=(const OdeViewApp&) = delete;
+
+  owl::Server* server() { return &server_; }
+  dynlink::ModuleRepository* repository() { return &repository_; }
+  DisplayStateRegistry* display_states() { return &display_states_; }
+
+  /// Registers a database under its own name, taking ownership.
+  Status AddDatabase(std::unique_ptr<odb::Database> db);
+  /// Registers a caller-owned database (must outlive the app).
+  Status AddDatabaseBorrowed(odb::Database* db);
+
+  std::vector<std::string> DatabaseNames() const;
+  Result<odb::Database*> FindDatabase(const std::string& name) const;
+
+  /// Opens the initial scrollable "database" window (Fig. 1) with one
+  /// icon button per registered database.
+  Status OpenInitialWindow();
+  owl::WindowId initial_window() const { return initial_window_; }
+
+  /// Opens (or returns) the db-interactor for `name` — what clicking a
+  /// database icon does — and opens its schema window.
+  Result<DbInteractor*> OpenDatabase(const std::string& name);
+  DbInteractor* FindInteractor(const std::string& name);
+  /// Closes the interactor and all its windows.
+  Status CloseDatabase(const std::string& name);
+
+  /// Runs the event loop until the queue drains (the XtMainLoop
+  /// analog).
+  int RunLoop() { return server_.RunLoop(); }
+
+  /// A full-screen rendering of the current session.
+  std::string Screenshot() { return server_.Composite().ToString(); }
+
+ private:
+  owl::Server server_;
+  dynlink::ModuleRepository repository_;
+  DisplayStateRegistry display_states_;
+  std::vector<std::unique_ptr<odb::Database>> owned_databases_;
+  std::map<std::string, odb::Database*> databases_;
+  std::map<std::string, std::unique_ptr<DbInteractor>> interactors_;
+  owl::WindowId initial_window_ = owl::kNoWindow;
+};
+
+}  // namespace ode::view
+
+#endif  // ODEVIEW_ODEVIEW_APP_H_

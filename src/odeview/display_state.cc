@@ -1,0 +1,50 @@
+#include "odeview/display_state.h"
+
+#include <algorithm>
+
+namespace ode::view {
+
+bool ClusterDisplayState::IsOpen(std::string_view format) const {
+  for (const std::string& f : open_formats) {
+    if (f == format) return true;
+  }
+  return false;
+}
+
+bool ClusterDisplayState::Toggle(const std::string& format) {
+  auto it = std::find(open_formats.begin(), open_formats.end(), format);
+  if (it != open_formats.end()) {
+    open_formats.erase(it);
+    return false;
+  }
+  open_formats.push_back(format);
+  return true;
+}
+
+ClusterDisplayState* DisplayStateRegistry::StateFor(
+    const std::string& db_name, const std::string& class_name) {
+  return &states_[{db_name, class_name}];
+}
+
+const ClusterDisplayState* DisplayStateRegistry::FindState(
+    const std::string& db_name, const std::string& class_name) const {
+  auto it = states_.find({db_name, class_name});
+  return it == states_.end() ? nullptr : &it->second;
+}
+
+std::vector<bool> BuildProjectionMask(
+    const std::vector<std::string>& displaylist,
+    const std::vector<std::string>& chosen) {
+  std::vector<bool> mask(displaylist.size(), false);
+  for (size_t i = 0; i < displaylist.size(); ++i) {
+    for (const std::string& c : chosen) {
+      if (displaylist[i] == c) {
+        mask[i] = true;
+        break;
+      }
+    }
+  }
+  return mask;
+}
+
+}  // namespace ode::view

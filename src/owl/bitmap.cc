@@ -1,0 +1,154 @@
+#include "owl/bitmap.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace ode::owl {
+
+Bitmap::Bitmap(int width, int height)
+    : width_(std::max(0, width)),
+      height_(std::max(0, height)),
+      bits_(static_cast<size_t>(width_) * static_cast<size_t>(height_), 0) {}
+
+Result<Bitmap> Bitmap::FromPbm(std::string_view text) {
+  // Tokenize, skipping '#' comments.
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '#') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    while (i < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[i])) &&
+           text[i] != '#') {
+      ++i;
+    }
+    tokens.emplace_back(text.substr(start, i - start));
+  }
+  if (tokens.size() < 3 || tokens[0] != "P1") {
+    return Status::InvalidArgument("not an ASCII PBM (missing P1 header)");
+  }
+  int width = std::atoi(tokens[1].c_str());
+  int height = std::atoi(tokens[2].c_str());
+  if (width <= 0 || height <= 0 || width > 1 << 16 || height > 1 << 16) {
+    return Status::InvalidArgument("PBM dimensions out of range");
+  }
+  Bitmap bitmap(width, height);
+  size_t needed = static_cast<size_t>(width) * static_cast<size_t>(height);
+  // Cells may be packed ("0101") or separated ("0 1 0 1").
+  size_t filled = 0;
+  for (size_t t = 3; t < tokens.size() && filled < needed; ++t) {
+    for (char c : tokens[t]) {
+      if (c != '0' && c != '1') {
+        return Status::InvalidArgument("PBM pixel must be 0 or 1");
+      }
+      if (filled >= needed) break;
+      bitmap.bits_[filled++] = c == '1' ? 1 : 0;
+    }
+  }
+  if (filled != needed) {
+    return Status::InvalidArgument("PBM has too few pixels");
+  }
+  return bitmap;
+}
+
+std::string Bitmap::ToPbm() const {
+  std::ostringstream out;
+  out << "P1 " << width_ << " " << height_ << "\n";
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      out << (Get(x, y) ? '1' : '0');
+      if (x + 1 < width_) out << ' ';
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+bool Bitmap::Get(int x, int y) const {
+  if (x < 0 || y < 0 || x >= width_ || y >= height_) return false;
+  return bits_[static_cast<size_t>(y) * static_cast<size_t>(width_) +
+               static_cast<size_t>(x)] != 0;
+}
+
+void Bitmap::Set(int x, int y, bool on) {
+  if (x < 0 || y < 0 || x >= width_ || y >= height_) return;
+  bits_[static_cast<size_t>(y) * static_cast<size_t>(width_) +
+        static_cast<size_t>(x)] = on ? 1 : 0;
+}
+
+int Bitmap::PopCount() const {
+  int n = 0;
+  for (uint8_t b : bits_) n += b;
+  return n;
+}
+
+Bitmap Bitmap::ScaledNearest(int new_width, int new_height) const {
+  Bitmap out(new_width, new_height);
+  if (empty() || out.empty()) return out;
+  for (int y = 0; y < out.height_; ++y) {
+    int sy = static_cast<int>(
+        (static_cast<int64_t>(y) * height_) / out.height_);
+    for (int x = 0; x < out.width_; ++x) {
+      int sx = static_cast<int>(
+          (static_cast<int64_t>(x) * width_) / out.width_);
+      out.Set(x, y, Get(sx, sy));
+    }
+  }
+  return out;
+}
+
+Bitmap Bitmap::ScaledBox(int new_width, int new_height) const {
+  Bitmap out(new_width, new_height);
+  if (empty() || out.empty()) return out;
+  for (int y = 0; y < out.height_; ++y) {
+    int sy0 = static_cast<int>(
+        (static_cast<int64_t>(y) * height_) / out.height_);
+    int sy1 = static_cast<int>(
+        (static_cast<int64_t>(y + 1) * height_) / out.height_);
+    if (sy1 <= sy0) sy1 = sy0 + 1;
+    for (int x = 0; x < out.width_; ++x) {
+      int sx0 = static_cast<int>(
+          (static_cast<int64_t>(x) * width_) / out.width_);
+      int sx1 = static_cast<int>(
+          (static_cast<int64_t>(x + 1) * width_) / out.width_);
+      if (sx1 <= sx0) sx1 = sx0 + 1;
+      int set = 0;
+      int total = 0;
+      for (int sy = sy0; sy < sy1 && sy < height_; ++sy) {
+        for (int sx = sx0; sx < sx1 && sx < width_; ++sx) {
+          ++total;
+          if (Get(sx, sy)) ++set;
+        }
+      }
+      out.Set(x, y, total > 0 && 2 * set >= total);
+    }
+  }
+  return out;
+}
+
+void Bitmap::Invert() {
+  for (uint8_t& b : bits_) b = b ? 0 : 1;
+}
+
+std::vector<std::string> Bitmap::ToAscii(char on, char off) const {
+  std::vector<std::string> rows;
+  rows.reserve(static_cast<size_t>(height_));
+  for (int y = 0; y < height_; ++y) {
+    std::string row;
+    row.reserve(static_cast<size_t>(width_));
+    for (int x = 0; x < width_; ++x) row.push_back(Get(x, y) ? on : off);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace ode::owl

@@ -1,0 +1,64 @@
+#ifndef ODEVIEW_OWL_EVENT_H_
+#define ODEVIEW_OWL_EVENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "owl/geometry.h"
+
+namespace ode::owl {
+
+/// Window identifier assigned by the `Server`.
+using WindowId = uint32_t;
+inline constexpr WindowId kNoWindow = 0;
+
+/// Kinds of events the headless server delivers.
+enum class EventType : uint8_t {
+  kMouseClick = 0,  ///< click at a position inside a window
+  kKeyPress,        ///< a key (with optional text payload)
+  kExpose,          ///< window needs repainting
+  kCloseRequest,    ///< user asked to close the window
+  kScroll,          ///< scroll wheel: delta in `amount`
+};
+
+/// One input event, addressed to a window.
+struct Event {
+  EventType type = EventType::kExpose;
+  WindowId window = kNoWindow;
+  Point position;      ///< kMouseClick / kScroll: window-local coords
+  int amount = 0;      ///< kScroll delta (positive = down)
+  std::string text;    ///< kKeyPress payload
+
+  static Event MouseClick(WindowId window, Point position) {
+    Event e;
+    e.type = EventType::kMouseClick;
+    e.window = window;
+    e.position = position;
+    return e;
+  }
+  static Event KeyPress(WindowId window, std::string text) {
+    Event e;
+    e.type = EventType::kKeyPress;
+    e.window = window;
+    e.text = std::move(text);
+    return e;
+  }
+  static Event Scroll(WindowId window, Point position, int amount) {
+    Event e;
+    e.type = EventType::kScroll;
+    e.window = window;
+    e.position = position;
+    e.amount = amount;
+    return e;
+  }
+  static Event CloseRequest(WindowId window) {
+    Event e;
+    e.type = EventType::kCloseRequest;
+    e.window = window;
+    return e;
+  }
+};
+
+}  // namespace ode::owl
+
+#endif  // ODEVIEW_OWL_EVENT_H_

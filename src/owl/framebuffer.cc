@@ -1,0 +1,88 @@
+#include "owl/framebuffer.h"
+
+#include <algorithm>
+
+namespace ode::owl {
+
+Framebuffer::Framebuffer(int width, int height)
+    : width_(std::max(0, width)),
+      height_(std::max(0, height)),
+      cells_(static_cast<size_t>(width_) * static_cast<size_t>(height_),
+             ' ') {}
+
+void Framebuffer::Clear(char fill) {
+  std::fill(cells_.begin(), cells_.end(), fill);
+}
+
+void Framebuffer::Put(int x, int y, char c) {
+  if (x < 0 || y < 0 || x >= width_ || y >= height_) return;
+  cells_[static_cast<size_t>(y) * static_cast<size_t>(width_) +
+         static_cast<size_t>(x)] = c;
+}
+
+char Framebuffer::At(int x, int y) const {
+  if (x < 0 || y < 0 || x >= width_ || y >= height_) return ' ';
+  return cells_[static_cast<size_t>(y) * static_cast<size_t>(width_) +
+                static_cast<size_t>(x)];
+}
+
+void Framebuffer::DrawText(int x, int y, std::string_view text) {
+  for (size_t i = 0; i < text.size(); ++i) {
+    Put(x + static_cast<int>(i), y, text[i]);
+  }
+}
+
+void Framebuffer::DrawHLine(int x, int y, int length, char c) {
+  for (int i = 0; i < length; ++i) Put(x + i, y, c);
+}
+
+void Framebuffer::DrawVLine(int x, int y, int length, char c) {
+  for (int i = 0; i < length; ++i) Put(x, y + i, c);
+}
+
+void Framebuffer::DrawBox(const Rect& rect) {
+  if (rect.width < 2 || rect.height < 2) return;
+  DrawHLine(rect.x + 1, rect.y, rect.width - 2, '-');
+  DrawHLine(rect.x + 1, rect.bottom() - 1, rect.width - 2, '-');
+  DrawVLine(rect.x, rect.y + 1, rect.height - 2, '|');
+  DrawVLine(rect.right() - 1, rect.y + 1, rect.height - 2, '|');
+  Put(rect.x, rect.y, '+');
+  Put(rect.right() - 1, rect.y, '+');
+  Put(rect.x, rect.bottom() - 1, '+');
+  Put(rect.right() - 1, rect.bottom() - 1, '+');
+}
+
+void Framebuffer::FillRect(const Rect& rect, char c) {
+  for (int y = rect.y; y < rect.bottom(); ++y) {
+    for (int x = rect.x; x < rect.right(); ++x) Put(x, y, c);
+  }
+}
+
+void Framebuffer::DrawBitmap(int x, int y, const Bitmap& bitmap, char on,
+                             char off) {
+  for (int by = 0; by < bitmap.height(); ++by) {
+    for (int bx = 0; bx < bitmap.width(); ++bx) {
+      Put(x + bx, y + by, bitmap.Get(bx, by) ? on : off);
+    }
+  }
+}
+
+std::string Framebuffer::ToString() const {
+  std::string out;
+  out.reserve(static_cast<size_t>(height_) *
+              (static_cast<size_t>(width_) + 1));
+  for (int y = 0; y < height_; ++y) {
+    out.append(Row(y));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string Framebuffer::Row(int y) const {
+  if (y < 0 || y >= height_) return std::string();
+  return std::string(
+      cells_.begin() + static_cast<long>(y) * width_,
+      cells_.begin() + static_cast<long>(y + 1) * width_);
+}
+
+}  // namespace ode::owl

@@ -1,0 +1,79 @@
+#ifndef ODEVIEW_OWL_GEOMETRY_H_
+#define ODEVIEW_OWL_GEOMETRY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace ode::owl {
+
+/// A point in character-cell coordinates (x = column, y = row).
+struct Point {
+  int x = 0;
+  int y = 0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  Point operator+(const Point& o) const { return Point{x + o.x, y + o.y}; }
+};
+
+/// Width/height in character cells.
+struct Size {
+  int width = 0;
+  int height = 0;
+
+  friend bool operator==(const Size& a, const Size& b) {
+    return a.width == b.width && a.height == b.height;
+  }
+};
+
+/// An axis-aligned rectangle: origin + size.
+struct Rect {
+  int x = 0;
+  int y = 0;
+  int width = 0;
+  int height = 0;
+
+  Point origin() const { return Point{x, y}; }
+  Size size() const { return Size{width, height}; }
+  int right() const { return x + width; }    ///< one past the last column
+  int bottom() const { return y + height; }  ///< one past the last row
+
+  bool Contains(Point p) const {
+    return p.x >= x && p.x < right() && p.y >= y && p.y < bottom();
+  }
+
+  bool Intersects(const Rect& o) const {
+    return x < o.right() && o.x < right() && y < o.bottom() && o.y < bottom();
+  }
+
+  Rect Intersection(const Rect& o) const {
+    int nx = std::max(x, o.x);
+    int ny = std::max(y, o.y);
+    int nr = std::min(right(), o.right());
+    int nb = std::min(bottom(), o.bottom());
+    if (nr <= nx || nb <= ny) return Rect{};
+    return Rect{nx, ny, nr - nx, nb - ny};
+  }
+
+  Rect Translated(Point by) const {
+    return Rect{x + by.x, y + by.y, width, height};
+  }
+
+  bool Empty() const { return width <= 0 || height <= 0; }
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.x == b.x && a.y == b.y && a.width == b.width &&
+           a.height == b.height;
+  }
+
+  std::string ToString() const {
+    return std::to_string(width) + "x" + std::to_string(height) + "+" +
+           std::to_string(x) + "+" + std::to_string(y);
+  }
+};
+
+}  // namespace ode::owl
+
+#endif  // ODEVIEW_OWL_GEOMETRY_H_

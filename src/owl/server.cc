@@ -1,0 +1,149 @@
+#include "owl/server.h"
+
+#include <algorithm>
+
+namespace ode::owl {
+
+Server::Server(int screen_width, int screen_height)
+    : screen_width_(std::max(16, screen_width)),
+      screen_height_(std::max(8, screen_height)) {}
+
+Window* Server::CreateWindow(std::string title, Point origin,
+                             Size content_size) {
+  if (origin == kAutoPlace) origin = NextAutoPlacement(content_size);
+  auto window = std::make_unique<Window>(next_id_++, std::move(title),
+                                         origin, content_size);
+  windows_.push_back(std::move(window));
+  ++stats_.windows_created;
+  return windows_.back().get();
+}
+
+Status Server::DestroyWindow(WindowId id) {
+  for (size_t i = 0; i < windows_.size(); ++i) {
+    if (windows_[i]->id() == id) {
+      windows_.erase(windows_.begin() + static_cast<long>(i));
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("window " + std::to_string(id));
+}
+
+Window* Server::FindWindow(WindowId id) {
+  for (const auto& w : windows_) {
+    if (w->id() == id) return w.get();
+  }
+  return nullptr;
+}
+
+Window* Server::FindWindowByTitle(std::string_view title) {
+  for (const auto& w : windows_) {
+    if (w->title() == title) return w.get();
+  }
+  return nullptr;
+}
+
+std::vector<Window*> Server::windows() {
+  std::vector<Window*> out;
+  out.reserve(windows_.size());
+  for (const auto& w : windows_) out.push_back(w.get());
+  return out;
+}
+
+void Server::PostEvent(Event event) {
+  queue_.push_back(std::move(event));
+  ++stats_.events_posted;
+}
+
+int Server::RunLoop(int max_events) {
+  int dispatched = 0;
+  while (!queue_.empty() && dispatched < max_events) {
+    Event event = std::move(queue_.front());
+    queue_.pop_front();
+    if (Window* window = FindWindow(event.window)) {
+      window->HandleEvent(event);
+    }
+    ++dispatched;
+    ++stats_.events_dispatched;
+  }
+  return dispatched;
+}
+
+Status Server::ClickWidget(WindowId window_id,
+                           std::string_view widget_name) {
+  Window* window = FindWindow(window_id);
+  if (window == nullptr) {
+    return Status::NotFound("window " + std::to_string(window_id));
+  }
+  Widget* widget = window->FindWidget(widget_name);
+  if (widget == nullptr) {
+    return Status::NotFound("widget '" + std::string(widget_name) +
+                            "' in window '" + window->title() + "'");
+  }
+  Point abs = widget->AbsoluteOrigin();
+  Point center{abs.x + std::max(0, widget->rect().width / 2),
+               abs.y + std::max(0, widget->rect().height / 2)};
+  // Content coordinates -> window-local (frame offset +1).
+  Event event =
+      Event::MouseClick(window_id, Point{center.x + 1, center.y + 1});
+  ++stats_.events_dispatched;
+  if (!window->HandleEvent(event)) {
+    return Status::FailedPrecondition("widget '" +
+                                      std::string(widget_name) +
+                                      "' did not consume the click");
+  }
+  return Status::OK();
+}
+
+Status Server::ClickAt(WindowId window_id, Point window_local) {
+  Window* window = FindWindow(window_id);
+  if (window == nullptr) {
+    return Status::NotFound("window " + std::to_string(window_id));
+  }
+  ++stats_.events_dispatched;
+  window->HandleEvent(Event::MouseClick(window_id, window_local));
+  return Status::OK();
+}
+
+Status Server::SendKeys(WindowId window_id, std::string_view text) {
+  Window* window = FindWindow(window_id);
+  if (window == nullptr) {
+    return Status::NotFound("window " + std::to_string(window_id));
+  }
+  ++stats_.events_dispatched;
+  window->HandleEvent(Event::KeyPress(window_id, std::string(text)));
+  return Status::OK();
+}
+
+Framebuffer Server::Composite() const {
+  Framebuffer fb(screen_width_, screen_height_);
+  for (const auto& window : windows_) {
+    window->Render(&fb);
+  }
+  return fb;
+}
+
+Point Server::NextAutoPlacement(Size content_size) {
+  // Shelf packing: place windows left-to-right in rows; wrap to a new
+  // shelf when the right edge is reached, and cascade diagonally once
+  // the screen is full.
+  int width = content_size.width + 2;
+  int height = content_size.height + 2;
+  if (place_x_ + width > screen_width_) {
+    place_x_ = 0;
+    place_y_ += shelf_height_ + 1;
+    shelf_height_ = 0;
+  }
+  if (place_y_ + height > screen_height_) {
+    // Screen exhausted: cascade from the top-left with a small offset.
+    int slot = auto_place_count_++;
+    place_x_ = 2 * (slot % 12);
+    place_y_ = 2 * (slot % 8);
+    shelf_height_ = 0;
+  }
+  Point origin{place_x_, place_y_};
+  place_x_ += width + 1;
+  shelf_height_ = std::max(shelf_height_, height);
+  return origin;
+}
+
+}  // namespace ode::owl

@@ -1,0 +1,93 @@
+#ifndef ODEVIEW_OWL_SERVER_H_
+#define ODEVIEW_OWL_SERVER_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "owl/event.h"
+#include "owl/framebuffer.h"
+#include "owl/window.h"
+
+namespace ode::owl {
+
+/// The headless display server — the stand-in for X11 + HP-Xwidgets.
+///
+/// It owns top-level windows (z-order = creation order, newest on
+/// top), keeps an event queue, dispatches events to windows (the
+/// paper's `XtMainLoop()` becomes `RunLoop()`), and composites all open
+/// windows into a character framebuffer for tests/examples.
+class Server {
+ public:
+  struct Stats {
+    uint64_t events_posted = 0;
+    uint64_t events_dispatched = 0;
+    uint64_t windows_created = 0;
+  };
+
+  explicit Server(int screen_width = 132, int screen_height = 50);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  int screen_width() const { return screen_width_; }
+  int screen_height() const { return screen_height_; }
+
+  /// Creates a window. Pass `kAutoPlace` as origin to let the server
+  /// cascade windows (the alternative the paper discusses: OdeView
+  /// found automatic placement hard, so both modes exist).
+  static constexpr Point kAutoPlace{-1, -1};
+  Window* CreateWindow(std::string title, Point origin, Size content_size);
+
+  /// Destroys the window entirely (distinct from closing it).
+  Status DestroyWindow(WindowId id);
+
+  Window* FindWindow(WindowId id);
+  /// First window whose title matches (creation order).
+  Window* FindWindowByTitle(std::string_view title);
+
+  /// All windows in z-order (back to front), including closed ones.
+  std::vector<Window*> windows();
+  size_t window_count() const { return windows_.size(); }
+
+  /// Queues an event for dispatch.
+  void PostEvent(Event event);
+
+  /// Dispatches queued events until the queue is empty (events posted
+  /// by handlers are processed too). Returns events dispatched.
+  int RunLoop(int max_events = 100000);
+
+  /// Synthesizes a click on the named widget in a window (the widget's
+  /// center), posts nothing — dispatches immediately.
+  Status ClickWidget(WindowId window, std::string_view widget_name);
+  /// Immediate click at window-local coordinates.
+  Status ClickAt(WindowId window, Point window_local);
+  /// Immediate key delivery to the window's focus widget.
+  Status SendKeys(WindowId window, std::string_view text);
+
+  /// Renders all open windows back-to-front onto the screen.
+  Framebuffer Composite() const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Point NextAutoPlacement(Size content_size);
+
+  int screen_width_;
+  int screen_height_;
+  std::vector<std::unique_ptr<Window>> windows_;
+  std::deque<Event> queue_;
+  WindowId next_id_ = 1;
+  int auto_place_count_ = 0;
+  int place_x_ = 0;
+  int place_y_ = 0;
+  int shelf_height_ = 0;
+  Stats stats_;
+};
+
+}  // namespace ode::owl
+
+#endif  // ODEVIEW_OWL_SERVER_H_

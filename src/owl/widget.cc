@@ -1,0 +1,86 @@
+#include "owl/widget.h"
+
+namespace ode::owl {
+
+Widget* Widget::AddChild(std::unique_ptr<Widget> child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+bool Widget::RemoveChild(std::string_view child_name) {
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (children_[i]->name() == child_name) {
+      children_.erase(children_.begin() + static_cast<long>(i));
+      return true;
+    }
+    if (children_[i]->RemoveChild(child_name)) return true;
+  }
+  return false;
+}
+
+Widget* Widget::FindWidget(std::string_view widget_name) {
+  if (name_ == widget_name) return this;
+  for (const auto& child : children_) {
+    if (Widget* found = child->FindWidget(widget_name)) return found;
+  }
+  return nullptr;
+}
+
+const Widget* Widget::FindWidget(std::string_view widget_name) const {
+  return const_cast<Widget*>(this)->FindWidget(widget_name);
+}
+
+Point Widget::AbsoluteOrigin() const {
+  Point origin{rect_.x, rect_.y};
+  for (const Widget* p = parent_; p != nullptr; p = p->parent_) {
+    origin.x += p->rect().x;
+    origin.y += p->rect().y;
+  }
+  return origin;
+}
+
+void Widget::Render(Framebuffer* fb, Point origin) const {
+  if (!visible_) return;
+  RenderSelf(fb, origin);
+  for (const auto& child : children_) {
+    child->Render(fb, Point{origin.x + child->rect().x,
+                            origin.y + child->rect().y});
+  }
+}
+
+bool Widget::DispatchClick(Point local) {
+  if (!visible_) return false;
+  // Children on top, last-added first (painter's order inverse).
+  for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+    Widget* child = it->get();
+    if (!child->visible()) continue;
+    if (child->rect().Contains(local)) {
+      Point child_local{local.x - child->rect().x,
+                        local.y - child->rect().y};
+      if (child->DispatchClick(child_local)) return true;
+    }
+  }
+  return OnClick(local);
+}
+
+bool Widget::DispatchScroll(Point local, int amount) {
+  if (!visible_) return false;
+  for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+    Widget* child = it->get();
+    if (!child->visible()) continue;
+    if (child->rect().Contains(local)) {
+      Point child_local{local.x - child->rect().x,
+                        local.y - child->rect().y};
+      if (child->DispatchScroll(child_local, amount)) return true;
+    }
+  }
+  return OnScroll(local, amount);
+}
+
+bool Widget::OnKey(std::string_view) { return false; }
+void Widget::RenderSelf(Framebuffer*, Point) const {}
+bool Widget::OnClick(Point) { return false; }
+bool Widget::OnScroll(Point, int) { return false; }
+
+}  // namespace ode::owl

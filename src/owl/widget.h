@@ -1,0 +1,86 @@
+#ifndef ODEVIEW_OWL_WIDGET_H_
+#define ODEVIEW_OWL_WIDGET_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "owl/framebuffer.h"
+#include "owl/geometry.h"
+
+namespace ode::owl {
+
+/// Base of the widget tree.
+///
+/// A widget has a name (unique within its window by convention — the
+/// headless server addresses widgets by name in tests), a rectangle in
+/// parent coordinates, visibility, and children. Rendering walks the
+/// tree; click/scroll dispatch routes to the deepest visible child
+/// containing the point.
+class Widget {
+ public:
+  explicit Widget(std::string name) : name_(std::move(name)) {}
+  virtual ~Widget() = default;
+
+  Widget(const Widget&) = delete;
+  Widget& operator=(const Widget&) = delete;
+
+  const std::string& name() const { return name_; }
+  /// Widget type for diagnostics ("button", "scrolltext", ...).
+  virtual std::string_view TypeName() const { return "widget"; }
+
+  const Rect& rect() const { return rect_; }
+  void set_rect(const Rect& rect) { rect_ = rect; }
+
+  bool visible() const { return visible_; }
+  void set_visible(bool visible) { visible_ = visible; }
+
+  Widget* parent() const { return parent_; }
+
+  /// Takes ownership of `child` and returns a raw borrow of it.
+  Widget* AddChild(std::unique_ptr<Widget> child);
+
+  /// Removes (and destroys) the child with the given name, recursively.
+  bool RemoveChild(std::string_view child_name);
+
+  const std::vector<std::unique_ptr<Widget>>& children() const {
+    return children_;
+  }
+
+  /// Depth-first search by name (this widget included).
+  Widget* FindWidget(std::string_view widget_name);
+  const Widget* FindWidget(std::string_view widget_name) const;
+
+  /// Position of `this` in window-content coordinates (sums ancestor
+  /// origins).
+  Point AbsoluteOrigin() const;
+
+  /// Renders this widget and its children. `origin` is the absolute
+  /// position of this widget's top-left corner.
+  void Render(Framebuffer* fb, Point origin) const;
+
+  /// Routes a click at `local` (this widget's coordinates) to the
+  /// deepest interested child; returns whether it was consumed.
+  bool DispatchClick(Point local);
+  bool DispatchScroll(Point local, int amount);
+  /// Key events go to this widget directly (the server tracks focus).
+  virtual bool OnKey(std::string_view text);
+
+ protected:
+  /// Subclass hooks: self rendering and self event handling.
+  virtual void RenderSelf(Framebuffer* fb, Point origin) const;
+  virtual bool OnClick(Point local);
+  virtual bool OnScroll(Point local, int amount);
+
+ private:
+  std::string name_;
+  Rect rect_;
+  bool visible_ = true;
+  Widget* parent_ = nullptr;
+  std::vector<std::unique_ptr<Widget>> children_;
+};
+
+}  // namespace ode::owl
+
+#endif  // ODEVIEW_OWL_WIDGET_H_

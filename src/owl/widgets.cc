@@ -1,0 +1,235 @@
+#include "owl/widgets.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace ode::owl {
+
+void Label::RenderSelf(Framebuffer* fb, Point origin) const {
+  fb->DrawText(origin.x, origin.y,
+               std::string_view(text_).substr(
+                   0, static_cast<size_t>(std::max(0, rect().width))));
+}
+
+void Button::Press() {
+  if (!enabled_) return;
+  ++click_count_;
+  if (toggle_mode_) toggled_ = !toggled_;
+  if (on_click_) on_click_(*this);
+}
+
+bool Button::OnClick(Point) {
+  Press();
+  return true;
+}
+
+void Button::RenderSelf(Framebuffer* fb, Point origin) const {
+  std::string text = "[";
+  if (toggle_mode_ && toggled_) text += "*";
+  text += label_;
+  text += "]";
+  if (!enabled_) text = "(" + label_ + ")";
+  fb->DrawText(origin.x, origin.y, text);
+}
+
+void StaticText::RenderSelf(Framebuffer* fb, Point origin) const {
+  int width = std::max(1, rect().width);
+  std::vector<std::string> wrapped =
+      WrapText(text_, static_cast<size_t>(width));
+  for (int i = 0;
+       i < rect().height && i < static_cast<int>(wrapped.size()); ++i) {
+    fb->DrawText(origin.x, origin.y + i, wrapped[static_cast<size_t>(i)]);
+  }
+}
+
+void ScrollText::set_lines(std::vector<std::string> lines) {
+  lines_ = std::move(lines);
+  scroll_y_ = std::min(scroll_y_, MaxScrollY());
+  scroll_x_ = std::min(scroll_x_, MaxScrollX());
+}
+
+int ScrollText::ContentWidth() const { return std::max(1, rect().width - 1); }
+int ScrollText::ContentHeight() const {
+  return std::max(1, rect().height - 1);
+}
+
+int ScrollText::MaxScrollY() const {
+  return std::max(0, static_cast<int>(lines_.size()) - ContentHeight());
+}
+
+int ScrollText::MaxScrollX() const {
+  int widest = 0;
+  for (const std::string& line : lines_) {
+    widest = std::max(widest, static_cast<int>(line.size()));
+  }
+  return std::max(0, widest - ContentWidth());
+}
+
+void ScrollText::ScrollTo(int x, int y) {
+  scroll_x_ = std::clamp(x, 0, MaxScrollX());
+  scroll_y_ = std::clamp(y, 0, MaxScrollY());
+}
+
+void ScrollText::ScrollBy(int amount) {
+  ScrollTo(scroll_x_, scroll_y_ + amount);
+}
+
+void ScrollText::ScrollHorizontallyBy(int amount) {
+  ScrollTo(scroll_x_ + amount, scroll_y_);
+}
+
+std::vector<std::string> ScrollText::VisibleLines() const {
+  std::vector<std::string> out;
+  int height = ContentHeight();
+  int width = ContentWidth();
+  for (int i = 0; i < height; ++i) {
+    size_t row = static_cast<size_t>(scroll_y_ + i);
+    if (row >= lines_.size()) break;
+    const std::string& line = lines_[row];
+    if (static_cast<size_t>(scroll_x_) >= line.size()) {
+      out.emplace_back();
+    } else {
+      out.push_back(line.substr(static_cast<size_t>(scroll_x_),
+                                static_cast<size_t>(width)));
+    }
+  }
+  return out;
+}
+
+void ScrollText::RenderSelf(Framebuffer* fb, Point origin) const {
+  std::vector<std::string> visible = VisibleLines();
+  for (size_t i = 0; i < visible.size(); ++i) {
+    fb->DrawText(origin.x, origin.y + static_cast<int>(i), visible[i]);
+  }
+  // Vertical scrollbar in the last column: ^ ... v with a thumb '#'.
+  int height = ContentHeight();
+  int bar_x = origin.x + rect().width - 1;
+  fb->Put(bar_x, origin.y, '^');
+  fb->Put(bar_x, origin.y + height - 1, 'v');
+  for (int i = 1; i < height - 1; ++i) fb->Put(bar_x, origin.y + i, ':');
+  if (MaxScrollY() > 0 && height > 2) {
+    int thumb = 1 + (scroll_y_ * (height - 3)) / std::max(1, MaxScrollY());
+    fb->Put(bar_x, origin.y + thumb, '#');
+  }
+  // Horizontal scrollbar in the last row.
+  int width = ContentWidth();
+  int bar_y = origin.y + rect().height - 1;
+  fb->Put(origin.x, bar_y, '<');
+  fb->Put(origin.x + width - 1, bar_y, '>');
+  for (int i = 1; i < width - 1; ++i) fb->Put(origin.x + i, bar_y, '.');
+  if (MaxScrollX() > 0 && width > 2) {
+    int thumb = 1 + (scroll_x_ * (width - 3)) / std::max(1, MaxScrollX());
+    fb->Put(origin.x + thumb, bar_y, '#');
+  }
+}
+
+bool ScrollText::OnScroll(Point, int amount) {
+  ScrollBy(amount);
+  return true;
+}
+
+bool ScrollText::OnClick(Point local) {
+  // Scrollbar arrows: top/bottom of the last column, ends of last row.
+  if (local.x == rect().width - 1) {
+    if (local.y == 0) {
+      ScrollBy(-1);
+      return true;
+    }
+    if (local.y == ContentHeight() - 1) {
+      ScrollBy(1);
+      return true;
+    }
+  }
+  if (local.y == rect().height - 1) {
+    if (local.x == 0) {
+      ScrollHorizontallyBy(-1);
+      return true;
+    }
+    if (local.x == ContentWidth() - 1) {
+      ScrollHorizontallyBy(1);
+      return true;
+    }
+  }
+  return false;
+}
+
+void RasterView::RenderSelf(Framebuffer* fb, Point origin) const {
+  if (bitmap_.empty() || rect().Empty()) return;
+  if (scale_to_fit_ && (bitmap_.width() != rect().width ||
+                        bitmap_.height() != rect().height)) {
+    fb->DrawBitmap(origin.x, origin.y,
+                   bitmap_.ScaledBox(rect().width, rect().height));
+  } else {
+    fb->DrawBitmap(origin.x, origin.y, bitmap_);
+  }
+}
+
+void Panel::RenderSelf(Framebuffer* fb, Point origin) const {
+  if (!border_) return;
+  Rect frame{origin.x, origin.y, rect().width, rect().height};
+  fb->DrawBox(frame);
+  if (!title_.empty() && rect().width > 4) {
+    std::string text = " " + title_ + " ";
+    fb->DrawText(origin.x + 1, origin.y,
+                 std::string_view(text).substr(
+                     0, static_cast<size_t>(rect().width - 2)));
+  }
+}
+
+Status Menu::SelectItem(int index) {
+  if (index < 0 || index >= static_cast<int>(items_.size())) {
+    return Status::OutOfRange("menu index " + std::to_string(index));
+  }
+  selected_ = index;
+  if (on_select_) on_select_(index, items_[static_cast<size_t>(index)]);
+  return Status::OK();
+}
+
+Status Menu::SelectItem(std::string_view item) {
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (items_[i] == item) return SelectItem(static_cast<int>(i));
+  }
+  return Status::NotFound("menu item '" + std::string(item) + "'");
+}
+
+void Menu::RenderSelf(Framebuffer* fb, Point origin) const {
+  for (int i = 0;
+       i < static_cast<int>(items_.size()) && i < rect().height; ++i) {
+    std::string line = (i == selected_ ? "> " : "  ");
+    line += items_[static_cast<size_t>(i)];
+    fb->DrawText(origin.x, origin.y + i, line);
+  }
+}
+
+bool Menu::OnClick(Point local) {
+  if (local.y >= 0 && local.y < static_cast<int>(items_.size())) {
+    return SelectItem(local.y).ok();
+  }
+  return false;
+}
+
+bool TextInput::OnKey(std::string_view text) {
+  for (char c : text) {
+    if (c == '\n') {
+      if (on_submit_) on_submit_(text_);
+    } else if (c == '\b') {
+      if (!text_.empty()) text_.pop_back();
+    } else if (c >= 0x20) {
+      text_.push_back(c);
+    }
+  }
+  return true;
+}
+
+void TextInput::RenderSelf(Framebuffer* fb, Point origin) const {
+  int width = std::max(1, rect().width);
+  std::string shown = text_;
+  if (static_cast<int>(shown.size()) > width - 1) {
+    shown = shown.substr(shown.size() - static_cast<size_t>(width - 1));
+  }
+  shown += "_";
+  fb->DrawText(origin.x, origin.y, shown);
+}
+
+}  // namespace ode::owl

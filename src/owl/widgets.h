@@ -1,0 +1,230 @@
+#ifndef ODEVIEW_OWL_WIDGETS_H_
+#define ODEVIEW_OWL_WIDGETS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "owl/bitmap.h"
+#include "owl/widget.h"
+
+namespace ode::owl {
+
+/// A single-line text label.
+class Label : public Widget {
+ public:
+  Label(std::string name, std::string text)
+      : Widget(std::move(name)), text_(std::move(text)) {}
+
+  std::string_view TypeName() const override { return "label"; }
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+ protected:
+  void RenderSelf(Framebuffer* fb, Point origin) const override;
+
+ private:
+  std::string text_;
+};
+
+/// A clickable push button rendered as `[label]`. In toggle mode the
+/// button keeps an on/off state (rendered `[*label]` when on) — the
+/// paper's display-format buttons behave this way (clicking `text`
+/// opens the text display; clicking again closes it).
+class Button : public Widget {
+ public:
+  using Callback = std::function<void(Button&)>;
+
+  Button(std::string name, std::string label, Callback on_click = {})
+      : Widget(std::move(name)),
+        label_(std::move(label)),
+        on_click_(std::move(on_click)) {}
+
+  std::string_view TypeName() const override { return "button"; }
+  const std::string& label() const { return label_; }
+  void set_label(std::string label) { label_ = std::move(label); }
+  void set_on_click(Callback cb) { on_click_ = std::move(cb); }
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  /// Toggle mode: clicking flips `toggled()` before the callback runs.
+  void set_toggle_mode(bool toggle) { toggle_mode_ = toggle; }
+  bool toggled() const { return toggled_; }
+  void set_toggled(bool toggled) { toggled_ = toggled; }
+
+  int click_count() const { return click_count_; }
+
+  /// Programmatic press (used by the server's ClickButton).
+  void Press();
+
+ protected:
+  void RenderSelf(Framebuffer* fb, Point origin) const override;
+  bool OnClick(Point local) override;
+
+ private:
+  std::string label_;
+  Callback on_click_;
+  bool enabled_ = true;
+  bool toggle_mode_ = false;
+  bool toggled_ = false;
+  int click_count_ = 0;
+};
+
+/// Multi-line static text, word-wrapped to the widget width — the
+/// protocol's "static text window".
+class StaticText : public Widget {
+ public:
+  StaticText(std::string name, std::string text)
+      : Widget(std::move(name)), text_(std::move(text)) {}
+
+  std::string_view TypeName() const override { return "statictext"; }
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+ protected:
+  void RenderSelf(Framebuffer* fb, Point origin) const override;
+
+ private:
+  std::string text_;
+};
+
+/// Scrollable text with vertical + horizontal scroll state — the
+/// protocol's "static text window with horizontal and vertical scroll
+/// bars" (used for class definitions and long object displays).
+class ScrollText : public Widget {
+ public:
+  ScrollText(std::string name, std::vector<std::string> lines)
+      : Widget(std::move(name)), lines_(std::move(lines)) {}
+
+  std::string_view TypeName() const override { return "scrolltext"; }
+
+  const std::vector<std::string>& lines() const { return lines_; }
+  void set_lines(std::vector<std::string> lines);
+
+  int scroll_y() const { return scroll_y_; }
+  int scroll_x() const { return scroll_x_; }
+  void ScrollTo(int x, int y);
+  /// Scrolls by `amount` lines (positive = down), clamped.
+  void ScrollBy(int amount);
+  void ScrollHorizontallyBy(int amount);
+
+  /// Rows of text visible at the current scroll position.
+  std::vector<std::string> VisibleLines() const;
+
+ protected:
+  void RenderSelf(Framebuffer* fb, Point origin) const override;
+  bool OnScroll(Point local, int amount) override;
+  bool OnClick(Point local) override;  ///< clicks on scrollbar arrows
+
+ private:
+  int MaxScrollY() const;
+  int MaxScrollX() const;
+  int ContentWidth() const;   ///< widget width minus scrollbar column
+  int ContentHeight() const;  ///< widget height minus scrollbar row
+
+  std::vector<std::string> lines_;
+  int scroll_y_ = 0;
+  int scroll_x_ = 0;
+};
+
+/// Raster (bitmap) display — the protocol's "raster image window".
+/// The bitmap is rescaled with the box filter to fit the widget.
+class RasterView : public Widget {
+ public:
+  RasterView(std::string name, Bitmap bitmap)
+      : Widget(std::move(name)), bitmap_(std::move(bitmap)) {}
+
+  std::string_view TypeName() const override { return "raster"; }
+
+  const Bitmap& bitmap() const { return bitmap_; }
+  void set_bitmap(Bitmap bitmap) { bitmap_ = std::move(bitmap); }
+
+  /// When true (default) the bitmap is scaled to the widget size with
+  /// the box filter; otherwise drawn 1:1 and clipped.
+  void set_scale_to_fit(bool scale) { scale_to_fit_ = scale; }
+
+ protected:
+  void RenderSelf(Framebuffer* fb, Point origin) const override;
+
+ private:
+  Bitmap bitmap_;
+  bool scale_to_fit_ = true;
+};
+
+/// A container with an optional border and title.
+class Panel : public Widget {
+ public:
+  explicit Panel(std::string name, std::string title = {})
+      : Widget(std::move(name)), title_(std::move(title)) {}
+
+  std::string_view TypeName() const override { return "panel"; }
+  const std::string& title() const { return title_; }
+  void set_border(bool border) { border_ = border; }
+
+ protected:
+  void RenderSelf(Framebuffer* fb, Point origin) const override;
+
+ private:
+  std::string title_;
+  bool border_ = true;
+};
+
+/// A pop-up menu: a vertical list of items; clicking one invokes the
+/// callback with its index. Used by the selection predicate builder
+/// (attribute / operator menus).
+class Menu : public Widget {
+ public:
+  using Callback = std::function<void(int index, const std::string& item)>;
+
+  Menu(std::string name, std::vector<std::string> items,
+       Callback on_select = {})
+      : Widget(std::move(name)),
+        items_(std::move(items)),
+        on_select_(std::move(on_select)) {}
+
+  std::string_view TypeName() const override { return "menu"; }
+  const std::vector<std::string>& items() const { return items_; }
+  int selected() const { return selected_; }
+
+  /// Programmatic selection (also used by the server).
+  Status SelectItem(int index);
+  Status SelectItem(std::string_view item);
+
+ protected:
+  void RenderSelf(Framebuffer* fb, Point origin) const override;
+  bool OnClick(Point local) override;
+
+ private:
+  std::vector<std::string> items_;
+  Callback on_select_;
+  int selected_ = -1;
+};
+
+/// A one-line text input (the §5.2 condition box / value entry).
+/// Printable key events append; "\b" erases; "\n" submits.
+class TextInput : public Widget {
+ public:
+  using SubmitCallback = std::function<void(const std::string& text)>;
+
+  explicit TextInput(std::string name, SubmitCallback on_submit = {})
+      : Widget(std::move(name)), on_submit_(std::move(on_submit)) {}
+
+  std::string_view TypeName() const override { return "textinput"; }
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  bool OnKey(std::string_view text) override;
+
+ protected:
+  void RenderSelf(Framebuffer* fb, Point origin) const override;
+
+ private:
+  std::string text_;
+  SubmitCallback on_submit_;
+};
+
+}  // namespace ode::owl
+
+#endif  // ODEVIEW_OWL_WIDGETS_H_

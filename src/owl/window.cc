@@ -1,0 +1,66 @@
+#include "owl/window.h"
+
+namespace ode::owl {
+
+Window::Window(WindowId id, std::string title, Point origin,
+               Size content_size)
+    : id_(id),
+      title_(std::move(title)),
+      origin_(origin),
+      content_size_(content_size),
+      root_(std::make_unique<Widget>("root")) {
+  root_->set_rect(Rect{0, 0, content_size_.width, content_size_.height});
+}
+
+void Window::set_content_size(Size size) {
+  content_size_ = size;
+  root_->set_rect(Rect{0, 0, size.width, size.height});
+}
+
+bool Window::HandleEvent(const Event& event) {
+  switch (event.type) {
+    case EventType::kMouseClick: {
+      if (!open_) return false;
+      Point content{event.position.x - 1, event.position.y - 1};
+      if (content.x < 0 || content.y < 0 ||
+          content.x >= content_size_.width ||
+          content.y >= content_size_.height) {
+        return false;
+      }
+      return root_->DispatchClick(content);
+    }
+    case EventType::kScroll: {
+      if (!open_) return false;
+      Point content{event.position.x - 1, event.position.y - 1};
+      return root_->DispatchScroll(content, event.amount);
+    }
+    case EventType::kKeyPress: {
+      if (!open_ || focus_ == nullptr) return false;
+      return focus_->OnKey(event.text);
+    }
+    case EventType::kCloseRequest:
+      open_ = false;
+      if (on_close_) on_close_();
+      return true;
+    case EventType::kExpose:
+      return true;  // headless: nothing to do, repaint is on demand
+  }
+  return false;
+}
+
+void Window::Render(Framebuffer* fb) const {
+  if (!open_) return;
+  Rect frame = FrameRect();
+  // Blank the window area (windows are opaque).
+  fb->FillRect(frame, ' ');
+  fb->DrawBox(frame);
+  if (!title_.empty() && frame.width > 4) {
+    std::string text = "[ " + title_ + " ]";
+    fb->DrawText(frame.x + 1, frame.y,
+                 std::string_view(text).substr(
+                     0, static_cast<size_t>(frame.width - 2)));
+  }
+  root_->Render(fb, Point{frame.x + 1, frame.y + 1});
+}
+
+}  // namespace ode::owl

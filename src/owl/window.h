@@ -1,0 +1,82 @@
+#ifndef ODEVIEW_OWL_WINDOW_H_
+#define ODEVIEW_OWL_WINDOW_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "owl/event.h"
+#include "owl/widget.h"
+
+namespace ode::owl {
+
+/// A top-level window: a titled frame around a root widget tree.
+///
+/// Coordinates: the window occupies `content_size() + 2` cells in each
+/// dimension on screen (one-cell frame); event positions arriving in
+/// `HandleEvent` are window-local (0,0 = top-left frame corner) and are
+/// translated into content coordinates before dispatch.
+class Window {
+ public:
+  Window(WindowId id, std::string title, Point origin, Size content_size);
+
+  Window(const Window&) = delete;
+  Window& operator=(const Window&) = delete;
+
+  WindowId id() const { return id_; }
+  const std::string& title() const { return title_; }
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  Point origin() const { return origin_; }
+  void set_origin(Point origin) { origin_ = origin; }
+
+  Size content_size() const { return content_size_; }
+  void set_content_size(Size size);
+
+  /// Outer frame rectangle in screen coordinates.
+  Rect FrameRect() const {
+    return Rect{origin_.x, origin_.y, content_size_.width + 2,
+                content_size_.height + 2};
+  }
+
+  /// Open = mapped/visible; a closed window keeps its widget tree (the
+  /// paper refreshes closed windows too during synchronized browsing).
+  bool open() const { return open_; }
+  void set_open(bool open) { open_ = open; }
+
+  /// Root of the widget tree (a borderless container).
+  Widget* root() { return root_.get(); }
+  const Widget* root() const { return root_.get(); }
+
+  /// Name lookup across this window's widget tree.
+  Widget* FindWidget(std::string_view name) { return root_->FindWidget(name); }
+
+  /// Widget receiving key events.
+  void set_focus(Widget* widget) { focus_ = widget; }
+  Widget* focus() const { return focus_; }
+
+  /// Invoked when a CloseRequest event arrives.
+  void set_on_close(std::function<void()> cb) { on_close_ = std::move(cb); }
+
+  /// Handles one event (positions window-local). Returns true if it
+  /// was consumed.
+  bool HandleEvent(const Event& event);
+
+  /// Draws the frame, title, and content into `fb` at the window's
+  /// screen origin.
+  void Render(Framebuffer* fb) const;
+
+ private:
+  WindowId id_;
+  std::string title_;
+  Point origin_;
+  Size content_size_;
+  bool open_ = true;
+  std::unique_ptr<Widget> root_;
+  Widget* focus_ = nullptr;
+  std::function<void()> on_close_;
+};
+
+}  // namespace ode::owl
+
+#endif  // ODEVIEW_OWL_WINDOW_H_

@@ -1,0 +1,304 @@
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "dag/digraph.h"
+#include "dag/layout.h"
+#include "odb/ddl_parser.h"
+#include "odb/labdb.h"
+
+namespace ode::dag {
+namespace {
+
+// --- Digraph ------------------------------------------------------------
+
+TEST(DigraphTest, AddAndFindNodes) {
+  Digraph graph;
+  NodeId a = *graph.AddNode("a");
+  NodeId b = *graph.AddNode("b");
+  EXPECT_EQ(graph.node_count(), 2);
+  EXPECT_EQ(*graph.FindNode("a"), a);
+  EXPECT_TRUE(graph.FindNode("z").status().IsNotFound());
+  EXPECT_EQ(graph.AddNode("a").status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(graph.EnsureNode("a"), a);
+  EXPECT_EQ(graph.EnsureNode("c"), 2);
+  (void)b;
+}
+
+TEST(DigraphTest, EdgesAndAdjacency) {
+  Digraph graph;
+  NodeId a = *graph.AddNode("a");
+  NodeId b = *graph.AddNode("b");
+  ASSERT_TRUE(graph.AddEdge(a, b).ok());
+  EXPECT_TRUE(graph.HasEdge(a, b));
+  EXPECT_FALSE(graph.HasEdge(b, a));
+  EXPECT_EQ(graph.OutNeighbors(a), (std::vector<NodeId>{b}));
+  EXPECT_EQ(graph.InNeighbors(b), (std::vector<NodeId>{a}));
+  EXPECT_TRUE(graph.AddEdge(a, b).code() == StatusCode::kAlreadyExists);
+  EXPECT_FALSE(graph.AddEdge(a, a).ok());
+  EXPECT_FALSE(graph.AddEdge(a, 99).ok());
+}
+
+TEST(DigraphTest, AcyclicityCheck) {
+  Digraph dag = Digraph::FromEdges({{"a", "b"}, {"b", "c"}, {"a", "c"}});
+  EXPECT_TRUE(dag.IsAcyclic());
+  Digraph cyclic = Digraph::FromEdges({{"a", "b"}, {"b", "c"}, {"c", "a"}});
+  EXPECT_FALSE(cyclic.IsAcyclic());
+}
+
+// --- Bilayer crossing counting -------------------------------------------
+
+uint64_t BruteForceCrossings(
+    const std::vector<std::pair<int, int>>& edges) {
+  uint64_t n = 0;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    for (size_t j = i + 1; j < edges.size(); ++j) {
+      const auto& [u1, v1] = edges[i];
+      const auto& [u2, v2] = edges[j];
+      if ((u1 < u2 && v1 > v2) || (u1 > u2 && v1 < v2)) ++n;
+    }
+  }
+  return n;
+}
+
+TEST(CrossingTest, SimpleCases) {
+  EXPECT_EQ(CountBilayerCrossings({}), 0u);
+  EXPECT_EQ(CountBilayerCrossings({{0, 0}, {1, 1}}), 0u);
+  EXPECT_EQ(CountBilayerCrossings({{0, 1}, {1, 0}}), 1u);
+  EXPECT_EQ(CountBilayerCrossings({{0, 2}, {1, 1}, {2, 0}}), 3u);
+}
+
+class CrossingProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrossingProperty, MatchesBruteForce) {
+  uint64_t state = GetParam();
+  auto next = [&]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::pair<int, int>> edges;
+    size_t count = 1 + next() % 40;
+    for (size_t i = 0; i < count; ++i) {
+      edges.emplace_back(static_cast<int>(next() % 15),
+                         static_cast<int>(next() % 15));
+    }
+    EXPECT_EQ(CountBilayerCrossings(edges), BruteForceCrossings(edges));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossingProperty,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// --- Layout invariants -------------------------------------------------------
+
+Digraph LabLikeGraph() {
+  return Digraph::FromEdges({{"employee", "manager"},
+                             {"department", "manager"},
+                             {"person", "employee"},
+                             {"person", "consultant"},
+                             {"employee", "intern"}});
+}
+
+TEST(LayoutTest, EmptyGraph) {
+  Digraph graph;
+  DagLayout layout = *LayoutDag(graph);
+  EXPECT_TRUE(layout.nodes.empty());
+  EXPECT_EQ(layout.crossings, 0u);
+}
+
+TEST(LayoutTest, SingleNode) {
+  Digraph graph;
+  (void)*graph.AddNode("only");
+  DagLayout layout = *LayoutDag(graph);
+  ASSERT_EQ(layout.nodes.size(), 1u);
+  EXPECT_EQ(layout.nodes[0].layer, 0);
+  EXPECT_GE(layout.width, 4);
+}
+
+void CheckInvariants(const Digraph& graph, const DagLayout& layout) {
+  // 1. Every edge spans at least one layer downward.
+  for (const auto& [from, to] : graph.edges()) {
+    EXPECT_LT(layout.nodes[static_cast<size_t>(from)].layer,
+              layout.nodes[static_cast<size_t>(to)].layer)
+        << graph.label(from) << " -> " << graph.label(to);
+  }
+  // 2. No two nodes in a layer overlap horizontally.
+  for (const auto& layer : layout.layers) {
+    for (size_t i = 0; i + 1 < layer.size(); ++i) {
+      const PlacedNode& left =
+          layout.nodes[static_cast<size_t>(layer[i])];
+      const PlacedNode& right =
+          layout.nodes[static_cast<size_t>(layer[i + 1])];
+      EXPECT_LE(left.x + left.width, right.x)
+          << "overlap in layer of " << graph.label(layer[i]);
+    }
+  }
+  // 3. Edge paths connect source to target positions.
+  for (size_t e = 0; e < graph.edges().size(); ++e) {
+    const auto& [from, to] = graph.edges()[e];
+    const auto& path = layout.edge_paths[e];
+    ASSERT_GE(path.size(), 2u);
+    EXPECT_EQ(path.front().y,
+              layout.nodes[static_cast<size_t>(from)].y);
+    EXPECT_EQ(path.back().y, layout.nodes[static_cast<size_t>(to)].y);
+  }
+  // 4. All coordinates are within the reported extent.
+  for (const PlacedNode& node : layout.nodes) {
+    EXPECT_GE(node.x, 0);
+    EXPECT_LE(node.x + node.width, layout.width);
+    EXPECT_GE(node.y, 0);
+    EXPECT_LT(node.y, layout.height);
+  }
+}
+
+TEST(LayoutTest, LabGraphInvariantsAndNoCrossings) {
+  Digraph graph = LabLikeGraph();
+  DagLayout layout = *LayoutDag(graph);
+  CheckInvariants(graph, layout);
+  // This small inheritance graph is planar in layers; the barycenter
+  // heuristic must find a crossing-free drawing.
+  EXPECT_EQ(layout.crossings, 0u);
+}
+
+TEST(LayoutTest, MultiInheritanceSharedLayer) {
+  // manager must be strictly below both employee and department.
+  Digraph graph = LabLikeGraph();
+  DagLayout layout = *LayoutDag(graph);
+  NodeId manager = *graph.FindNode("manager");
+  NodeId employee = *graph.FindNode("employee");
+  NodeId department = *graph.FindNode("department");
+  EXPECT_GT(layout.nodes[static_cast<size_t>(manager)].layer,
+            layout.nodes[static_cast<size_t>(employee)].layer);
+  EXPECT_GT(layout.nodes[static_cast<size_t>(manager)].layer,
+            layout.nodes[static_cast<size_t>(department)].layer);
+}
+
+TEST(LayoutTest, CyclicInputHandledByReversal) {
+  Digraph graph = Digraph::FromEdges(
+      {{"a", "b"}, {"b", "c"}, {"c", "a"}, {"c", "d"}});
+  Result<DagLayout> layout = LayoutDag(graph);
+  ASSERT_TRUE(layout.ok());
+  // All nodes placed, every edge has a path.
+  EXPECT_EQ(layout->nodes.size(), 4u);
+  EXPECT_EQ(layout->edge_paths.size(), 4u);
+  for (const auto& path : layout->edge_paths) {
+    EXPECT_GE(path.size(), 2u);
+  }
+}
+
+TEST(LayoutTest, LongEdgesGetBendPoints) {
+  // a->d spans three layers: the path must bend at the dummy rows.
+  Digraph graph = Digraph::FromEdges(
+      {{"a", "b"}, {"b", "c"}, {"c", "d"}, {"a", "d"}});
+  DagLayout layout = *LayoutDag(graph);
+  const auto& long_path = layout.edge_paths[3];
+  EXPECT_EQ(long_path.size(), 4u);  // src + 2 dummies + dst
+}
+
+TEST(LayoutTest, CoffmanGrahamRespectsWidthBound) {
+  // A wide antichain: 20 roots, one sink.
+  std::vector<std::pair<std::string, std::string>> edges;
+  for (int i = 0; i < 20; ++i) {
+    edges.push_back({"r" + std::to_string(i), "sink"});
+  }
+  Digraph graph = Digraph::FromEdges(edges);
+  LayoutOptions options;
+  options.layering = LayeringMethod::kCoffmanGraham;
+  options.max_width = 5;
+  DagLayout layout = *LayoutDag(graph, options);
+  CheckInvariants(graph, layout);
+  for (const auto& layer : layout.layers) {
+    EXPECT_LE(layer.size(), 5u);
+  }
+}
+
+Digraph RandomDag(uint64_t seed, int nodes, int edges_per_node) {
+  uint64_t state = seed;
+  auto next = [&]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  Digraph graph;
+  for (int i = 0; i < nodes; ++i) {
+    (void)graph.EnsureNode("n" + std::to_string(i));
+  }
+  for (int i = 1; i < nodes; ++i) {
+    int count = 1 + static_cast<int>(next() % edges_per_node);
+    for (int e = 0; e < count; ++e) {
+      int from = static_cast<int>(next() % static_cast<uint64_t>(i));
+      (void)graph.AddEdge(from, i);
+    }
+  }
+  return graph;
+}
+
+class LayoutProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LayoutProperty, InvariantsHoldOnRandomDags) {
+  Digraph graph = RandomDag(GetParam(), 60, 3);
+  DagLayout layout = *LayoutDag(graph);
+  CheckInvariants(graph, layout);
+}
+
+TEST_P(LayoutProperty, OrderingNeverWorseThanNone) {
+  Digraph graph = RandomDag(GetParam() * 31 + 1, 50, 3);
+  LayoutOptions none;
+  none.ordering = OrderingMethod::kNone;
+  LayoutOptions barycenter;
+  barycenter.ordering = OrderingMethod::kBarycenter;
+  LayoutOptions median;
+  median.ordering = OrderingMethod::kMedian;
+  uint64_t c_none = LayoutDag(graph, none)->crossings;
+  uint64_t c_bary = LayoutDag(graph, barycenter)->crossings;
+  uint64_t c_median = LayoutDag(graph, median)->crossings;
+  // The sweeps keep the best ordering seen, so they can never lose to
+  // the initial ordering.
+  EXPECT_LE(c_bary, c_none);
+  EXPECT_LE(c_median, c_none);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LayoutProperty,
+                         ::testing::Values(3, 7, 19, 41, 97, 211));
+
+TEST(LayoutTest, BarycenterSubstantiallyReducesCrossingsOnAverage) {
+  uint64_t total_none = 0;
+  uint64_t total_bary = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Digraph graph = RandomDag(seed * 1000 + 7, 80, 3);
+    LayoutOptions none;
+    none.ordering = OrderingMethod::kNone;
+    total_none += LayoutDag(graph, none)->crossings;
+    total_bary += LayoutDag(graph)->crossings;
+  }
+  EXPECT_LT(total_bary, (total_none * 4) / 5)
+      << "barycenter should cut crossings noticeably on random DAGs "
+      << "(got " << total_bary << " vs " << total_none << ")";
+}
+
+TEST(LayoutTest, FixedNodeWidthHonored) {
+  Digraph graph = LabLikeGraph();
+  LayoutOptions options;
+  options.fixed_node_width = 3;
+  DagLayout layout = *LayoutDag(graph, options);
+  for (const PlacedNode& node : layout.nodes) {
+    EXPECT_EQ(node.width, 3);
+  }
+}
+
+TEST(LayoutTest, LabSchemaFromDdlLaysOut) {
+  odb::Schema schema = *odb::ParseSchema(odb::LabSchemaDdl());
+  Digraph graph;
+  for (const odb::ClassDef& def : schema.classes()) {
+    (void)graph.EnsureNode(def.name);
+  }
+  for (const auto& [base, derived] : schema.InheritanceEdges()) {
+    (void)graph.AddEdge(*graph.FindNode(base), *graph.FindNode(derived));
+  }
+  DagLayout layout = *LayoutDag(graph);
+  CheckInvariants(graph, layout);
+  EXPECT_EQ(layout.crossings, 0u);
+}
+
+}  // namespace
+}  // namespace ode::dag

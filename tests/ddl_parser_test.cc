@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include "odb/ddl_parser.h"
+#include "odb/labdb.h"
+
+namespace ode::odb {
+namespace {
+
+// --- Basic parsing ------------------------------------------------------
+
+TEST(DdlParserTest, MinimalClass) {
+  Result<ClassDef> def = ParseClassDef("class point { };");
+  ASSERT_TRUE(def.ok()) << def.status().ToString();
+  EXPECT_EQ(def->name, "point");
+  EXPECT_TRUE(def->persistent);  // persistent unless marked transient
+  EXPECT_FALSE(def->versioned);
+  EXPECT_TRUE(def->members.empty());
+}
+
+TEST(DdlParserTest, Modifiers) {
+  EXPECT_TRUE(ParseClassDef("persistent class a {};")->persistent);
+  EXPECT_FALSE(ParseClassDef("transient class a {};")->persistent);
+  EXPECT_TRUE(ParseClassDef("versioned class a {};")->versioned);
+  EXPECT_TRUE(
+      ParseClassDef("persistent versioned class a {};")->versioned);
+  EXPECT_TRUE(
+      ParseClassDef("versioned persistent class a {};")->persistent);
+  EXPECT_FALSE(
+      ParseClassDef("persistent transient class a {};").ok());
+}
+
+TEST(DdlParserTest, MemberTypes) {
+  Result<ClassDef> def = ParseClassDef(R"(
+class kitchen_sink {
+public:
+  int i;
+  real r;
+  double d;
+  float f;
+  bool b;
+  string s;
+  char* cs;
+  blob data;
+  other* ref;
+  other embedded;
+  set<other*> refs;
+  set<int> ints;
+  array<real, 3> triple;
+  int matrix[9];
+  int open_array[];
+};
+)");
+  ASSERT_TRUE(def.ok()) << def.status().ToString();
+  const auto& m = def->members;
+  ASSERT_EQ(m.size(), 15u);
+  EXPECT_EQ(m[0].type.kind, TypeRef::Kind::kInt);
+  EXPECT_EQ(m[1].type.kind, TypeRef::Kind::kReal);
+  EXPECT_EQ(m[2].type.kind, TypeRef::Kind::kReal);
+  EXPECT_EQ(m[3].type.kind, TypeRef::Kind::kReal);
+  EXPECT_EQ(m[4].type.kind, TypeRef::Kind::kBool);
+  EXPECT_EQ(m[5].type.kind, TypeRef::Kind::kString);
+  EXPECT_EQ(m[6].type.kind, TypeRef::Kind::kString);  // char*
+  EXPECT_EQ(m[7].type.kind, TypeRef::Kind::kBlob);
+  EXPECT_EQ(m[8].type.kind, TypeRef::Kind::kRef);
+  EXPECT_EQ(m[8].type.class_name, "other");
+  EXPECT_EQ(m[9].type.kind, TypeRef::Kind::kClass);
+  EXPECT_EQ(m[10].type.ToString(), "set<other*>");
+  EXPECT_EQ(m[11].type.ToString(), "set<int>");
+  EXPECT_EQ(m[12].type.ToString(), "real[3]");
+  EXPECT_EQ(m[13].type.ToString(), "int[9]");
+  EXPECT_EQ(m[14].type.array_size, 0u);
+}
+
+TEST(DdlParserTest, AccessSections) {
+  Result<ClassDef> def = ParseClassDef(R"(
+class c {
+  int implicit_private;
+public:
+  int pub;
+protected:
+  int prot;
+private:
+  int priv;
+};
+)");
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ(def->members[0].access, Access::kPrivate);  // C++ default
+  EXPECT_EQ(def->members[1].access, Access::kPublic);
+  EXPECT_EQ(def->members[2].access, Access::kProtected);
+  EXPECT_EQ(def->members[3].access, Access::kPrivate);
+}
+
+TEST(DdlParserTest, Inheritance) {
+  Result<ClassDef> def = ParseClassDef(
+      "class manager : public employee, department {};");
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ(def->bases,
+            (std::vector<std::string>{"employee", "department"}));
+}
+
+TEST(DdlParserTest, Methods) {
+  Result<ClassDef> def = ParseClassDef(R"(
+class c {
+public:
+  void raise_salary(int pct);
+  real salary() const;
+  int complex_args(set<int> xs, other* o);
+};
+)");
+  ASSERT_TRUE(def.ok()) << def.status().ToString();
+  ASSERT_EQ(def->methods.size(), 3u);
+  EXPECT_EQ(def->methods[0].name, "raise_salary");
+  EXPECT_EQ(def->methods[0].return_type, "void");
+  EXPECT_EQ(def->methods[0].params, "int pct");
+  EXPECT_EQ(def->methods[1].params, "");
+  EXPECT_EQ(def->methods[2].params, "set<int> xs, other* o");
+  EXPECT_TRUE(def->members.empty());
+}
+
+TEST(DdlParserTest, OdeViewClauses) {
+  Result<ClassDef> def = ParseClassDef(R"(
+class c {
+public:
+  int x;
+  display text, picture;
+  displaylist x, derived_attr;
+  selectlist x;
+};
+)");
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ(def->display_formats,
+            (std::vector<std::string>{"text", "picture"}));
+  EXPECT_EQ(def->displaylist,
+            (std::vector<std::string>{"x", "derived_attr"}));
+  EXPECT_EQ(def->selectlist, (std::vector<std::string>{"x"}));
+}
+
+TEST(DdlParserTest, ConstraintsCaptureRawText) {
+  Result<ClassDef> def = ParseClassDef(R"(
+class c {
+public:
+  int age;
+  constraint age >= 18 && age <= 70;
+  constraint age != 13;
+};
+)");
+  ASSERT_TRUE(def.ok());
+  ASSERT_EQ(def->constraints.size(), 2u);
+  EXPECT_EQ(def->constraints[0].predicate_text, "age >= 18 && age <= 70");
+  EXPECT_EQ(def->constraints[1].predicate_text, "age != 13");
+}
+
+TEST(DdlParserTest, Triggers) {
+  Result<ClassDef> def = ParseClassDef(R"(
+class c {
+public:
+  int n;
+  trigger t1: on_create do hello;
+  trigger t2: on_update when n > 5 do alert;
+  trigger t3: on_delete do cleanup;
+};
+)");
+  ASSERT_TRUE(def.ok()) << def.status().ToString();
+  ASSERT_EQ(def->triggers.size(), 3u);
+  EXPECT_EQ(def->triggers[0].event, TriggerEvent::kCreate);
+  EXPECT_TRUE(def->triggers[0].condition_text.empty());
+  EXPECT_EQ(def->triggers[1].event, TriggerEvent::kUpdate);
+  EXPECT_EQ(def->triggers[1].condition_text, "n > 5");
+  EXPECT_EQ(def->triggers[1].action, "alert");
+  EXPECT_EQ(def->triggers[2].event, TriggerEvent::kDelete);
+}
+
+TEST(DdlParserTest, SourceCapturedVerbatim) {
+  std::string_view source = "class tiny {\npublic:\n  int x;\n};";
+  Result<ClassDef> def = ParseClassDef(source);
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ(def->source, source);
+}
+
+TEST(DdlParserTest, CommentsIgnored) {
+  Result<ClassDef> def = ParseClassDef(R"(
+// heading comment
+class c { /* inline */ public: int x; // trailing
+};
+)");
+  ASSERT_TRUE(def.ok()) << def.status().ToString();
+  EXPECT_EQ(def->members.size(), 1u);
+}
+
+TEST(DdlParserTest, MultipleClassesInSchema) {
+  Result<Schema> schema = ParseSchema(R"(
+class a { public: int x; };
+class b : public a { public: int y; };
+)");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->size(), 2u);
+  EXPECT_TRUE(schema->Validate().ok());
+}
+
+// --- Errors -----------------------------------------------------------
+
+TEST(DdlParserTest, ErrorsIncludeLineNumbers) {
+  Result<Schema> schema = ParseSchema("class a {\npublic:\n  int 5x;\n};");
+  ASSERT_FALSE(schema.ok());
+  EXPECT_NE(schema.status().message().find("line 3"), std::string::npos)
+      << schema.status().ToString();
+}
+
+TEST(DdlParserTest, MissingSemicolonRejected) {
+  EXPECT_FALSE(ParseClassDef("class a { public: int x }").ok());
+}
+
+TEST(DdlParserTest, UnterminatedBodyRejected) {
+  EXPECT_FALSE(ParseClassDef("class a { public: int x;").ok());
+}
+
+TEST(DdlParserTest, DoubleIndirectionRejected) {
+  EXPECT_FALSE(ParseClassDef("class a { public: other** p; };").ok());
+}
+
+TEST(DdlParserTest, PointerToScalarRejected) {
+  EXPECT_FALSE(ParseClassDef("class a { public: int* p; };").ok());
+}
+
+TEST(DdlParserTest, BadTriggerEventRejected) {
+  EXPECT_FALSE(
+      ParseClassDef("class a { trigger t: on_monday do x; };").ok());
+}
+
+TEST(DdlParserTest, TrailingInputRejected) {
+  EXPECT_FALSE(ParseClassDef("class a {}; class b {};").ok());
+}
+
+TEST(DdlParserTest, DuplicateClassRejected) {
+  EXPECT_FALSE(ParseSchema("class a {}; class a {};").ok());
+}
+
+TEST(DdlParserTest, UnterminatedCommentRejected) {
+  EXPECT_FALSE(ParseSchema("class a {}; /* forever").ok());
+}
+
+TEST(DdlParserTest, UnterminatedStringRejected) {
+  EXPECT_FALSE(ParseSchema("class a { constraint x == \"oops; };").ok());
+}
+
+// --- The lab schema ------------------------------------------------------
+
+TEST(DdlParserTest, LabSchemaParsesAndValidates) {
+  Result<Schema> schema = ParseSchema(LabSchemaDdl());
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_TRUE(schema->Validate().ok()) << schema->Validate().ToString();
+  EXPECT_EQ(schema->size(), 5u);
+  // manager inherits from both employee and department (paper Fig. 5).
+  EXPECT_EQ(*schema->DirectSuperclasses("manager"),
+            (std::vector<std::string>{"employee", "department"}));
+  // document is versioned and has three display media.
+  const ClassDef* doc = *schema->GetClass("document");
+  EXPECT_TRUE(doc->versioned);
+  EXPECT_EQ(doc->display_formats,
+            (std::vector<std::string>{"text", "postscript", "bitmap"}));
+}
+
+TEST(DdlParserTest, SyntheticSchemaScales) {
+  Result<Schema> schema = ParseSchema(SyntheticSchemaDdl(120, 2, 7));
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema->size(), 120u);
+  EXPECT_TRUE(schema->Validate().ok());
+}
+
+}  // namespace
+}  // namespace ode::odb

@@ -1,0 +1,130 @@
+// Failure injection: a pager decorator that starts failing after N
+// operations, verifying that I/O errors propagate as Status through
+// every storage layer instead of crashing or corrupting state.
+
+#include <gtest/gtest.h>
+
+#include "odb/buffer_pool.h"
+#include "odb/catalog.h"
+#include "odb/heap_file.h"
+#include "odb/pager.h"
+
+namespace ode::odb {
+namespace {
+
+/// Wraps a MemPager; after `budget` successful operations every call
+/// fails with IOError (a full disk / dead device).
+class FlakyPager final : public Pager {
+ public:
+  explicit FlakyPager(int budget) : budget_(budget) {}
+
+  void set_budget(int budget) { budget_ = budget; }
+
+  Result<PageId> Allocate() override {
+    ODE_RETURN_IF_ERROR(Spend());
+    return inner_.Allocate();
+  }
+  Status Read(PageId id, Page* page) override {
+    ODE_RETURN_IF_ERROR(Spend());
+    return inner_.Read(id, page);
+  }
+  Status Write(PageId id, const Page& page) override {
+    ODE_RETURN_IF_ERROR(Spend());
+    return inner_.Write(id, page);
+  }
+  uint32_t page_count() const override { return inner_.page_count(); }
+  Status Sync() override {
+    ODE_RETURN_IF_ERROR(Spend());
+    return inner_.Sync();
+  }
+
+ private:
+  Status Spend() {
+    if (budget_ <= 0) return Status::IOError("injected device failure");
+    --budget_;
+    return Status::OK();
+  }
+
+  MemPager inner_;
+  int budget_;
+};
+
+TEST(FailureInjectionTest, FetchSurfacesReadErrors) {
+  FlakyPager pager(1);
+  BufferPool pool(&pager, 4);
+  PageId id = *pager.Allocate();  // spends the budget
+  Result<PageHandle> handle = pool.Fetch(id);
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kIOError);
+}
+
+TEST(FailureInjectionTest, EvictionWritebackFailureSurfaces) {
+  FlakyPager pager(1000);
+  BufferPool pool(&pager, 1);
+  PageId a = *pager.Allocate();
+  PageId b = *pager.Allocate();
+  {
+    PageHandle handle = *pool.Fetch(a);
+    handle.page()->bytes()[0] = 'x';
+    handle.MarkDirty();
+  }
+  pager.set_budget(0);  // the write-back during eviction must fail
+  Result<PageHandle> handle = pool.Fetch(b);
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kIOError);
+  // After the device "recovers", the dirty page is still intact in the
+  // pool and can be flushed.
+  pager.set_budget(1000);
+  ASSERT_TRUE(pool.FlushAll().ok());
+  Page raw;
+  ASSERT_TRUE(pager.Read(a, &raw).ok());
+  EXPECT_EQ(raw.bytes()[0], 'x');
+}
+
+TEST(FailureInjectionTest, HeapOperationsPropagateErrors) {
+  FlakyPager pager(1000);
+  BufferPool pool(&pager, 4);
+  FreeList free_list(&pool, kNoPage);
+  HeapFile heap = *HeapFile::Create(&pool, &free_list);
+  ASSERT_TRUE(heap.Insert(1, "payload").ok());
+  ASSERT_TRUE(pool.FlushAll().ok());
+  pager.set_budget(0);
+  // Reads may still hit the pool cache; force a miss by exceeding
+  // capacity with inserts, which must fail cleanly.
+  Status status = Status::OK();
+  for (int i = 2; i < 200 && status.ok(); ++i) {
+    status = heap.Insert(static_cast<uint64_t>(i), std::string(800, 'x'));
+  }
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  // Recovery: once I/O works again, the heap keeps functioning.
+  pager.set_budget(100000);
+  EXPECT_TRUE(heap.Insert(9999, "after recovery").ok());
+  EXPECT_EQ(*heap.Get(9999), "after recovery");
+}
+
+TEST(FailureInjectionTest, CatalogPersistFailureSurfaces) {
+  FlakyPager pager(1000);
+  BufferPool pool(&pager, 8);
+  Catalog catalog = *Catalog::Format(&pool, "flaky");
+  ClassDef def;
+  def.name = "c";
+  ASSERT_TRUE(catalog.mutable_schema()->AddClass(def).ok());
+  pager.set_budget(0);
+  // Persist needs fresh pages for the catalog blob once the pool's
+  // frames are exhausted; with a dead device it must fail, not crash.
+  Status status = Status::OK();
+  for (int i = 0; i < 64 && status.ok(); ++i) {
+    ClassDef more;
+    more.name = "filler_" + std::to_string(i);
+    // Bloat the schema so the blob spans several fresh pages.
+    more.source = std::string(2048, 's');
+    ASSERT_TRUE(catalog.mutable_schema()->AddClass(more).ok());
+    status = catalog.Persist();
+  }
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace ode::odb

@@ -1,0 +1,134 @@
+// Golden-rendering tests: exact ASCII output of key windows. These pin
+// the visual contract of the headless toolkit — if a change shifts a
+// frame, truncates a title, or breaks scrollbar glyphs, these fail
+// with a readable diff.
+
+#include <gtest/gtest.h>
+
+#include "dynlink/lab_modules.h"
+#include "odb/labdb.h"
+#include "odeview/app.h"
+#include "owl/widgets.h"
+
+namespace ode::owl {
+namespace {
+
+std::string Render(const Window& window, int w, int h) {
+  Framebuffer fb(w, h);
+  window.Render(&fb);
+  return fb.ToString();
+}
+
+TEST(GoldenRenderTest, EmptyTitledWindow) {
+  Window window(1, "lab", Point{0, 0}, Size{10, 2});
+  EXPECT_EQ(Render(window, 14, 5),
+            "+[ lab ]---+  \n"
+            "|          |  \n"
+            "|          |  \n"
+            "+----------+  \n"
+            "              \n");
+}
+
+TEST(GoldenRenderTest, ButtonsAndLabels) {
+  Window window(1, "panel", Point{0, 0}, Size{18, 3});
+  auto* button = static_cast<Button*>(window.root()->AddChild(
+      std::make_unique<Button>("b", "next")));
+  button->set_rect(Rect{0, 0, 7, 1});
+  auto* toggled = static_cast<Button*>(window.root()->AddChild(
+      std::make_unique<Button>("t", "text")));
+  toggled->set_toggle_mode(true);
+  toggled->Press();
+  toggled->set_rect(Rect{8, 0, 8, 1});
+  auto* label = static_cast<Label*>(window.root()->AddChild(
+      std::make_unique<Label>("l", "object: c1:o1")));
+  label->set_rect(Rect{0, 1, 18, 1});
+  auto* disabled = static_cast<Button*>(window.root()->AddChild(
+      std::make_unique<Button>("d", "prev")));
+  disabled->set_enabled(false);
+  disabled->set_rect(Rect{0, 2, 7, 1});
+  EXPECT_EQ(Render(window, 22, 5),
+            "+[ panel ]---------+  \n"
+            "|[next]  [*text]   |  \n"
+            "|object: c1:o1     |  \n"
+            "|(prev)            |  \n"
+            "+------------------+  \n");
+}
+
+TEST(GoldenRenderTest, ScrollTextWithScrollbars) {
+  Window window(1, "t", Point{0, 0}, Size{8, 4});
+  auto text = std::make_unique<ScrollText>(
+      "s", std::vector<std::string>{"alpha", "beta", "gamma", "delta",
+                                    "epsilon", "zeta"});
+  text->set_rect(Rect{0, 0, 8, 4});
+  auto* widget =
+      static_cast<ScrollText*>(window.root()->AddChild(std::move(text)));
+  widget->ScrollBy(1);
+  EXPECT_EQ(Render(window, 12, 7),
+            "+[ t ]---+  \n"
+            "|beta   ^|  \n"
+            "|gamma  #|  \n"
+            "|delta  v|  \n"
+            "|<.....> |  \n"
+            "+--------+  \n"
+            "            \n");
+}
+
+TEST(GoldenRenderTest, MenuSelection) {
+  Window window(1, "m", Point{0, 0}, Size{12, 3});
+  auto menu = std::make_unique<Menu>(
+      "menu", std::vector<std::string>{"employee", "manager", "dept"});
+  menu->set_rect(Rect{0, 0, 12, 3});
+  auto* widget = static_cast<Menu*>(window.root()->AddChild(std::move(menu)));
+  ASSERT_TRUE(widget->SelectItem("manager").ok());
+  EXPECT_EQ(Render(window, 16, 6),
+            "+[ m ]-------+  \n"
+            "|  employee  |  \n"
+            "|> manager   |  \n"
+            "|  dept      |  \n"
+            "+------------+  \n"
+            "                \n");
+}
+
+TEST(GoldenRenderTest, RasterBitmap) {
+  Window window(1, "img", Point{0, 0}, Size{4, 4});
+  Bitmap bitmap = *Bitmap::FromPbm("P1 4 4 1 0 0 1 0 1 1 0 0 1 1 0 1 0 0 1");
+  auto raster = std::make_unique<RasterView>("r", bitmap);
+  raster->set_rect(Rect{0, 0, 4, 4});
+  raster->set_scale_to_fit(false);
+  window.root()->AddChild(std::move(raster));
+  EXPECT_EQ(Render(window, 8, 7),
+            "+[ im+  \n"
+            "|#  #|  \n"
+            "| ## |  \n"
+            "| ## |  \n"
+            "|#  #|  \n"
+            "+----+  \n"
+            "        \n");
+}
+
+}  // namespace
+}  // namespace ode::owl
+
+namespace ode::view {
+namespace {
+
+TEST(GoldenRenderTest, InitialDatabaseWindow) {
+  OdeViewApp app(60, 20);
+  auto db = std::move(*odb::Database::CreateInMemory("lab"));
+  ASSERT_TRUE(app.AddDatabaseBorrowed(db.get()).ok());
+  ASSERT_TRUE(app.OpenInitialWindow().ok());
+  owl::Window* window =
+      app.server()->FindWindow(app.initial_window());
+  owl::Framebuffer fb(40, 6);
+  window->Render(&fb);
+  EXPECT_EQ(fb.ToString(),
+            "+[ Ode databases ]-------------------+  \n"
+            "|click a database icon:              |  \n"
+            "| [() lab]                           |  \n"
+            "|                                    |  \n"
+            "+------------------------------------+  \n"
+            "                                        \n");
+}
+
+}  // namespace
+}  // namespace ode::view

@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include "odb/ddl_parser.h"
+#include "odb/schema.h"
+
+namespace ode::odb {
+namespace {
+
+ClassDef SimpleClass(std::string name, std::vector<std::string> bases = {}) {
+  ClassDef def;
+  def.name = std::move(name);
+  def.bases = std::move(bases);
+  return def;
+}
+
+Schema DiamondSchema() {
+  // person <- employee, person <- consultant, both <- hybrid.
+  Schema schema;
+  ClassDef person = SimpleClass("person");
+  person.members.push_back({"name", TypeRef::String(), Access::kPublic});
+  EXPECT_TRUE(schema.AddClass(person).ok());
+  ClassDef employee = SimpleClass("employee", {"person"});
+  employee.members.push_back({"salary", TypeRef::Real(), Access::kPrivate});
+  EXPECT_TRUE(schema.AddClass(employee).ok());
+  ClassDef consultant = SimpleClass("consultant", {"person"});
+  consultant.members.push_back({"rate", TypeRef::Real(), Access::kPublic});
+  EXPECT_TRUE(schema.AddClass(consultant).ok());
+  ClassDef hybrid = SimpleClass("hybrid", {"employee", "consultant"});
+  hybrid.members.push_back({"split", TypeRef::Int(), Access::kPublic});
+  EXPECT_TRUE(schema.AddClass(hybrid).ok());
+  return schema;
+}
+
+// --- Registration ------------------------------------------------------
+
+TEST(SchemaTest, AddAndGet) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddClass(SimpleClass("a")).ok());
+  EXPECT_TRUE(schema.Contains("a"));
+  EXPECT_FALSE(schema.Contains("b"));
+  EXPECT_TRUE(schema.GetClass("a").ok());
+  EXPECT_TRUE(schema.GetClass("b").status().IsNotFound());
+  EXPECT_EQ(schema.size(), 1u);
+}
+
+TEST(SchemaTest, DuplicateRejected) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddClass(SimpleClass("a")).ok());
+  EXPECT_EQ(schema.AddClass(SimpleClass("a")).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, EmptyNameRejected) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddClass(SimpleClass("")).IsInvalidArgument());
+}
+
+TEST(SchemaTest, DropRefusedWhileDerived) {
+  Schema schema = DiamondSchema();
+  EXPECT_EQ(schema.DropClass("person").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(schema.DropClass("hybrid").ok());
+  EXPECT_FALSE(schema.Contains("hybrid"));
+}
+
+TEST(SchemaTest, DropRefusedWhileReferenced) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddClass(SimpleClass("dept")).ok());
+  ClassDef emp = SimpleClass("emp");
+  emp.members.push_back({"dept", TypeRef::Ref("dept"), Access::kPublic});
+  ASSERT_TRUE(schema.AddClass(emp).ok());
+  EXPECT_EQ(schema.DropClass("dept").code(),
+            StatusCode::kFailedPrecondition);
+  // References nested inside containers also count.
+  Schema schema2;
+  ASSERT_TRUE(schema2.AddClass(SimpleClass("dept")).ok());
+  ClassDef team = SimpleClass("team");
+  team.members.push_back(
+      {"depts", TypeRef::Set(TypeRef::Ref("dept")), Access::kPublic});
+  ASSERT_TRUE(schema2.AddClass(team).ok());
+  EXPECT_EQ(schema2.DropClass("dept").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SchemaTest, ReplaceClassKeepsPosition) {
+  Schema schema = DiamondSchema();
+  ClassDef updated = SimpleClass("employee", {"person"});
+  updated.members.push_back({"badge", TypeRef::Int(), Access::kPublic});
+  ASSERT_TRUE(schema.ReplaceClass(updated).ok());
+  EXPECT_EQ((*schema.GetClass("employee"))->members[0].name, "badge");
+  EXPECT_TRUE(schema.ReplaceClass(SimpleClass("ghost")).IsNotFound());
+}
+
+// --- Inheritance queries -------------------------------------------------
+
+TEST(SchemaTest, DirectSuperAndSubclasses) {
+  Schema schema = DiamondSchema();
+  EXPECT_EQ(*schema.DirectSuperclasses("hybrid"),
+            (std::vector<std::string>{"employee", "consultant"}));
+  EXPECT_EQ(*schema.DirectSubclasses("person"),
+            (std::vector<std::string>{"employee", "consultant"}));
+  EXPECT_TRUE(schema.DirectSuperclasses("person")->empty());
+  EXPECT_TRUE(schema.DirectSubclasses("hybrid")->empty());
+  EXPECT_TRUE(schema.DirectSubclasses("nope").status().IsNotFound());
+}
+
+TEST(SchemaTest, TransitiveClosures) {
+  Schema schema = DiamondSchema();
+  std::vector<std::string> ancestors = *schema.Ancestors("hybrid");
+  // person appears once despite the diamond.
+  EXPECT_EQ(ancestors.size(), 3u);
+  EXPECT_EQ(std::count(ancestors.begin(), ancestors.end(), "person"), 1);
+  std::vector<std::string> descendants = *schema.Descendants("person");
+  EXPECT_EQ(descendants.size(), 3u);
+}
+
+TEST(SchemaTest, AllMembersBaseFirstWithShadowing) {
+  Schema schema = DiamondSchema();
+  std::vector<MemberDef> members = *schema.AllMembers("hybrid");
+  // person.name, employee.salary, consultant.rate, hybrid.split — with
+  // name deduplicated across the diamond.
+  ASSERT_EQ(members.size(), 4u);
+  EXPECT_EQ(members.back().name, "split");
+  int name_count = 0;
+  for (const MemberDef& m : members) name_count += m.name == "name";
+  EXPECT_EQ(name_count, 1);
+}
+
+TEST(SchemaTest, DerivedMemberShadowsBase) {
+  Schema schema;
+  ClassDef base = SimpleClass("base");
+  base.members.push_back({"tag", TypeRef::Int(), Access::kPublic});
+  ASSERT_TRUE(schema.AddClass(base).ok());
+  ClassDef derived = SimpleClass("derived", {"base"});
+  derived.members.push_back({"tag", TypeRef::String(), Access::kPublic});
+  ASSERT_TRUE(schema.AddClass(derived).ok());
+  std::vector<MemberDef> members = *schema.AllMembers("derived");
+  ASSERT_EQ(members.size(), 1u);
+  EXPECT_EQ(members[0].type.kind, TypeRef::Kind::kString);
+}
+
+TEST(SchemaTest, EffectiveListsInherit) {
+  Schema schema;
+  ClassDef base = SimpleClass("base");
+  base.displaylist = {"a", "b"};
+  base.display_formats = {"text"};
+  ASSERT_TRUE(schema.AddClass(base).ok());
+  ClassDef mid = SimpleClass("mid", {"base"});
+  ASSERT_TRUE(schema.AddClass(mid).ok());
+  ClassDef leaf = SimpleClass("leaf", {"mid"});
+  leaf.displaylist = {"c"};
+  ASSERT_TRUE(schema.AddClass(leaf).ok());
+  EXPECT_EQ(*schema.EffectiveDisplayList("mid"),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(*schema.EffectiveDisplayList("leaf"),
+            (std::vector<std::string>{"c"}));
+  EXPECT_EQ(*schema.EffectiveDisplayFormats("leaf"),
+            (std::vector<std::string>{"text"}));
+  EXPECT_TRUE(schema.EffectiveSelectList("leaf")->empty());
+}
+
+TEST(SchemaTest, InheritanceEdges) {
+  Schema schema = DiamondSchema();
+  auto edges = schema.InheritanceEdges();
+  EXPECT_EQ(edges.size(), 4u);
+  EXPECT_EQ(edges[0], (std::pair<std::string, std::string>{"person",
+                                                           "employee"}));
+}
+
+// --- Validation -----------------------------------------------------------
+
+TEST(SchemaTest, ValidateAcceptsDiamond) {
+  EXPECT_TRUE(DiamondSchema().Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsUnknownBase) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddClass(SimpleClass("x", {"ghost"})).ok());
+  EXPECT_TRUE(schema.Validate().IsInvalidArgument());
+}
+
+TEST(SchemaTest, ValidateRejectsSelfInheritance) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddClass(SimpleClass("x", {"x"})).ok());
+  EXPECT_TRUE(schema.Validate().IsInvalidArgument());
+}
+
+TEST(SchemaTest, ValidateRejectsCycle) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddClass(SimpleClass("a", {"b"})).ok());
+  ASSERT_TRUE(schema.AddClass(SimpleClass("b", {"a"})).ok());
+  EXPECT_TRUE(schema.Validate().IsInvalidArgument());
+}
+
+TEST(SchemaTest, ValidateRejectsDuplicateMember) {
+  Schema schema;
+  ClassDef def = SimpleClass("x");
+  def.members.push_back({"m", TypeRef::Int(), Access::kPublic});
+  def.members.push_back({"m", TypeRef::Real(), Access::kPublic});
+  ASSERT_TRUE(schema.AddClass(def).ok());
+  EXPECT_TRUE(schema.Validate().IsInvalidArgument());
+}
+
+TEST(SchemaTest, ValidateRejectsDanglingReference) {
+  Schema schema;
+  ClassDef def = SimpleClass("x");
+  def.members.push_back({"r", TypeRef::Ref("ghost"), Access::kPublic});
+  ASSERT_TRUE(schema.AddClass(def).ok());
+  EXPECT_TRUE(schema.Validate().IsInvalidArgument());
+}
+
+TEST(SchemaTest, ValidateChecksNestedContainerTypes) {
+  Schema schema;
+  ClassDef def = SimpleClass("x");
+  def.members.push_back(
+      {"rs", TypeRef::Set(TypeRef::Ref("ghost")), Access::kPublic});
+  ASSERT_TRUE(schema.AddClass(def).ok());
+  EXPECT_TRUE(schema.Validate().IsInvalidArgument());
+}
+
+// --- TypeRef ---------------------------------------------------------------
+
+TEST(TypeRefTest, ToStringSpellings) {
+  EXPECT_EQ(TypeRef::Int().ToString(), "int");
+  EXPECT_EQ(TypeRef::Ref("dept").ToString(), "dept*");
+  EXPECT_EQ(TypeRef::Set(TypeRef::Ref("emp")).ToString(), "set<emp*>");
+  EXPECT_EQ(TypeRef::Array(TypeRef::Int(), 4).ToString(), "int[4]");
+  EXPECT_EQ(TypeRef::Class("dept").ToString(), "dept");
+}
+
+TEST(TypeRefTest, Equality) {
+  EXPECT_EQ(TypeRef::Set(TypeRef::Ref("e")), TypeRef::Set(TypeRef::Ref("e")));
+  EXPECT_NE(TypeRef::Set(TypeRef::Ref("e")), TypeRef::Set(TypeRef::Int()));
+  EXPECT_NE(TypeRef::Array(TypeRef::Int(), 3), TypeRef::Array(TypeRef::Int(), 4));
+}
+
+// --- Serialization -----------------------------------------------------------
+
+TEST(SchemaTest, EncodeDecodeRoundTrip) {
+  Result<Schema> parsed = ParseSchema(R"(
+persistent versioned class doc {
+public:
+  string title;
+  int pages[3];
+  set<doc*> related;
+  void render(int dpi);
+  display text, postscript;
+  displaylist title;
+  selectlist title;
+  constraint pages >= 0;
+  trigger big: on_update when pages > 100 do warn;
+private:
+  real internal_score;
+};
+)");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::string bytes;
+  parsed->Encode(&bytes);
+  Result<Schema> decoded = Schema::Decode(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const ClassDef* def = *decoded->GetClass("doc");
+  EXPECT_TRUE(def->versioned);
+  EXPECT_TRUE(def->persistent);
+  ASSERT_EQ(def->members.size(), 4u);
+  EXPECT_EQ(def->members[1].type.ToString(), "int[3]");
+  EXPECT_EQ(def->members[3].access, Access::kPrivate);
+  ASSERT_EQ(def->methods.size(), 1u);
+  EXPECT_EQ(def->methods[0].params, "int dpi");
+  EXPECT_EQ(def->display_formats,
+            (std::vector<std::string>{"text", "postscript"}));
+  ASSERT_EQ(def->constraints.size(), 1u);
+  EXPECT_EQ(def->constraints[0].predicate_text, "pages >= 0");
+  ASSERT_EQ(def->triggers.size(), 1u);
+  EXPECT_EQ(def->triggers[0].condition_text, "pages > 100");
+  EXPECT_EQ(def->triggers[0].action, "warn");
+  EXPECT_EQ(def->source, (*parsed->GetClass("doc"))->source);
+}
+
+TEST(SchemaTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(Schema::Decode("garbage bytes").ok());
+}
+
+}  // namespace
+}  // namespace ode::odb

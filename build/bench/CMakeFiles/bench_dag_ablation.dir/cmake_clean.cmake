@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dag_ablation.dir/bench_dag_ablation.cc.o"
+  "CMakeFiles/bench_dag_ablation.dir/bench_dag_ablation.cc.o.d"
+  "bench_dag_ablation"
+  "bench_dag_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dag_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_projection.dir/bench_ext_projection.cc.o"
+  "CMakeFiles/bench_ext_projection.dir/bench_ext_projection.cc.o.d"
+  "bench_ext_projection"
+  "bench_ext_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_schema_dag.dir/bench_fig02_schema_dag.cc.o"
+  "CMakeFiles/bench_fig02_schema_dag.dir/bench_fig02_schema_dag.cc.o.d"
+  "bench_fig02_schema_dag"
+  "bench_fig02_schema_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_schema_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

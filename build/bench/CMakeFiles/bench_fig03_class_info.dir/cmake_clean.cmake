@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_class_info.dir/bench_fig03_class_info.cc.o"
+  "CMakeFiles/bench_fig03_class_info.dir/bench_fig03_class_info.cc.o.d"
+  "bench_fig03_class_info"
+  "bench_fig03_class_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_class_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_class_def.dir/bench_fig04_class_def.cc.o"
+  "CMakeFiles/bench_fig04_class_def.dir/bench_fig04_class_def.cc.o.d"
+  "bench_fig04_class_def"
+  "bench_fig04_class_def.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_class_def.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

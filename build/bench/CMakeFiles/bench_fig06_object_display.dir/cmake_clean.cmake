@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_object_display.dir/bench_fig06_object_display.cc.o"
+  "CMakeFiles/bench_fig06_object_display.dir/bench_fig06_object_display.cc.o.d"
+  "bench_fig06_object_display"
+  "bench_fig06_object_display.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_object_display.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_reference_chase.dir/bench_fig07_reference_chase.cc.o"
+  "CMakeFiles/bench_fig07_reference_chase.dir/bench_fig07_reference_chase.cc.o.d"
+  "bench_fig07_reference_chase"
+  "bench_fig07_reference_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_reference_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_set_navigation.dir/bench_fig08_set_navigation.cc.o"
+  "CMakeFiles/bench_fig08_set_navigation.dir/bench_fig08_set_navigation.cc.o.d"
+  "bench_fig08_set_navigation"
+  "bench_fig08_set_navigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_set_navigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_chain_setup.dir/bench_fig09_chain_setup.cc.o"
+  "CMakeFiles/bench_fig09_chain_setup.dir/bench_fig09_chain_setup.cc.o.d"
+  "bench_fig09_chain_setup"
+  "bench_fig09_chain_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_chain_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

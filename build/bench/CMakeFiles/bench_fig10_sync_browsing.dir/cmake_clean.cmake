@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_sync_browsing.dir/bench_fig10_sync_browsing.cc.o"
+  "CMakeFiles/bench_fig10_sync_browsing.dir/bench_fig10_sync_browsing.cc.o.d"
+  "bench_fig10_sync_browsing"
+  "bench_fig10_sync_browsing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_sync_browsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_odb_object_manager.dir/bench_odb_object_manager.cc.o"
+  "CMakeFiles/bench_odb_object_manager.dir/bench_odb_object_manager.cc.o.d"
+  "bench_odb_object_manager"
+  "bench_odb_object_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_odb_object_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lab_session.dir/lab_session.cpp.o"
+  "CMakeFiles/lab_session.dir/lab_session.cpp.o.d"
+  "lab_session"
+  "lab_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lab_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odb_tour.dir/odb_tour.cpp.o"
+  "CMakeFiles/odb_tour.dir/odb_tour.cpp.o.d"
+  "odb_tour"
+  "odb_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odb_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odeview_shell.dir/odeview_shell.cpp.o"
+  "CMakeFiles/odeview_shell.dir/odeview_shell.cpp.o.d"
+  "odeview_shell"
+  "odeview_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odeview_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

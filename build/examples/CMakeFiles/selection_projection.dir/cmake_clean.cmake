@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_projection.dir/selection_projection.cpp.o"
+  "CMakeFiles/selection_projection.dir/selection_projection.cpp.o.d"
+  "selection_projection"
+  "selection_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ode_common.dir/coding.cc.o"
+  "CMakeFiles/ode_common.dir/coding.cc.o.d"
+  "CMakeFiles/ode_common.dir/logging.cc.o"
+  "CMakeFiles/ode_common.dir/logging.cc.o.d"
+  "CMakeFiles/ode_common.dir/status.cc.o"
+  "CMakeFiles/ode_common.dir/status.cc.o.d"
+  "CMakeFiles/ode_common.dir/strings.cc.o"
+  "CMakeFiles/ode_common.dir/strings.cc.o.d"
+  "libode_common.a"
+  "libode_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ode_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ode_dag.dir/digraph.cc.o"
+  "CMakeFiles/ode_dag.dir/digraph.cc.o.d"
+  "CMakeFiles/ode_dag.dir/layout.cc.o"
+  "CMakeFiles/ode_dag.dir/layout.cc.o.d"
+  "libode_dag.a"
+  "libode_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ode_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

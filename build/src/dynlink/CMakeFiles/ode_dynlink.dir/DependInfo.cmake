@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dynlink/lab_modules.cc" "src/dynlink/CMakeFiles/ode_dynlink.dir/lab_modules.cc.o" "gcc" "src/dynlink/CMakeFiles/ode_dynlink.dir/lab_modules.cc.o.d"
+  "/root/repo/src/dynlink/linker.cc" "src/dynlink/CMakeFiles/ode_dynlink.dir/linker.cc.o" "gcc" "src/dynlink/CMakeFiles/ode_dynlink.dir/linker.cc.o.d"
+  "/root/repo/src/dynlink/repository.cc" "src/dynlink/CMakeFiles/ode_dynlink.dir/repository.cc.o" "gcc" "src/dynlink/CMakeFiles/ode_dynlink.dir/repository.cc.o.d"
+  "/root/repo/src/dynlink/synthesized.cc" "src/dynlink/CMakeFiles/ode_dynlink.dir/synthesized.cc.o" "gcc" "src/dynlink/CMakeFiles/ode_dynlink.dir/synthesized.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ode_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/odb/CMakeFiles/ode_odb.dir/DependInfo.cmake"
+  "/root/repo/build/src/owl/CMakeFiles/ode_owl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ode_dynlink.dir/lab_modules.cc.o"
+  "CMakeFiles/ode_dynlink.dir/lab_modules.cc.o.d"
+  "CMakeFiles/ode_dynlink.dir/linker.cc.o"
+  "CMakeFiles/ode_dynlink.dir/linker.cc.o.d"
+  "CMakeFiles/ode_dynlink.dir/repository.cc.o"
+  "CMakeFiles/ode_dynlink.dir/repository.cc.o.d"
+  "CMakeFiles/ode_dynlink.dir/synthesized.cc.o"
+  "CMakeFiles/ode_dynlink.dir/synthesized.cc.o.d"
+  "libode_dynlink.a"
+  "libode_dynlink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ode_dynlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libode_dynlink.a"
+)

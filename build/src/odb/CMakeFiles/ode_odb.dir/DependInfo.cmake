@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/odb/buffer_pool.cc" "src/odb/CMakeFiles/ode_odb.dir/buffer_pool.cc.o" "gcc" "src/odb/CMakeFiles/ode_odb.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/odb/catalog.cc" "src/odb/CMakeFiles/ode_odb.dir/catalog.cc.o" "gcc" "src/odb/CMakeFiles/ode_odb.dir/catalog.cc.o.d"
+  "/root/repo/src/odb/database.cc" "src/odb/CMakeFiles/ode_odb.dir/database.cc.o" "gcc" "src/odb/CMakeFiles/ode_odb.dir/database.cc.o.d"
+  "/root/repo/src/odb/ddl_parser.cc" "src/odb/CMakeFiles/ode_odb.dir/ddl_parser.cc.o" "gcc" "src/odb/CMakeFiles/ode_odb.dir/ddl_parser.cc.o.d"
+  "/root/repo/src/odb/heap_file.cc" "src/odb/CMakeFiles/ode_odb.dir/heap_file.cc.o" "gcc" "src/odb/CMakeFiles/ode_odb.dir/heap_file.cc.o.d"
+  "/root/repo/src/odb/integrity.cc" "src/odb/CMakeFiles/ode_odb.dir/integrity.cc.o" "gcc" "src/odb/CMakeFiles/ode_odb.dir/integrity.cc.o.d"
+  "/root/repo/src/odb/labdb.cc" "src/odb/CMakeFiles/ode_odb.dir/labdb.cc.o" "gcc" "src/odb/CMakeFiles/ode_odb.dir/labdb.cc.o.d"
+  "/root/repo/src/odb/lexer.cc" "src/odb/CMakeFiles/ode_odb.dir/lexer.cc.o" "gcc" "src/odb/CMakeFiles/ode_odb.dir/lexer.cc.o.d"
+  "/root/repo/src/odb/pager.cc" "src/odb/CMakeFiles/ode_odb.dir/pager.cc.o" "gcc" "src/odb/CMakeFiles/ode_odb.dir/pager.cc.o.d"
+  "/root/repo/src/odb/predicate.cc" "src/odb/CMakeFiles/ode_odb.dir/predicate.cc.o" "gcc" "src/odb/CMakeFiles/ode_odb.dir/predicate.cc.o.d"
+  "/root/repo/src/odb/schema.cc" "src/odb/CMakeFiles/ode_odb.dir/schema.cc.o" "gcc" "src/odb/CMakeFiles/ode_odb.dir/schema.cc.o.d"
+  "/root/repo/src/odb/slotted_page.cc" "src/odb/CMakeFiles/ode_odb.dir/slotted_page.cc.o" "gcc" "src/odb/CMakeFiles/ode_odb.dir/slotted_page.cc.o.d"
+  "/root/repo/src/odb/typecheck.cc" "src/odb/CMakeFiles/ode_odb.dir/typecheck.cc.o" "gcc" "src/odb/CMakeFiles/ode_odb.dir/typecheck.cc.o.d"
+  "/root/repo/src/odb/value.cc" "src/odb/CMakeFiles/ode_odb.dir/value.cc.o" "gcc" "src/odb/CMakeFiles/ode_odb.dir/value.cc.o.d"
+  "/root/repo/src/odb/value_codec.cc" "src/odb/CMakeFiles/ode_odb.dir/value_codec.cc.o" "gcc" "src/odb/CMakeFiles/ode_odb.dir/value_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ode_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

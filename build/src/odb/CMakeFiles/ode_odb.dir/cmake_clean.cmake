@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ode_odb.dir/buffer_pool.cc.o"
+  "CMakeFiles/ode_odb.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/ode_odb.dir/catalog.cc.o"
+  "CMakeFiles/ode_odb.dir/catalog.cc.o.d"
+  "CMakeFiles/ode_odb.dir/database.cc.o"
+  "CMakeFiles/ode_odb.dir/database.cc.o.d"
+  "CMakeFiles/ode_odb.dir/ddl_parser.cc.o"
+  "CMakeFiles/ode_odb.dir/ddl_parser.cc.o.d"
+  "CMakeFiles/ode_odb.dir/heap_file.cc.o"
+  "CMakeFiles/ode_odb.dir/heap_file.cc.o.d"
+  "CMakeFiles/ode_odb.dir/integrity.cc.o"
+  "CMakeFiles/ode_odb.dir/integrity.cc.o.d"
+  "CMakeFiles/ode_odb.dir/labdb.cc.o"
+  "CMakeFiles/ode_odb.dir/labdb.cc.o.d"
+  "CMakeFiles/ode_odb.dir/lexer.cc.o"
+  "CMakeFiles/ode_odb.dir/lexer.cc.o.d"
+  "CMakeFiles/ode_odb.dir/pager.cc.o"
+  "CMakeFiles/ode_odb.dir/pager.cc.o.d"
+  "CMakeFiles/ode_odb.dir/predicate.cc.o"
+  "CMakeFiles/ode_odb.dir/predicate.cc.o.d"
+  "CMakeFiles/ode_odb.dir/schema.cc.o"
+  "CMakeFiles/ode_odb.dir/schema.cc.o.d"
+  "CMakeFiles/ode_odb.dir/slotted_page.cc.o"
+  "CMakeFiles/ode_odb.dir/slotted_page.cc.o.d"
+  "CMakeFiles/ode_odb.dir/typecheck.cc.o"
+  "CMakeFiles/ode_odb.dir/typecheck.cc.o.d"
+  "CMakeFiles/ode_odb.dir/value.cc.o"
+  "CMakeFiles/ode_odb.dir/value.cc.o.d"
+  "CMakeFiles/ode_odb.dir/value_codec.cc.o"
+  "CMakeFiles/ode_odb.dir/value_codec.cc.o.d"
+  "libode_odb.a"
+  "libode_odb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ode_odb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

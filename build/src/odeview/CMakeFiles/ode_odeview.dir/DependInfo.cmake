@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/odeview/app.cc" "src/odeview/CMakeFiles/ode_odeview.dir/app.cc.o" "gcc" "src/odeview/CMakeFiles/ode_odeview.dir/app.cc.o.d"
+  "/root/repo/src/odeview/browse_node.cc" "src/odeview/CMakeFiles/ode_odeview.dir/browse_node.cc.o" "gcc" "src/odeview/CMakeFiles/ode_odeview.dir/browse_node.cc.o.d"
+  "/root/repo/src/odeview/dag_view.cc" "src/odeview/CMakeFiles/ode_odeview.dir/dag_view.cc.o" "gcc" "src/odeview/CMakeFiles/ode_odeview.dir/dag_view.cc.o.d"
+  "/root/repo/src/odeview/db_interactor.cc" "src/odeview/CMakeFiles/ode_odeview.dir/db_interactor.cc.o" "gcc" "src/odeview/CMakeFiles/ode_odeview.dir/db_interactor.cc.o.d"
+  "/root/repo/src/odeview/display_state.cc" "src/odeview/CMakeFiles/ode_odeview.dir/display_state.cc.o" "gcc" "src/odeview/CMakeFiles/ode_odeview.dir/display_state.cc.o.d"
+  "/root/repo/src/odeview/join_view.cc" "src/odeview/CMakeFiles/ode_odeview.dir/join_view.cc.o" "gcc" "src/odeview/CMakeFiles/ode_odeview.dir/join_view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ode_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/odb/CMakeFiles/ode_odb.dir/DependInfo.cmake"
+  "/root/repo/build/src/owl/CMakeFiles/ode_owl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/ode_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynlink/CMakeFiles/ode_dynlink.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

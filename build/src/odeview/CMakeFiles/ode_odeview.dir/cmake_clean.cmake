@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ode_odeview.dir/app.cc.o"
+  "CMakeFiles/ode_odeview.dir/app.cc.o.d"
+  "CMakeFiles/ode_odeview.dir/browse_node.cc.o"
+  "CMakeFiles/ode_odeview.dir/browse_node.cc.o.d"
+  "CMakeFiles/ode_odeview.dir/dag_view.cc.o"
+  "CMakeFiles/ode_odeview.dir/dag_view.cc.o.d"
+  "CMakeFiles/ode_odeview.dir/db_interactor.cc.o"
+  "CMakeFiles/ode_odeview.dir/db_interactor.cc.o.d"
+  "CMakeFiles/ode_odeview.dir/display_state.cc.o"
+  "CMakeFiles/ode_odeview.dir/display_state.cc.o.d"
+  "CMakeFiles/ode_odeview.dir/join_view.cc.o"
+  "CMakeFiles/ode_odeview.dir/join_view.cc.o.d"
+  "libode_odeview.a"
+  "libode_odeview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ode_odeview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

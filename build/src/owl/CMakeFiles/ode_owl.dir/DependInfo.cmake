@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/owl/bitmap.cc" "src/owl/CMakeFiles/ode_owl.dir/bitmap.cc.o" "gcc" "src/owl/CMakeFiles/ode_owl.dir/bitmap.cc.o.d"
+  "/root/repo/src/owl/framebuffer.cc" "src/owl/CMakeFiles/ode_owl.dir/framebuffer.cc.o" "gcc" "src/owl/CMakeFiles/ode_owl.dir/framebuffer.cc.o.d"
+  "/root/repo/src/owl/server.cc" "src/owl/CMakeFiles/ode_owl.dir/server.cc.o" "gcc" "src/owl/CMakeFiles/ode_owl.dir/server.cc.o.d"
+  "/root/repo/src/owl/widget.cc" "src/owl/CMakeFiles/ode_owl.dir/widget.cc.o" "gcc" "src/owl/CMakeFiles/ode_owl.dir/widget.cc.o.d"
+  "/root/repo/src/owl/widgets.cc" "src/owl/CMakeFiles/ode_owl.dir/widgets.cc.o" "gcc" "src/owl/CMakeFiles/ode_owl.dir/widgets.cc.o.d"
+  "/root/repo/src/owl/window.cc" "src/owl/CMakeFiles/ode_owl.dir/window.cc.o" "gcc" "src/owl/CMakeFiles/ode_owl.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ode_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

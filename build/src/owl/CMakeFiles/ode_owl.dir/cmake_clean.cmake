@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ode_owl.dir/bitmap.cc.o"
+  "CMakeFiles/ode_owl.dir/bitmap.cc.o.d"
+  "CMakeFiles/ode_owl.dir/framebuffer.cc.o"
+  "CMakeFiles/ode_owl.dir/framebuffer.cc.o.d"
+  "CMakeFiles/ode_owl.dir/server.cc.o"
+  "CMakeFiles/ode_owl.dir/server.cc.o.d"
+  "CMakeFiles/ode_owl.dir/widget.cc.o"
+  "CMakeFiles/ode_owl.dir/widget.cc.o.d"
+  "CMakeFiles/ode_owl.dir/widgets.cc.o"
+  "CMakeFiles/ode_owl.dir/widgets.cc.o.d"
+  "CMakeFiles/ode_owl.dir/window.cc.o"
+  "CMakeFiles/ode_owl.dir/window.cc.o.d"
+  "libode_owl.a"
+  "libode_owl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ode_owl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/ode_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/ode_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/dag_test.cc" "tests/CMakeFiles/ode_tests.dir/dag_test.cc.o" "gcc" "tests/CMakeFiles/ode_tests.dir/dag_test.cc.o.d"
+  "/root/repo/tests/database_test.cc" "tests/CMakeFiles/ode_tests.dir/database_test.cc.o" "gcc" "tests/CMakeFiles/ode_tests.dir/database_test.cc.o.d"
+  "/root/repo/tests/ddl_parser_test.cc" "tests/CMakeFiles/ode_tests.dir/ddl_parser_test.cc.o" "gcc" "tests/CMakeFiles/ode_tests.dir/ddl_parser_test.cc.o.d"
+  "/root/repo/tests/dynlink_test.cc" "tests/CMakeFiles/ode_tests.dir/dynlink_test.cc.o" "gcc" "tests/CMakeFiles/ode_tests.dir/dynlink_test.cc.o.d"
+  "/root/repo/tests/edge_cases_test.cc" "tests/CMakeFiles/ode_tests.dir/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/ode_tests.dir/edge_cases_test.cc.o.d"
+  "/root/repo/tests/evolution_test.cc" "tests/CMakeFiles/ode_tests.dir/evolution_test.cc.o" "gcc" "tests/CMakeFiles/ode_tests.dir/evolution_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/ode_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/ode_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/failure_injection_test.cc" "tests/CMakeFiles/ode_tests.dir/failure_injection_test.cc.o" "gcc" "tests/CMakeFiles/ode_tests.dir/failure_injection_test.cc.o.d"
+  "/root/repo/tests/golden_render_test.cc" "tests/CMakeFiles/ode_tests.dir/golden_render_test.cc.o" "gcc" "tests/CMakeFiles/ode_tests.dir/golden_render_test.cc.o.d"
+  "/root/repo/tests/odeview_test.cc" "tests/CMakeFiles/ode_tests.dir/odeview_test.cc.o" "gcc" "tests/CMakeFiles/ode_tests.dir/odeview_test.cc.o.d"
+  "/root/repo/tests/odeview_widgets_test.cc" "tests/CMakeFiles/ode_tests.dir/odeview_widgets_test.cc.o" "gcc" "tests/CMakeFiles/ode_tests.dir/odeview_widgets_test.cc.o.d"
+  "/root/repo/tests/owl_test.cc" "tests/CMakeFiles/ode_tests.dir/owl_test.cc.o" "gcc" "tests/CMakeFiles/ode_tests.dir/owl_test.cc.o.d"
+  "/root/repo/tests/predicate_test.cc" "tests/CMakeFiles/ode_tests.dir/predicate_test.cc.o" "gcc" "tests/CMakeFiles/ode_tests.dir/predicate_test.cc.o.d"
+  "/root/repo/tests/schema_test.cc" "tests/CMakeFiles/ode_tests.dir/schema_test.cc.o" "gcc" "tests/CMakeFiles/ode_tests.dir/schema_test.cc.o.d"
+  "/root/repo/tests/storage_fuzz_test.cc" "tests/CMakeFiles/ode_tests.dir/storage_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/ode_tests.dir/storage_fuzz_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/ode_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/ode_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/value_test.cc" "tests/CMakeFiles/ode_tests.dir/value_test.cc.o" "gcc" "tests/CMakeFiles/ode_tests.dir/value_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/odeview/CMakeFiles/ode_odeview.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/ode_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynlink/CMakeFiles/ode_dynlink.dir/DependInfo.cmake"
+  "/root/repo/build/src/odb/CMakeFiles/ode_odb.dir/DependInfo.cmake"
+  "/root/repo/build/src/owl/CMakeFiles/ode_owl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ode_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,60 @@
+#include "common/threading.h"
+
+#include <utility>
+
+namespace ode {
+
+void BackgroundWorker::Submit(std::function<void()> task) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopping_) return;
+  queue_.push_back(std::move(task));
+  if (!started_) {
+    started_ = true;
+    thread_ = std::thread(&BackgroundWorker::Loop, this);
+  }
+  work_cv_.notify_one();
+}
+
+void BackgroundWorker::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock,
+                [this] { return (queue_.empty() && !busy_) || stopping_; });
+}
+
+void BackgroundWorker::Stop() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+    queue_.clear();
+    work_cv_.notify_all();
+    idle_cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+size_t BackgroundWorker::pending() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void BackgroundWorker::Loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      if (stopping_) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      busy_ = false;
+      if (queue_.empty()) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace ode

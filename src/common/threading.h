@@ -1,0 +1,54 @@
+#ifndef ODEVIEW_COMMON_THREADING_H_
+#define ODEVIEW_COMMON_THREADING_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace ode {
+
+/// A single worker thread draining a FIFO of closures.
+///
+/// The thread is spawned lazily on the first `Submit()` so idle owners
+/// (e.g. a buffer pool that never prefetches) cost nothing. `Stop()`
+/// drops pending tasks and joins; after `Stop()` further submissions
+/// are ignored. All methods are thread-safe.
+class BackgroundWorker {
+ public:
+  BackgroundWorker() = default;
+  ~BackgroundWorker() { Stop(); }
+
+  BackgroundWorker(const BackgroundWorker&) = delete;
+  BackgroundWorker& operator=(const BackgroundWorker&) = delete;
+
+  /// Enqueues `task`; starts the worker thread on first use.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void Drain();
+
+  /// Drops pending tasks, asks the worker to exit, and joins it.
+  void Stop();
+
+  /// Tasks queued but not yet started (approximate, for backpressure).
+  size_t pending() const;
+
+ private:
+  void Loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< wakes the worker
+  std::condition_variable idle_cv_;  ///< wakes Drain()
+  std::deque<std::function<void()>> queue_;
+  std::thread thread_;
+  bool started_ = false;
+  bool stopping_ = false;
+  bool busy_ = false;
+};
+
+}  // namespace ode
+
+#endif  // ODEVIEW_COMMON_THREADING_H_

@@ -1,17 +1,42 @@
 #include "odb/buffer_pool.h"
 
 #include <cassert>
+#include <vector>
 
 namespace ode::odb {
+
+namespace {
+
+/// Auto shard-count policy: one shard per 32 frames, capped at 8, so
+/// tiny pools behave exactly like the unsharded seed pool.
+constexpr size_t kFramesPerAutoShard = 32;
+constexpr size_t kMaxAutoShards = 8;
+
+/// Prefetch queue backpressure: beyond this many pending pages new
+/// prefetch requests are dropped rather than queued.
+constexpr size_t kMaxPendingPrefetches = 64;
+
+size_t ResolveShardCount(size_t capacity, size_t requested) {
+  if (requested == 0) {
+    requested = capacity / kFramesPerAutoShard;
+    if (requested > kMaxAutoShards) requested = kMaxAutoShards;
+  }
+  if (requested < 1) requested = 1;
+  if (requested > capacity) requested = capacity;
+  return requested;
+}
+
+}  // namespace
 
 PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
   if (this != &other) {
     Release();
-    pool_ = other.pool_;
+    frame_ = other.frame_;
     id_ = other.id_;
     page_ = other.page_;
+    intent_ = other.intent_;
     dirty_ = other.dirty_;
-    other.pool_ = nullptr;
+    other.frame_ = nullptr;
     other.page_ = nullptr;
     other.id_ = kNoPage;
     other.dirty_ = false;
@@ -22,62 +47,141 @@ PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
 PageHandle::~PageHandle() { Release(); }
 
 void PageHandle::Release() {
-  if (pool_ != nullptr) {
-    pool_->Unpin(id_, dirty_);
-    pool_ = nullptr;
+  if (frame_ != nullptr) {
+    BufferPool::ReleaseHandle(frame_, dirty_, intent_);
+    frame_ = nullptr;
     page_ = nullptr;
     dirty_ = false;
   }
 }
 
-BufferPool::BufferPool(Pager* pager, size_t capacity) : pager_(pager) {
-  if (capacity == 0) capacity = 1;
-  frames_.resize(capacity);
+void BufferPool::ReleaseHandle(internal::Frame* frame, bool dirty,
+                               PageIntent intent) {
+  if (intent == PageIntent::kWrite) {
+    frame->latch.unlock();
+  } else {
+    frame->latch.unlock_shared();
+  }
+  if (dirty) frame->dirty.store(true, std::memory_order_relaxed);
+  // Release ordering publishes the page content and dirty flag to the
+  // evictor, which observes pin_count == 0 with acquire.
+  frame->pin_count.fetch_sub(1, std::memory_order_release);
 }
 
-Result<PageHandle> BufferPool::Fetch(PageId id) {
-  auto it = page_to_frame_.find(id);
-  if (it != page_to_frame_.end()) {
-    ++stats_.hits;
-    Frame& frame = frames_[it->second];
-    ++frame.pin_count;
-    TouchLru(it->second);
-    return PageHandle(this, id, &frame.page);
+BufferPool::BufferPool(Pager* pager, size_t capacity, size_t shards)
+    : pager_(pager) {
+  if (capacity == 0) capacity = 1;
+  capacity_ = capacity;
+  shard_count_ = ResolveShardCount(capacity, shards);
+  shards_ = std::make_unique<Shard[]>(shard_count_);
+  size_t base = capacity / shard_count_;
+  size_t extra = capacity % shard_count_;
+  for (size_t i = 0; i < shard_count_; ++i) {
+    size_t n = base + (i < extra ? 1 : 0);
+    shards_[i].frames = std::make_unique<internal::Frame[]>(n);
+    shards_[i].frame_count = n;
   }
-  ++stats_.misses;
-  ODE_ASSIGN_OR_RETURN(size_t idx, AcquireFrame());
-  Frame& frame = frames_[idx];
-  ODE_RETURN_IF_ERROR(pager_->Read(id, &frame.page));
-  frame.id = id;
-  frame.pin_count = 1;
-  frame.dirty = false;
-  frame.in_use = true;
-  page_to_frame_[id] = idx;
-  TouchLru(idx);
-  return PageHandle(this, id, &frame.page);
+}
+
+BufferPool::~BufferPool() { prefetcher_.Stop(); }
+
+Result<PageHandle> BufferPool::Fetch(PageId id, PageIntent intent) {
+  Shard& shard = ShardOf(id);
+  internal::Frame* frame = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lookups.fetch_add(1, std::memory_order_relaxed);
+    auto it = shard.page_to_frame.find(id);
+    if (it != shard.page_to_frame.end()) {
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
+      frame = &shard.frames[it->second];
+      frame->pin_count.fetch_add(1, std::memory_order_relaxed);
+      TouchLru(shard, it->second);
+    } else {
+      shard.misses.fetch_add(1, std::memory_order_relaxed);
+      ODE_ASSIGN_OR_RETURN(size_t idx, AcquireFrame(shard));
+      frame = &shard.frames[idx];
+      ODE_RETURN_IF_ERROR(pager_->Read(id, &frame->page));
+      frame->id = id;
+      frame->pin_count.store(1, std::memory_order_relaxed);
+      frame->dirty.store(false, std::memory_order_relaxed);
+      frame->in_use = true;
+      shard.page_to_frame[id] = idx;
+      TouchLru(shard, idx);
+    }
+  }
+  // Latch outside the shard lock: a blocked latch acquisition must not
+  // stall unrelated fetches in this shard (and holding the shard lock
+  // while waiting on a latch could deadlock against a latch holder
+  // fetching another page of the same shard). The pin taken above
+  // keeps the frame from being evicted or repurposed meanwhile.
+  // Try-latch first so the uncontended path (including single-threaded
+  // callers holding several handles, where frame latches are taken in
+  // arbitrary order) never registers a blocking hold-and-wait.
+  if (intent == PageIntent::kWrite) {
+    if (!frame->latch.try_lock()) frame->latch.lock();
+  } else {
+    if (!frame->latch.try_lock_shared()) frame->latch.lock_shared();
+  }
+  return PageHandle(frame, id, &frame->page, intent);
 }
 
 Result<PageHandle> BufferPool::NewPage() {
   ODE_ASSIGN_OR_RETURN(PageId id, pager_->Allocate());
-  ODE_ASSIGN_OR_RETURN(size_t idx, AcquireFrame());
-  Frame& frame = frames_[idx];
-  frame.page.Zero();
-  frame.id = id;
-  frame.pin_count = 1;
-  frame.dirty = true;  // ensure the zeroed page reaches the backend
-  frame.in_use = true;
-  page_to_frame_[id] = idx;
-  TouchLru(idx);
-  return PageHandle(this, id, &frame.page);
+  Shard& shard = ShardOf(id);
+  internal::Frame* frame = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ODE_ASSIGN_OR_RETURN(size_t idx, AcquireFrame(shard));
+    frame = &shard.frames[idx];
+    frame->page.Zero();
+    frame->id = id;
+    frame->pin_count.store(1, std::memory_order_relaxed);
+    // Dirty so the zeroed page reaches the backend.
+    frame->dirty.store(true, std::memory_order_relaxed);
+    frame->in_use = true;
+    shard.page_to_frame[id] = idx;
+    TouchLru(shard, idx);
+  }
+  frame->latch.lock();
+  return PageHandle(frame, id, &frame->page, PageIntent::kWrite);
 }
 
 Status BufferPool::FlushAll() {
-  for (Frame& frame : frames_) {
-    if (frame.in_use && frame.dirty) {
-      ODE_RETURN_IF_ERROR(pager_->Write(frame.id, frame.page));
-      frame.dirty = false;
-      ++stats_.writebacks;
+  for (size_t s = 0; s < shard_count_; ++s) {
+    Shard& shard = shards_[s];
+    // Pin every dirty frame under the shard lock, then write back
+    // outside it under a shared latch (so in-flight writers are
+    // excluded without risking a latch-vs-shard-lock deadlock).
+    std::vector<internal::Frame*> to_flush;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (size_t i = 0; i < shard.frame_count; ++i) {
+        internal::Frame& frame = shard.frames[i];
+        if (frame.in_use && frame.dirty.load(std::memory_order_relaxed)) {
+          frame.pin_count.fetch_add(1, std::memory_order_relaxed);
+          to_flush.push_back(&frame);
+        }
+      }
     }
+    Status failure = Status::OK();
+    for (internal::Frame* frame : to_flush) {
+      if (failure.ok()) {
+        frame->latch.lock_shared();
+        if (frame->dirty.load(std::memory_order_acquire)) {
+          Status written = pager_->Write(frame->id, frame->page);
+          if (written.ok()) {
+            frame->dirty.store(false, std::memory_order_relaxed);
+            shard.writebacks.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            failure = written;
+          }
+        }
+        frame->latch.unlock_shared();
+      }
+      frame->pin_count.fetch_sub(1, std::memory_order_release);
+    }
+    ODE_RETURN_IF_ERROR(failure);
   }
   return Status::OK();
 }
@@ -87,51 +191,77 @@ Status BufferPool::Sync() {
   return pager_->Sync();
 }
 
-void BufferPool::Unpin(PageId id, bool dirty) {
-  auto it = page_to_frame_.find(id);
-  assert(it != page_to_frame_.end());
-  if (it == page_to_frame_.end()) return;
-  Frame& frame = frames_[it->second];
-  assert(frame.pin_count > 0);
-  if (frame.pin_count > 0) --frame.pin_count;
-  if (dirty) frame.dirty = true;
+void BufferPool::Prefetch(PageId id) {
+  if (id == kNoPage || Cached(id)) return;
+  if (prefetcher_.pending() >= kMaxPendingPrefetches) return;
+  prefetches_.fetch_add(1, std::memory_order_relaxed);
+  prefetcher_.Submit([this, id] {
+    // Pin briefly with read intent so the page lands in its shard;
+    // errors (e.g. a speculative id past the end) are ignored.
+    Result<PageHandle> handle = Fetch(id, PageIntent::kRead);
+    (void)handle;
+  });
 }
 
-Result<size_t> BufferPool::AcquireFrame() {
+void BufferPool::WaitForPrefetches() { prefetcher_.Drain(); }
+
+bool BufferPool::Cached(PageId id) const {
+  const Shard& shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.page_to_frame.find(id) != shard.page_to_frame.end();
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  Stats total;
+  for (size_t i = 0; i < shard_count_; ++i) {
+    const Shard& shard = shards_[i];
+    total.lookups += shard.lookups.load(std::memory_order_relaxed);
+    total.hits += shard.hits.load(std::memory_order_relaxed);
+    total.misses += shard.misses.load(std::memory_order_relaxed);
+    total.evictions += shard.evictions.load(std::memory_order_relaxed);
+    total.writebacks += shard.writebacks.load(std::memory_order_relaxed);
+  }
+  total.prefetches = prefetches_.load(std::memory_order_relaxed);
+  return total;
+}
+
+Result<size_t> BufferPool::AcquireFrame(Shard& shard) {
   // Unused frame first.
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    if (!frames_[i].in_use) return i;
+  for (size_t i = 0; i < shard.frame_count; ++i) {
+    if (!shard.frames[i].in_use) return i;
   }
   // Evict the least recently used unpinned frame.
-  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+  for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
     size_t idx = *it;
-    Frame& frame = frames_[idx];
-    if (frame.pin_count > 0) continue;
-    if (frame.dirty) {
+    internal::Frame& frame = shard.frames[idx];
+    // Acquire pairs with the releasing unpin: a zero pin count means
+    // the last holder's page writes and dirty flag are visible here.
+    if (frame.pin_count.load(std::memory_order_acquire) > 0) continue;
+    if (frame.dirty.load(std::memory_order_relaxed)) {
       ODE_RETURN_IF_ERROR(pager_->Write(frame.id, frame.page));
-      ++stats_.writebacks;
+      shard.writebacks.fetch_add(1, std::memory_order_relaxed);
     }
-    page_to_frame_.erase(frame.id);
-    auto pos = lru_pos_.find(idx);
-    if (pos != lru_pos_.end()) {
-      lru_.erase(pos->second);
-      lru_pos_.erase(pos);
+    shard.page_to_frame.erase(frame.id);
+    auto pos = shard.lru_pos.find(idx);
+    if (pos != shard.lru_pos.end()) {
+      shard.lru.erase(pos->second);
+      shard.lru_pos.erase(pos);
     }
     frame.in_use = false;
     frame.id = kNoPage;
-    frame.dirty = false;
-    ++stats_.evictions;
+    frame.dirty.store(false, std::memory_order_relaxed);
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
     return idx;
   }
   return Status::FailedPrecondition(
-      "buffer pool exhausted: all frames pinned");
+      "buffer pool exhausted: all frames of the shard pinned");
 }
 
-void BufferPool::TouchLru(size_t frame_index) {
-  auto pos = lru_pos_.find(frame_index);
-  if (pos != lru_pos_.end()) lru_.erase(pos->second);
-  lru_.push_front(frame_index);
-  lru_pos_[frame_index] = lru_.begin();
+void BufferPool::TouchLru(Shard& shard, size_t frame_index) {
+  auto pos = shard.lru_pos.find(frame_index);
+  if (pos != shard.lru_pos.end()) shard.lru.erase(pos->second);
+  shard.lru.push_front(frame_index);
+  shard.lru_pos[frame_index] = shard.lru.begin();
 }
 
 }  // namespace ode::odb

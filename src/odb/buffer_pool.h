@@ -1,13 +1,17 @@
 #ifndef ODEVIEW_ODB_BUFFER_POOL_H_
 #define ODEVIEW_ODB_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
-#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/threading.h"
 #include "odb/page.h"
 #include "odb/pager.h"
 
@@ -15,8 +19,34 @@ namespace ode::odb {
 
 class BufferPool;
 
+/// How a caller intends to use a fetched page. The pool takes the
+/// frame's reader/writer latch accordingly: readers share, writers
+/// exclude. `kRead` is the default so legacy single-threaded call
+/// sites keep working; code that mutates a page from a worker thread
+/// must fetch with `kWrite`.
+enum class PageIntent : uint8_t { kRead, kWrite };
+
+namespace internal {
+
+/// One buffer frame. Pin count and dirty flag are atomic so a
+/// `PageHandle` can be released without taking the shard lock; the
+/// latch serializes page-content access across threads. `id` and
+/// `in_use` are protected by the owning shard's mutex (they are stable
+/// while the frame is pinned, so a pin holder may read them freely).
+struct Frame {
+  Page page;
+  PageId id = kNoPage;
+  std::atomic<int> pin_count{0};
+  std::atomic<bool> dirty{false};
+  bool in_use = false;
+  std::shared_mutex latch;
+};
+
+}  // namespace internal
+
 /// RAII pin on a buffered page. While a handle is alive the frame
-/// cannot be evicted. Call `MarkDirty()` after mutating the page.
+/// cannot be evicted and the frame latch is held in the handle's
+/// intent mode. Call `MarkDirty()` after mutating the page.
 class PageHandle {
  public:
   PageHandle() = default;
@@ -26,7 +56,7 @@ class PageHandle {
   PageHandle& operator=(const PageHandle&) = delete;
   ~PageHandle();
 
-  bool valid() const { return pool_ != nullptr; }
+  bool valid() const { return frame_ != nullptr; }
   PageId id() const { return id_; }
   Page* page() { return page_; }
   const Page* page() const { return page_; }
@@ -37,38 +67,65 @@ class PageHandle {
 
  private:
   friend class BufferPool;
-  PageHandle(BufferPool* pool, PageId id, Page* page)
-      : pool_(pool), id_(id), page_(page) {}
+  PageHandle(internal::Frame* frame, PageId id, Page* page,
+             PageIntent intent)
+      : frame_(frame), id_(id), page_(page), intent_(intent) {}
 
-  BufferPool* pool_ = nullptr;
+  internal::Frame* frame_ = nullptr;
   PageId id_ = kNoPage;
   Page* page_ = nullptr;
+  PageIntent intent_ = PageIntent::kRead;
   bool dirty_ = false;
 };
 
-/// Fixed-capacity page cache with LRU eviction and pin counting.
+/// Fixed-capacity page cache with LRU eviction and pin counting,
+/// lock-sharded for concurrent access.
 ///
-/// All storage-layer reads and writes go through the pool; dirty frames
-/// are written back on eviction and on `FlushAll()`.
+/// The pool is split into N sub-pools ("shards") keyed by page id;
+/// each shard has its own mutex, frame set, LRU list, and statistics
+/// counters, so threads touching different shards never contend.
+/// Within one shard the seed's semantics are preserved exactly: LRU
+/// eviction order, pinned frames never evicted, dirty frames written
+/// back on eviction and on `FlushAll()`. Capacity is partitioned
+/// across shards (a shard whose frames are all pinned fails fetches
+/// with FailedPrecondition even if other shards have room).
+///
+/// All storage-layer reads and writes go through the pool; a built-in
+/// prefetcher (`Prefetch`) warms pages on a background thread.
 class BufferPool {
  public:
   struct Stats {
+    uint64_t lookups = 0;  ///< Fetch calls (hits + misses)
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
     uint64_t writebacks = 0;
+    uint64_t prefetches = 0;  ///< pages scheduled on the prefetch thread
   };
 
-  /// `capacity` is the number of frames; must be >= 1.
-  BufferPool(Pager* pager, size_t capacity);
+  /// `capacity` is the total number of frames; must be >= 1.
+  /// `shards` = 0 picks automatically: one shard per 32 frames, at
+  /// most 8 — so small pools (tests, benchmarks) stay single-sharded
+  /// and behave exactly like the unsharded pool. The shard count is
+  /// clamped to `capacity` so every shard owns at least one frame.
+  explicit BufferPool(Pager* pager, size_t capacity, size_t shards = 0);
+  ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Pins page `id`, reading it from the pager on a miss.
-  Result<PageHandle> Fetch(PageId id);
+  /// Pins page `id`, reading it from the pager on a miss, and acquires
+  /// the frame latch in `intent` mode (blocking until available).
+  ///
+  /// A single thread may hold several handles at once, but threads that
+  /// do so while other threads contend for the same pages can deadlock
+  /// on frame latches (there is no global latch order). Layers above
+  /// the pool therefore hold at most one handle at a time; multi-handle
+  /// use is reserved for single-threaded callers such as fuzz harnesses.
+  Result<PageHandle> Fetch(PageId id, PageIntent intent = PageIntent::kRead);
 
-  /// Allocates a fresh zeroed page, pins it, and reports its id.
+  /// Allocates a fresh zeroed page, pins it (write intent), and
+  /// reports its id.
   Result<PageHandle> NewPage();
 
   /// Writes back every dirty frame (does not evict).
@@ -77,33 +134,62 @@ class BufferPool {
   /// Writes back dirty frames and syncs the pager.
   Status Sync();
 
-  const Stats& stats() const { return stats_; }
-  size_t capacity() const { return frames_.size(); }
+  /// Schedules `id` to be read into the pool by the background
+  /// prefetch thread. Cheap and non-blocking; already-cached pages and
+  /// backpressure overflows are skipped silently.
+  void Prefetch(PageId id);
+
+  /// Blocks until all scheduled prefetches finished (test hook).
+  void WaitForPrefetches();
+
+  /// Whether `id` currently resides in the pool (test hook).
+  bool Cached(PageId id) const;
+
+  /// Aggregates the per-shard atomic counters.
+  Stats stats() const;
+
+  size_t capacity() const { return capacity_; }
+  size_t shard_count() const { return shard_count_; }
   Pager* pager() { return pager_; }
 
  private:
   friend class PageHandle;
 
-  struct Frame {
-    Page page;
-    PageId id = kNoPage;
-    int pin_count = 0;
-    bool dirty = false;
-    bool in_use = false;
+  /// One lock-sharded sub-pool.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unique_ptr<internal::Frame[]> frames;
+    size_t frame_count = 0;
+    std::unordered_map<PageId, size_t> page_to_frame;
+    std::list<size_t> lru;  // front = most recent
+    std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos;
+    std::atomic<uint64_t> lookups{0};
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> writebacks{0};
   };
 
-  void Unpin(PageId id, bool dirty);
-  /// Returns a frame index to (re)use, evicting an unpinned LRU frame
-  /// if necessary. Fails when every frame is pinned.
-  Result<size_t> AcquireFrame();
-  void TouchLru(size_t frame_index);
+  Shard& ShardOf(PageId id) { return shards_[id % shard_count_]; }
+  const Shard& ShardOf(PageId id) const { return shards_[id % shard_count_]; }
+
+  /// Unlatches and unpins; called by PageHandle without the shard lock.
+  static void ReleaseHandle(internal::Frame* frame, bool dirty,
+                            PageIntent intent);
+
+  /// Returns a frame index to (re)use within `shard`, evicting an
+  /// unpinned LRU frame if necessary. Fails when every frame is
+  /// pinned. Caller holds `shard.mu`.
+  Result<size_t> AcquireFrame(Shard& shard);
+  /// Caller holds `shard.mu`.
+  void TouchLru(Shard& shard, size_t frame_index);
 
   Pager* pager_;
-  std::vector<Frame> frames_;
-  std::unordered_map<PageId, size_t> page_to_frame_;
-  std::list<size_t> lru_;  // front = most recent
-  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
-  Stats stats_;
+  size_t capacity_;
+  size_t shard_count_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<uint64_t> prefetches_{0};
+  BackgroundWorker prefetcher_;
 };
 
 }  // namespace ode::odb

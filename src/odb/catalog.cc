@@ -36,7 +36,13 @@ constexpr size_t kBlobHeaderSize = 6;
 constexpr size_t kBlobPayloadPerPage = kPageSize - kBlobHeaderSize;
 }  // namespace
 
+PageId FreeList::head() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return head_;
+}
+
 Result<PageId> FreeList::Acquire() {
+  std::lock_guard<std::mutex> lock(*mu_);
   if (head_ == kNoPage) {
     ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->NewPage());
     PageId id = handle.id();
@@ -44,7 +50,8 @@ Result<PageId> FreeList::Acquire() {
     return id;
   }
   PageId id = head_;
-  ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(id));
+  ODE_ASSIGN_OR_RETURN(PageHandle handle,
+                       pool_->Fetch(id, PageIntent::kWrite));
   head_ = DecodeFixed32(handle.page()->bytes());
   handle.page()->Zero();
   handle.MarkDirty();
@@ -52,7 +59,9 @@ Result<PageId> FreeList::Acquire() {
 }
 
 Status FreeList::Release(PageId id) {
-  ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(id));
+  std::lock_guard<std::mutex> lock(*mu_);
+  ODE_ASSIGN_OR_RETURN(PageHandle handle,
+                       pool_->Fetch(id, PageIntent::kWrite));
   handle.page()->Zero();
   StoreU32(handle.page()->bytes(), head_);
   handle.MarkDirty();
@@ -61,11 +70,13 @@ Status FreeList::Release(PageId id) {
 }
 
 Result<uint32_t> FreeList::Size() const {
+  std::lock_guard<std::mutex> lock(*mu_);
   uint32_t n = 0;
   PageId current = head_;
   while (current != kNoPage) {
     ++n;
-    ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(current));
+    ODE_ASSIGN_OR_RETURN(PageHandle handle,
+                         pool_->Fetch(current, PageIntent::kRead));
     current = DecodeFixed32(handle.page()->bytes());
     if (n > pool_->pager()->page_count()) {
       return Status::Corruption("free list cycle");
@@ -82,7 +93,8 @@ Result<PageId> WriteBlob(BufferPool* pool, FreeList* free_list,
   do {
     size_t chunk = std::min(kBlobPayloadPerPage, bytes.size() - offset);
     ODE_ASSIGN_OR_RETURN(PageId id, free_list->Acquire());
-    ODE_ASSIGN_OR_RETURN(PageHandle handle, pool->Fetch(id));
+    ODE_ASSIGN_OR_RETURN(PageHandle handle,
+                         pool->Fetch(id, PageIntent::kWrite));
     handle.page()->Zero();
     StoreU32(handle.page()->bytes(), kNoPage);
     StoreU16(handle.page()->bytes() + 4, static_cast<uint16_t>(chunk));
@@ -91,7 +103,8 @@ Result<PageId> WriteBlob(BufferPool* pool, FreeList* free_list,
     handle.MarkDirty();
     handle.Release();
     if (prev != kNoPage) {
-      ODE_ASSIGN_OR_RETURN(PageHandle prev_handle, pool->Fetch(prev));
+      ODE_ASSIGN_OR_RETURN(PageHandle prev_handle,
+                           pool->Fetch(prev, PageIntent::kWrite));
       StoreU32(prev_handle.page()->bytes(), id);
       prev_handle.MarkDirty();
     } else {
@@ -157,7 +170,7 @@ Result<Catalog> Catalog::Format(BufferPool* pool, std::string db_name) {
 }
 
 Result<Catalog> Catalog::Load(BufferPool* pool) {
-  ODE_ASSIGN_OR_RETURN(PageHandle super, pool->Fetch(0));
+  ODE_ASSIGN_OR_RETURN(PageHandle super, pool->Fetch(0, PageIntent::kRead));
   const char* bytes = super.page()->bytes();
   if (DecodeFixed64(bytes + kMagicOffset) != kMagic) {
     return Status::Corruption("bad database magic");
@@ -230,6 +243,7 @@ std::vector<const ClusterInfo*> Catalog::clusters() const {
 }
 
 Result<uint64_t> Catalog::NextLocalId(ClusterId id) {
+  std::lock_guard<std::mutex> lock(*id_mu_);
   auto it = clusters_.find(id);
   if (it == clusters_.end()) {
     return Status::NotFound("cluster " + std::to_string(id));
@@ -238,6 +252,7 @@ Result<uint64_t> Catalog::NextLocalId(ClusterId id) {
 }
 
 Status Catalog::BumpNextLocalId(ClusterId id, uint64_t at_least) {
+  std::lock_guard<std::mutex> lock(*id_mu_);
   auto it = clusters_.find(id);
   if (it == clusters_.end()) {
     return Status::NotFound("cluster " + std::to_string(id));
@@ -260,13 +275,18 @@ Status Catalog::Persist() {
 }
 
 Status Catalog::WriteSuperblock(PageId catalog_head) {
-  ODE_ASSIGN_OR_RETURN(PageHandle super, pool_->Fetch(0));
+  // Read the free-list head before latching page 0: the lock order
+  // puts the free-list mutex before frame latches (FreeList::Acquire
+  // latches fresh frames while holding its mutex).
+  PageId free_head = free_list_.head();
+  ODE_ASSIGN_OR_RETURN(PageHandle super,
+                       pool_->Fetch(0, PageIntent::kWrite));
   char* bytes = super.page()->bytes();
   super.page()->Zero();
   StoreU64(bytes + kMagicOffset, kMagic);
   StoreU32(bytes + kFormatOffset, kFormatVersion);
   StoreU32(bytes + kCatalogHeadOffset, catalog_head);
-  StoreU32(bytes + kFreeHeadOffset, free_list_.head());
+  StoreU32(bytes + kFreeHeadOffset, free_head);
   StoreU16(bytes + kNameLenOffset, static_cast<uint16_t>(db_name_.size()));
   std::memcpy(bytes + kNameOffset, db_name_.data(), db_name_.size());
   super.MarkDirty();

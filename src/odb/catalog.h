@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -18,11 +20,15 @@ namespace ode::odb {
 /// Page-allocation bookkeeping: a singly-linked free list threaded
 /// through freed pages (first 4 bytes = next free page). The head lives
 /// in the superblock and is managed by `Catalog`.
+/// Thread-safe: the list head and chain are guarded by an internal
+/// mutex, so heaps of different clusters may spill/reclaim overflow
+/// pages concurrently.
 class FreeList {
  public:
-  FreeList(BufferPool* pool, PageId head) : pool_(pool), head_(head) {}
+  FreeList(BufferPool* pool, PageId head)
+      : pool_(pool), head_(head), mu_(std::make_unique<std::mutex>()) {}
 
-  PageId head() const { return head_; }
+  PageId head() const;
 
   /// Pops a free page, or allocates a fresh one from the pager.
   Result<PageId> Acquire();
@@ -36,6 +42,9 @@ class FreeList {
  private:
   BufferPool* pool_;
   PageId head_;
+  /// In a unique_ptr so the list (and the Catalog holding it) stays
+  /// movable.
+  mutable std::unique_ptr<std::mutex> mu_;
 };
 
 /// Reads/writes a byte blob across a chain of pages from `free_list`.
@@ -101,7 +110,8 @@ class Catalog {
   Catalog(BufferPool* pool, std::string db_name, FreeList free_list)
       : pool_(pool),
         db_name_(std::move(db_name)),
-        free_list_(std::move(free_list)) {}
+        free_list_(std::move(free_list)),
+        id_mu_(std::make_unique<std::mutex>()) {}
 
   Status WriteSuperblock(PageId catalog_head);
   void EncodeBody(std::string* dst) const;
@@ -114,6 +124,11 @@ class Catalog {
   std::map<ClusterId, ClusterInfo> clusters_;
   ClusterId next_cluster_id_ = 1;
   PageId catalog_head_ = kNoPage;
+  /// Guards the per-cluster next-id watermarks, which concurrent
+  /// sessions bump while creating objects (schema changes themselves
+  /// are serialized by the Database's exclusive lock). unique_ptr
+  /// keeps the Catalog movable.
+  std::unique_ptr<std::mutex> id_mu_;
 };
 
 }  // namespace ode::odb

@@ -1,6 +1,8 @@
 #include "odb/database.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 
 #include "common/coding.h"
 #include "common/logging.h"
@@ -112,6 +114,8 @@ Result<std::unique_ptr<Database>> Database::OpenOnDisk(
 const std::string& Database::name() const { return catalog_->db_name(); }
 
 Status Database::DefineSchema(std::string_view ddl) {
+  std::unique_lock lock(schema_mu_);
+  BumpMutationEpoch();
   ODE_ASSIGN_OR_RETURN(Schema parsed, ParseSchema(ddl));
   for (const ClassDef& def : parsed.classes()) {
     ODE_RETURN_IF_ERROR(AddClassInternal(def, /*persist=*/false));
@@ -121,6 +125,8 @@ Status Database::DefineSchema(std::string_view ddl) {
 }
 
 Status Database::AddClass(ClassDef def) {
+  std::unique_lock lock(schema_mu_);
+  BumpMutationEpoch();
   ODE_RETURN_IF_ERROR(AddClassInternal(std::move(def), /*persist=*/true));
   return Status::OK();
 }
@@ -147,6 +153,8 @@ Status Database::AddClassInternal(ClassDef def, bool persist) {
 }
 
 Status Database::AlterClass(ClassDef def) {
+  std::unique_lock lock(schema_mu_);
+  BumpMutationEpoch();
   ODE_ASSIGN_OR_RETURN(const ClassDef* old_def, schema().GetClass(def.name));
   if (old_def->bases != def.bases) {
     return Status::InvalidArgument(
@@ -245,6 +253,8 @@ Result<Value> Database::DefaultMemberValue(const MemberDef& member) {
 }
 
 Status Database::DropClass(const std::string& class_name) {
+  std::unique_lock lock(schema_mu_);
+  BumpMutationEpoch();
   Result<const ClusterInfo*> cluster = catalog_->FindCluster(class_name);
   if (cluster.ok()) {
     ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap((*cluster)->id));
@@ -263,6 +273,7 @@ Status Database::DropClass(const std::string& class_name) {
 }
 
 Result<HeapFile*> Database::GetHeap(ClusterId id) {
+  std::lock_guard guard(heaps_mu_);
   auto it = heaps_.find(id);
   if (it != heaps_.end()) return &it->second;
   ODE_ASSIGN_OR_RETURN(const ClusterInfo* info, catalog_->FindCluster(id));
@@ -306,12 +317,19 @@ Status Database::CheckConstraints(const std::string& class_name,
   ODE_ASSIGN_OR_RETURN(std::vector<const ConstraintDef*> constraints,
                        EffectiveConstraints(class_name));
   for (const ConstraintDef* c : constraints) {
-    auto it = predicate_cache_.find(c->predicate_text);
-    if (it == predicate_cache_.end()) {
-      ODE_ASSIGN_OR_RETURN(Predicate p, ParsePredicate(c->predicate_text));
-      it = predicate_cache_.emplace(c->predicate_text, std::move(p)).first;
+    const Predicate* pred = nullptr;
+    {
+      // std::map nodes are stable, so the pointer survives concurrent
+      // inserts once the mutex is dropped.
+      std::lock_guard guard(predicate_mu_);
+      auto it = predicate_cache_.find(c->predicate_text);
+      if (it == predicate_cache_.end()) {
+        ODE_ASSIGN_OR_RETURN(Predicate p, ParsePredicate(c->predicate_text));
+        it = predicate_cache_.emplace(c->predicate_text, std::move(p)).first;
+      }
+      pred = &it->second;
     }
-    ODE_ASSIGN_OR_RETURN(bool ok, it->second.Evaluate(value));
+    ODE_ASSIGN_OR_RETURN(bool ok, pred->Evaluate(value));
     if (!ok) {
       return Status::ConstraintViolation("constraint '" +
                                          c->predicate_text +
@@ -330,14 +348,21 @@ Status Database::FireTriggers(const std::string& class_name, Oid oid,
     if (t->event != event) continue;
     bool fires = true;
     if (!t->condition_text.empty()) {
-      auto it = predicate_cache_.find(t->condition_text);
-      if (it == predicate_cache_.end()) {
-        ODE_ASSIGN_OR_RETURN(Predicate p, ParsePredicate(t->condition_text));
-        it = predicate_cache_.emplace(t->condition_text, std::move(p)).first;
+      const Predicate* pred = nullptr;
+      {
+        std::lock_guard guard(predicate_mu_);
+        auto it = predicate_cache_.find(t->condition_text);
+        if (it == predicate_cache_.end()) {
+          ODE_ASSIGN_OR_RETURN(Predicate p,
+                               ParsePredicate(t->condition_text));
+          it = predicate_cache_.emplace(t->condition_text, std::move(p)).first;
+        }
+        pred = &it->second;
       }
-      ODE_ASSIGN_OR_RETURN(fires, it->second.Evaluate(value));
+      ODE_ASSIGN_OR_RETURN(fires, pred->Evaluate(value));
     }
     if (fires) {
+      std::lock_guard guard(trigger_mu_);
       trigger_log_.push_back(
           TriggerFiring{class_name, oid, t->name, t->action, event});
     }
@@ -347,6 +372,7 @@ Status Database::FireTriggers(const std::string& class_name, Oid oid,
 
 Result<Oid> Database::CreateObject(const std::string& class_name,
                                    Value value) {
+  std::shared_lock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(const ClassDef* def, schema().GetClass(class_name));
   if (!def->persistent) {
     return Status::InvalidArgument("class '" + class_name +
@@ -363,6 +389,7 @@ Result<Oid> Database::CreateObject(const std::string& class_name,
   record.version = 1;
   record.value = std::move(value);
   ODE_RETURN_IF_ERROR(heap->Insert(local, EncodeObjectRecord(record)));
+  BumpMutationEpoch();
   Oid oid{cluster_id, local};
   ODE_RETURN_IF_ERROR(
       FireTriggers(class_name, oid, TriggerEvent::kCreate, record.value));
@@ -370,6 +397,11 @@ Result<Oid> Database::CreateObject(const std::string& class_name,
 }
 
 Result<ObjectBuffer> Database::GetObject(Oid oid) {
+  std::shared_lock lock(schema_mu_);
+  return GetObjectUnlocked(oid);
+}
+
+Result<ObjectBuffer> Database::GetObjectUnlocked(Oid oid) {
   ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
                        catalog_->FindCluster(oid.cluster));
   ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(oid.cluster));
@@ -384,6 +416,7 @@ Result<ObjectBuffer> Database::GetObject(Oid oid) {
 }
 
 Result<ObjectBuffer> Database::GetObjectVersion(Oid oid, uint32_t version) {
+  std::shared_lock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
                        catalog_->FindCluster(oid.cluster));
   ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(oid.cluster));
@@ -410,6 +443,7 @@ Result<ObjectBuffer> Database::GetObjectVersion(Oid oid, uint32_t version) {
 }
 
 Result<std::vector<uint32_t>> Database::ListVersions(Oid oid) {
+  std::shared_lock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(oid.cluster));
   ODE_ASSIGN_OR_RETURN(std::string bytes, heap->Get(oid.local));
   ODE_ASSIGN_OR_RETURN(ObjectRecord record, DecodeObjectRecord(bytes));
@@ -421,6 +455,7 @@ Result<std::vector<uint32_t>> Database::ListVersions(Oid oid) {
 }
 
 Status Database::UpdateObject(Oid oid, Value value) {
+  std::shared_lock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
                        catalog_->FindCluster(oid.cluster));
   ODE_ASSIGN_OR_RETURN(const ClassDef* def,
@@ -439,22 +474,26 @@ Status Database::UpdateObject(Oid oid, Value value) {
   record.version += 1;
   record.value = std::move(value);
   ODE_RETURN_IF_ERROR(heap->Update(oid.local, EncodeObjectRecord(record)));
+  BumpMutationEpoch();
   return FireTriggers(info->class_name, oid, TriggerEvent::kUpdate,
                       record.value);
 }
 
 Status Database::DeleteObject(Oid oid) {
+  std::shared_lock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
                        catalog_->FindCluster(oid.cluster));
   ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(oid.cluster));
   ODE_ASSIGN_OR_RETURN(std::string bytes, heap->Get(oid.local));
   ODE_ASSIGN_OR_RETURN(ObjectRecord record, DecodeObjectRecord(bytes));
   ODE_RETURN_IF_ERROR(heap->Delete(oid.local));
+  BumpMutationEpoch();
   return FireTriggers(info->class_name, oid, TriggerEvent::kDelete,
                       record.value);
 }
 
 Result<uint64_t> Database::ClusterCount(const std::string& class_name) {
+  std::shared_lock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
                        catalog_->FindCluster(class_name));
   ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(info->id));
@@ -462,17 +501,20 @@ Result<uint64_t> Database::ClusterCount(const std::string& class_name) {
 }
 
 Result<ClusterId> Database::ClusterOf(const std::string& class_name) const {
+  std::shared_lock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
                        catalog_->FindCluster(class_name));
   return info->id;
 }
 
 Result<std::string> Database::ClassOfCluster(ClusterId id) const {
+  std::shared_lock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(const ClusterInfo* info, catalog_->FindCluster(id));
   return info->class_name;
 }
 
 Result<Oid> Database::FirstObject(const std::string& class_name) {
+  std::shared_lock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
                        catalog_->FindCluster(class_name));
   ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(info->id));
@@ -481,6 +523,7 @@ Result<Oid> Database::FirstObject(const std::string& class_name) {
 }
 
 Result<Oid> Database::LastObject(const std::string& class_name) {
+  std::shared_lock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
                        catalog_->FindCluster(class_name));
   ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(info->id));
@@ -489,18 +532,75 @@ Result<Oid> Database::LastObject(const std::string& class_name) {
 }
 
 Result<Oid> Database::NextObject(Oid oid) {
+  std::shared_lock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(oid.cluster));
   ODE_ASSIGN_OR_RETURN(uint64_t id, heap->NextId(oid.local));
   return Oid{oid.cluster, id};
 }
 
 Result<Oid> Database::PrevObject(Oid oid) {
+  std::shared_lock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(oid.cluster));
   ODE_ASSIGN_OR_RETURN(uint64_t id, heap->PrevId(oid.local));
   return Oid{oid.cluster, id};
 }
 
+Result<ObjectBuffer> Database::NextObjectBuffer(Oid oid) {
+  std::shared_lock lock(schema_mu_);
+  ODE_ASSIGN_OR_RETURN(std::vector<ObjectBuffer> batch,
+                       StepObjectBuffers(oid, /*forward=*/true, 1));
+  return std::move(batch.front());
+}
+
+Result<ObjectBuffer> Database::PrevObjectBuffer(Oid oid) {
+  std::shared_lock lock(schema_mu_);
+  ODE_ASSIGN_OR_RETURN(std::vector<ObjectBuffer> batch,
+                       StepObjectBuffers(oid, /*forward=*/false, 1));
+  return std::move(batch.front());
+}
+
+Result<std::vector<ObjectBuffer>> Database::NextObjectBuffers(Oid oid,
+                                                              size_t limit) {
+  std::shared_lock lock(schema_mu_);
+  return StepObjectBuffers(oid, /*forward=*/true, limit);
+}
+
+Result<std::vector<ObjectBuffer>> Database::PrevObjectBuffers(Oid oid,
+                                                              size_t limit) {
+  std::shared_lock lock(schema_mu_);
+  return StepObjectBuffers(oid, /*forward=*/false, limit);
+}
+
+Result<std::vector<ObjectBuffer>> Database::StepObjectBuffers(Oid oid,
+                                                              bool forward,
+                                                              size_t limit) {
+  ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
+                       catalog_->FindCluster(oid.cluster));
+  ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(oid.cluster));
+  auto stepped = forward ? heap->NextRecords(oid.local, limit)
+                         : heap->PrevRecords(oid.local, limit);
+  ODE_RETURN_IF_ERROR(stepped.status());
+  std::vector<ObjectBuffer> out;
+  out.reserve(stepped->size());
+  for (auto& [local, bytes] : *stepped) {
+    ODE_ASSIGN_OR_RETURN(ObjectRecord record, DecodeObjectRecord(bytes));
+    ObjectBuffer buffer;
+    buffer.oid = Oid{oid.cluster, local};
+    buffer.class_name = info->class_name;
+    buffer.version = record.version;
+    buffer.value = std::move(record.value);
+    out.push_back(std::move(buffer));
+  }
+  return out;
+}
+
 Result<std::vector<Oid>> Database::ScanCluster(
+    const std::string& class_name) {
+  std::shared_lock lock(schema_mu_);
+  return ScanClusterUnlocked(class_name);
+}
+
+Result<std::vector<Oid>> Database::ScanClusterUnlocked(
     const std::string& class_name) {
   ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
                        catalog_->FindCluster(class_name));
@@ -512,11 +612,12 @@ Result<std::vector<Oid>> Database::ScanCluster(
 
 Result<std::vector<Oid>> Database::ScanClusterDeep(
     const std::string& class_name) {
-  ODE_ASSIGN_OR_RETURN(std::vector<Oid> out, ScanCluster(class_name));
+  std::shared_lock lock(schema_mu_);
+  ODE_ASSIGN_OR_RETURN(std::vector<Oid> out, ScanClusterUnlocked(class_name));
   ODE_ASSIGN_OR_RETURN(std::vector<std::string> descendants,
                        schema().Descendants(class_name));
   for (const std::string& cls : descendants) {
-    Result<std::vector<Oid>> sub = ScanCluster(cls);
+    Result<std::vector<Oid>> sub = ScanClusterUnlocked(cls);
     if (!sub.ok()) continue;  // transient subclass
     out.insert(out.end(), sub->begin(), sub->end());
   }
@@ -525,10 +626,11 @@ Result<std::vector<Oid>> Database::ScanClusterDeep(
 
 Result<std::vector<Oid>> Database::Select(const std::string& class_name,
                                           const Predicate& predicate) {
-  ODE_ASSIGN_OR_RETURN(std::vector<Oid> all, ScanCluster(class_name));
+  std::shared_lock lock(schema_mu_);
+  ODE_ASSIGN_OR_RETURN(std::vector<Oid> all, ScanClusterUnlocked(class_name));
   std::vector<Oid> out;
   for (Oid oid : all) {
-    ODE_ASSIGN_OR_RETURN(ObjectBuffer buffer, GetObject(oid));
+    ODE_ASSIGN_OR_RETURN(ObjectBuffer buffer, GetObjectUnlocked(oid));
     ODE_ASSIGN_OR_RETURN(bool match, predicate.Evaluate(buffer.value));
     if (match) out.push_back(oid);
   }
@@ -536,8 +638,101 @@ Result<std::vector<Oid>> Database::Select(const std::string& class_name,
 }
 
 Status Database::Sync() {
+  std::unique_lock lock(schema_mu_);
   ODE_RETURN_IF_ERROR(catalog_->Persist());
   return pool_->Sync();
+}
+
+Session Database::OpenSession() {
+  uint64_t id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  active_sessions_->fetch_add(1, std::memory_order_relaxed);
+  return Session(this, id, active_sessions_);
+}
+
+Session& Session::operator=(Session&& other) noexcept {
+  if (this != &other) {
+    if (counter_ != nullptr) {
+      counter_->fetch_sub(1, std::memory_order_relaxed);
+    }
+    db_ = other.db_;
+    id_ = other.id_;
+    counter_ = std::move(other.counter_);
+    other.db_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+Session::~Session() {
+  if (counter_ != nullptr) {
+    counter_->fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+Result<Oid> Session::CreateObject(const std::string& class_name,
+                                  Value value) {
+  return db_->CreateObject(class_name, std::move(value));
+}
+
+Result<ObjectBuffer> Session::GetObject(Oid oid) {
+  return db_->GetObject(oid);
+}
+
+Result<ObjectBuffer> Session::GetObjectVersion(Oid oid, uint32_t version) {
+  return db_->GetObjectVersion(oid, version);
+}
+
+Result<std::vector<uint32_t>> Session::ListVersions(Oid oid) {
+  return db_->ListVersions(oid);
+}
+
+Status Session::UpdateObject(Oid oid, Value value) {
+  return db_->UpdateObject(oid, std::move(value));
+}
+
+Status Session::DeleteObject(Oid oid) { return db_->DeleteObject(oid); }
+
+Result<uint64_t> Session::ClusterCount(const std::string& class_name) {
+  return db_->ClusterCount(class_name);
+}
+
+Result<Oid> Session::FirstObject(const std::string& class_name) {
+  return db_->FirstObject(class_name);
+}
+
+Result<Oid> Session::LastObject(const std::string& class_name) {
+  return db_->LastObject(class_name);
+}
+
+Result<Oid> Session::NextObject(Oid oid) { return db_->NextObject(oid); }
+
+Result<Oid> Session::PrevObject(Oid oid) { return db_->PrevObject(oid); }
+
+Result<ObjectBuffer> Session::NextObjectBuffer(Oid oid) {
+  return db_->NextObjectBuffer(oid);
+}
+
+Result<ObjectBuffer> Session::PrevObjectBuffer(Oid oid) {
+  return db_->PrevObjectBuffer(oid);
+}
+
+Result<std::vector<ObjectBuffer>> Session::NextObjectBuffers(Oid oid,
+                                                             size_t limit) {
+  return db_->NextObjectBuffers(oid, limit);
+}
+
+Result<std::vector<ObjectBuffer>> Session::PrevObjectBuffers(Oid oid,
+                                                             size_t limit) {
+  return db_->PrevObjectBuffers(oid, limit);
+}
+
+Result<std::vector<Oid>> Session::ScanCluster(const std::string& class_name) {
+  return db_->ScanCluster(class_name);
+}
+
+Result<std::vector<Oid>> Session::Select(const std::string& class_name,
+                                         const Predicate& predicate) {
+  return db_->Select(class_name, predicate);
 }
 
 Result<Oid> ObjectCursor::Current() const {
@@ -552,33 +747,63 @@ Result<bool> ObjectCursor::Matches(const ObjectBuffer& buffer) const {
   return predicate_.Evaluate(buffer.value);
 }
 
+namespace {
+
+/// Buffers fetched per cursor lock round-trip. Large enough to
+/// amortize the locking, small enough that an invalidated batch
+/// (any concurrent mutation) wastes little work.
+constexpr size_t kCursorLookahead = 16;
+
+}  // namespace
+
 Result<ObjectBuffer> ObjectCursor::Step(bool forward) {
-  std::optional<Oid> candidate;
-  if (!current_.has_value()) {
+  // Walk with a local position so a mid-scan error keeps `current_`
+  // where the caller left it; only a match commits the new position.
+  std::optional<Oid> pos = current_;
+  while (true) {
+    Result<ObjectBuffer> candidate = TakeNext(forward, pos);
+    if (!candidate.ok()) return candidate.status();
+    ODE_ASSIGN_OR_RETURN(bool match, Matches(*candidate));
+    pos = candidate->oid;
+    if (match) {
+      current_ = candidate->oid;
+      return std::move(*candidate);
+    }
+  }
+}
+
+Result<ObjectBuffer> ObjectCursor::TakeNext(bool forward,
+                                            const std::optional<Oid>& pos) {
+  if (!pos.has_value()) {
     Result<Oid> edge = forward ? db_->FirstObject(class_name_)
                                : db_->LastObject(class_name_);
     if (!edge.ok()) {
       return Status::OutOfRange("cluster '" + class_name_ + "' is empty");
     }
-    candidate = *edge;
-  } else {
-    Result<Oid> step =
-        forward ? db_->NextObject(*current_) : db_->PrevObject(*current_);
-    if (!step.ok()) return step.status();
-    candidate = *step;
+    return db_->GetObject(*edge);
   }
-  while (true) {
-    ODE_ASSIGN_OR_RETURN(ObjectBuffer buffer, db_->GetObject(*candidate));
-    ODE_ASSIGN_OR_RETURN(bool match, Matches(buffer));
-    if (match) {
-      current_ = *candidate;
-      return buffer;
-    }
-    Result<Oid> step = forward ? db_->NextObject(*candidate)
-                               : db_->PrevObject(*candidate);
-    if (!step.ok()) return step.status();
-    candidate = *step;
+  uint64_t epoch = db_->mutation_epoch();
+  bool usable = lookahead_pos_ < lookahead_.size() &&
+                lookahead_forward_ == forward && lookahead_epoch_ == epoch &&
+                lookahead_anchor_ == pos;
+  if (!usable) {
+    // Record the epoch before fetching: a mutation racing the fetch
+    // then invalidates the batch on the next step.
+    lookahead_.clear();
+    lookahead_pos_ = 0;
+    lookahead_epoch_ = epoch;
+    lookahead_forward_ = forward;
+    lookahead_anchor_ = pos;
+    Result<std::vector<ObjectBuffer>> batch =
+        forward ? db_->NextObjectBuffers(*pos, kCursorLookahead)
+                : db_->PrevObjectBuffers(*pos, kCursorLookahead);
+    if (!batch.ok()) return batch.status();
+    lookahead_ = std::move(*batch);
   }
+  ObjectBuffer out = std::move(lookahead_[lookahead_pos_]);
+  ++lookahead_pos_;
+  lookahead_anchor_ = out.oid;
+  return out;
 }
 
 Result<ObjectBuffer> ObjectCursor::Next() { return Step(/*forward=*/true); }

@@ -1,10 +1,13 @@
 #ifndef ODEVIEW_ODB_DATABASE_H_
 #define ODEVIEW_ODB_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -48,12 +51,23 @@ struct DatabaseOptions {
   size_t version_history_limit = 8;
 };
 
+class Session;
+
 /// One Ode database: schema catalog + clusters of persistent objects.
 ///
 /// This is the stand-in for the Ode object manager the paper's OdeView
 /// calls into: it materializes stored objects into `ObjectBuffer`s,
 /// sequences through clusters (`first` / `next` / `previous`), filters
 /// with selection predicates, and enforces O++ constraints/triggers.
+///
+/// Thread-safety: object-level operations (create/get/update/delete,
+/// sequencing, scans, selects) may be called from any number of
+/// threads — open a `Session` per worker with `OpenSession()`. Schema
+/// operations (DefineSchema/AddClass/AlterClass/DropClass) and
+/// `Sync()` take an exclusive lock that drains all in-flight object
+/// operations first. Accessors returning references into internal
+/// state (`schema()`, `trigger_log()`) are only stable while no
+/// concurrent schema change / DML runs.
 class Database {
  public:
   /// Creates a volatile database (MemPager).
@@ -137,6 +151,26 @@ class Database {
   Result<Oid> NextObject(Oid oid);
   Result<Oid> PrevObject(Oid oid);
 
+  /// Fused step: the full buffer of the object after / before `oid`,
+  /// in one lock round-trip (equivalent to NextObject + GetObject but
+  /// about half the cost — the cursor's hot path).
+  Result<ObjectBuffer> NextObjectBuffer(Oid oid);
+  Result<ObjectBuffer> PrevObjectBuffer(Oid oid);
+
+  /// Batched step: up to `limit` consecutive buffers after / before
+  /// `oid` in one lock round-trip. `ObjectCursor` uses this for its
+  /// read-ahead; the batch reflects the state at call time, so pair it
+  /// with `mutation_epoch()` when staleness matters.
+  Result<std::vector<ObjectBuffer>> NextObjectBuffers(Oid oid, size_t limit);
+  Result<std::vector<ObjectBuffer>> PrevObjectBuffers(Oid oid, size_t limit);
+
+  /// Counter bumped by every successful mutation (schema changes and
+  /// object create/update/delete). Lets cursors and caches detect that
+  /// previously fetched state may be stale.
+  uint64_t mutation_epoch() const {
+    return mutation_epoch_.load(std::memory_order_acquire);
+  }
+
   /// OIDs of every object in the cluster, creation order.
   Result<std::vector<Oid>> ScanCluster(const std::string& class_name);
 
@@ -166,7 +200,20 @@ class Database {
   BufferPool* buffer_pool() { return pool_.get(); }
   const DatabaseOptions& options() const { return options_; }
 
+  // --- Sessions ---------------------------------------------------------
+
+  /// Opens a session: a lightweight handle for one concurrent client
+  /// (one browser window / worker thread). Sessions forward to the
+  /// database's thread-safe object operations and are tracked so the
+  /// engine knows how many clients are active.
+  Session OpenSession();
+  /// Sessions currently open.
+  int active_sessions() const {
+    return active_sessions_->load(std::memory_order_relaxed);
+  }
+
  private:
+  friend class Session;
   Database(std::unique_ptr<Pager> pager, std::unique_ptr<BufferPool> pool,
            DatabaseOptions options)
       : pager_(std::move(pager)),
@@ -175,6 +222,15 @@ class Database {
 
   /// Loads (and caches) the heap file of a cluster.
   Result<HeapFile*> GetHeap(ClusterId id);
+
+  /// Unlocked implementations (callers hold `schema_mu_`).
+  Result<ObjectBuffer> GetObjectUnlocked(Oid oid);
+  Result<std::vector<ObjectBuffer>> StepObjectBuffers(Oid oid, bool forward,
+                                                      size_t limit);
+  void BumpMutationEpoch() {
+    mutation_epoch_.fetch_add(1, std::memory_order_release);
+  }
+  Result<std::vector<Oid>> ScanClusterUnlocked(const std::string& class_name);
 
   /// Adds one class + cluster; optionally validates and persists.
   Status AddClassInternal(ClassDef def, bool persist);
@@ -204,6 +260,74 @@ class Database {
   std::vector<TriggerFiring> trigger_log_;
   /// Parsed-predicate cache for constraints/trigger conditions.
   std::map<std::string, Predicate> predicate_cache_;
+
+  /// Schema operations exclusive, object operations shared. Lock
+  /// order: schema_mu_ -> heaps_mu_ -> heap rwlock -> (catalog id /
+  /// trigger / predicate mutexes) -> pool shard -> frame latch.
+  mutable std::shared_mutex schema_mu_;
+  /// Guards the heaps_ map (per-heap state has its own rwlock).
+  std::mutex heaps_mu_;
+  std::mutex trigger_mu_;
+  std::mutex predicate_mu_;
+  std::atomic<uint64_t> next_session_id_{1};
+  /// Bumped by every successful mutation; see mutation_epoch().
+  std::atomic<uint64_t> mutation_epoch_{0};
+  /// Shared with every Session so closing one stays safe even if the
+  /// database object was destroyed first (UI code tears interactors
+  /// down after their database).
+  std::shared_ptr<std::atomic<int>> active_sessions_ =
+      std::make_shared<std::atomic<int>>(0);
+};
+
+/// A handle for one concurrent client of a Database — the unit the
+/// paper's per-window interactors hold. All methods forward to the
+/// database's thread-safe object operations, so different sessions may
+/// run on different worker threads simultaneously. Movable, not
+/// copyable; closing (destroying) a session only drops the client
+/// count, it never blocks.
+class Session {
+ public:
+  Session() = default;
+  Session(Session&& other) noexcept { *this = std::move(other); }
+  Session& operator=(Session&& other) noexcept;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+  ~Session();
+
+  bool valid() const { return db_ != nullptr; }
+  uint64_t id() const { return id_; }
+  Database* database() { return db_; }
+
+  Result<Oid> CreateObject(const std::string& class_name, Value value);
+  Result<ObjectBuffer> GetObject(Oid oid);
+  Result<ObjectBuffer> GetObjectVersion(Oid oid, uint32_t version);
+  Result<std::vector<uint32_t>> ListVersions(Oid oid);
+  Status UpdateObject(Oid oid, Value value);
+  Status DeleteObject(Oid oid);
+
+  Result<uint64_t> ClusterCount(const std::string& class_name);
+  Result<Oid> FirstObject(const std::string& class_name);
+  Result<Oid> LastObject(const std::string& class_name);
+  Result<Oid> NextObject(Oid oid);
+  Result<Oid> PrevObject(Oid oid);
+  Result<ObjectBuffer> NextObjectBuffer(Oid oid);
+  Result<ObjectBuffer> PrevObjectBuffer(Oid oid);
+  Result<std::vector<ObjectBuffer>> NextObjectBuffers(Oid oid, size_t limit);
+  Result<std::vector<ObjectBuffer>> PrevObjectBuffers(Oid oid, size_t limit);
+  Result<std::vector<Oid>> ScanCluster(const std::string& class_name);
+  Result<std::vector<Oid>> Select(const std::string& class_name,
+                                  const Predicate& predicate);
+
+ private:
+  friend class Database;
+  Session(Database* db, uint64_t id,
+          std::shared_ptr<std::atomic<int>> counter)
+      : db_(db), id_(id), counter_(std::move(counter)) {}
+
+  Database* db_ = nullptr;
+  uint64_t id_ = 0;
+  /// Co-owned session counter; see Database::active_sessions_.
+  std::shared_ptr<std::atomic<int>> counter_;
 };
 
 /// Stateful cursor over one cluster with an optional selection
@@ -238,6 +362,10 @@ class ObjectCursor {
 
  private:
   Result<ObjectBuffer> Step(bool forward);
+  /// Yields the object following `*pos` (or the cluster edge when
+  /// `*pos` is empty), serving from the epoch-validated lookahead
+  /// batch when possible.
+  Result<ObjectBuffer> TakeNext(bool forward, const std::optional<Oid>& pos);
   Result<bool> Matches(const ObjectBuffer& buffer) const;
 
   Database* db_;
@@ -245,6 +373,17 @@ class ObjectCursor {
   Predicate predicate_ = Predicate::True();
   bool filtered_ = false;
   std::optional<Oid> current_;
+
+  /// Read-ahead of upcoming buffers, fetched one batch per lock
+  /// round-trip. Valid only while the database's mutation epoch is
+  /// unchanged; `lookahead_anchor_` is the position the entry at
+  /// `lookahead_pos_` directly follows. Any mismatch just refetches,
+  /// so observable behaviour is identical to stepping record-by-record.
+  std::vector<ObjectBuffer> lookahead_;
+  size_t lookahead_pos_ = 0;
+  std::optional<Oid> lookahead_anchor_;
+  bool lookahead_forward_ = true;
+  uint64_t lookahead_epoch_ = 0;
 };
 
 }  // namespace ode::odb

@@ -59,11 +59,23 @@ Result<HeapFile> HeapFile::Open(BufferPool* pool, FreeList* free_list,
   return heap;
 }
 
+uint64_t HeapFile::count() const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
+  return directory_.size();
+}
+
+bool HeapFile::Contains(uint64_t local_id) const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
+  return directory_.find(local_id) != directory_.end();
+}
+
 Status HeapFile::ScanChain() {
+  // Runs at open time, before the heap can be shared; no lock needed.
   directory_.clear();
   PageId current = first_page_;
   while (current != kNoPage) {
-    ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(current));
+    ODE_ASSIGN_OR_RETURN(PageHandle handle,
+                         pool_->Fetch(current, PageIntent::kRead));
     SlottedPage sp(handle.page());
     for (uint16_t s = 0; s < sp.slot_count(); ++s) {
       Result<std::string_view> record = sp.Get(s);
@@ -115,7 +127,8 @@ Status HeapFile::ReleaseOverflow(std::string_view stored_record) {
 Result<PageId> HeapFile::FindPageWithRoom(size_t needed) {
   // Check the last page first (the common append path), then extend.
   {
-    ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(last_page_));
+    ODE_ASSIGN_OR_RETURN(PageHandle handle,
+                         pool_->Fetch(last_page_, PageIntent::kRead));
     SlottedPage sp(handle.page());
     if (sp.FreeSpace() >= needed + SlottedPage::kSlotSize) {
       return last_page_;
@@ -128,7 +141,8 @@ Result<PageId> HeapFile::FindPageWithRoom(size_t needed) {
   PageId fresh_id = fresh.id();
   fresh.Release();
   // Link the old tail to the new page.
-  ODE_ASSIGN_OR_RETURN(PageHandle tail, pool_->Fetch(last_page_));
+  ODE_ASSIGN_OR_RETURN(PageHandle tail,
+                       pool_->Fetch(last_page_, PageIntent::kWrite));
   SlottedPage tail_sp(tail.page());
   tail_sp.set_next_page(fresh_id);
   tail.MarkDirty();
@@ -137,13 +151,15 @@ Result<PageId> HeapFile::FindPageWithRoom(size_t needed) {
 }
 
 Status HeapFile::Insert(uint64_t local_id, std::string_view payload) {
-  if (Contains(local_id)) {
+  std::unique_lock<std::shared_mutex> lock(*mu_);
+  if (directory_.find(local_id) != directory_.end()) {
     return Status::AlreadyExists("record id " + std::to_string(local_id));
   }
   ODE_ASSIGN_OR_RETURN(std::string record,
                        MakeStoredRecord(local_id, payload));
   ODE_ASSIGN_OR_RETURN(PageId target, FindPageWithRoom(record.size()));
-  ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(target));
+  ODE_ASSIGN_OR_RETURN(PageHandle handle,
+                       pool_->Fetch(target, PageIntent::kWrite));
   SlottedPage sp(handle.page());
   ODE_ASSIGN_OR_RETURN(uint16_t slot, sp.Insert(record));
   handle.MarkDirty();
@@ -152,13 +168,30 @@ Status HeapFile::Insert(uint64_t local_id, std::string_view payload) {
 }
 
 Result<std::string> HeapFile::Get(uint64_t local_id) const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
+  return GetLocked(local_id);
+}
+
+Result<std::string> HeapFile::GetLocked(uint64_t local_id) const {
   auto it = directory_.find(local_id);
   if (it == directory_.end()) {
     return Status::NotFound("record id " + std::to_string(local_id));
   }
-  ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(it->second.page));
-  SlottedPage sp(handle.page());
-  ODE_ASSIGN_OR_RETURN(std::string_view record, sp.Get(it->second.slot));
+  PageHandle handle;
+  PageId held = kNoPage;
+  return ReadRecordLocked(local_id, it->second, &handle, &held);
+}
+
+Result<std::string> HeapFile::ReadRecordLocked(uint64_t local_id,
+                                               const Location& loc,
+                                               PageHandle* handle,
+                                               PageId* held) const {
+  if (*held != loc.page) {
+    ODE_ASSIGN_OR_RETURN(*handle, pool_->Fetch(loc.page, PageIntent::kRead));
+    *held = loc.page;
+  }
+  SlottedPage sp(handle->page());
+  ODE_ASSIGN_OR_RETURN(std::string_view record, sp.Get(loc.slot));
   ODE_ASSIGN_OR_RETURN(ParsedRecord parsed, ParseStoredRecord(record));
   if (parsed.local_id != local_id) {
     return Status::Corruption("directory/record id mismatch");
@@ -166,10 +199,12 @@ Result<std::string> HeapFile::Get(uint64_t local_id) const {
   if (!parsed.overflow) {
     return std::string(parsed.inline_payload);
   }
-  // The record view dies with the handle; read the blob afterwards.
+  // The record view dies with the handle; read the blob afterwards
+  // (never hold a page latch while chasing the overflow chain).
   PageId head = parsed.overflow_head;
   uint64_t size = parsed.overflow_size;
-  handle.Release();
+  handle->Release();
+  *held = kNoPage;
   ODE_ASSIGN_OR_RETURN(std::string payload, ReadBlob(pool_, head));
   if (payload.size() != size) {
     return Status::Corruption("overflow chain length mismatch for id " +
@@ -179,13 +214,19 @@ Result<std::string> HeapFile::Get(uint64_t local_id) const {
 }
 
 Status HeapFile::Update(uint64_t local_id, std::string_view payload) {
+  std::unique_lock<std::shared_mutex> lock(*mu_);
+  return UpdateLocked(local_id, payload);
+}
+
+Status HeapFile::UpdateLocked(uint64_t local_id, std::string_view payload) {
   auto it = directory_.find(local_id);
   if (it == directory_.end()) {
     return Status::NotFound("record id " + std::to_string(local_id));
   }
   // Release a previous overflow chain before writing the new record.
   {
-    ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(it->second.page));
+    ODE_ASSIGN_OR_RETURN(PageHandle handle,
+                         pool_->Fetch(it->second.page, PageIntent::kRead));
     SlottedPage sp(handle.page());
     ODE_ASSIGN_OR_RETURN(std::string_view old_record,
                          sp.Get(it->second.slot));
@@ -196,7 +237,8 @@ Status HeapFile::Update(uint64_t local_id, std::string_view payload) {
   ODE_ASSIGN_OR_RETURN(std::string record,
                        MakeStoredRecord(local_id, payload));
   {
-    ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(it->second.page));
+    ODE_ASSIGN_OR_RETURN(PageHandle handle,
+                         pool_->Fetch(it->second.page, PageIntent::kWrite));
     SlottedPage sp(handle.page());
     Status in_place = sp.Update(it->second.slot, record);
     if (in_place.ok()) {
@@ -210,7 +252,8 @@ Status HeapFile::Update(uint64_t local_id, std::string_view payload) {
   }
   directory_.erase(it);
   ODE_ASSIGN_OR_RETURN(PageId target, FindPageWithRoom(record.size()));
-  ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(target));
+  ODE_ASSIGN_OR_RETURN(PageHandle handle,
+                       pool_->Fetch(target, PageIntent::kWrite));
   SlottedPage sp(handle.page());
   ODE_ASSIGN_OR_RETURN(uint16_t slot, sp.Insert(record));
   handle.MarkDirty();
@@ -219,19 +262,26 @@ Status HeapFile::Update(uint64_t local_id, std::string_view payload) {
 }
 
 Status HeapFile::Delete(uint64_t local_id) {
+  std::unique_lock<std::shared_mutex> lock(*mu_);
+  return DeleteLocked(local_id);
+}
+
+Status HeapFile::DeleteLocked(uint64_t local_id) {
   auto it = directory_.find(local_id);
   if (it == directory_.end()) {
     return Status::NotFound("record id " + std::to_string(local_id));
   }
   {
-    ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(it->second.page));
+    ODE_ASSIGN_OR_RETURN(PageHandle handle,
+                         pool_->Fetch(it->second.page, PageIntent::kRead));
     SlottedPage sp(handle.page());
     ODE_ASSIGN_OR_RETURN(std::string_view record, sp.Get(it->second.slot));
     std::string copy(record);
     handle.Release();
     ODE_RETURN_IF_ERROR(ReleaseOverflow(copy));
   }
-  ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(it->second.page));
+  ODE_ASSIGN_OR_RETURN(PageHandle handle,
+                       pool_->Fetch(it->second.page, PageIntent::kWrite));
   SlottedPage sp(handle.page());
   ODE_RETURN_IF_ERROR(sp.Delete(it->second.slot));
   handle.MarkDirty();
@@ -240,34 +290,110 @@ Status HeapFile::Delete(uint64_t local_id) {
 }
 
 Result<uint64_t> HeapFile::FirstId() const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
   if (directory_.empty()) return Status::NotFound("cluster is empty");
   return directory_.begin()->first;
 }
 
 Result<uint64_t> HeapFile::LastId() const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
   if (directory_.empty()) return Status::NotFound("cluster is empty");
   return directory_.rbegin()->first;
 }
 
 Result<uint64_t> HeapFile::NextId(uint64_t after) const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
+  return NextIdLocked(after);
+}
+
+Result<uint64_t> HeapFile::NextIdLocked(uint64_t after) const {
   auto it = directory_.upper_bound(after);
   if (it == directory_.end()) {
     return Status::OutOfRange("no object after id " + std::to_string(after));
+  }
+  // Read-ahead: while the caller materializes `it`, warm the page the
+  // *following* record lives on — the page `next` will need next.
+  auto follow = std::next(it);
+  if (follow != directory_.end() &&
+      follow->second.page != it->second.page) {
+    pool_->Prefetch(follow->second.page);
   }
   return it->first;
 }
 
 Result<uint64_t> HeapFile::PrevId(uint64_t before) const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
+  return PrevIdLocked(before);
+}
+
+Result<uint64_t> HeapFile::PrevIdLocked(uint64_t before) const {
   auto it = directory_.lower_bound(before);
   if (it == directory_.begin()) {
     return Status::OutOfRange("no object before id " +
                               std::to_string(before));
   }
   --it;
+  if (it != directory_.begin()) {
+    auto follow = std::prev(it);
+    if (follow->second.page != it->second.page) {
+      pool_->Prefetch(follow->second.page);
+    }
+  }
   return it->first;
 }
 
+Result<std::vector<std::pair<uint64_t, std::string>>> HeapFile::NextRecords(
+    uint64_t after, size_t limit) const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
+  auto it = directory_.upper_bound(after);
+  if (it == directory_.end()) {
+    return Status::OutOfRange("no object after id " + std::to_string(after));
+  }
+  std::vector<std::pair<uint64_t, std::string>> out;
+  out.reserve(limit);
+  PageHandle handle;
+  PageId held = kNoPage;
+  for (; it != directory_.end() && out.size() < limit; ++it) {
+    ODE_ASSIGN_OR_RETURN(
+        std::string payload,
+        ReadRecordLocked(it->first, it->second, &handle, &held));
+    out.emplace_back(it->first, std::move(payload));
+  }
+  // Read-ahead: warm the page the record after the batch lives on.
+  if (it != directory_.end() && it->second.page != held) {
+    pool_->Prefetch(it->second.page);
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<uint64_t, std::string>>> HeapFile::PrevRecords(
+    uint64_t before, size_t limit) const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
+  auto it = directory_.lower_bound(before);
+  if (it == directory_.begin()) {
+    return Status::OutOfRange("no object before id " +
+                              std::to_string(before));
+  }
+  std::vector<std::pair<uint64_t, std::string>> out;
+  out.reserve(limit);
+  PageHandle handle;
+  PageId held = kNoPage;
+  while (it != directory_.begin() && out.size() < limit) {
+    --it;
+    ODE_ASSIGN_OR_RETURN(
+        std::string payload,
+        ReadRecordLocked(it->first, it->second, &handle, &held));
+    out.emplace_back(it->first, std::move(payload));
+  }
+  if (it != directory_.begin()) {
+    auto follow = std::prev(it);
+    if (follow->second.page != held) pool_->Prefetch(follow->second.page);
+  }
+  return out;
+}
+
 std::vector<uint64_t> HeapFile::AllIds() const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
   std::vector<uint64_t> ids;
   ids.reserve(directory_.size());
   for (const auto& [id, loc] : directory_) ids.push_back(id);
@@ -275,11 +401,13 @@ std::vector<uint64_t> HeapFile::AllIds() const {
 }
 
 Result<uint32_t> HeapFile::PageCount() const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
   uint32_t n = 0;
   PageId current = first_page_;
   while (current != kNoPage) {
     ++n;
-    ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(current));
+    ODE_ASSIGN_OR_RETURN(PageHandle handle,
+                         pool_->Fetch(current, PageIntent::kRead));
     SlottedPage sp(handle.page());
     current = sp.next_page();
   }
@@ -287,9 +415,11 @@ Result<uint32_t> HeapFile::PageCount() const {
 }
 
 Result<uint64_t> HeapFile::OverflowCount() const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
   uint64_t n = 0;
   for (const auto& [id, loc] : directory_) {
-    ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(loc.page));
+    ODE_ASSIGN_OR_RETURN(PageHandle handle,
+                         pool_->Fetch(loc.page, PageIntent::kRead));
     SlottedPage sp(handle.page());
     ODE_ASSIGN_OR_RETURN(std::string_view record, sp.Get(loc.slot));
     ODE_ASSIGN_OR_RETURN(ParsedRecord parsed, ParseStoredRecord(record));

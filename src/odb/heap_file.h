@@ -3,8 +3,11 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -28,6 +31,14 @@ namespace ode::odb {
 /// which equals creation order because ids are assigned monotonically —
 /// this is the order the paper's `next` / `previous` buttons sequence
 /// through a cluster.
+///
+/// Thread-safety: every public method locks an internal reader/writer
+/// lock — lookups and sequencing run shared (concurrent scans proceed
+/// in parallel), mutations run exclusive. Page content is additionally
+/// protected by the buffer pool's per-frame latches, so several heaps
+/// sharing one pool are safe too. Sequencing (`NextId` / `PrevId`)
+/// schedules the following heap page on the pool's prefetch thread,
+/// accelerating `reset`/`next`/`previous` control-panel traffic.
 class HeapFile {
  public:
   /// Physical address of a record.
@@ -51,7 +62,7 @@ class HeapFile {
   HeapFile& operator=(const HeapFile&) = delete;
 
   PageId first_page() const { return first_page_; }
-  uint64_t count() const { return directory_.size(); }
+  uint64_t count() const;
 
   /// Inserts the record for `local_id`; the id must be fresh.
   Status Insert(uint64_t local_id, std::string_view payload);
@@ -65,9 +76,7 @@ class HeapFile {
   /// Removes the record.
   Status Delete(uint64_t local_id);
 
-  bool Contains(uint64_t local_id) const {
-    return directory_.find(local_id) != directory_.end();
-  }
+  bool Contains(uint64_t local_id) const;
 
   /// Sequencing in ascending-id order; all fail with NotFound on an
   /// empty heap / OutOfRange past either end.
@@ -75,6 +84,17 @@ class HeapFile {
   Result<uint64_t> LastId() const;
   Result<uint64_t> NextId(uint64_t after) const;
   Result<uint64_t> PrevId(uint64_t before) const;
+
+  /// Fused sequencing + fetch: up to `limit` (id, payload) pairs
+  /// following `after` (ascending) / preceding `before` (descending),
+  /// under a single lock round-trip. Consecutive records on one page
+  /// share a single pool fetch, so a batched scan costs a fraction of
+  /// the equivalent NextId/PrevId + Get sequence. Fails with
+  /// OutOfRange when no record exists past the bound.
+  Result<std::vector<std::pair<uint64_t, std::string>>> NextRecords(
+      uint64_t after, size_t limit) const;
+  Result<std::vector<std::pair<uint64_t, std::string>>> PrevRecords(
+      uint64_t before, size_t limit) const;
 
   /// All ids in ascending order (for tests and bulk operations).
   std::vector<uint64_t> AllIds() const;
@@ -87,9 +107,25 @@ class HeapFile {
 
  private:
   HeapFile(BufferPool* pool, FreeList* free_list, PageId first_page)
-      : pool_(pool), free_list_(free_list), first_page_(first_page) {}
+      : pool_(pool),
+        free_list_(free_list),
+        first_page_(first_page),
+        mu_(std::make_unique<std::shared_mutex>()) {}
 
   Status ScanChain();
+  /// Unlocked implementations; callers hold `mu_` as noted.
+  Result<uint64_t> NextIdLocked(uint64_t after) const;
+  Result<uint64_t> PrevIdLocked(uint64_t before) const;
+  Result<std::string> GetLocked(uint64_t local_id) const;
+  /// Reads one record, reusing `*handle` when the record lives on the
+  /// page already held (`*held`); releases the handle before chasing
+  /// an overflow chain so at most one page is latched at a time.
+  Result<std::string> ReadRecordLocked(uint64_t local_id,
+                                       const Location& loc,
+                                       PageHandle* handle,
+                                       PageId* held) const;
+  Status UpdateLocked(uint64_t local_id, std::string_view payload);
+  Status DeleteLocked(uint64_t local_id);
   /// Finds a page with room for `needed` bytes, extending the chain if
   /// necessary; returns the page id.
   Result<PageId> FindPageWithRoom(size_t needed);
@@ -104,6 +140,9 @@ class HeapFile {
   PageId first_page_;
   PageId last_page_ = kNoPage;
   std::map<uint64_t, Location> directory_;
+  /// Readers share, writers exclude. Held in a unique_ptr so the heap
+  /// stays movable (it lives by value in Database's cluster map).
+  mutable std::unique_ptr<std::shared_mutex> mu_;
 };
 
 }  // namespace ode::odb

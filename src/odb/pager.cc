@@ -1,10 +1,16 @@
 #include "odb/pager.h"
 
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 
 namespace ode::odb {
 
 Result<PageId> MemPager::Allocate() {
+  std::lock_guard<std::mutex> lock(mu_);
   auto page = std::make_unique<Page>();
   page->Zero();
   pages_.push_back(std::move(page));
@@ -12,6 +18,7 @@ Result<PageId> MemPager::Allocate() {
 }
 
 Status MemPager::Read(PageId id, Page* page) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (id >= pages_.size()) {
     return Status::IOError("read of unallocated page " + std::to_string(id));
   }
@@ -20,89 +27,127 @@ Status MemPager::Read(PageId id, Page* page) {
 }
 
 Status MemPager::Write(PageId id, const Page& page) {
-  if (id >= pages_.size()) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Like FilePager, a write exactly at page_count extends by one page;
+  // anything past that is an error.
+  if (id > pages_.size()) {
     return Status::IOError("write of unallocated page " +
                            std::to_string(id));
+  }
+  if (id == pages_.size()) {
+    pages_.push_back(std::make_unique<Page>());
   }
   *pages_[id] = page;
   return Status::OK();
 }
 
 uint32_t MemPager::page_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
   return static_cast<uint32_t>(pages_.size());
 }
 
 Result<std::unique_ptr<FilePager>> FilePager::Open(const std::string& path,
                                                    bool create) {
-  std::FILE* file = std::fopen(path.c_str(), create ? "w+b" : "r+b");
-  if (file == nullptr) {
-    return Status::IOError("cannot open database file '" + path + "'");
+  int flags = create ? (O_RDWR | O_CREAT | O_TRUNC) : O_RDWR;
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open database file '" + path + "': " +
+                           std::strerror(errno));
   }
-  if (std::fseek(file, 0, SEEK_END) != 0) {
-    std::fclose(file);
-    return Status::IOError("cannot seek in '" + path + "'");
-  }
-  long size = std::ftell(file);
-  if (size < 0) {
-    std::fclose(file);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
     return Status::IOError("cannot stat '" + path + "'");
   }
-  if (static_cast<size_t>(size) % kPageSize != 0) {
-    std::fclose(file);
+  auto size = static_cast<size_t>(st.st_size);
+  if (size % kPageSize != 0) {
+    ::close(fd);
     return Status::Corruption("database file '" + path +
                               "' is not page-aligned");
   }
-  auto count = static_cast<uint32_t>(static_cast<size_t>(size) / kPageSize);
-  return std::unique_ptr<FilePager>(new FilePager(file, count, path));
+  auto count = static_cast<uint32_t>(size / kPageSize);
+  return std::unique_ptr<FilePager>(new FilePager(fd, count, path));
 }
 
 FilePager::~FilePager() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FilePager::WriteAt(PageId id, const Page& page) {
+  const char* src = page.bytes();
+  size_t remaining = kPageSize;
+  auto offset = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
+  while (remaining > 0) {
+    ssize_t n = ::pwrite(fd_, src, remaining, offset);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::IOError("short write of page " + std::to_string(id) +
+                             " in '" + path_ + "'");
+    }
+    src += n;
+    offset += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  return Status::OK();
 }
 
 Result<PageId> FilePager::Allocate() {
   Page zero;
   zero.Zero();
-  PageId id = page_count_;
-  ODE_RETURN_IF_ERROR(Write(id, zero));  // Write checks id < count+1 below
+  std::lock_guard<std::mutex> lock(extend_mu_);
+  PageId id = page_count_.load(std::memory_order_relaxed);
+  ODE_RETURN_IF_ERROR(WriteAt(id, zero));
+  page_count_.store(id + 1, std::memory_order_release);
   return id;
 }
 
 Status FilePager::Read(PageId id, Page* page) {
-  if (id >= page_count_) {
+  if (id >= page_count_.load(std::memory_order_acquire)) {
     return Status::IOError("read of unallocated page " + std::to_string(id));
   }
-  if (std::fseek(file_, static_cast<long>(id) * static_cast<long>(kPageSize),
-                 SEEK_SET) != 0) {
-    return Status::IOError("seek failed in '" + path_ + "'");
-  }
-  if (std::fread(page->bytes(), 1, kPageSize, file_) != kPageSize) {
-    return Status::IOError("short read of page " + std::to_string(id));
+  char* dst = page->bytes();
+  size_t remaining = kPageSize;
+  auto offset = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
+  while (remaining > 0) {
+    ssize_t n = ::pread(fd_, dst, remaining, offset);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::IOError("short read of page " + std::to_string(id) +
+                             " from '" + path_ + "'");
+    }
+    dst += n;
+    offset += n;
+    remaining -= static_cast<size_t>(n);
   }
   return Status::OK();
 }
 
 Status FilePager::Write(PageId id, const Page& page) {
-  if (id > page_count_) {
+  // Fast path: rewriting an existing page needs no lock — pwrite is
+  // positional and the pool serializes same-page writers.
+  if (id < page_count_.load(std::memory_order_acquire)) {
+    return WriteAt(id, page);
+  }
+  std::lock_guard<std::mutex> lock(extend_mu_);
+  uint32_t count = page_count_.load(std::memory_order_relaxed);
+  if (id > count) {
     return Status::IOError("write of unallocated page " +
                            std::to_string(id));
   }
-  if (std::fseek(file_, static_cast<long>(id) * static_cast<long>(kPageSize),
-                 SEEK_SET) != 0) {
-    return Status::IOError("seek failed in '" + path_ + "'");
+  ODE_RETURN_IF_ERROR(WriteAt(id, page));
+  if (id == count) {
+    page_count_.store(count + 1, std::memory_order_release);
   }
-  if (std::fwrite(page.bytes(), 1, kPageSize, file_) != kPageSize) {
-    return Status::IOError("short write of page " + std::to_string(id));
-  }
-  if (id == page_count_) ++page_count_;
   return Status::OK();
 }
 
-uint32_t FilePager::page_count() const { return page_count_; }
+uint32_t FilePager::page_count() const {
+  return page_count_.load(std::memory_order_acquire);
+}
 
 Status FilePager::Sync() {
-  if (std::fflush(file_) != 0) {
-    return Status::IOError("fflush failed for '" + path_ + "'");
+  if (::fsync(fd_) != 0) {
+    return Status::IOError("fsync failed for '" + path_ + "'");
   }
   return Status::OK();
 }

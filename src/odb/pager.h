@@ -1,8 +1,9 @@
 #ifndef ODEVIEW_ODB_PAGER_H_
 #define ODEVIEW_ODB_PAGER_H_
 
-#include <cstdio>
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -16,7 +17,11 @@ namespace ode::odb {
 ///
 /// Two backends exist: `MemPager` (volatile, for tests and scratch
 /// databases) and `FilePager` (a single database file). All I/O above
-/// this layer goes through the `BufferPool`.
+/// this layer goes through the `BufferPool`. Implementations must be
+/// safe for concurrent calls from multiple threads; the buffer pool
+/// additionally serializes accesses to any single page id through that
+/// page's shard, so per-page ordering is never an implementation's
+/// problem.
 class Pager {
  public:
   virtual ~Pager() = default;
@@ -29,7 +34,8 @@ class Pager {
   virtual Result<PageId> Allocate() = 0;
   /// Reads page `id` into `*page`; fails for out-of-range ids.
   virtual Status Read(PageId id, Page* page) = 0;
-  /// Writes `page` at `id`; fails for out-of-range ids.
+  /// Writes `page` at `id`. A write exactly at `page_count()` extends
+  /// the store by one page; ids beyond that fail.
   virtual Status Write(PageId id, const Page& page) = 0;
   /// Number of pages currently allocated.
   virtual uint32_t page_count() const = 0;
@@ -37,7 +43,9 @@ class Pager {
   virtual Status Sync() = 0;
 };
 
-/// In-memory pager.
+/// In-memory pager. A single mutex guards the page vector; page
+/// copies in and out happen under it, which is plenty for the
+/// cache-miss path it serves.
 class MemPager final : public Pager {
  public:
   MemPager() = default;
@@ -49,10 +57,14 @@ class MemPager final : public Pager {
   Status Sync() override { return Status::OK(); }
 
  private:
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<Page>> pages_;
 };
 
-/// File-backed pager over a single database file.
+/// File-backed pager over a single database file. Reads and writes use
+/// positional `pread`/`pwrite`, so concurrent threads never race on a
+/// shared file offset; only the extend path (allocation / appending
+/// writes) takes a mutex.
 class FilePager final : public Pager {
  public:
   /// Opens (or creates with `create`) the file at `path`.
@@ -67,12 +79,17 @@ class FilePager final : public Pager {
   Status Sync() override;
 
  private:
-  FilePager(std::FILE* file, uint32_t page_count, std::string path)
-      : file_(file), page_count_(page_count), path_(std::move(path)) {}
+  FilePager(int fd, uint32_t page_count, std::string path)
+      : fd_(fd), page_count_(page_count), path_(std::move(path)) {}
 
-  std::FILE* file_;
-  uint32_t page_count_;
+  /// Full-page positional write at `id` (loops over short writes).
+  Status WriteAt(PageId id, const Page& page);
+
+  int fd_;
+  std::atomic<uint32_t> page_count_;
   std::string path_;
+  /// Serializes file growth (Allocate / first write of a fresh page).
+  std::mutex extend_mu_;
 };
 
 }  // namespace ode::odb

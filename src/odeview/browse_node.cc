@@ -67,6 +67,27 @@ ClusterDisplayState* BrowseNode::state() const {
   return context_->display_states->StateFor(context_->db_name, class_name_);
 }
 
+Result<odb::ObjectBuffer> BrowseNode::FetchObject(odb::Oid oid) const {
+  if (context_->session != nullptr) return context_->session->GetObject(oid);
+  return context_->db->GetObject(oid);
+}
+
+Result<odb::ObjectBuffer> BrowseNode::FetchObjectVersion(
+    odb::Oid oid, uint32_t version) const {
+  if (context_->session != nullptr) {
+    return context_->session->GetObjectVersion(oid, version);
+  }
+  return context_->db->GetObjectVersion(oid, version);
+}
+
+Result<std::vector<uint32_t>> BrowseNode::FetchVersionList(
+    odb::Oid oid) const {
+  if (context_->session != nullptr) {
+    return context_->session->ListVersions(oid);
+  }
+  return context_->db->ListVersions(oid);
+}
+
 Status BrowseNode::BuildPanel() {
   std::string title;
   switch (kind_) {
@@ -306,9 +327,9 @@ Status BrowseNode::Step(bool forward) {
       if (next < 0 || next >= static_cast<int>(set_targets_.size())) {
         return Status::OutOfRange("no more objects in this set");
       }
-      ODE_ASSIGN_OR_RETURN(odb::ObjectBuffer buffer,
-                           context_->db->GetObject(
-                               set_targets_[static_cast<size_t>(next)]));
+      ODE_ASSIGN_OR_RETURN(
+          odb::ObjectBuffer buffer,
+          FetchObject(set_targets_[static_cast<size_t>(next)]));
       set_index_ = next;
       current_ = std::move(buffer);
       return Status::OK();
@@ -583,13 +604,12 @@ Status BrowseNode::OpenVersionsWindow() {
         "select an object before viewing its versions");
   }
   ODE_ASSIGN_OR_RETURN(std::vector<uint32_t> versions,
-                       context_->db->ListVersions(current_->oid));
+                       FetchVersionList(current_->oid));
   std::vector<std::string> lines;
   lines.push_back("versions of " + current_->oid.ToString() + ":");
   for (uint32_t version : versions) {
-    ODE_ASSIGN_OR_RETURN(
-        odb::ObjectBuffer buffer,
-        context_->db->GetObjectVersion(current_->oid, version));
+    ODE_ASSIGN_OR_RETURN(odb::ObjectBuffer buffer,
+                         FetchObjectVersion(current_->oid, version));
     std::string marker = version == current_->version ? "*" : " ";
     lines.push_back(marker + "v" + std::to_string(version) + " " +
                     buffer.value.ToString());
@@ -742,7 +762,7 @@ Status BrowseNode::ResolveFromParent() {
       return Status::OK();
     }
     ODE_ASSIGN_OR_RETURN(odb::ObjectBuffer buffer,
-                         context_->db->GetObject(field->AsRef()));
+                         FetchObject(field->AsRef()));
     current_ = std::move(buffer);
     return Status::OK();
   }
@@ -767,7 +787,7 @@ Status BrowseNode::ResolveFromParent() {
   if (set_index_ >= 0 || kind_ == BrowseNodeKind::kReferenceSet) {
     set_index_ = 0;
     ODE_ASSIGN_OR_RETURN(odb::ObjectBuffer buffer,
-                         context_->db->GetObject(set_targets_.front()));
+                         FetchObject(set_targets_.front()));
     current_ = std::move(buffer);
   }
   return Status::OK();

@@ -21,6 +21,11 @@ namespace ode::view {
 /// Services a browse tree needs; owned by the DbInteractor.
 struct BrowseContext {
   odb::Database* db = nullptr;
+  /// Session this browse tree runs its object operations through; when
+  /// null (tests constructing a context directly) nodes fall back to
+  /// `db`. Lets several interactors browse one database from worker
+  /// threads concurrently.
+  odb::Session* session = nullptr;
   owl::Server* server = nullptr;
   dynlink::ModuleRepository* repository = nullptr;
   dynlink::DynamicLinker* linker = nullptr;
@@ -172,6 +177,11 @@ class BrowseNode {
   Status MarkFaulted(const std::string& format, const std::string& message);
   /// The display state entry of this node's cluster.
   ClusterDisplayState* state() const;
+  /// Object fetches routed through the context's session when present.
+  Result<odb::ObjectBuffer> FetchObject(odb::Oid oid) const;
+  Result<odb::ObjectBuffer> FetchObjectVersion(odb::Oid oid,
+                                               uint32_t version) const;
+  Result<std::vector<uint32_t>> FetchVersionList(odb::Oid oid) const;
   /// Advances the cluster cursor / set index.
   Status Step(bool forward);
 

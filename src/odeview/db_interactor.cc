@@ -20,8 +20,10 @@ DbInteractor::DbInteractor(owl::Server* server,
                            dynlink::ModuleRepository* repository,
                            DisplayStateRegistry* display_states,
                            odb::Database* db)
-    : server_(server), db_(db), linker_(repository) {
+    : server_(server), db_(db), linker_(repository),
+      session_(db->OpenSession()) {
   context_.db = db;
+  context_.session = &session_;
   context_.server = server;
   context_.repository = repository;
   context_.linker = &linker_;

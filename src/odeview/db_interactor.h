@@ -35,6 +35,10 @@ class DbInteractor {
 
   const std::string& db_name() const { return db_->name(); }
   odb::Database* database() { return db_; }
+  /// This interactor's database session: every window tree it spawns
+  /// runs object operations through it, so two interactors over one
+  /// database can browse from different threads concurrently.
+  odb::Session* session() { return &session_; }
   dynlink::DynamicLinker* linker() { return &linker_; }
   BrowseContext* context() { return &context_; }
 
@@ -127,6 +131,7 @@ class DbInteractor {
   owl::Server* server_;
   odb::Database* db_;
   dynlink::DynamicLinker linker_;
+  odb::Session session_;
   BrowseContext context_;
 
   owl::WindowId schema_window_ = owl::kNoWindow;

@@ -1,0 +1,143 @@
+// Pins down the sharded pool's per-shard replacement semantics: LRU
+// eviction order, pin-blocks-eviction, and the shard-count policy.
+// These are single-threaded regression tests — the concurrency battery
+// lives in concurrency_test.cc.
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "odb/buffer_pool.h"
+#include "odb/pager.h"
+
+namespace ode::odb {
+namespace {
+
+void AllocatePages(MemPager* pager, int n) {
+  for (int i = 0; i < n; ++i) EXPECT_TRUE(pager->Allocate().ok());
+}
+
+// --- Shard-count policy ------------------------------------------------
+
+TEST(LruRegressionTest, SmallPoolsStaySingleSharded) {
+  MemPager pager;
+  AllocatePages(&pager, 1);
+  EXPECT_EQ(BufferPool(&pager, 1).shard_count(), 1u);
+  EXPECT_EQ(BufferPool(&pager, 8).shard_count(), 1u);
+  EXPECT_EQ(BufferPool(&pager, 32).shard_count(), 1u);
+}
+
+TEST(LruRegressionTest, LargePoolsShardUpToEight) {
+  MemPager pager;
+  AllocatePages(&pager, 1);
+  EXPECT_EQ(BufferPool(&pager, 64).shard_count(), 2u);
+  EXPECT_EQ(BufferPool(&pager, 256).shard_count(), 8u);
+  EXPECT_EQ(BufferPool(&pager, 4096).shard_count(), 8u);
+}
+
+TEST(LruRegressionTest, ExplicitShardsClampedToCapacity) {
+  MemPager pager;
+  AllocatePages(&pager, 1);
+  EXPECT_EQ(BufferPool(&pager, 1, /*shards=*/8).shard_count(), 1u);
+  EXPECT_EQ(BufferPool(&pager, 3, /*shards=*/8).shard_count(), 3u);
+  EXPECT_EQ(BufferPool(&pager, 16, /*shards=*/4).shard_count(), 4u);
+}
+
+// --- Single shard: seed-identical LRU ----------------------------------
+
+// Capacity 3, one shard: fetching a fourth page evicts the
+// least-recently-used of the first three; re-touching changes the order.
+TEST(LruRegressionTest, SingleShardEvictsColdestFirst) {
+  MemPager pager;
+  AllocatePages(&pager, 5);
+  BufferPool pool(&pager, /*capacity=*/3, /*shards=*/1);
+
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  ASSERT_TRUE(pool.Fetch(1).ok());
+  ASSERT_TRUE(pool.Fetch(2).ok());
+  ASSERT_TRUE(pool.Fetch(0).ok());  // 0 now hottest; order: 0,2,1
+
+  ASSERT_TRUE(pool.Fetch(3).ok());  // evicts 1
+  EXPECT_FALSE(pool.Cached(1));
+  EXPECT_TRUE(pool.Cached(0));
+  EXPECT_TRUE(pool.Cached(2));
+
+  ASSERT_TRUE(pool.Fetch(4).ok());  // evicts 2
+  EXPECT_FALSE(pool.Cached(2));
+  EXPECT_TRUE(pool.Cached(0));
+  EXPECT_EQ(pool.stats().evictions, 2u);
+}
+
+// --- Per-shard independence -------------------------------------------
+
+// Capacity 4 over 2 shards (2 frames each); page id % 2 picks the
+// shard. Filling the even shard must not evict odd-shard residents.
+TEST(LruRegressionTest, EvictionIsPerShard) {
+  MemPager pager;
+  AllocatePages(&pager, 10);
+  BufferPool pool(&pager, /*capacity=*/4, /*shards=*/2);
+
+  ASSERT_TRUE(pool.Fetch(1).ok());  // odd shard
+  ASSERT_TRUE(pool.Fetch(3).ok());  // odd shard now full
+
+  // Churn the even shard well past its 2 frames.
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  ASSERT_TRUE(pool.Fetch(2).ok());
+  ASSERT_TRUE(pool.Fetch(4).ok());
+  ASSERT_TRUE(pool.Fetch(6).ok());
+  ASSERT_TRUE(pool.Fetch(8).ok());
+
+  // Odd residents survived the even-shard churn.
+  EXPECT_TRUE(pool.Cached(1));
+  EXPECT_TRUE(pool.Cached(3));
+  // Even shard holds its own LRU tail only.
+  EXPECT_FALSE(pool.Cached(0));
+  EXPECT_TRUE(pool.Cached(6));
+  EXPECT_TRUE(pool.Cached(8));
+}
+
+// Capacity 2 over 2 shards: one pinned page exhausts its whole shard,
+// so a second page of the same shard fails FailedPrecondition while the
+// other shard keeps working.
+TEST(LruRegressionTest, PinBlocksEvictionPerShard) {
+  MemPager pager;
+  AllocatePages(&pager, 6);
+  BufferPool pool(&pager, /*capacity=*/2, /*shards=*/2);
+
+  Result<PageHandle> pinned = pool.Fetch(0);  // even shard's only frame
+  ASSERT_TRUE(pinned.ok());
+
+  Result<PageHandle> blocked = pool.Fetch(2);  // same shard, all pinned
+  EXPECT_EQ(blocked.status().code(), StatusCode::kFailedPrecondition);
+
+  // The odd shard is unaffected: fetch + churn both fine.
+  ASSERT_TRUE(pool.Fetch(1).ok());
+  ASSERT_TRUE(pool.Fetch(3).ok());
+  ASSERT_TRUE(pool.Fetch(5).ok());
+
+  pinned->Release();
+  EXPECT_TRUE(pool.Fetch(2).ok());  // now evictable
+}
+
+// Dirty frames evicted from one shard are written back, and writebacks
+// are counted.
+TEST(LruRegressionTest, DirtyEvictionWritesBackPerShard) {
+  MemPager pager;
+  AllocatePages(&pager, 6);
+  BufferPool pool(&pager, /*capacity=*/2, /*shards=*/2);
+
+  {
+    Result<PageHandle> handle = pool.Fetch(0, PageIntent::kWrite);
+    ASSERT_TRUE(handle.ok());
+    handle->page()->bytes()[0] = 'X';
+    handle->MarkDirty();
+  }
+  ASSERT_TRUE(pool.Fetch(2).ok());  // evicts dirty page 0
+
+  Page page;
+  ASSERT_TRUE(pager.Read(0, &page).ok());
+  EXPECT_EQ(page.bytes()[0], 'X');
+  EXPECT_GE(pool.stats().writebacks, 1u);
+}
+
+}  // namespace
+}  // namespace ode::odb

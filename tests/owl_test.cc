@@ -355,8 +355,9 @@ TEST(ServerTest, CreateFindDestroy) {
   EXPECT_NE(a->id(), b->id());
   EXPECT_EQ(server.FindWindow(a->id()), a);
   EXPECT_EQ(server.FindWindowByTitle("b"), b);
-  ASSERT_TRUE(server.DestroyWindow(a->id()).ok());
-  EXPECT_EQ(server.FindWindow(a->id()), nullptr);
+  const WindowId a_id = a->id();  // `a` dangles once destroyed below.
+  ASSERT_TRUE(server.DestroyWindow(a_id).ok());
+  EXPECT_EQ(server.FindWindow(a_id), nullptr);
   EXPECT_TRUE(server.DestroyWindow(999).IsNotFound());
 }
 

@@ -5,8 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstring>
 #include <map>
+#include <memory>
 #include <string>
+#include <tuple>
 
 #include "odb/buffer_pool.h"
 #include "odb/heap_file.h"
@@ -194,6 +198,152 @@ TEST_P(PoolFuzz, NeverCorruptsPages) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PoolFuzz, ::testing::Values(9, 18, 27));
+
+// --- Sharded pool under random pin patterns --------------------------------
+
+// Same invariant as PoolFuzz, but with degenerate shard configurations:
+// capacity 1 (every fetch evicts) and capacity below the requested
+// shard count (policy clamps to one frame per shard). With multiple
+// frames pinned a shard can legitimately be exhausted, so fetch
+// failures are tolerated whenever pins are held — and must not occur
+// when none are.
+class ShardedPoolFuzz
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t, size_t>> {
+};
+
+TEST_P(ShardedPoolFuzz, NeverCorruptsPages) {
+  auto [seed, capacity, shards] = GetParam();
+  MemPager pager;
+  BufferPool pool(&pager, capacity, shards);
+  constexpr int kPages = 24;
+  for (int i = 0; i < kPages; ++i) {
+    PageHandle handle = *pool.NewPage();
+    handle.page()->bytes()[0] = static_cast<char>(i);
+    handle.MarkDirty();
+  }
+  Rng rng(seed);
+  std::vector<PageHandle> pins;
+  for (int step = 0; step < 3000; ++step) {
+    int op = static_cast<int>(rng.Below(4));
+    if (op == 0 && pins.size() + 1 < pool.capacity()) {
+      auto id = static_cast<PageId>(rng.Below(kPages));
+      Result<PageHandle> handle = pool.Fetch(id);
+      if (handle.ok()) {
+        ASSERT_EQ(handle->page()->bytes()[0], static_cast<char>(id));
+        pins.push_back(std::move(*handle));
+      } else {
+        // Only a shard exhausted by existing pins may refuse.
+        ASSERT_FALSE(pins.empty()) << "step " << step;
+        ASSERT_TRUE(handle.status().code() ==
+                    StatusCode::kFailedPrecondition)
+            << handle.status().ToString();
+      }
+    } else if (op == 1 && !pins.empty()) {
+      pins.erase(pins.begin() +
+                 static_cast<long>(rng.Below(pins.size())));
+    } else {
+      auto id = static_cast<PageId>(rng.Below(kPages));
+      Result<PageHandle> handle = pool.Fetch(id);
+      if (handle.ok()) {
+        ASSERT_EQ(handle->page()->bytes()[0], static_cast<char>(id));
+      } else {
+        ASSERT_FALSE(pins.empty()) << "step " << step;
+      }
+    }
+  }
+  pins.clear();
+  ASSERT_TRUE(pool.FlushAll().ok());
+  for (int i = 0; i < kPages; ++i) {
+    Page raw;
+    ASSERT_TRUE(pager.Read(static_cast<PageId>(i), &raw).ok());
+    EXPECT_EQ(raw.bytes()[0], static_cast<char>(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ShardedPoolFuzz,
+    ::testing::Values(std::make_tuple(101, 1, 8),   // capacity 1
+                      std::make_tuple(202, 4, 8),   // capacity < shards
+                      std::make_tuple(303, 8, 4),
+                      std::make_tuple(404, 6, 3)));
+
+// --- MemPager vs. FilePager equivalence ------------------------------------
+
+// Replays one random allocate/write/read sequence against both pager
+// backends; every page image and the page counts must stay identical.
+class PagerEquivalenceFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PagerEquivalenceFuzz, BackendsProduceIdenticalImages) {
+  std::string path = ::testing::TempDir() + "ode_pager_fuzz_" +
+                     std::to_string(GetParam()) + ".db";
+  std::remove(path.c_str());
+  MemPager mem;
+  auto opened = FilePager::Open(path, /*create=*/true);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<FilePager> file = std::move(*opened);
+
+  Rng rng(GetParam() * 131);
+  for (int step = 0; step < 400; ++step) {
+    int op = static_cast<int>(rng.Below(4));
+    if (op == 0 || mem.page_count() == 0) {  // allocate
+      Result<PageId> a = mem.Allocate();
+      Result<PageId> b = file->Allocate();
+      ASSERT_TRUE(a.ok() && b.ok());
+      ASSERT_EQ(*a, *b) << "step " << step;
+    } else if (op == 1) {  // overwrite an existing page
+      auto id = static_cast<PageId>(rng.Below(mem.page_count()));
+      Page page;
+      page.Zero();
+      std::string payload = RandomPayload(&rng, kPageSize);
+      std::memcpy(page.bytes(), payload.data(), payload.size());
+      ASSERT_TRUE(mem.Write(id, page).ok());
+      ASSERT_TRUE(file->Write(id, page).ok());
+    } else if (op == 2) {  // appending write at page_count extends
+      auto id = static_cast<PageId>(mem.page_count());
+      Page page;
+      page.Zero();
+      page.bytes()[0] = static_cast<char>(rng.Below(256));
+      Status a = mem.Write(id, page);
+      Status b = file->Write(id, page);
+      ASSERT_EQ(a.ok(), b.ok()) << "step " << step;
+    } else {  // read-compare a random page
+      auto id = static_cast<PageId>(rng.Below(mem.page_count()));
+      Page pa, pb;
+      ASSERT_TRUE(mem.Read(id, &pa).ok());
+      ASSERT_TRUE(file->Read(id, &pb).ok());
+      ASSERT_EQ(std::memcmp(pa.bytes(), pb.bytes(), kPageSize), 0)
+          << "page " << id << " diverged at step " << step;
+    }
+    ASSERT_EQ(mem.page_count(), file->page_count()) << "step " << step;
+  }
+
+  // Final sweep: every page byte-identical across backends.
+  for (PageId id = 0; id < mem.page_count(); ++id) {
+    Page pa, pb;
+    ASSERT_TRUE(mem.Read(id, &pa).ok());
+    ASSERT_TRUE(file->Read(id, &pb).ok());
+    EXPECT_EQ(std::memcmp(pa.bytes(), pb.bytes(), kPageSize), 0)
+        << "page " << id;
+  }
+  ASSERT_TRUE(file->Sync().ok());
+
+  // Reopen the file: images survive a close/open cycle.
+  uint32_t pages = mem.page_count();
+  file.reset();
+  auto reopened = FilePager::Open(path, /*create=*/false);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_EQ((*reopened)->page_count(), pages);
+  for (PageId id = 0; id < pages; ++id) {
+    Page pa, pb;
+    ASSERT_TRUE(mem.Read(id, &pa).ok());
+    ASSERT_TRUE((*reopened)->Read(id, &pb).ok());
+    EXPECT_EQ(std::memcmp(pa.bytes(), pb.bytes(), kPageSize), 0);
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PagerEquivalenceFuzz,
+                         ::testing::Values(7, 14, 21, 28));
 
 }  // namespace
 }  // namespace ode::odb

@@ -126,4 +126,4 @@ BENCHMARK(BM_CrossingCounting)->Arg(100)->Arg(1000)->Arg(10000);
 }  // namespace
 }  // namespace ode::bench
 
-BENCHMARK_MAIN();
+ODE_BENCH_MAIN();

@@ -62,4 +62,4 @@ BENCHMARK(BM_IntegrityCheck)->Arg(55)->Arg(500);
 }  // namespace
 }  // namespace ode::bench
 
-BENCHMARK_MAIN();
+ODE_BENCH_MAIN();

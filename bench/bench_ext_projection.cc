@@ -95,4 +95,4 @@ BENCHMARK(BM_ProjectionApplyInteraction);
 }  // namespace
 }  // namespace ode::bench
 
-BENCHMARK_MAIN();
+ODE_BENCH_MAIN();

@@ -111,4 +111,4 @@ BENCHMARK(BM_MenuBuiltVersusTypedPredicate)->Arg(0)->Arg(1);
 }  // namespace
 }  // namespace ode::bench
 
-BENCHMARK_MAIN();
+ODE_BENCH_MAIN();

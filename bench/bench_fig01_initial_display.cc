@@ -61,4 +61,4 @@ BENCHMARK(BM_CompositeScreen)->Arg(4)->Arg(64);
 }  // namespace
 }  // namespace ode::bench
 
-BENCHMARK_MAIN();
+ODE_BENCH_MAIN();

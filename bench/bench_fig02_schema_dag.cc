@@ -91,4 +91,4 @@ BENCHMARK(BM_SchemaZoomCycle);
 }  // namespace
 }  // namespace ode::bench
 
-BENCHMARK_MAIN();
+ODE_BENCH_MAIN();

@@ -64,4 +64,4 @@ BENCHMARK(BM_SubclassScanVsSchemaSize)->Arg(10)->Arg(100)->Arg(1000);
 }  // namespace
 }  // namespace ode::bench
 
-BENCHMARK_MAIN();
+ODE_BENCH_MAIN();

@@ -65,4 +65,4 @@ BENCHMARK(BM_DefinitionScrolling);
 }  // namespace
 }  // namespace ode::bench
 
-BENCHMARK_MAIN();
+ODE_BENCH_MAIN();

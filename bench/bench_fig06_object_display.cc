@@ -108,4 +108,4 @@ BENCHMARK(BM_BitmapScaling)
 }  // namespace
 }  // namespace ode::bench
 
-BENCHMARK_MAIN();
+ODE_BENCH_MAIN();

@@ -83,4 +83,4 @@ BENCHMARK(BM_NullReferenceHandling);
 }  // namespace
 }  // namespace ode::bench
 
-BENCHMARK_MAIN();
+ODE_BENCH_MAIN();

@@ -81,4 +81,4 @@ BENCHMARK(BM_SetResolutionOnParentStep)->Arg(100)->Arg(1000);
 }  // namespace
 }  // namespace ode::bench
 
-BENCHMARK_MAIN();
+ODE_BENCH_MAIN();

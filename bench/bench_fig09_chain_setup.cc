@@ -67,4 +67,4 @@ BENCHMARK(BM_ChainWithDisplaysOpen);
 }  // namespace
 }  // namespace ode::bench
 
-BENCHMARK_MAIN();
+ODE_BENCH_MAIN();

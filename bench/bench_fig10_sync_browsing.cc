@@ -94,4 +94,4 @@ BENCHMARK(BM_UnsynchronizedBaseline);
 }  // namespace
 }  // namespace ode::bench
 
-BENCHMARK_MAIN();
+ODE_BENCH_MAIN();

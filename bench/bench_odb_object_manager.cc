@@ -125,4 +125,4 @@ BENCHMARK(BM_LabDatabaseBuild)->Arg(55)->Arg(500);
 }  // namespace
 }  // namespace ode::bench
 
-BENCHMARK_MAIN();
+ODE_BENCH_MAIN();

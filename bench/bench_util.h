@@ -1,9 +1,15 @@
 #ifndef ODEVIEW_BENCH_BENCH_UTIL_H_
 #define ODEVIEW_BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
+#include <fstream>
 #include <memory>
 #include <string>
+#include <string_view>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "dynlink/lab_modules.h"
 #include "odb/database.h"
 #include "odb/labdb.h"
@@ -50,6 +56,62 @@ struct LabSession {
   }
 };
 
+/// Benchmark entry point with telemetry flags. Recognizes and strips
+///   --metrics-out=PATH   write the registry's JSON export after the run
+///   --trace-out=PATH     enable tracing; write Chrome trace-event JSON
+///                        (load in chrome://tracing or Perfetto)
+/// before handing the remaining arguments to Google Benchmark.
+inline int BenchMain(int argc, char** argv) {
+  std::string metrics_out;
+  std::string trace_out;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    constexpr std::string_view kMetricsFlag = "--metrics-out=";
+    constexpr std::string_view kTraceFlag = "--trace-out=";
+    if (arg.rfind(kMetricsFlag, 0) == 0) {
+      metrics_out = std::string(arg.substr(kMetricsFlag.size()));
+    } else if (arg.rfind(kTraceFlag, 0) == 0) {
+      trace_out = std::string(arg.substr(kTraceFlag.size()));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (!trace_out.empty()) obs::Tracing::Enable();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write metrics to '%s'\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    out << obs::Registry::Global().RenderJson() << "\n";
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write trace to '%s'\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    out << obs::Tracing::ExportChromeJson() << "\n";
+  }
+  return 0;
+}
+
 }  // namespace ode::bench
+
+/// Replacement for BENCHMARK_MAIN() that understands the telemetry
+/// flags above.
+#define ODE_BENCH_MAIN()                          \
+  int main(int argc, char** argv) {               \
+    return ::ode::bench::BenchMain(argc, argv);   \
+  }                                               \
+  int main(int, char**)
 
 #endif  // ODEVIEW_BENCH_BENCH_UTIL_H_

@@ -47,6 +47,8 @@ void Help() {
   join <left> <right> <pred>   open a §5.3 join view
   versions <class>             open the version-history window
   check                        run the referential-integrity checker
+  stats                        open/refresh the statistics window
+  telemetry                    dump the metrics registry (text report)
   screen                       print the composed screen
   quit)");
 }
@@ -199,6 +201,10 @@ int main(int argc, char** argv) {
           std::printf("  %s\n", issue.ToString().c_str());
         }
       }
+    } else if (cmd == "stats") {
+      report(app.OpenStatsWindow());
+    } else if (cmd == "telemetry") {
+      std::fputs(db->DumpTelemetry().c_str(), stdout);
     } else if (cmd == "screen") {
       std::fputs(app.Screenshot().c_str(), stdout);
     } else {

@@ -1,7 +1,11 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
+
+#include "common/threading.h"
 
 namespace ode {
 
@@ -35,7 +39,18 @@ void LogMessage(LogLevel level, const char* file, int line,
     sink(level, message);
     return;
   }
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), file, line,
+  auto now = std::chrono::system_clock::now();
+  std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    now.time_since_epoch())
+                    .count() %
+                1000;
+  std::tm tm_buf;
+  localtime_r(&seconds, &tm_buf);
+  char when[16];
+  std::strftime(when, sizeof(when), "%H:%M:%S", &tm_buf);
+  std::fprintf(stderr, "[%s %s.%03d t%u %s:%d] %s\n", LevelName(level), when,
+               static_cast<int>(millis), CurrentThreadId(), file, line,
                message.c_str());
 }
 

@@ -9,15 +9,20 @@ namespace ode {
 /// Severity for library log records.
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Process-wide minimum severity; records below it are dropped.
+/// Process-wide minimum severity; records below it are dropped. Backed
+/// by an atomic, so it may be flipped while other threads log.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-/// Emits one log record to stderr (or a test-installed sink).
+/// Emits one log record to stderr (or a test-installed sink). The
+/// default stderr format carries a timestamp and the dense thread id:
+///   [WARN 14:03:21.507 t3 browse_node.cc:817] message
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& message);
 
-/// Installs a sink capturing log records; pass nullptr to restore stderr.
+/// Installs a sink capturing log records; pass nullptr to restore
+/// stderr. Atomic like the level: installing a sink while other threads
+/// log is safe (in-flight records may still hit the previous sink).
 /// The sink signature receives (level, formatted message).
 using LogSink = void (*)(LogLevel, const std::string&);
 void SetLogSink(LogSink sink);

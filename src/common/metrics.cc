@@ -1,0 +1,412 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <sstream>
+
+namespace ode::obs {
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted names map
+/// dots (and anything else) to underscores.
+std::string SanitizeForPrometheus(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+/// JSON string escaping for metric names (which may carry class names).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+int BucketIndex(uint64_t value) {
+  int width = std::bit_width(value);  // 0 for value == 0
+  return std::min(width, Histogram::kBuckets - 1);
+}
+
+}  // namespace
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::BucketUpperBound(int i) {
+  if (i <= 0) return 0;
+  if (i >= kBuckets - 1) return UINT64_MAX;
+  return (uint64_t{1} << i) - 1;
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  for (int i = 0; i < kBuckets; ++i) {
+    uint64_t n = other.bucket(i);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  uint64_t value = other.max();
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::ApproxQuantile(double q) const {
+  uint64_t total = count();
+  if (total == 0) return 0;
+  auto rank = static_cast<uint64_t>(q * static_cast<double>(total));
+  if (rank >= total) rank = total - 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += bucket(i);
+    if (seen > rank) {
+      // The top bucket is unbounded; report the observed max instead.
+      if (i >= kBuckets - 1) return max();
+      return BucketUpperBound(i);
+    }
+  }
+  return max();
+}
+
+Registry& Registry::Global() {
+  // Leaked singleton: instrument pointers stay valid through static
+  // destruction (background threads may log metrics late in shutdown).
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter* Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+std::shared_ptr<Counter> Registry::NewOwnedCounter(std::string_view name) {
+  // The deleter retires the final value so exports keep the history of
+  // owners that have since been destroyed (e.g. benchmark-scoped pools).
+  std::shared_ptr<Counter> instrument(
+      new Counter(), [this, key = std::string(name)](Counter* c) {
+        RetireCounter(key, c->value());
+        delete c;
+      });
+  std::lock_guard<std::mutex> lock(mu_);
+  owned_counters_.emplace_back(std::string(name), instrument);
+  return instrument;
+}
+
+std::shared_ptr<Histogram> Registry::NewOwnedHistogram(
+    std::string_view name) {
+  std::shared_ptr<Histogram> instrument(
+      new Histogram(), [this, key = std::string(name)](Histogram* h) {
+        RetireHistogram(key, *h);
+        delete h;
+      });
+  std::lock_guard<std::mutex> lock(mu_);
+  owned_histograms_.emplace_back(std::string(name), instrument);
+  return instrument;
+}
+
+void Registry::RetireCounter(const std::string& name, uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  retired_counters_[name] += value;
+  // Prune expired registrations while we are here so churning owners
+  // (one pool per benchmark iteration) cannot grow the list unboundedly.
+  std::erase_if(owned_counters_,
+                [](const auto& entry) { return entry.second.expired(); });
+}
+
+void Registry::RetireHistogram(const std::string& name,
+                               const Histogram& histogram) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = retired_histograms_.find(name);
+  if (it == retired_histograms_.end()) {
+    it = retired_histograms_
+             .emplace(name, std::make_unique<Histogram>())
+             .first;
+  }
+  it->second->MergeFrom(histogram);
+  std::erase_if(owned_histograms_,
+                [](const auto& entry) { return entry.second.expired(); });
+}
+
+std::vector<MetricSample> Registry::Snapshot() const {
+  // Aggregation maps keyed by name; owned instances fold into the
+  // shared instrument's entry.
+  std::map<std::string, uint64_t> counter_totals;
+  std::map<std::string, int64_t> gauge_values;
+  struct HistAgg {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t max = 0;
+    uint64_t buckets[Histogram::kBuckets] = {};
+  };
+  std::map<std::string, HistAgg> hist_totals;
+
+  auto fold = [&hist_totals](const std::string& name, const Histogram& h) {
+    HistAgg& agg = hist_totals[name];
+    agg.count += h.count();
+    agg.sum += h.sum();
+    agg.max = std::max(agg.max, h.max());
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      agg.buckets[i] += h.bucket(i);
+    }
+  };
+
+  // Owned instruments pinned outside the lock scope: if an owner drops
+  // its reference concurrently, the deleter (which retires into this
+  // registry under mu_) must not run while we hold mu_.
+  std::vector<std::pair<std::string, std::shared_ptr<Counter>>> live_counters;
+  std::vector<std::pair<std::string, std::shared_ptr<Histogram>>>
+      live_histograms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) counter_totals[name] += c->value();
+    for (const auto& [name, value] : retired_counters_) {
+      counter_totals[name] += value;
+    }
+    for (const auto& [name, weak] : owned_counters_) {
+      if (auto c = weak.lock()) live_counters.emplace_back(name, std::move(c));
+    }
+    for (const auto& [name, g] : gauges_) gauge_values[name] = g->value();
+    for (const auto& [name, h] : histograms_) fold(name, *h);
+    for (const auto& [name, h] : retired_histograms_) fold(name, *h);
+    for (const auto& [name, weak] : owned_histograms_) {
+      if (auto h = weak.lock()) {
+        live_histograms.emplace_back(name, std::move(h));
+      }
+    }
+  }
+  for (const auto& [name, c] : live_counters) counter_totals[name] += c->value();
+  for (const auto& [name, h] : live_histograms) fold(name, *h);
+
+  auto quantile_of = [](const HistAgg& agg, double q) -> uint64_t {
+    if (agg.count == 0) return 0;
+    auto rank = static_cast<uint64_t>(q * static_cast<double>(agg.count));
+    if (rank >= agg.count) rank = agg.count - 1;
+    uint64_t seen = 0;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      seen += agg.buckets[i];
+      if (seen > rank) {
+        if (i >= Histogram::kBuckets - 1) return agg.max;
+        return Histogram::BucketUpperBound(i);
+      }
+    }
+    return agg.max;
+  };
+
+  std::vector<MetricSample> out;
+  out.reserve(counter_totals.size() + gauge_values.size() +
+              hist_totals.size());
+  for (const auto& [name, value] : counter_totals) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::kCounter;
+    s.name = name;
+    s.value = static_cast<int64_t>(value);
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, value] : gauge_values) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::kGauge;
+    s.name = name;
+    s.value = value;
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, agg] : hist_totals) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::kHistogram;
+    s.name = name;
+    s.count = agg.count;
+    s.sum = agg.sum;
+    s.max = agg.max;
+    s.p50 = quantile_of(agg, 0.50);
+    s.p99 = quantile_of(agg, 0.99);
+    s.buckets.assign(agg.buckets, agg.buckets + Histogram::kBuckets);
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string Registry::RenderPrometheus() const {
+  std::ostringstream os;
+  for (const MetricSample& s : Snapshot()) {
+    std::string name = SanitizeForPrometheus(s.name);
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        os << "# TYPE " << name << " counter\n"
+           << name << " " << s.value << "\n";
+        break;
+      case MetricSample::Kind::kGauge:
+        os << "# TYPE " << name << " gauge\n"
+           << name << " " << s.value << "\n";
+        break;
+      case MetricSample::Kind::kHistogram: {
+        os << "# TYPE " << name << " histogram\n";
+        uint64_t cumulative = 0;
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+          if (s.buckets[i] == 0 && i != Histogram::kBuckets - 1) continue;
+          cumulative += s.buckets[i];
+          if (i == Histogram::kBuckets - 1) {
+            os << name << "_bucket{le=\"+Inf\"} " << s.count << "\n";
+          } else {
+            os << name << "_bucket{le=\"" << Histogram::BucketUpperBound(i)
+               << "\"} " << cumulative << "\n";
+          }
+        }
+        os << name << "_sum " << s.sum << "\n"
+           << name << "_count " << s.count << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string Registry::RenderJson() const {
+  std::ostringstream counters, gauges, histograms;
+  bool first_c = true, first_g = true, first_h = true;
+  for (const MetricSample& s : Snapshot()) {
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        if (!first_c) counters << ",";
+        first_c = false;
+        counters << "\"" << JsonEscape(s.name) << "\":" << s.value;
+        break;
+      case MetricSample::Kind::kGauge:
+        if (!first_g) gauges << ",";
+        first_g = false;
+        gauges << "\"" << JsonEscape(s.name) << "\":" << s.value;
+        break;
+      case MetricSample::Kind::kHistogram:
+        if (!first_h) histograms << ",";
+        first_h = false;
+        histograms << "\"" << JsonEscape(s.name) << "\":{"
+                   << "\"count\":" << s.count << ",\"sum\":" << s.sum
+                   << ",\"max\":" << s.max << ",\"p50\":" << s.p50
+                   << ",\"p99\":" << s.p99 << "}";
+        break;
+    }
+  }
+  std::ostringstream os;
+  os << "{\"counters\":{" << counters.str() << "},\"gauges\":{"
+     << gauges.str() << "},\"histograms\":{" << histograms.str() << "}}";
+  return os.str();
+}
+
+std::string Registry::RenderText() const {
+  std::vector<MetricSample> samples = Snapshot();
+  std::ostringstream os;
+  // One section per kind (samples are name-sorted within each).
+  auto section = [&](MetricSample::Kind kind, const char* header) {
+    bool first = true;
+    for (const MetricSample& s : samples) {
+      if (s.kind != kind) continue;
+      if (first) {
+        os << header;
+        first = false;
+      }
+      if (kind == MetricSample::Kind::kHistogram) {
+        os << "  " << s.name << ": n=" << s.count << " p50=" << s.p50
+           << " p99=" << s.p99 << " max=" << s.max;
+        if (s.count > 0) os << " mean=" << s.sum / s.count;
+        os << "\n";
+      } else {
+        os << "  " << s.name << " = " << s.value << "\n";
+      }
+    }
+  };
+  section(MetricSample::Kind::kCounter, "-- counters --\n");
+  section(MetricSample::Kind::kGauge, "-- gauges --\n");
+  section(MetricSample::Kind::kHistogram, "-- histograms (ns) --\n");
+  return os.str();
+}
+
+void Registry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Recreate rather than zero: instrument pointers cached at call sites
+  // must stay valid, so zero in place.
+  for (auto& [name, c] : counters_) {
+    (void)name;
+    c->Add(0 - c->value());
+  }
+  for (auto& [name, g] : gauges_) {
+    (void)name;
+    g->Set(0);
+  }
+  // Histograms cannot be zeroed in place race-free; replacing them
+  // would invalidate cached pointers. Tests that need a clean slate use
+  // fresh metric names or delta assertions instead; shared histograms
+  // keep their samples.
+  owned_counters_.clear();
+  owned_histograms_.clear();
+  retired_counters_.clear();
+  retired_histograms_.clear();
+}
+
+}  // namespace ode::obs

@@ -1,0 +1,188 @@
+#ifndef ODEVIEW_COMMON_METRICS_H_
+#define ODEVIEW_COMMON_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ode::obs {
+
+/// A monotonically increasing event count. All operations are lock-free
+/// relaxed atomics — safe to bump from any thread, including latency-
+/// critical paths.
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A value that can go up and down (active sessions, cached pages, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A log-bucketed histogram for latency-style samples (nanoseconds by
+/// convention). Bucket `i` holds samples whose value has bit width `i`,
+/// i.e. the range [2^(i-1), 2^i), so the buckets cover 1 ns to ~4.4 min
+/// with ~2x resolution at constant (lock-free) recording cost.
+class Histogram {
+ public:
+  /// Bucket count: bit widths 0..63 collapse into these buckets.
+  static constexpr int kBuckets = 39;
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Inclusive upper bound of bucket `i` (the Prometheus `le` label).
+  static uint64_t BucketUpperBound(int i);
+
+  /// Approximate quantile (0 < q <= 1) from the bucket upper bounds;
+  /// 0 when empty. Accurate to the ~2x bucket resolution.
+  uint64_t ApproxQuantile(double q) const;
+
+  /// Adds all of `other`'s samples into this histogram (relaxed adds;
+  /// safe against concurrent recorders on either side).
+  void MergeFrom(const Histogram& other);
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets]{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// One exported metric, aggregated across all instruments sharing a
+/// name (the shared instrument plus any live owned instances).
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  std::string name;
+  // Counter / gauge payload.
+  int64_t value = 0;
+  // Histogram payload.
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  uint64_t p50 = 0;
+  uint64_t p99 = 0;
+  std::vector<uint64_t> buckets;  ///< per-bucket counts (non-cumulative)
+};
+
+/// The process-wide metrics registry.
+///
+/// Two kinds of instruments exist:
+///  * **shared** — `counter("a.b")` returns the one process-wide
+///    instrument of that name (created on first use, never destroyed).
+///    This is what instrumentation sites use.
+///  * **owned** — `NewOwnedCounter("a.b")` returns a private instance
+///    the caller can read exactly (e.g. one BufferPool's hit counts)
+///    while exports see the sum of all live instances plus the shared
+///    instrument of the same name. When the owner destroys its
+///    instance, its final value is folded into a per-name retired
+///    total so process-wide exports keep the full history. Owned
+///    instruments must not outlive the registry they came from (the
+///    global registry is leaked, so that is only a concern for
+///    test-local registries).
+///
+/// Lookups take a mutex; call sites cache the returned pointer (e.g. in
+/// a function-local static) so the hot path is just the atomic bump.
+class Registry {
+ public:
+  static Registry& Global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  std::shared_ptr<Counter> NewOwnedCounter(std::string_view name);
+  std::shared_ptr<Histogram> NewOwnedHistogram(std::string_view name);
+
+  /// All metrics, name-sorted, owned instances folded into their name.
+  std::vector<MetricSample> Snapshot() const;
+
+  /// Prometheus text exposition (names sanitized to [a-z0-9_]).
+  std::string RenderPrometheus() const;
+  /// Machine-readable JSON: {"counters":{...},"gauges":{...},
+  /// "histograms":{"name":{"count":..,"sum":..,"p50":..,...}}}.
+  std::string RenderJson() const;
+  /// Human-readable report (the runtime inspector's data source).
+  std::string RenderText() const;
+
+  /// Zeroes every shared instrument and drops owned registrations.
+  /// Test-only: racing writers may land bumps in either era.
+  void ResetForTest();
+
+ private:
+  /// Folds a dying owned instrument's final state into the retired
+  /// accumulators (called from the owned shared_ptr deleters).
+  void RetireCounter(const std::string& name, uint64_t value);
+  void RetireHistogram(const std::string& name, const Histogram& histogram);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::vector<std::pair<std::string, std::weak_ptr<Counter>>> owned_counters_;
+  std::vector<std::pair<std::string, std::weak_ptr<Histogram>>>
+      owned_histograms_;
+  /// Totals carried over from destroyed owned instruments.
+  std::map<std::string, uint64_t, std::less<>> retired_counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+      retired_histograms_;
+};
+
+/// RAII timer recording elapsed nanoseconds into a histogram (and
+/// optionally bumping a counter) on destruction.
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(Histogram* histogram, Counter* counter = nullptr)
+      : histogram_(histogram),
+        counter_(counter),
+        start_(std::chrono::steady_clock::now()) {}
+  ~ScopedLatencyTimer() {
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+    if (counter_ != nullptr) counter_->Increment();
+  }
+
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  Counter* counter_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ode::obs
+
+#endif  // ODEVIEW_COMMON_METRICS_H_

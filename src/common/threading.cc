@@ -1,8 +1,17 @@
 #include "common/threading.h"
 
+#include <atomic>
+#include <cstdint>
 #include <utility>
 
 namespace ode {
+
+uint32_t CurrentThreadId() {
+  static std::atomic<uint32_t> next_id{1};
+  thread_local uint32_t id =
+      next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 void BackgroundWorker::Submit(std::function<void()> task) {
   std::unique_lock<std::mutex> lock(mu_);

@@ -3,12 +3,18 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 
 namespace ode {
+
+/// A small dense id for the calling thread (1, 2, 3, ... in first-use
+/// order), cached thread-locally. Used by log records and trace events,
+/// where `std::thread::id` is too opaque to read.
+uint32_t CurrentThreadId();
 
 /// A single worker thread draining a FIFO of closures.
 ///

@@ -1,0 +1,167 @@
+#include "common/trace.h"
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "common/threading.h"
+
+namespace ode::obs {
+
+std::atomic<bool> Tracing::enabled_{false};
+
+namespace {
+
+/// Events retained per thread before the ring wraps (oldest dropped).
+constexpr size_t kRingCapacity = 8192;
+
+/// One thread's span storage. The owning thread appends; an exporting
+/// thread reads — both under `mu`, which the owner almost always takes
+/// uncontended.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> ring;
+  size_t next = 0;      ///< ring slot for the next event
+  bool wrapped = false; ///< ring holds kRingCapacity events
+  uint64_t dropped = 0;
+};
+
+struct BufferDirectory {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+BufferDirectory& Directory() {
+  // Leaked: exiting threads' buffers stay exportable at shutdown.
+  static BufferDirectory* directory = new BufferDirectory();
+  return *directory;
+}
+
+ThreadBuffer& LocalBuffer() {
+  // The shared_ptr keeps the buffer alive in the directory after the
+  // thread exits, so late exports still see its spans.
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    BufferDirectory& directory = Directory();
+    std::lock_guard<std::mutex> lock(directory.mu);
+    directory.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+thread_local uint32_t tls_span_depth = 0;
+
+std::vector<std::shared_ptr<ThreadBuffer>> AllBuffers() {
+  BufferDirectory& directory = Directory();
+  std::lock_guard<std::mutex> lock(directory.mu);
+  return directory.buffers;
+}
+
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+uint64_t Tracing::NowNanos() {
+  auto elapsed = std::chrono::steady_clock::now() - ProcessEpoch();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+}
+
+void Tracing::Record(const char* name, uint64_t start_ns,
+                     uint64_t duration_ns, uint32_t depth) {
+  TraceEvent event;
+  event.name = name;
+  event.start_ns = start_ns;
+  event.duration_ns = duration_ns;
+  event.thread_id = CurrentThreadId();
+  event.depth = depth;
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (buffer.ring.size() < kRingCapacity) {
+    buffer.ring.push_back(event);
+    buffer.next = buffer.ring.size() % kRingCapacity;
+  } else {
+    buffer.ring[buffer.next] = event;
+    buffer.next = (buffer.next + 1) % kRingCapacity;
+    buffer.wrapped = true;
+    ++buffer.dropped;
+  }
+}
+
+size_t Tracing::CapturedCount() {
+  size_t total = 0;
+  for (const auto& buffer : AllBuffers()) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    total += buffer->ring.size();
+  }
+  return total;
+}
+
+uint64_t Tracing::DroppedCount() {
+  uint64_t total = 0;
+  for (const auto& buffer : AllBuffers()) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+void Tracing::Clear() {
+  for (const auto& buffer : AllBuffers()) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->ring.clear();
+    buffer->next = 0;
+    buffer->wrapped = false;
+    buffer->dropped = 0;
+  }
+}
+
+std::string Tracing::ExportChromeJson() {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& buffer : AllBuffers()) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    for (const TraceEvent& event : buffer->ring) {
+      if (!first) os << ",";
+      first = false;
+      // Timestamps are microseconds (the trace_event unit); keep
+      // nanosecond precision with three decimals.
+      char ts[32], dur[32];
+      std::snprintf(ts, sizeof(ts), "%llu.%03llu",
+                    static_cast<unsigned long long>(event.start_ns / 1000),
+                    static_cast<unsigned long long>(event.start_ns % 1000));
+      std::snprintf(dur, sizeof(dur), "%llu.%03llu",
+                    static_cast<unsigned long long>(event.duration_ns / 1000),
+                    static_cast<unsigned long long>(event.duration_ns % 1000));
+      os << "{\"name\":\"" << event.name << "\",\"cat\":\"ode\""
+         << ",\"ph\":\"X\",\"pid\":1,\"tid\":" << event.thread_id
+         << ",\"ts\":" << ts << ",\"dur\":" << dur
+         << ",\"args\":{\"depth\":" << event.depth << "}}";
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+TraceSpan::TraceSpan(const char* name) {
+  if (!Tracing::enabled()) return;
+  name_ = name;
+  start_ns_ = Tracing::NowNanos();
+  depth_ = tls_span_depth++;
+}
+
+TraceSpan::~TraceSpan() {
+  if (name_ == nullptr) return;
+  --tls_span_depth;
+  Tracing::Record(name_, start_ns_, Tracing::NowNanos() - start_ns_, depth_);
+}
+
+}  // namespace ode::obs

@@ -1,0 +1,85 @@
+#ifndef ODEVIEW_COMMON_TRACE_H_
+#define ODEVIEW_COMMON_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace ode::obs {
+
+/// One completed span, recorded when its `TraceSpan` leaves scope.
+struct TraceEvent {
+  const char* name = nullptr;  ///< static string (the span label)
+  uint64_t start_ns = 0;       ///< steady-clock, relative to process start
+  uint64_t duration_ns = 0;
+  uint32_t thread_id = 0;  ///< small dense id (see CurrentThreadId)
+  uint32_t depth = 0;      ///< nesting depth within this thread (0 = root)
+};
+
+/// Process-wide tracing control. Spans are collected into per-thread
+/// ring buffers (each guarded by its own — effectively uncontended —
+/// mutex, so collection is TSan-clean even while another thread
+/// exports). Tracing is disabled by default: a span on a disabled
+/// process costs one relaxed atomic load.
+class Tracing {
+ public:
+  static void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  static void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Events currently retained across all thread buffers.
+  static size_t CapturedCount();
+  /// Events overwritten because a ring buffer wrapped.
+  static uint64_t DroppedCount();
+  /// Drops every retained event (buffers stay registered).
+  static void Clear();
+
+  /// Chrome `trace_event` JSON (the "traceEvents" array format):
+  /// complete events (ph "X") with microsecond timestamps, loadable
+  /// directly in chrome://tracing and Perfetto.
+  static std::string ExportChromeJson();
+
+  /// Appends one completed span to the calling thread's buffer.
+  /// Normally called by ~TraceSpan, public for tests.
+  static void Record(const char* name, uint64_t start_ns,
+                     uint64_t duration_ns, uint32_t depth);
+
+  /// Nanoseconds since process start on the steady clock (the spans'
+  /// time base).
+  static uint64_t NowNanos();
+
+ private:
+  static std::atomic<bool> enabled_;
+};
+
+/// RAII scope measuring one span. Use via ODE_TRACE_SPAN:
+///
+///   Result<PageHandle> BufferPool::Fetch(...) {
+///     ODE_TRACE_SPAN("pool.fetch");
+///     ...
+///   }
+///
+/// The name must be a string with static storage duration (a literal).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  ///< null when tracing was off at entry
+  uint64_t start_ns_ = 0;
+  uint32_t depth_ = 0;
+};
+
+}  // namespace ode::obs
+
+#define ODE_OBS_CONCAT_INNER(a, b) a##b
+#define ODE_OBS_CONCAT(a, b) ODE_OBS_CONCAT_INNER(a, b)
+#define ODE_TRACE_SPAN(name) \
+  ::ode::obs::TraceSpan ODE_OBS_CONCAT(ode_trace_span_, __LINE__)(name)
+
+#endif  // ODEVIEW_COMMON_TRACE_H_

@@ -5,6 +5,9 @@
 #include <deque>
 #include <numeric>
 
+#include "common/metrics.h"
+#include "common/trace.h"
+
 namespace ode::dag {
 
 namespace {
@@ -396,6 +399,12 @@ uint64_t CountBilayerCrossings(std::vector<std::pair<int, int>> edges) {
 
 Result<DagLayout> LayoutDag(const Digraph& graph,
                             const LayoutOptions& options) {
+  ODE_TRACE_SPAN("dag.layout");
+  static obs::Counter* layouts =
+      obs::Registry::Global().counter("dag.layouts");
+  static obs::Histogram* latency =
+      obs::Registry::Global().histogram("dag.layout_latency_ns");
+  obs::ScopedLatencyTimer timer(latency, layouts);
   DagLayout layout;
   if (graph.node_count() == 0) return layout;
   Pipeline p;

@@ -1,5 +1,8 @@
 #include "dynlink/linker.h"
 
+#include "common/metrics.h"
+#include "common/trace.h"
+
 namespace ode::dynlink {
 
 namespace {
@@ -12,6 +15,28 @@ uint64_t SimulateLoadWork(size_t size) {
   }
   return checksum;
 }
+
+// Registry mirrors of the per-linker Stats struct, so exports see
+// dynamic-link activity without holding a linker pointer.
+obs::Counter& LinkLoads() {
+  static obs::Counter* c = obs::Registry::Global().counter("dynlink.loads");
+  return *c;
+}
+obs::Counter& LinkCacheHits() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("dynlink.cache_hits");
+  return *c;
+}
+obs::Counter& LinkBytesLoaded() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("dynlink.bytes_loaded");
+  return *c;
+}
+obs::Counter& LinkInvalidations() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("dynlink.invalidations");
+  return *c;
+}
 }  // namespace
 
 Result<const DisplayFunction*> DynamicLinker::Load(
@@ -21,8 +46,10 @@ Result<const DisplayFunction*> DynamicLinker::Load(
   auto it = loaded_.find(key);
   if (it != loaded_.end()) {
     ++stats_.cache_hits;
+    LinkCacheHits().Increment();
     return &it->second;
   }
+  ODE_TRACE_SPAN("dynlink.load");
   ODE_ASSIGN_OR_RETURN(const DisplayModule* module,
                        repository_->Find(db_name, class_name, format));
   // "ld_dispfn": simulate the load.
@@ -30,6 +57,8 @@ Result<const DisplayFunction*> DynamicLinker::Load(
   (void)sink;
   ++stats_.loads;
   stats_.bytes_loaded += module->code_size;
+  LinkLoads().Increment();
+  LinkBytesLoaded().Add(module->code_size);
   auto [pos, inserted] = loaded_.emplace(key, module->function);
   (void)inserted;
   return &pos->second;
@@ -52,7 +81,10 @@ int DynamicLinker::Invalidate(const std::string& db_name,
       ++it;
     }
   }
-  if (removed > 0) ++stats_.invalidations;
+  if (removed > 0) {
+    ++stats_.invalidations;
+    LinkInvalidations().Increment();
+  }
   return removed;
 }
 

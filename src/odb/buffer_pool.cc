@@ -3,6 +3,8 @@
 #include <cassert>
 #include <vector>
 
+#include "common/trace.h"
+
 namespace ode::odb {
 
 namespace {
@@ -76,29 +78,39 @@ BufferPool::BufferPool(Pager* pager, size_t capacity, size_t shards)
   shards_ = std::make_unique<Shard[]>(shard_count_);
   size_t base = capacity / shard_count_;
   size_t extra = capacity % shard_count_;
+  obs::Registry& registry = obs::Registry::Global();
   for (size_t i = 0; i < shard_count_; ++i) {
     size_t n = base + (i < extra ? 1 : 0);
     shards_[i].frames = std::make_unique<internal::Frame[]>(n);
     shards_[i].frame_count = n;
+    shards_[i].lookups = registry.NewOwnedCounter("pool.fetch.lookups");
+    shards_[i].hits = registry.NewOwnedCounter("pool.fetch.hits");
+    shards_[i].misses = registry.NewOwnedCounter("pool.fetch.misses");
+    shards_[i].evictions = registry.NewOwnedCounter("pool.evictions");
+    shards_[i].writebacks = registry.NewOwnedCounter("pool.writebacks");
   }
+  prefetches_ = registry.NewOwnedCounter("pool.prefetches");
+  fetch_latency_ = registry.NewOwnedHistogram("pool.fetch.latency_ns");
 }
 
 BufferPool::~BufferPool() { prefetcher_.Stop(); }
 
 Result<PageHandle> BufferPool::Fetch(PageId id, PageIntent intent) {
+  ODE_TRACE_SPAN("pool.fetch");
+  obs::ScopedLatencyTimer timer(fetch_latency_.get());
   Shard& shard = ShardOf(id);
   internal::Frame* frame = nullptr;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    shard.lookups.fetch_add(1, std::memory_order_relaxed);
+    shard.lookups->Increment();
     auto it = shard.page_to_frame.find(id);
     if (it != shard.page_to_frame.end()) {
-      shard.hits.fetch_add(1, std::memory_order_relaxed);
+      shard.hits->Increment();
       frame = &shard.frames[it->second];
       frame->pin_count.fetch_add(1, std::memory_order_relaxed);
       TouchLru(shard, it->second);
     } else {
-      shard.misses.fetch_add(1, std::memory_order_relaxed);
+      shard.misses->Increment();
       ODE_ASSIGN_OR_RETURN(size_t idx, AcquireFrame(shard));
       frame = &shard.frames[idx];
       ODE_RETURN_IF_ERROR(pager_->Read(id, &frame->page));
@@ -172,7 +184,7 @@ Status BufferPool::FlushAll() {
           Status written = pager_->Write(frame->id, frame->page);
           if (written.ok()) {
             frame->dirty.store(false, std::memory_order_relaxed);
-            shard.writebacks.fetch_add(1, std::memory_order_relaxed);
+            shard.writebacks->Increment();
           } else {
             failure = written;
           }
@@ -194,7 +206,7 @@ Status BufferPool::Sync() {
 void BufferPool::Prefetch(PageId id) {
   if (id == kNoPage || Cached(id)) return;
   if (prefetcher_.pending() >= kMaxPendingPrefetches) return;
-  prefetches_.fetch_add(1, std::memory_order_relaxed);
+  prefetches_->Increment();
   prefetcher_.Submit([this, id] {
     // Pin briefly with read intent so the page lands in its shard;
     // errors (e.g. a speculative id past the end) are ignored.
@@ -215,13 +227,13 @@ BufferPool::Stats BufferPool::stats() const {
   Stats total;
   for (size_t i = 0; i < shard_count_; ++i) {
     const Shard& shard = shards_[i];
-    total.lookups += shard.lookups.load(std::memory_order_relaxed);
-    total.hits += shard.hits.load(std::memory_order_relaxed);
-    total.misses += shard.misses.load(std::memory_order_relaxed);
-    total.evictions += shard.evictions.load(std::memory_order_relaxed);
-    total.writebacks += shard.writebacks.load(std::memory_order_relaxed);
+    total.lookups += shard.lookups->value();
+    total.hits += shard.hits->value();
+    total.misses += shard.misses->value();
+    total.evictions += shard.evictions->value();
+    total.writebacks += shard.writebacks->value();
   }
-  total.prefetches = prefetches_.load(std::memory_order_relaxed);
+  total.prefetches = prefetches_->value();
   return total;
 }
 
@@ -239,7 +251,7 @@ Result<size_t> BufferPool::AcquireFrame(Shard& shard) {
     if (frame.pin_count.load(std::memory_order_acquire) > 0) continue;
     if (frame.dirty.load(std::memory_order_relaxed)) {
       ODE_RETURN_IF_ERROR(pager_->Write(frame.id, frame.page));
-      shard.writebacks.fetch_add(1, std::memory_order_relaxed);
+      shard.writebacks->Increment();
     }
     shard.page_to_frame.erase(frame.id);
     auto pos = shard.lru_pos.find(idx);
@@ -250,7 +262,7 @@ Result<size_t> BufferPool::AcquireFrame(Shard& shard) {
     frame.in_use = false;
     frame.id = kNoPage;
     frame.dirty.store(false, std::memory_order_relaxed);
-    shard.evictions.fetch_add(1, std::memory_order_relaxed);
+    shard.evictions->Increment();
     return idx;
   }
   return Status::FailedPrecondition(

@@ -9,6 +9,7 @@
 #include <shared_mutex>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/threading.h"
@@ -94,6 +95,10 @@ class PageHandle {
 /// prefetcher (`Prefetch`) warms pages on a background thread.
 class BufferPool {
  public:
+  /// Per-pool statistics. The underlying counters live in the global
+  /// `obs::Registry` (as owned instances under `pool.*` metric names),
+  /// so process-wide exports aggregate every live pool; this struct is
+  /// the per-instance adapter view read back from those instruments.
   struct Stats {
     uint64_t lookups = 0;  ///< Fetch calls (hits + misses)
     uint64_t hits = 0;
@@ -155,7 +160,9 @@ class BufferPool {
  private:
   friend class PageHandle;
 
-  /// One lock-sharded sub-pool.
+  /// One lock-sharded sub-pool. The statistics counters are
+  /// registry-owned instruments (one instance per shard, so counting
+  /// stays contention-free) aggregated under the `pool.*` names.
   struct Shard {
     mutable std::mutex mu;
     std::unique_ptr<internal::Frame[]> frames;
@@ -163,11 +170,11 @@ class BufferPool {
     std::unordered_map<PageId, size_t> page_to_frame;
     std::list<size_t> lru;  // front = most recent
     std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos;
-    std::atomic<uint64_t> lookups{0};
-    std::atomic<uint64_t> hits{0};
-    std::atomic<uint64_t> misses{0};
-    std::atomic<uint64_t> evictions{0};
-    std::atomic<uint64_t> writebacks{0};
+    std::shared_ptr<obs::Counter> lookups;
+    std::shared_ptr<obs::Counter> hits;
+    std::shared_ptr<obs::Counter> misses;
+    std::shared_ptr<obs::Counter> evictions;
+    std::shared_ptr<obs::Counter> writebacks;
   };
 
   Shard& ShardOf(PageId id) { return shards_[id % shard_count_]; }
@@ -188,7 +195,8 @@ class BufferPool {
   size_t capacity_;
   size_t shard_count_;
   std::unique_ptr<Shard[]> shards_;
-  std::atomic<uint64_t> prefetches_{0};
+  std::shared_ptr<obs::Counter> prefetches_;
+  std::shared_ptr<obs::Histogram> fetch_latency_;
   BackgroundWorker prefetcher_;
 };
 

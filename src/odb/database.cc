@@ -6,6 +6,8 @@
 
 #include "common/coding.h"
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "odb/ddl_parser.h"
 #include "odb/typecheck.h"
 #include "odb/value_codec.h"
@@ -13,6 +15,49 @@
 namespace ode::odb {
 
 namespace {
+
+// Object-manager instruments. Sessions may outlive their database (UI
+// teardown order), so the session gauge lives in the leaked global
+// registry rather than on the Database.
+obs::Counter& ObjectsCreated() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("db.objects.created");
+  return *c;
+}
+obs::Counter& ObjectsFetched() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("db.objects.fetched");
+  return *c;
+}
+obs::Counter& ObjectsUpdated() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("db.objects.updated");
+  return *c;
+}
+obs::Counter& ObjectsDeleted() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("db.objects.deleted");
+  return *c;
+}
+obs::Counter& Selects() {
+  static obs::Counter* c = obs::Registry::Global().counter("db.selects");
+  return *c;
+}
+obs::Counter& SessionsOpened() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("db.sessions.opened");
+  return *c;
+}
+obs::Gauge& SessionsActive() {
+  static obs::Gauge* g =
+      obs::Registry::Global().gauge("db.sessions.active");
+  return *g;
+}
+obs::Histogram& GetObjectLatency() {
+  static obs::Histogram* h =
+      obs::Registry::Global().histogram("db.get_object.latency_ns");
+  return *h;
+}
 
 /// Stored object record:
 ///   varint current_version
@@ -372,6 +417,7 @@ Status Database::FireTriggers(const std::string& class_name, Oid oid,
 
 Result<Oid> Database::CreateObject(const std::string& class_name,
                                    Value value) {
+  ODE_TRACE_SPAN("db.create_object");
   std::shared_lock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(const ClassDef* def, schema().GetClass(class_name));
   if (!def->persistent) {
@@ -390,6 +436,7 @@ Result<Oid> Database::CreateObject(const std::string& class_name,
   record.value = std::move(value);
   ODE_RETURN_IF_ERROR(heap->Insert(local, EncodeObjectRecord(record)));
   BumpMutationEpoch();
+  ObjectsCreated().Increment();
   Oid oid{cluster_id, local};
   ODE_RETURN_IF_ERROR(
       FireTriggers(class_name, oid, TriggerEvent::kCreate, record.value));
@@ -397,6 +444,8 @@ Result<Oid> Database::CreateObject(const std::string& class_name,
 }
 
 Result<ObjectBuffer> Database::GetObject(Oid oid) {
+  ODE_TRACE_SPAN("db.get_object");
+  obs::ScopedLatencyTimer timer(&GetObjectLatency());
   std::shared_lock lock(schema_mu_);
   return GetObjectUnlocked(oid);
 }
@@ -412,6 +461,7 @@ Result<ObjectBuffer> Database::GetObjectUnlocked(Oid oid) {
   buffer.class_name = info->class_name;
   buffer.version = record.version;
   buffer.value = std::move(record.value);
+  ObjectsFetched().Increment();
   return buffer;
 }
 
@@ -475,6 +525,7 @@ Status Database::UpdateObject(Oid oid, Value value) {
   record.value = std::move(value);
   ODE_RETURN_IF_ERROR(heap->Update(oid.local, EncodeObjectRecord(record)));
   BumpMutationEpoch();
+  ObjectsUpdated().Increment();
   return FireTriggers(info->class_name, oid, TriggerEvent::kUpdate,
                       record.value);
 }
@@ -488,6 +539,7 @@ Status Database::DeleteObject(Oid oid) {
   ODE_ASSIGN_OR_RETURN(ObjectRecord record, DecodeObjectRecord(bytes));
   ODE_RETURN_IF_ERROR(heap->Delete(oid.local));
   BumpMutationEpoch();
+  ObjectsDeleted().Increment();
   return FireTriggers(info->class_name, oid, TriggerEvent::kDelete,
                       record.value);
 }
@@ -626,6 +678,8 @@ Result<std::vector<Oid>> Database::ScanClusterDeep(
 
 Result<std::vector<Oid>> Database::Select(const std::string& class_name,
                                           const Predicate& predicate) {
+  ODE_TRACE_SPAN("db.select");
+  Selects().Increment();
   std::shared_lock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(std::vector<Oid> all, ScanClusterUnlocked(class_name));
   std::vector<Oid> out;
@@ -643,9 +697,17 @@ Status Database::Sync() {
   return pool_->Sync();
 }
 
+std::string Database::DumpTelemetry() const {
+  // Registry data only — the report must stay valid for any engine
+  // version without reaching into class internals.
+  return "=== ode telemetry ===\n" + obs::Registry::Global().RenderText();
+}
+
 Session Database::OpenSession() {
   uint64_t id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
   active_sessions_->fetch_add(1, std::memory_order_relaxed);
+  SessionsOpened().Increment();
+  SessionsActive().Add(1);
   return Session(this, id, active_sessions_);
 }
 
@@ -653,6 +715,7 @@ Session& Session::operator=(Session&& other) noexcept {
   if (this != &other) {
     if (counter_ != nullptr) {
       counter_->fetch_sub(1, std::memory_order_relaxed);
+      SessionsActive().Sub(1);
     }
     db_ = other.db_;
     id_ = other.id_;
@@ -666,6 +729,7 @@ Session& Session::operator=(Session&& other) noexcept {
 Session::~Session() {
   if (counter_ != nullptr) {
     counter_->fetch_sub(1, std::memory_order_relaxed);
+    SessionsActive().Sub(1);
   }
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "odb/buffer_pool.h"
@@ -197,6 +198,12 @@ class Database {
   /// Flushes dirty pages and persists the catalog.
   Status Sync();
 
+  /// Text report of every metric in the global `obs::Registry` — the
+  /// runtime inspector's data source. Deliberately consumes only
+  /// registry data (never engine internals), mirroring the paper's
+  /// separation between the application and the tool observing it.
+  std::string DumpTelemetry() const;
+
   BufferPool* buffer_pool() { return pool_.get(); }
   const DatabaseOptions& options() const { return options_; }
 
@@ -229,6 +236,9 @@ class Database {
                                                       size_t limit);
   void BumpMutationEpoch() {
     mutation_epoch_.fetch_add(1, std::memory_order_release);
+    static obs::Counter* bumps =
+        obs::Registry::Global().counter("db.epoch_bumps");
+    bumps->Increment();
   }
   Result<std::vector<Oid>> ScanClusterUnlocked(const std::string& class_name);
 

@@ -1,11 +1,42 @@
 #include "odb/heap_file.h"
 
 #include "common/coding.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "odb/slotted_page.h"
 
 namespace ode::odb {
 
 namespace {
+
+// Shared heap-layer instruments: scans over the full directory,
+// single-step sequential moves, records served by the batch paths,
+// and the three mutation kinds.
+obs::Counter& HeapScans() {
+  static obs::Counter* c = obs::Registry::Global().counter("heap.scans");
+  return *c;
+}
+obs::Counter& HeapSeqSteps() {
+  static obs::Counter* c = obs::Registry::Global().counter("heap.seq_steps");
+  return *c;
+}
+obs::Counter& HeapBatchRecords() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("heap.batch_records");
+  return *c;
+}
+obs::Counter& HeapInserts() {
+  static obs::Counter* c = obs::Registry::Global().counter("heap.inserts");
+  return *c;
+}
+obs::Counter& HeapUpdates() {
+  static obs::Counter* c = obs::Registry::Global().counter("heap.updates");
+  return *c;
+}
+obs::Counter& HeapDeletes() {
+  static obs::Counter* c = obs::Registry::Global().counter("heap.deletes");
+  return *c;
+}
 
 constexpr uint8_t kInlineFlag = 0;
 constexpr uint8_t kOverflowFlag = 1;
@@ -164,6 +195,7 @@ Status HeapFile::Insert(uint64_t local_id, std::string_view payload) {
   ODE_ASSIGN_OR_RETURN(uint16_t slot, sp.Insert(record));
   handle.MarkDirty();
   directory_[local_id] = Location{target, slot};
+  HeapInserts().Increment();
   return Status::OK();
 }
 
@@ -243,6 +275,7 @@ Status HeapFile::UpdateLocked(uint64_t local_id, std::string_view payload) {
     Status in_place = sp.Update(it->second.slot, record);
     if (in_place.ok()) {
       handle.MarkDirty();
+      HeapUpdates().Increment();
       return Status::OK();
     }
     if (!in_place.IsOutOfRange()) return in_place;
@@ -258,6 +291,7 @@ Status HeapFile::UpdateLocked(uint64_t local_id, std::string_view payload) {
   ODE_ASSIGN_OR_RETURN(uint16_t slot, sp.Insert(record));
   handle.MarkDirty();
   directory_[local_id] = Location{target, slot};
+  HeapUpdates().Increment();
   return Status::OK();
 }
 
@@ -286,6 +320,7 @@ Status HeapFile::DeleteLocked(uint64_t local_id) {
   ODE_RETURN_IF_ERROR(sp.Delete(it->second.slot));
   handle.MarkDirty();
   directory_.erase(it);
+  HeapDeletes().Increment();
   return Status::OK();
 }
 
@@ -318,6 +353,7 @@ Result<uint64_t> HeapFile::NextIdLocked(uint64_t after) const {
       follow->second.page != it->second.page) {
     pool_->Prefetch(follow->second.page);
   }
+  HeapSeqSteps().Increment();
   return it->first;
 }
 
@@ -339,11 +375,13 @@ Result<uint64_t> HeapFile::PrevIdLocked(uint64_t before) const {
       pool_->Prefetch(follow->second.page);
     }
   }
+  HeapSeqSteps().Increment();
   return it->first;
 }
 
 Result<std::vector<std::pair<uint64_t, std::string>>> HeapFile::NextRecords(
     uint64_t after, size_t limit) const {
+  ODE_TRACE_SPAN("heap.batch_read");
   std::shared_lock<std::shared_mutex> lock(*mu_);
   auto it = directory_.upper_bound(after);
   if (it == directory_.end()) {
@@ -363,11 +401,13 @@ Result<std::vector<std::pair<uint64_t, std::string>>> HeapFile::NextRecords(
   if (it != directory_.end() && it->second.page != held) {
     pool_->Prefetch(it->second.page);
   }
+  HeapBatchRecords().Add(out.size());
   return out;
 }
 
 Result<std::vector<std::pair<uint64_t, std::string>>> HeapFile::PrevRecords(
     uint64_t before, size_t limit) const {
+  ODE_TRACE_SPAN("heap.batch_read");
   std::shared_lock<std::shared_mutex> lock(*mu_);
   auto it = directory_.lower_bound(before);
   if (it == directory_.begin()) {
@@ -389,10 +429,13 @@ Result<std::vector<std::pair<uint64_t, std::string>>> HeapFile::PrevRecords(
     auto follow = std::prev(it);
     if (follow->second.page != held) pool_->Prefetch(follow->second.page);
   }
+  HeapBatchRecords().Add(out.size());
   return out;
 }
 
 std::vector<uint64_t> HeapFile::AllIds() const {
+  ODE_TRACE_SPAN("heap.scan");
+  HeapScans().Increment();
   std::shared_lock<std::shared_mutex> lock(*mu_);
   std::vector<uint64_t> ids;
   ids.reserve(directory_.size());

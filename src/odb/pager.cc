@@ -7,7 +7,38 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/metrics.h"
+
 namespace ode::odb {
+
+namespace {
+
+// Shared (process-wide) I/O instruments. Pagers are plain backends
+// with no per-instance stats API, so they count straight into the
+// global registry; the pointers are cached once per metric name.
+obs::Counter& MemReads() {
+  static obs::Counter* c = obs::Registry::Global().counter("pager.mem.reads");
+  return *c;
+}
+obs::Counter& MemWrites() {
+  static obs::Counter* c = obs::Registry::Global().counter("pager.mem.writes");
+  return *c;
+}
+obs::Counter& FileReads() {
+  static obs::Counter* c = obs::Registry::Global().counter("pager.file.reads");
+  return *c;
+}
+obs::Counter& FileWrites() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("pager.file.writes");
+  return *c;
+}
+obs::Counter& FileSyncs() {
+  static obs::Counter* c = obs::Registry::Global().counter("pager.file.syncs");
+  return *c;
+}
+
+}  // namespace
 
 Result<PageId> MemPager::Allocate() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -23,6 +54,7 @@ Status MemPager::Read(PageId id, Page* page) {
     return Status::IOError("read of unallocated page " + std::to_string(id));
   }
   *page = *pages_[id];
+  MemReads().Increment();
   return Status::OK();
 }
 
@@ -38,6 +70,7 @@ Status MemPager::Write(PageId id, const Page& page) {
     pages_.push_back(std::make_unique<Page>());
   }
   *pages_[id] = page;
+  MemWrites().Increment();
   return Status::OK();
 }
 
@@ -88,6 +121,7 @@ Status FilePager::WriteAt(PageId id, const Page& page) {
     offset += n;
     remaining -= static_cast<size_t>(n);
   }
+  FileWrites().Increment();
   return Status::OK();
 }
 
@@ -119,6 +153,7 @@ Status FilePager::Read(PageId id, Page* page) {
     offset += n;
     remaining -= static_cast<size_t>(n);
   }
+  FileReads().Increment();
   return Status::OK();
 }
 
@@ -149,6 +184,7 @@ Status FilePager::Sync() {
   if (::fsync(fd_) != 0) {
     return Status::IOError("fsync failed for '" + path_ + "'");
   }
+  FileSyncs().Increment();
   return Status::OK();
 }
 

@@ -1,5 +1,7 @@
 #include "odeview/app.h"
 
+#include "common/metrics.h"
+#include "common/strings.h"
 #include "owl/widgets.h"
 
 namespace ode::view {
@@ -89,6 +91,42 @@ Result<DbInteractor*> OdeViewApp::OpenDatabase(const std::string& name) {
 DbInteractor* OdeViewApp::FindInteractor(const std::string& name) {
   auto it = interactors_.find(name);
   return it == interactors_.end() ? nullptr : it->second.get();
+}
+
+Status OdeViewApp::OpenStatsWindow() {
+  constexpr owl::Size kStatsSize{64, 24};
+  owl::Window* window = nullptr;
+  if (stats_window_ != owl::kNoWindow) {
+    window = server_.FindWindow(stats_window_);
+  }
+  if (window == nullptr) {
+    window = server_.CreateWindow("Ode statistics", owl::Server::kAutoPlace,
+                                  kStatsSize);
+    stats_window_ = window->id();
+    auto text = std::make_unique<owl::ScrollText>(
+        "content", std::vector<std::string>{});
+    text->set_rect(owl::Rect{0, 0, kStatsSize.width, kStatsSize.height});
+    window->root()->AddChild(std::move(text));
+  }
+  window->set_open(true);
+  return RefreshStatsWindow();
+}
+
+Status OdeViewApp::RefreshStatsWindow() {
+  if (stats_window_ == owl::kNoWindow) {
+    return Status::FailedPrecondition("stats window was never opened");
+  }
+  owl::Window* window = server_.FindWindow(stats_window_);
+  if (window == nullptr) {
+    return Status::NotFound("stats window has been destroyed");
+  }
+  auto* text =
+      dynamic_cast<owl::ScrollText*>(window->FindWidget("content"));
+  if (text == nullptr) {
+    return Status::Internal("stats window lost its content widget");
+  }
+  text->set_lines(Split(obs::Registry::Global().RenderText(), '\n'));
+  return Status::OK();
 }
 
 Status OdeViewApp::CloseDatabase(const std::string& name) {

@@ -58,6 +58,17 @@ class OdeViewApp {
   /// Closes the interactor and all its windows.
   Status CloseDatabase(const std::string& name);
 
+  /// Opens (or re-opens) the runtime inspector: a scrollable window
+  /// showing every metric in the global `obs::Registry`. The window is
+  /// built from registry data alone — it never reaches into engine or
+  /// interactor internals, mirroring the paper's separation between
+  /// the application and the tool observing it — so it works no matter
+  /// which databases are open.
+  Status OpenStatsWindow();
+  /// Re-renders the inspector from a fresh registry snapshot.
+  Status RefreshStatsWindow();
+  owl::WindowId stats_window() const { return stats_window_; }
+
   /// Runs the event loop until the queue drains (the XtMainLoop
   /// analog).
   int RunLoop() { return server_.RunLoop(); }
@@ -73,6 +84,7 @@ class OdeViewApp {
   std::map<std::string, odb::Database*> databases_;
   std::map<std::string, std::unique_ptr<DbInteractor>> interactors_;
   owl::WindowId initial_window_ = owl::kNoWindow;
+  owl::WindowId stats_window_ = owl::kNoWindow;
 };
 
 }  // namespace ode::view

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "dynlink/synthesized.h"
 #include "owl/widgets.h"
 
@@ -12,6 +14,58 @@ namespace ode::view {
 namespace {
 
 constexpr int kPanelWidth = 46;
+
+// Synchronized-browsing instruments. Cascades are sequencing
+// operations (next/prev/reset) that refresh a whole subtree; fan-out
+// and depth histograms characterize how much window tree each cascade
+// touches, and the skipped counter measures the lazy-refresh savings
+// (display windows that exist but are closed, so they are not
+// re-rendered).
+obs::Counter& RefreshCascades() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("view.refresh.cascades");
+  return *c;
+}
+obs::Counter& RefreshNodes() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("view.refresh.nodes");
+  return *c;
+}
+obs::Counter& WindowsRendered() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("view.refresh.windows_rendered");
+  return *c;
+}
+obs::Counter& WindowsSkipped() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("view.refresh.windows_skipped");
+  return *c;
+}
+obs::Histogram& RefreshFanout() {
+  static obs::Histogram* h =
+      obs::Registry::Global().histogram("view.refresh.fanout");
+  return *h;
+}
+obs::Histogram& RefreshDepth() {
+  static obs::Histogram* h =
+      obs::Registry::Global().histogram("view.refresh.depth");
+  return *h;
+}
+obs::Counter& DisplayDispatches() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("display.dispatch");
+  return *c;
+}
+obs::Counter& DisplayFaults() {
+  static obs::Counter* c = obs::Registry::Global().counter("display.faults");
+  return *c;
+}
+
+void RecordCascade(const BrowseNode& root) {
+  RefreshCascades().Increment();
+  RefreshFanout().Record(static_cast<uint64_t>(root.SubtreeSize()));
+  RefreshDepth().Record(static_cast<uint64_t>(root.SubtreeDepth()));
+}
 
 /// Lays one row of buttons into `parent`, returning the row height (1).
 int LayoutButtonRow(owl::Widget* parent, int y,
@@ -354,6 +408,8 @@ Status BrowseNode::Next() {
     return stepped;
   }
   SetLabel(context_->server, panel_window_, "status", "");
+  ODE_TRACE_SPAN("view.sync_cascade");
+  RecordCascade(*this);
   ODE_RETURN_IF_ERROR(RefreshSelf());
   for (const auto& child : children_) {
     ODE_RETURN_IF_ERROR(child->RefreshSubtree());
@@ -374,6 +430,8 @@ Status BrowseNode::Prev() {
     return stepped;
   }
   SetLabel(context_->server, panel_window_, "status", "");
+  ODE_TRACE_SPAN("view.sync_cascade");
+  RecordCascade(*this);
   ODE_RETURN_IF_ERROR(RefreshSelf());
   for (const auto& child : children_) {
     ODE_RETURN_IF_ERROR(child->RefreshSubtree());
@@ -399,6 +457,8 @@ Status BrowseNode::Reset() {
   }
   current_.reset();
   SetLabel(context_->server, panel_window_, "status", "");
+  ODE_TRACE_SPAN("view.sync_cascade");
+  RecordCascade(*this);
   ODE_RETURN_IF_ERROR(RefreshSelf());
   for (const auto& child : children_) {
     ODE_RETURN_IF_ERROR(child->RefreshSubtree());
@@ -441,6 +501,7 @@ Status BrowseNode::ToggleFormat(const std::string& format) {
 
 Status BrowseNode::RenderFormat(const std::string& format) {
   if (!current_.has_value()) return Status::OK();
+  ODE_TRACE_SPAN("display.render");
   const std::string& actual_class = current_->class_name;
   dynlink::DisplayFunction synthesized;
   const dynlink::DisplayFunction* fn = nullptr;
@@ -465,6 +526,10 @@ Status BrowseNode::RenderFormat(const std::string& format) {
   static const std::vector<std::string> kNoAttrs;
   const std::vector<std::string>& attributes =
       attrs.ok() ? *attrs : kNoAttrs;
+  DisplayDispatches().Increment();
+  obs::Registry::Global()
+      .counter("display.dispatch." + actual_class)
+      ->Increment();
   Result<dynlink::DisplayResources> resources =
       (*fn)(*current_, attributes, state()->projection_mask);
   if (!resources.ok()) {
@@ -585,8 +650,14 @@ Status BrowseNode::RefreshSelf() {
       }
     }
   }
+  // Lazy-refresh savings: display windows that exist but are closed
+  // are left stale instead of re-rendered.
+  for (const auto& [format, id] : display_windows_) {
+    if (!state()->IsOpen(format)) WindowsSkipped().Increment();
+  }
   for (const std::string& format : state()->open_formats) {
     ODE_RETURN_IF_ERROR(RenderFormat(format));
+    WindowsRendered().Increment();
     if (faulted_) break;
   }
   return Status::OK();
@@ -675,6 +746,14 @@ int BrowseNode::SubtreeSize() const {
   int n = 1;
   for (const auto& child : children_) n += child->SubtreeSize();
   return n;
+}
+
+int BrowseNode::SubtreeDepth() const {
+  int deepest = 0;
+  for (const auto& child : children_) {
+    deepest = std::max(deepest, child->SubtreeDepth());
+  }
+  return deepest + 1;
 }
 
 Result<BrowseNode*> BrowseNode::FollowReference(const std::string& member) {
@@ -794,6 +873,7 @@ Status BrowseNode::ResolveFromParent() {
 }
 
 Status BrowseNode::RefreshSubtree() {
+  RefreshNodes().Increment();
   if (kind_ != BrowseNodeKind::kClusterSet) {
     ODE_RETURN_IF_ERROR(ResolveFromParent());
   }
@@ -810,6 +890,10 @@ Status BrowseNode::MarkFaulted(const std::string& format,
                                const std::string& message) {
   faulted_ = true;
   fault_message_ = message;
+  DisplayFaults().Increment();
+  obs::Registry::Global()
+      .counter("display.fault." + class_name_)
+      ->Increment();
   // The crashed display is no longer part of the cluster's display
   // state (its simulated process died), so a restarted interactor does
   // not immediately crash again.

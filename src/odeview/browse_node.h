@@ -119,6 +119,8 @@ class BrowseNode {
 
   /// Total nodes in this subtree (this node included).
   int SubtreeSize() const;
+  /// Longest node chain from this node down to a leaf (>= 1).
+  int SubtreeDepth() const;
 
   // --- Versions (O++ versioned classes) ---------------------------------
 

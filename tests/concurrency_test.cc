@@ -13,6 +13,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "odb/buffer_pool.h"
 #include "odb/database.h"
 #include "odb/heap_file.h"
@@ -419,6 +421,95 @@ TEST(ScalingTest, ParallelScanThroughput) {
   // Same total work; multi should not be dramatically slower.
   EXPECT_GT(single, 0.0);
   EXPECT_GT(multi, 0.0);
+}
+
+// --- Observability under contention -----------------------------------
+
+// Writers hammer shared counters/histograms and emit trace spans, other
+// threads churn owned instruments (exercising the retiring deleters),
+// and a reader thread concurrently snapshots and renders every export
+// format. TSan is the real assertion here; the tallies at the end catch
+// lost updates.
+TEST(ObsStressTest, MetricsAndSpansUnderConcurrentExport) {
+  obs::Registry& registry = obs::Registry::Global();
+  obs::Counter* shared_counter =
+      registry.counter("concurrency_test.obs.counter");
+  obs::Histogram* shared_hist =
+      registry.histogram("concurrency_test.obs.hist");
+  obs::Tracing::Clear();
+  obs::Tracing::Enable();
+
+  constexpr int kOpsPerThread = 4000;
+  constexpr int kOwnerRounds = 200;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> owned_total{0};
+  std::vector<std::thread> workers;
+
+  // Writers: shared instruments + trace spans.
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([shared_counter, shared_hist, t] {
+      Rng rng(131 + t);
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        ODE_TRACE_SPAN("concurrency_test.obs.span");
+        shared_counter->Increment();
+        shared_hist->Record(rng.Below(1 << 20));
+      }
+    });
+  }
+  // Owner churners: create, bump, and destroy owned instruments so the
+  // retiring deleters race against the snapshot reader.
+  for (int t = 0; t < 2; ++t) {
+    workers.emplace_back([&registry, &owned_total, t] {
+      Rng rng(977 + t);
+      for (int round = 0; round < kOwnerRounds; ++round) {
+        auto counter =
+            registry.NewOwnedCounter("concurrency_test.obs.owned");
+        auto hist =
+            registry.NewOwnedHistogram("concurrency_test.obs.owned_hist");
+        uint64_t bumps = rng.Below(16) + 1;
+        counter->Add(bumps);
+        hist->Record(bumps);
+        owned_total.fetch_add(bumps, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Reader: exports everything, repeatedly, while the above runs.
+  std::thread reader([&registry, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::vector<obs::MetricSample> samples = registry.Snapshot();
+      EXPECT_FALSE(samples.empty());
+      EXPECT_FALSE(registry.RenderJson().empty());
+      EXPECT_FALSE(registry.RenderPrometheus().empty());
+      EXPECT_FALSE(obs::Tracing::ExportChromeJson().empty());
+    }
+  });
+
+  for (std::thread& w : workers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  obs::Tracing::Disable();
+
+  EXPECT_EQ(shared_counter->value(),
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(shared_hist->count(),
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  // Every owned bump must be visible post-retirement (all owners died).
+  uint64_t exported = 0;
+  uint64_t exported_hist_count = 0;
+  for (const obs::MetricSample& s : registry.Snapshot()) {
+    if (s.name == "concurrency_test.obs.owned") {
+      exported = static_cast<uint64_t>(s.value);
+    }
+    if (s.name == "concurrency_test.obs.owned_hist") {
+      exported_hist_count = s.count;
+    }
+  }
+  EXPECT_EQ(exported, owned_total.load());
+  EXPECT_EQ(exported_hist_count, 2u * kOwnerRounds);
+  // Spans either landed in a ring buffer or were counted as dropped.
+  EXPECT_EQ(obs::Tracing::CapturedCount() + obs::Tracing::DroppedCount(),
+            static_cast<size_t>(kThreads) * kOpsPerThread);
+  obs::Tracing::Clear();
 }
 
 }  // namespace

@@ -18,7 +18,10 @@
 #include <string>
 #include <vector>
 
+#include "common/journal.h"
 #include "common/strings.h"
+#include "common/telemetry_http.h"
+#include "common/watchdog.h"
 #include "dynlink/lab_modules.h"
 #include "odb/database.h"
 #include "odb/integrity.h"
@@ -49,15 +52,44 @@ void Help() {
   check                        run the referential-integrity checker
   stats                        open/refresh the statistics window
   telemetry                    dump the metrics registry (text report)
+  journal                      print the flight-recorder journal tail
+  watchdog [start [ms]|stop]   stall watchdog status / control
   screen                       print the composed screen
-  quit)");
+  quit
+
+flags: [--telemetry-port=N] [employee-count])");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace ode;
-  int employees = argc > 1 ? std::atoi(argv[1]) : 55;
+  int employees = 55;
+  int telemetry_port = -1;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    const std::string kPortFlag = "--telemetry-port=";
+    if (arg.rfind(kPortFlag, 0) == 0) {
+      telemetry_port = std::atoi(arg.c_str() + kPortFlag.size());
+    } else {
+      employees = std::atoi(arg.c_str());
+    }
+  }
+
+  obs::TelemetryServer telemetry_server;
+  if (telemetry_port >= 0) {
+    Status started =
+        telemetry_server.Start(static_cast<uint16_t>(telemetry_port));
+    if (started.ok()) {
+      std::fprintf(stderr,
+                   "telemetry endpoint listening on 127.0.0.1:%u "
+                   "(/metrics /journal /trace)\n",
+                   telemetry_server.port());
+    } else {
+      std::fprintf(stderr, "telemetry endpoint: %s\n",
+                   started.ToString().c_str());
+    }
+  }
 
   odb::LabDbConfig config;
   config.employees = employees;
@@ -80,7 +112,11 @@ int main(int argc, char** argv) {
   auto need_set = [&](const std::string& cls) -> view::BrowseNode* {
     if (interactor() == nullptr) return nullptr;
     Result<view::BrowseNode*> node = interactor()->OpenObjectSet(cls);
-    return node.ok() ? *node : nullptr;
+    if (!node.ok()) {
+      std::printf("%s\n", node.status().ToString().c_str());
+      return nullptr;
+    }
+    return *node;
   };
   auto report = [](const Status& status) {
     std::printf("%s\n", status.ToString().c_str());
@@ -205,6 +241,26 @@ int main(int argc, char** argv) {
       report(app.OpenStatsWindow());
     } else if (cmd == "telemetry") {
       std::fputs(db->DumpTelemetry().c_str(), stdout);
+    } else if (cmd == "journal") {
+      std::fputs(obs::Journal::Global().RenderText().c_str(), stdout);
+    } else if (cmd == "watchdog") {
+      std::string sub;
+      in >> sub;
+      if (sub == "start") {
+        int deadline_ms = 0;
+        in >> deadline_ms;
+        obs::WatchdogOptions options;
+        if (deadline_ms > 0) {
+          options.span_deadline = std::chrono::milliseconds(deadline_ms);
+          options.hold_deadline = std::chrono::milliseconds(deadline_ms);
+        }
+        report(obs::Watchdog::Global().Start(options));
+      } else if (sub == "stop") {
+        obs::Watchdog::Global().Stop();
+        std::puts("watchdog stopped");
+      } else {
+        std::fputs(obs::Watchdog::Global().StatusReport().c_str(), stdout);
+      }
     } else if (cmd == "screen") {
       std::fputs(app.Screenshot().c_str(), stdout);
     } else {

@@ -5,9 +5,15 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/logging.h"
+
 namespace ode::obs {
 
 namespace {
+
+/// Where rejected registrations land (see Registry::ResolveName).
+constexpr std::string_view kQuarantineName = "obs.invalid_metric";
+constexpr std::string_view kRejectionCounter = "obs.invalid_metric_names";
 
 /// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted names map
 /// dots (and anything else) to underscores.
@@ -17,6 +23,41 @@ std::string SanitizeForPrometheus(const std::string& name) {
     bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
               (c >= '0' && c <= '9') || c == '_';
     if (!ok) c = '_';
+  }
+  return out;
+}
+
+/// Prometheus HELP text escaping: backslash and newline only (the
+/// text exposition format's rules for help lines).
+std::string EscapePrometheusHelp(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string EscapePrometheusLabel(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
   }
   return out;
 }
@@ -58,6 +99,20 @@ int BucketIndex(uint64_t value) {
 }
 
 }  // namespace
+
+bool IsValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  char first = name.front();
+  bool first_ok = (first >= 'a' && first <= 'z') ||
+                  (first >= 'A' && first <= 'Z') || first == '_';
+  if (!first_ok) return false;
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
 
 void Histogram::Record(uint64_t value) {
   buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
@@ -115,8 +170,15 @@ Registry& Registry::Global() {
   return *registry;
 }
 
-Counter* Registry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+std::string_view Registry::ResolveName(std::string_view name) {
+  if (IsValidMetricName(name)) return name;
+  ODE_LOG(Warning) << "rejected metric name '" << std::string(name)
+                   << "' (allowed: [a-zA-Z0-9_:.], leading letter or '_')";
+  CounterLocked(kRejectionCounter)->Increment();
+  return kQuarantineName;
+}
+
+Counter* Registry::CounterLocked(std::string_view name) {
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -125,8 +187,14 @@ Counter* Registry::counter(std::string_view name) {
   return it->second.get();
 }
 
+Counter* Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CounterLocked(ResolveName(name));
+}
+
 Gauge* Registry::gauge(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
+  name = ResolveName(name);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -136,6 +204,7 @@ Gauge* Registry::gauge(std::string_view name) {
 
 Histogram* Registry::histogram(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
+  name = ResolveName(name);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -147,26 +216,33 @@ Histogram* Registry::histogram(std::string_view name) {
 std::shared_ptr<Counter> Registry::NewOwnedCounter(std::string_view name) {
   // The deleter retires the final value so exports keep the history of
   // owners that have since been destroyed (e.g. benchmark-scoped pools).
+  std::lock_guard<std::mutex> lock(mu_);
+  name = ResolveName(name);
   std::shared_ptr<Counter> instrument(
       new Counter(), [this, key = std::string(name)](Counter* c) {
         RetireCounter(key, c->value());
         delete c;
       });
-  std::lock_guard<std::mutex> lock(mu_);
   owned_counters_.emplace_back(std::string(name), instrument);
   return instrument;
 }
 
 std::shared_ptr<Histogram> Registry::NewOwnedHistogram(
     std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  name = ResolveName(name);
   std::shared_ptr<Histogram> instrument(
       new Histogram(), [this, key = std::string(name)](Histogram* h) {
         RetireHistogram(key, *h);
         delete h;
       });
-  std::lock_guard<std::mutex> lock(mu_);
   owned_histograms_.emplace_back(std::string(name), instrument);
   return instrument;
+}
+
+void Registry::SetHelp(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  help_[std::string(ResolveName(name))] = std::string(help);
 }
 
 void Registry::RetireCounter(const std::string& name, uint64_t value) {
@@ -294,9 +370,18 @@ std::vector<MetricSample> Registry::Snapshot() const {
 }
 
 std::string Registry::RenderPrometheus() const {
+  std::map<std::string, std::string, std::less<>> help;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    help = help_;
+  }
   std::ostringstream os;
   for (const MetricSample& s : Snapshot()) {
     std::string name = SanitizeForPrometheus(s.name);
+    if (auto it = help.find(s.name); it != help.end()) {
+      os << "# HELP " << name << " " << EscapePrometheusHelp(it->second)
+         << "\n";
+    }
     switch (s.kind) {
       case MetricSample::Kind::kCounter:
         os << "# TYPE " << name << " counter\n"
@@ -315,7 +400,9 @@ std::string Registry::RenderPrometheus() const {
           if (i == Histogram::kBuckets - 1) {
             os << name << "_bucket{le=\"+Inf\"} " << s.count << "\n";
           } else {
-            os << name << "_bucket{le=\"" << Histogram::BucketUpperBound(i)
+            os << name << "_bucket{le=\""
+               << EscapePrometheusLabel(
+                      std::to_string(Histogram::BucketUpperBound(i)))
                << "\"} " << cumulative << "\n";
           }
         }

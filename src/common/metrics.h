@@ -14,6 +14,13 @@
 
 namespace ode::obs {
 
+/// Whether `name` is registrable: non-empty, starts with a letter or
+/// underscore, and contains only `[a-zA-Z0-9_:.]`. Dots are allowed
+/// (the repo's `<layer>.<noun>` convention) and map to underscores in
+/// the Prometheus export; anything else (spaces, quotes, braces, ...)
+/// is rejected at registration time.
+bool IsValidMetricName(std::string_view name);
+
 /// A monotonically increasing event count. All operations are lock-free
 /// relaxed atomics — safe to bump from any thread, including latency-
 /// critical paths.
@@ -117,12 +124,21 @@ class Registry {
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
+  /// Instrument lookups validate the name (see `IsValidMetricName`):
+  /// an invalid name is rejected — the call warns, bumps the
+  /// `obs.invalid_metric_names` counter, and returns the shared
+  /// `obs.invalid_metric` quarantine instrument instead, so exports
+  /// never carry an unescapable name.
   Counter* counter(std::string_view name);
   Gauge* gauge(std::string_view name);
   Histogram* histogram(std::string_view name);
 
   std::shared_ptr<Counter> NewOwnedCounter(std::string_view name);
   std::shared_ptr<Histogram> NewOwnedHistogram(std::string_view name);
+
+  /// Attaches help text to `name`, emitted as an escaped `# HELP` line
+  /// by `RenderPrometheus()`.
+  void SetHelp(std::string_view name, std::string_view help);
 
   /// All metrics, name-sorted, owned instances folded into their name.
   std::vector<MetricSample> Snapshot() const;
@@ -145,6 +161,12 @@ class Registry {
   void RetireCounter(const std::string& name, uint64_t value);
   void RetireHistogram(const std::string& name, const Histogram& histogram);
 
+  /// Returns `name`, or the quarantine name after recording the
+  /// rejection when `name` is invalid. Caller holds `mu_`.
+  std::string_view ResolveName(std::string_view name);
+  /// counter() body without the lock. Caller holds `mu_`.
+  Counter* CounterLocked(std::string_view name);
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
@@ -156,6 +178,8 @@ class Registry {
   std::map<std::string, uint64_t, std::less<>> retired_counters_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
       retired_histograms_;
+  /// Optional `# HELP` text per metric name.
+  std::map<std::string, std::string, std::less<>> help_;
 };
 
 /// RAII timer recording elapsed nanoseconds into a histogram (and

@@ -1,0 +1,149 @@
+#include "common/telemetry_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string_view>
+
+#include "common/journal.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace ode::obs {
+
+namespace {
+
+struct Response {
+  int status = 200;
+  const char* content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+Response HandleRequest(std::string_view path) {
+  Response response;
+  if (path == "/metrics") {
+    response.body = Registry::Global().RenderPrometheus();
+  } else if (path == "/journal") {
+    response.content_type = "application/x-ndjson";
+    response.body = Journal::Global().ExportJsonLines();
+  } else if (path == "/trace") {
+    response.content_type = "application/json";
+    response.body = Tracing::ExportChromeJson();
+  } else if (path == "/healthz") {
+    response.body = "ok\n";
+  } else {
+    response.status = 404;
+    response.body = "not found\n";
+  }
+  return response;
+}
+
+void WriteResponse(int fd, const Response& response) {
+  std::string out = "HTTP/1.0 ";
+  out += response.status == 200 ? "200 OK" : "404 Not Found";
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: " + std::to_string(response.body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += response.body;
+  size_t sent = 0;
+  while (sent < out.size()) {
+    ssize_t n = ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // client went away
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+TelemetryServer::~TelemetryServer() { Stop(); }
+
+Status TelemetryServer::Start(uint16_t port) {
+  if (running()) {
+    return Status::FailedPrecondition("telemetry server already running");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status failed =
+        Status::IOError(std::string("bind: ") + std::strerror(errno));
+    ::close(fd);
+    return failed;
+  }
+  if (::listen(fd, 16) != 0) {
+    Status failed =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return failed;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    Status failed =
+        Status::IOError(std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return failed;
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::OK();
+}
+
+void TelemetryServer::Stop() {
+  if (!running()) return;
+  stopping_.store(true, std::memory_order_release);
+  // Wake the blocked accept(); closing alone is not guaranteed to.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  running_.store(false, std::memory_order_release);
+}
+
+void TelemetryServer::Serve() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down
+    }
+    // Read the request line ("GET /path HTTP/1.x"); headers, if any,
+    // are irrelevant to a scrape and ignored.
+    char buffer[1024];
+    ssize_t n = ::recv(client, buffer, sizeof(buffer) - 1, 0);
+    if (n > 0) {
+      buffer[n] = '\0';
+      std::string_view request(buffer, static_cast<size_t>(n));
+      std::string_view path = "/";
+      size_t method_end = request.find(' ');
+      if (method_end != std::string_view::npos) {
+        size_t path_end = request.find(' ', method_end + 1);
+        if (path_end != std::string_view::npos) {
+          path = request.substr(method_end + 1, path_end - method_end - 1);
+        }
+      }
+      WriteResponse(client, HandleRequest(path));
+    }
+    ::close(client);
+  }
+}
+
+}  // namespace ode::obs

@@ -1,0 +1,57 @@
+#ifndef ODEVIEW_COMMON_TELEMETRY_HTTP_H_
+#define ODEVIEW_COMMON_TELEMETRY_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace ode::obs {
+
+/// A minimal HTTP/1.0 scrape endpoint for the flight recorder:
+///
+///   GET /metrics   Prometheus text exposition (the metrics registry)
+///   GET /journal   event-journal tail as JSON lines
+///   GET /trace     Chrome trace-event JSON (retained spans)
+///   GET /healthz   liveness probe ("ok")
+///
+/// Engine-side only, mirroring the paper's OdeView/Ode separation: the
+/// endpoint renders the same registry exports any in-process consumer
+/// gets — it has no back channel into engine internals. One accept
+/// thread handles requests serially (scrapes are rare and responses
+/// small); unknown paths get 404.
+class TelemetryServer {
+ public:
+  TelemetryServer() = default;
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; see `port()`) and starts
+  /// the accept thread. FailedPrecondition if already running;
+  /// IOError if the bind/listen fails.
+  Status Start(uint16_t port);
+
+  /// Closes the listener and joins the accept thread (idempotent).
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (the actual one when Start was given 0).
+  uint16_t port() const { return port_; }
+
+ private:
+  void Serve();
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace ode::obs
+
+#endif  // ODEVIEW_COMMON_TELEMETRY_HTTP_H_

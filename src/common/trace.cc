@@ -1,6 +1,9 @@
 #include "common/trace.h"
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -17,6 +20,11 @@ namespace {
 /// Events retained per thread before the ring wraps (oldest dropped).
 constexpr size_t kRingCapacity = 8192;
 
+/// Open spans tracked per thread; deeper nesting is still timed but
+/// invisible to the watchdog (bounded so crash dumps stay allocation-
+/// free).
+constexpr size_t kMaxOpenSpans = 64;
+
 /// One thread's span storage. The owning thread appends; an exporting
 /// thread reads — both under `mu`, which the owner almost always takes
 /// uncontended.
@@ -26,6 +34,13 @@ struct ThreadBuffer {
   size_t next = 0;      ///< ring slot for the next event
   bool wrapped = false; ///< ring holds kRingCapacity events
   uint64_t dropped = 0;
+  /// Stack of spans whose TraceSpan is still in scope.
+  OpenSpanInfo open[kMaxOpenSpans];
+  size_t open_count = 0;
+  /// Updated every time the owning thread opens or closes a span; the
+  /// watchdog's progress signal.
+  uint64_t last_activity_ns = 0;
+  uint32_t thread_id = 0;
 };
 
 struct BufferDirectory {
@@ -44,6 +59,7 @@ ThreadBuffer& LocalBuffer() {
   // thread exits, so late exports still see its spans.
   thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
     auto b = std::make_shared<ThreadBuffer>();
+    b->thread_id = CurrentThreadId();
     BufferDirectory& directory = Directory();
     std::lock_guard<std::mutex> lock(directory.mu);
     directory.buffers.push_back(b);
@@ -53,6 +69,15 @@ ThreadBuffer& LocalBuffer() {
 }
 
 thread_local uint32_t tls_span_depth = 0;
+thread_local TraceContext tls_context;
+
+/// Span/trace id allocator. Ids are process-unique and never zero
+/// (zero means "no id"), shared between trace and span ids.
+std::atomic<uint64_t> next_causal_id{1};
+
+uint64_t NextCausalId() {
+  return next_causal_id.fetch_add(1, std::memory_order_relaxed);
+}
 
 std::vector<std::shared_ptr<ThreadBuffer>> AllBuffers() {
   BufferDirectory& directory = Directory();
@@ -74,16 +99,36 @@ uint64_t Tracing::NowNanos() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
 }
 
+TraceContext CurrentTraceContext() { return tls_context; }
+
+TraceContextScope::TraceContextScope(TraceContext ctx) : saved_(tls_context) {
+  tls_context = ctx;
+}
+
+TraceContextScope::~TraceContextScope() { tls_context = saved_; }
+
+TraceContext Tracing::NewRootContext() {
+  TraceContext ctx;
+  ctx.trace_id = NextCausalId();
+  ctx.span_id = NextCausalId();
+  return ctx;
+}
+
 void Tracing::Record(const char* name, uint64_t start_ns,
-                     uint64_t duration_ns, uint32_t depth) {
+                     uint64_t duration_ns, uint32_t depth, uint64_t trace_id,
+                     uint64_t span_id, uint64_t parent_id) {
   TraceEvent event;
   event.name = name;
   event.start_ns = start_ns;
   event.duration_ns = duration_ns;
   event.thread_id = CurrentThreadId();
   event.depth = depth;
+  event.trace_id = trace_id;
+  event.span_id = span_id;
+  event.parent_id = parent_id;
   ThreadBuffer& buffer = LocalBuffer();
   std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.last_activity_ns = NowNanos();
   if (buffer.ring.size() < kRingCapacity) {
     buffer.ring.push_back(event);
     buffer.next = buffer.ring.size() % kRingCapacity;
@@ -123,6 +168,58 @@ void Tracing::Clear() {
   }
 }
 
+std::vector<OpenSpanInfo> Tracing::OpenSpans() {
+  std::vector<OpenSpanInfo> out;
+  for (const auto& buffer : AllBuffers()) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    for (size_t i = 0; i < buffer->open_count; ++i) {
+      OpenSpanInfo info = buffer->open[i];
+      info.thread_last_activity_ns = buffer->last_activity_ns;
+      out.push_back(info);
+    }
+  }
+  return out;
+}
+
+void Tracing::DumpOpenSpans(int fd) {
+  // Async-signal context: no allocation, try-lock only (a buffer whose
+  // owner crashed mid-append is skipped rather than deadlocked on).
+  BufferDirectory& directory = Directory();
+  if (!directory.mu.try_lock()) return;
+  char line[256];
+  uint64_t now = NowNanos();
+  for (const auto& buffer : directory.buffers) {
+    if (!buffer->mu.try_lock()) continue;
+    for (size_t i = 0; i < buffer->open_count; ++i) {
+      const OpenSpanInfo& span = buffer->open[i];
+      int n = std::snprintf(
+          line, sizeof(line),
+          "  open span %-24s thread=%u age_ns=%llu trace=%llu span=%llu "
+          "parent=%llu\n",
+          span.name, buffer->thread_id,
+          static_cast<unsigned long long>(now - span.start_ns),
+          static_cast<unsigned long long>(span.trace_id),
+          static_cast<unsigned long long>(span.span_id),
+          static_cast<unsigned long long>(span.parent_id));
+      if (n > 0) {
+        ssize_t ignored = ::write(fd, line, static_cast<size_t>(n));
+        (void)ignored;
+      }
+    }
+    buffer->mu.unlock();
+  }
+  directory.mu.unlock();
+}
+
+std::vector<TraceEvent> Tracing::SnapshotEvents() {
+  std::vector<TraceEvent> out;
+  for (const auto& buffer : AllBuffers()) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    out.insert(out.end(), buffer->ring.begin(), buffer->ring.end());
+  }
+  return out;
+}
+
 std::string Tracing::ExportChromeJson() {
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
@@ -144,7 +241,9 @@ std::string Tracing::ExportChromeJson() {
       os << "{\"name\":\"" << event.name << "\",\"cat\":\"ode\""
          << ",\"ph\":\"X\",\"pid\":1,\"tid\":" << event.thread_id
          << ",\"ts\":" << ts << ",\"dur\":" << dur
-         << ",\"args\":{\"depth\":" << event.depth << "}}";
+         << ",\"args\":{\"depth\":" << event.depth
+         << ",\"trace\":" << event.trace_id << ",\"span\":" << event.span_id
+         << ",\"parent\":" << event.parent_id << "}}";
     }
   }
   os << "]}";
@@ -156,12 +255,40 @@ TraceSpan::TraceSpan(const char* name) {
   name_ = name;
   start_ns_ = Tracing::NowNanos();
   depth_ = tls_span_depth++;
+  parent_ = tls_context;
+  trace_id_ = parent_.valid() ? parent_.trace_id : NextCausalId();
+  span_id_ = NextCausalId();
+  tls_context = TraceContext{trace_id_, span_id_};
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.last_activity_ns = start_ns_;
+  if (buffer.open_count < kMaxOpenSpans) {
+    OpenSpanInfo& info = buffer.open[buffer.open_count++];
+    info.name = name_;
+    info.start_ns = start_ns_;
+    info.trace_id = trace_id_;
+    info.span_id = span_id_;
+    info.parent_id = parent_.span_id;
+    info.thread_id = buffer.thread_id;
+  }
 }
 
 TraceSpan::~TraceSpan() {
   if (name_ == nullptr) return;
   --tls_span_depth;
-  Tracing::Record(name_, start_ns_, Tracing::NowNanos() - start_ns_, depth_);
+  tls_context = parent_;
+  {
+    ThreadBuffer& buffer = LocalBuffer();
+    std::lock_guard<std::mutex> lock(buffer.mu);
+    // Pop this span if it is on the open stack (spans close LIFO, but
+    // the stack is bounded, so deep spans may never have been pushed).
+    if (buffer.open_count > 0 &&
+        buffer.open[buffer.open_count - 1].span_id == span_id_) {
+      --buffer.open_count;
+    }
+  }
+  Tracing::Record(name_, start_ns_, Tracing::NowNanos() - start_ns_, depth_,
+                  trace_id_, span_id_, parent_.span_id);
 }
 
 }  // namespace ode::obs

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace ode::obs {
 
@@ -15,6 +16,61 @@ struct TraceEvent {
   uint64_t duration_ns = 0;
   uint32_t thread_id = 0;  ///< small dense id (see CurrentThreadId)
   uint32_t depth = 0;      ///< nesting depth within this thread (0 = root)
+  uint64_t trace_id = 0;   ///< causal tree this span belongs to (0 = none)
+  uint64_t span_id = 0;    ///< unique id of this span
+  uint64_t parent_id = 0;  ///< span id of the causal parent (0 = root)
+};
+
+/// The causal position of the executing code: which trace tree it is
+/// part of and which span new children should parent to. Each thread
+/// carries a current context (maintained by `TraceSpan` nesting);
+/// crossing a thread boundary requires an explicit hand-off:
+///
+///   TraceContext ctx = CurrentTraceContext();     // capture (producer)
+///   worker.Submit([ctx] {
+///     TraceContextScope adopt(ctx);               // adopt (consumer)
+///     ODE_TRACE_SPAN("pool.fetch");               // child of ctx.span_id
+///   });
+struct TraceContext {
+  uint64_t trace_id = 0;  ///< 0 = detached (spans start a fresh trace)
+  uint64_t span_id = 0;   ///< parent for spans opened under this context
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// Captures the calling thread's current causal context.
+TraceContext CurrentTraceContext();
+
+/// RAII adoption of a captured context: installs `ctx` as the calling
+/// thread's current context and restores the previous one on scope
+/// exit. Adopting a default-constructed context detaches the scope
+/// (spans inside start fresh traces) — useful for making each user
+/// gesture a causal root regardless of the caller's context.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceContext ctx);
+  ~TraceContextScope();
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// A span that is currently open (its `TraceSpan` has not left scope),
+/// as seen by the watchdog and crash dumps.
+struct OpenSpanInfo {
+  const char* name = nullptr;
+  uint64_t start_ns = 0;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+  uint32_t thread_id = 0;
+  /// Last time the owning thread opened or closed any span — a thread
+  /// making progress inside a long parent span keeps this fresh, which
+  /// is how the watchdog avoids flagging long-but-progressing work.
+  uint64_t thread_last_activity_ns = 0;
 };
 
 /// Process-wide tracing control. Spans are collected into per-thread
@@ -37,13 +93,38 @@ class Tracing {
 
   /// Chrome `trace_event` JSON (the "traceEvents" array format):
   /// complete events (ph "X") with microsecond timestamps, loadable
-  /// directly in chrome://tracing and Perfetto.
+  /// directly in chrome://tracing and Perfetto. Each event's `args`
+  /// carries `trace`, `span`, and `parent` ids so the causal tree can
+  /// be rebuilt from the export.
   static std::string ExportChromeJson();
 
-  /// Appends one completed span to the calling thread's buffer.
-  /// Normally called by ~TraceSpan, public for tests.
+  /// All retained events (export order). Test hook: assertions on
+  /// parent links are easier on structs than on JSON.
+  static std::vector<TraceEvent> SnapshotEvents();
+
+  /// Spans currently open across all threads (watchdog data source).
+  static std::vector<OpenSpanInfo> OpenSpans();
+
+  /// Appends one completed span with explicit causal ids to the
+  /// calling thread's buffer. Normally called by ~TraceSpan; public
+  /// for tests and for anchor events (e.g. the zero-length
+  /// `db.session` span that roots a session's causal tree).
   static void Record(const char* name, uint64_t start_ns,
-                     uint64_t duration_ns, uint32_t depth);
+                     uint64_t duration_ns, uint32_t depth, uint64_t trace_id,
+                     uint64_t span_id, uint64_t parent_id);
+  /// Legacy arity (no causal ids); kept for existing callers/tests.
+  static void Record(const char* name, uint64_t start_ns,
+                     uint64_t duration_ns, uint32_t depth) {
+    Record(name, start_ns, duration_ns, depth, 0, 0, 0);
+  }
+
+  /// A fresh context rooted in a brand-new trace (unique trace and
+  /// span ids). Use for long-lived causal anchors such as sessions.
+  static TraceContext NewRootContext();
+
+  /// Best-effort dump of open spans to `fd` (async-signal context:
+  /// buffers are try-locked, never blocked on; allocation-free).
+  static void DumpOpenSpans(int fd);
 
   /// Nanoseconds since process start on the steady clock (the spans'
   /// time base).
@@ -60,7 +141,10 @@ class Tracing {
 ///     ...
 ///   }
 ///
-/// The name must be a string with static storage duration (a literal).
+/// While the span is open it is the thread's current context, so
+/// nested spans (and journal records) parent to it; the previous
+/// context is restored on scope exit. The name must be a string with
+/// static storage duration (a literal).
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name);
@@ -73,6 +157,9 @@ class TraceSpan {
   const char* name_ = nullptr;  ///< null when tracing was off at entry
   uint64_t start_ns_ = 0;
   uint32_t depth_ = 0;
+  uint64_t trace_id_ = 0;
+  uint64_t span_id_ = 0;
+  TraceContext parent_;  ///< context to restore (and parent link)
 };
 
 }  // namespace ode::obs

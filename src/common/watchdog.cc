@@ -1,0 +1,308 @@
+#include "common/watchdog.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "common/journal.h"
+#include "common/metrics.h"
+#include "common/threading.h"
+#include "common/trace.h"
+
+namespace ode::obs {
+
+namespace {
+
+obs::Counter& StallsTotal() {
+  static Counter* c = [] {
+    Registry& registry = Registry::Global();
+    registry.SetHelp("watchdog.stalls.total",
+                     "Open spans and latch holds flagged as stalled "
+                     "by the watchdog");
+    return registry.counter("watchdog.stalls.total");
+  }();
+  return *c;
+}
+
+// ---------------------------------------------------------------------------
+// Hold registry storage: a fixed array of atomic slots, claimable and
+// scannable without locks (and readable from a signal handler).
+
+struct HoldSlot {
+  std::atomic<const char*> what{nullptr};
+  std::atomic<uint64_t> since_ns{0};
+  std::atomic<uint32_t> thread_id{0};
+};
+
+HoldSlot g_hold_slots[HoldRegistry::kSlots];
+std::atomic<uint32_t> g_hold_hint{0};
+
+// ---------------------------------------------------------------------------
+// Crash-dump support. The handler must not allocate or take locks, so
+// the watchdog pre-renders a metrics snapshot into a fixed buffer,
+// published with a seqlock (even version = stable).
+
+constexpr size_t kCrashSnapshotSize = 16384;
+char g_metrics_snapshot[kCrashSnapshotSize];
+std::atomic<uint32_t> g_snapshot_version{0};
+
+void WriteAll(int fd, const char* data, size_t len) {
+  ssize_t ignored = ::write(fd, data, len);
+  (void)ignored;
+}
+
+void WriteStr(int fd, const char* s) { WriteAll(fd, s, std::strlen(s)); }
+
+void CrashHandler(int sig) {
+  char header[96];
+  int n = std::snprintf(header, sizeof(header),
+                        "\n=== ode flight recorder (fatal signal %d) ===\n",
+                        sig);
+  if (n > 0) WriteAll(STDERR_FILENO, header, static_cast<size_t>(n));
+  WriteStr(STDERR_FILENO, "-- journal tail --\n");
+  Journal::Global().DumpTail(STDERR_FILENO);
+  WriteStr(STDERR_FILENO, "-- open spans --\n");
+  Tracing::DumpOpenSpans(STDERR_FILENO);
+  WriteStr(STDERR_FILENO, "-- in-flight holds --\n");
+  HoldRegistry::Dump(STDERR_FILENO);
+  WriteStr(STDERR_FILENO, "-- metrics snapshot --\n");
+  // Seqlock read of the pre-rendered snapshot; give up after a few
+  // attempts rather than spin against a wedged writer.
+  static char copy[kCrashSnapshotSize];
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    uint32_t before = g_snapshot_version.load(std::memory_order_acquire);
+    if (before % 2 != 0) continue;
+    std::memcpy(copy, g_metrics_snapshot, sizeof(copy));
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (g_snapshot_version.load(std::memory_order_acquire) == before) {
+      copy[sizeof(copy) - 1] = '\0';
+      WriteStr(STDERR_FILENO, copy);
+      break;
+    }
+  }
+  WriteStr(STDERR_FILENO, "=== end flight recorder ===\n");
+  // SA_RESETHAND restored the default disposition on handler entry, so
+  // re-raising terminates with the original signal.
+  ::raise(sig);
+}
+
+}  // namespace
+
+int HoldRegistry::Claim(const char* what) {
+  uint32_t start = g_hold_hint.fetch_add(1, std::memory_order_relaxed);
+  for (int probe = 0; probe < kSlots; ++probe) {
+    int slot = static_cast<int>((start + static_cast<uint32_t>(probe)) %
+                                static_cast<uint32_t>(kSlots));
+    const char* expected = nullptr;
+    if (g_hold_slots[slot].what.compare_exchange_strong(
+            expected, what, std::memory_order_acq_rel,
+            std::memory_order_relaxed)) {
+      g_hold_slots[slot].thread_id.store(CurrentThreadId(),
+                                         std::memory_order_relaxed);
+      // `since` published last: readers skip slots still showing 0.
+      g_hold_slots[slot].since_ns.store(Tracing::NowNanos(),
+                                        std::memory_order_release);
+      return slot;
+    }
+  }
+  return -1;  // table full — hold goes untracked
+}
+
+void HoldRegistry::Release(int slot) {
+  if (slot < 0) return;
+  g_hold_slots[slot].since_ns.store(0, std::memory_order_relaxed);
+  g_hold_slots[slot].what.store(nullptr, std::memory_order_release);
+}
+
+std::vector<HoldRegistry::HoldInfo> HoldRegistry::Snapshot() {
+  std::vector<HoldInfo> out;
+  for (const HoldSlot& slot : g_hold_slots) {
+    const char* what = slot.what.load(std::memory_order_acquire);
+    uint64_t since = slot.since_ns.load(std::memory_order_acquire);
+    if (what == nullptr || since == 0) continue;
+    HoldInfo info;
+    info.what = what;
+    info.since_ns = since;
+    info.thread_id = slot.thread_id.load(std::memory_order_relaxed);
+    out.push_back(info);
+  }
+  return out;
+}
+
+void HoldRegistry::Dump(int fd) {
+  char line[160];
+  uint64_t now = Tracing::NowNanos();
+  for (const HoldSlot& slot : g_hold_slots) {
+    const char* what = slot.what.load(std::memory_order_acquire);
+    uint64_t since = slot.since_ns.load(std::memory_order_acquire);
+    if (what == nullptr || since == 0) continue;
+    int n = std::snprintf(
+        line, sizeof(line), "  hold %-24s thread=%u age_ns=%llu\n", what,
+        slot.thread_id.load(std::memory_order_relaxed),
+        static_cast<unsigned long long>(now - since));
+    if (n > 0) WriteAll(fd, line, static_cast<size_t>(n));
+  }
+}
+
+Watchdog::~Watchdog() { Stop(); }
+
+Watchdog& Watchdog::Global() {
+  // Leaked: the scanner may outlive static destruction of callers.
+  static Watchdog* watchdog = new Watchdog();
+  return *watchdog;
+}
+
+Status Watchdog::Start(WatchdogOptions options) {
+  if (running_.load(std::memory_order_relaxed)) {
+    return Status::AlreadyExists("watchdog already running");
+  }
+  options_ = options;
+  // Open spans are the watchdog's data source.
+  Tracing::Enable();
+  if (options_.install_crash_handler) InstallCrashHandler();
+  RefreshCrashSnapshot();
+  stop_requested_.store(false, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] { Run(); });
+  return Status::OK();
+}
+
+void Watchdog::Stop() {
+  if (!running_.load(std::memory_order_relaxed)) return;
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_requested_.store(true, std::memory_order_relaxed);
+  }
+  wake_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_relaxed);
+}
+
+void Watchdog::Run() {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    lock.unlock();
+    ScanOnce();
+    RefreshCrashSnapshot();
+    lock.lock();
+    wake_cv_.wait_for(lock, options_.scan_interval, [this] {
+      return stop_requested_.load(std::memory_order_relaxed);
+    });
+  }
+}
+
+void Watchdog::ScanOnce() {
+  std::lock_guard<std::mutex> lock(scan_mu_);
+  uint64_t now = Tracing::NowNanos();
+  auto span_deadline = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          options_.span_deadline)
+          .count());
+  auto hold_deadline = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          options_.hold_deadline)
+          .count());
+
+  std::unordered_set<uint64_t> still_open;
+  for (const OpenSpanInfo& span : Tracing::OpenSpans()) {
+    still_open.insert(span.span_id);
+    if (flagged_spans_.count(span.span_id) != 0) continue;
+    uint64_t age = now > span.start_ns ? now - span.start_ns : 0;
+    uint64_t idle = now > span.thread_last_activity_ns
+                        ? now - span.thread_last_activity_ns
+                        : 0;
+    // Both conditions: an old span whose thread keeps opening/closing
+    // children is progressing, not stalled.
+    if (age <= span_deadline || idle <= span_deadline) continue;
+    flagged_spans_.insert(span.span_id);
+    StallsTotal().Increment();
+    Journal::Global().Append(JournalEvent::kWatchdogStall,
+                             static_cast<int64_t>(age), /*arg1=*/0,
+                             span.name);
+  }
+  // Forget spans that have since closed so the flag set stays bounded.
+  std::erase_if(flagged_spans_, [&still_open](uint64_t id) {
+    return still_open.count(id) == 0;
+  });
+
+  std::unordered_set<uint64_t> live_holds;
+  for (const HoldRegistry::HoldInfo& hold : HoldRegistry::Snapshot()) {
+    // A hold's identity is its claim timestamp (unique enough: two
+    // claims in the same nanosecond are indistinguishable but also
+    // equally stalled).
+    live_holds.insert(hold.since_ns);
+    if (flagged_holds_.count(hold.since_ns) != 0) continue;
+    uint64_t age = now > hold.since_ns ? now - hold.since_ns : 0;
+    if (age <= hold_deadline) continue;
+    flagged_holds_.insert(hold.since_ns);
+    StallsTotal().Increment();
+    Journal::Global().Append(JournalEvent::kWatchdogStall,
+                             static_cast<int64_t>(age), /*arg1=*/1,
+                             hold.what);
+  }
+  std::erase_if(flagged_holds_, [&live_holds](uint64_t id) {
+    return live_holds.count(id) == 0;
+  });
+}
+
+uint64_t Watchdog::stalls() const { return StallsTotal().value(); }
+
+std::string Watchdog::StatusReport() const {
+  std::ostringstream os;
+  os << "-- watchdog --\n"
+     << "  running: " << (running() ? "yes" : "no") << "\n"
+     << "  scan_interval_ms: " << options_.scan_interval.count() << "\n"
+     << "  span_deadline_ms: " << options_.span_deadline.count() << "\n"
+     << "  hold_deadline_ms: " << options_.hold_deadline.count() << "\n"
+     << "  stalls_total: " << stalls() << "\n";
+  std::vector<OpenSpanInfo> spans = Tracing::OpenSpans();
+  os << "  open_spans: " << spans.size() << "\n";
+  uint64_t now = Tracing::NowNanos();
+  for (const OpenSpanInfo& span : spans) {
+    os << "    " << span.name << " thread=" << span.thread_id
+       << " age_ms=" << (now - span.start_ns) / 1000000
+       << " trace=" << span.trace_id << "\n";
+  }
+  std::vector<HoldRegistry::HoldInfo> holds = HoldRegistry::Snapshot();
+  os << "  holds: " << holds.size() << "\n";
+  for (const HoldRegistry::HoldInfo& hold : holds) {
+    os << "    " << hold.what << " thread=" << hold.thread_id
+       << " age_ms=" << (now - hold.since_ns) / 1000000 << "\n";
+  }
+  return os.str();
+}
+
+void Watchdog::InstallCrashHandler() {
+  static std::atomic<bool> installed{false};
+  if (installed.exchange(true, std::memory_order_acq_rel)) return;
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = CrashHandler;
+  sigemptyset(&action.sa_mask);
+  // Reset to default on entry so the handler's re-raise terminates.
+  action.sa_flags = SA_RESETHAND | SA_NODEFER;
+  for (int sig : {SIGSEGV, SIGBUS, SIGFPE, SIGABRT}) {
+    ::sigaction(sig, &action, nullptr);
+  }
+}
+
+void Watchdog::RefreshCrashSnapshot() {
+  // Serialize writers (several watchdog instances can exist in tests);
+  // the seqlock below is for the lock-free crash-handler reader.
+  static std::mutex* refresh_mu = new std::mutex();
+  std::lock_guard<std::mutex> refresh_lock(*refresh_mu);
+  std::string text = Registry::Global().RenderText();
+  uint32_t version =
+      g_snapshot_version.fetch_add(1, std::memory_order_acq_rel);
+  (void)version;  // now odd: readers back off
+  size_t n = text.size() < kCrashSnapshotSize - 1 ? text.size()
+                                                  : kCrashSnapshotSize - 1;
+  std::memcpy(g_metrics_snapshot, text.data(), n);
+  g_metrics_snapshot[n] = '\0';
+  g_snapshot_version.fetch_add(1, std::memory_order_release);
+}
+
+}  // namespace ode::obs

@@ -1,0 +1,141 @@
+#ifndef ODEVIEW_COMMON_WATCHDOG_H_
+#define ODEVIEW_COMMON_WATCHDOG_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ode::obs {
+
+/// Fixed-size registry of in-flight lock/latch holds the watchdog can
+/// scan. Claim/release are a few atomic operations — cheap enough for
+/// write-latch acquisition paths; the table is bounded, so under
+/// extreme load extra holds simply go untracked (never blocked).
+class HoldRegistry {
+ public:
+  static constexpr int kSlots = 128;
+
+  struct HoldInfo {
+    const char* what = nullptr;  ///< static label ("pool.frame_latch", ...)
+    uint64_t since_ns = 0;       ///< Tracing::NowNanos() at claim
+    uint32_t thread_id = 0;
+  };
+
+  /// Claims a slot for a hold named `what` (static string). Returns
+  /// the slot index, or -1 when the table is full (hold untracked).
+  static int Claim(const char* what);
+  /// Releases a slot previously claimed; -1 is a no-op.
+  static void Release(int slot);
+
+  /// Currently tracked holds (watchdog data source).
+  static std::vector<HoldInfo> Snapshot();
+
+  /// Best-effort dump to `fd` (async-signal safe: atomic reads only).
+  static void Dump(int fd);
+};
+
+/// RAII hold tracking:
+///
+///   {
+///     ScopedHold hold("db.schema_lock");
+///     std::unique_lock lock(schema_mu_);
+///     ...
+///   }
+class ScopedHold {
+ public:
+  explicit ScopedHold(const char* what) : slot_(HoldRegistry::Claim(what)) {}
+  ~ScopedHold() { HoldRegistry::Release(slot_); }
+
+  ScopedHold(const ScopedHold&) = delete;
+  ScopedHold& operator=(const ScopedHold&) = delete;
+
+ private:
+  int slot_;
+};
+
+/// Stall-detection deadlines. A span (or hold) is flagged once when it
+/// has been open longer than its deadline *and* — for spans — its
+/// thread has shown no activity (opened or closed no span) for the
+/// same deadline, so a long-but-progressing parent span is never a
+/// false positive.
+struct WatchdogOptions {
+  std::chrono::milliseconds scan_interval{100};
+  std::chrono::milliseconds span_deadline{1000};
+  std::chrono::milliseconds hold_deadline{500};
+  /// Install fatal-signal handlers (SIGSEGV/SIGBUS/SIGFPE/SIGABRT)
+  /// that dump the flight recorder to stderr before re-raising.
+  bool install_crash_handler = true;
+};
+
+/// Background thread scanning open trace spans and in-flight latch
+/// holds against the configured deadlines. Each detected stall bumps
+/// the `watchdog.stalls.total` counter (exported to Prometheus as
+/// `watchdog_stalls_total`) and appends a `watchdog_stall` journal
+/// record. Starting the watchdog enables tracing (open spans are its
+/// data source).
+class Watchdog {
+ public:
+  Watchdog() = default;
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// The process-wide watchdog instance.
+  static Watchdog& Global();
+
+  /// Starts the scanner thread; AlreadyExists if running.
+  Status Start(WatchdogOptions options = {});
+  /// Stops and joins the scanner thread (idempotent).
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+  const WatchdogOptions& options() const { return options_; }
+
+  /// One synchronous scan pass over open spans and holds. The scanner
+  /// thread calls this every `scan_interval`; tests call it directly
+  /// for deterministic stall checks.
+  void ScanOnce();
+
+  /// Total stalls flagged by this process (the counter's value).
+  uint64_t stalls() const;
+
+  /// Human-readable status (running, deadlines, stall count, current
+  /// open spans and holds) for the shell's `watchdog` command.
+  std::string StatusReport() const;
+
+  /// Installs the fatal-signal dump handlers. Idempotent; normally
+  /// done by `Start()`. The dump (journal tail, open spans, metrics
+  /// snapshot) goes to stderr, then the signal is re-raised with the
+  /// default disposition.
+  static void InstallCrashHandler();
+
+ private:
+  void Run();
+  /// Refreshes the pre-rendered metrics snapshot the (allocation-free)
+  /// crash handler copies from.
+  static void RefreshCrashSnapshot();
+
+  WatchdogOptions options_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  /// Span ids / hold identities already flagged (each stall reported
+  /// exactly once). Only touched by ScanOnce callers.
+  std::mutex scan_mu_;
+  std::unordered_set<uint64_t> flagged_spans_;
+  std::unordered_set<uint64_t> flagged_holds_;
+};
+
+}  // namespace ode::obs
+
+#endif  // ODEVIEW_COMMON_WATCHDOG_H_

@@ -3,7 +3,9 @@
 #include <cassert>
 #include <vector>
 
+#include "common/journal.h"
 #include "common/trace.h"
+#include "common/watchdog.h"
 
 namespace ode::odb {
 
@@ -60,6 +62,8 @@ void PageHandle::Release() {
 void BufferPool::ReleaseHandle(internal::Frame* frame, bool dirty,
                                PageIntent intent) {
   if (intent == PageIntent::kWrite) {
+    obs::HoldRegistry::Release(
+        frame->hold_slot.exchange(-1, std::memory_order_relaxed));
     frame->latch.unlock();
   } else {
     frame->latch.unlock_shared();
@@ -132,6 +136,10 @@ Result<PageHandle> BufferPool::Fetch(PageId id, PageIntent intent) {
   // arbitrary order) never registers a blocking hold-and-wait.
   if (intent == PageIntent::kWrite) {
     if (!frame->latch.try_lock()) frame->latch.lock();
+    // Exclusive latch holds are watchdog-visible: a writer wedged on a
+    // page surfaces as a stalled `pool.frame_latch` hold.
+    frame->hold_slot.store(obs::HoldRegistry::Claim("pool.frame_latch"),
+                           std::memory_order_relaxed);
   } else {
     if (!frame->latch.try_lock_shared()) frame->latch.lock_shared();
   }
@@ -156,6 +164,8 @@ Result<PageHandle> BufferPool::NewPage() {
     TouchLru(shard, idx);
   }
   frame->latch.lock();
+  frame->hold_slot.store(obs::HoldRegistry::Claim("pool.frame_latch"),
+                         std::memory_order_relaxed);
   return PageHandle(frame, id, &frame->page, PageIntent::kWrite);
 }
 
@@ -207,7 +217,12 @@ void BufferPool::Prefetch(PageId id) {
   if (id == kNoPage || Cached(id)) return;
   if (prefetcher_.pending() >= kMaxPendingPrefetches) return;
   prefetches_->Increment();
-  prefetcher_.Submit([this, id] {
+  // Capture the caller's causal context so the prefetch fetch spans
+  // attach to the scan/cascade that requested them, not to a detached
+  // worker-thread root.
+  obs::TraceContext ctx = obs::CurrentTraceContext();
+  prefetcher_.Submit([this, id, ctx] {
+    obs::TraceContextScope adopt(ctx);
     // Pin briefly with read intent so the page lands in its shard;
     // errors (e.g. a speculative id past the end) are ignored.
     Result<PageHandle> handle = Fetch(id, PageIntent::kRead);
@@ -265,6 +280,10 @@ Result<size_t> BufferPool::AcquireFrame(Shard& shard) {
     shard.evictions->Increment();
     return idx;
   }
+  // Pool pressure is a flight-recorder event: every frame of the shard
+  // is pinned, so the fetch that needed a frame fails.
+  obs::Journal::Global().Append(obs::JournalEvent::kEvictionPressure,
+                                static_cast<int64_t>(shard.frame_count));
   return Status::FailedPrecondition(
       "buffer pool exhausted: all frames of the shard pinned");
 }

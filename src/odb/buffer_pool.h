@@ -41,6 +41,9 @@ struct Frame {
   std::atomic<bool> dirty{false};
   bool in_use = false;
   std::shared_mutex latch;
+  /// Watchdog hold-registry slot while the exclusive latch is held
+  /// (-1 = untracked). Written by the latch holder only.
+  std::atomic<int> hold_slot{-1};
 };
 
 }  // namespace internal

@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "common/watchdog.h"
 #include "odb/ddl_parser.h"
 #include "odb/typecheck.h"
 #include "odb/value_codec.h"
@@ -159,6 +160,7 @@ Result<std::unique_ptr<Database>> Database::OpenOnDisk(
 const std::string& Database::name() const { return catalog_->db_name(); }
 
 Status Database::DefineSchema(std::string_view ddl) {
+  obs::ScopedHold schema_hold("db.schema_lock");
   std::unique_lock lock(schema_mu_);
   BumpMutationEpoch();
   ODE_ASSIGN_OR_RETURN(Schema parsed, ParseSchema(ddl));
@@ -170,6 +172,7 @@ Status Database::DefineSchema(std::string_view ddl) {
 }
 
 Status Database::AddClass(ClassDef def) {
+  obs::ScopedHold schema_hold("db.schema_lock");
   std::unique_lock lock(schema_mu_);
   BumpMutationEpoch();
   ODE_RETURN_IF_ERROR(AddClassInternal(std::move(def), /*persist=*/true));
@@ -198,6 +201,7 @@ Status Database::AddClassInternal(ClassDef def, bool persist) {
 }
 
 Status Database::AlterClass(ClassDef def) {
+  obs::ScopedHold schema_hold("db.schema_lock");
   std::unique_lock lock(schema_mu_);
   BumpMutationEpoch();
   ODE_ASSIGN_OR_RETURN(const ClassDef* old_def, schema().GetClass(def.name));
@@ -298,6 +302,7 @@ Result<Value> Database::DefaultMemberValue(const MemberDef& member) {
 }
 
 Status Database::DropClass(const std::string& class_name) {
+  obs::ScopedHold schema_hold("db.schema_lock");
   std::unique_lock lock(schema_mu_);
   BumpMutationEpoch();
   Result<const ClusterInfo*> cluster = catalog_->FindCluster(class_name);
@@ -692,6 +697,7 @@ Result<std::vector<Oid>> Database::Select(const std::string& class_name,
 }
 
 Status Database::Sync() {
+  obs::ScopedHold schema_hold("db.schema_lock");
   std::unique_lock lock(schema_mu_);
   ODE_RETURN_IF_ERROR(catalog_->Persist());
   return pool_->Sync();
@@ -708,7 +714,19 @@ Session Database::OpenSession() {
   active_sessions_->fetch_add(1, std::memory_order_relaxed);
   SessionsOpened().Increment();
   SessionsActive().Add(1);
-  return Session(this, id, active_sessions_);
+  obs::Journal::Global().Append(obs::JournalEvent::kSessionOpen,
+                                static_cast<int64_t>(id));
+  Session session(this, id, active_sessions_);
+  if (obs::Tracing::enabled()) {
+    // Anchor the session's causal tree with a zero-length span; browse
+    // cascades adopt this context, so every gesture of the session
+    // hangs off it in the exported trace.
+    session.trace_context_ = obs::Tracing::NewRootContext();
+    obs::Tracing::Record("db.session", obs::Tracing::NowNanos(), 0, 0,
+                         session.trace_context_.trace_id,
+                         session.trace_context_.span_id, 0);
+  }
+  return session;
 }
 
 Session& Session::operator=(Session&& other) noexcept {
@@ -716,12 +734,16 @@ Session& Session::operator=(Session&& other) noexcept {
     if (counter_ != nullptr) {
       counter_->fetch_sub(1, std::memory_order_relaxed);
       SessionsActive().Sub(1);
+      obs::Journal::Global().Append(obs::JournalEvent::kSessionClose,
+                                    static_cast<int64_t>(id_));
     }
     db_ = other.db_;
     id_ = other.id_;
     counter_ = std::move(other.counter_);
+    trace_context_ = other.trace_context_;
     other.db_ = nullptr;
     other.id_ = 0;
+    other.trace_context_ = obs::TraceContext{};
   }
   return *this;
 }
@@ -730,6 +752,8 @@ Session::~Session() {
   if (counter_ != nullptr) {
     counter_->fetch_sub(1, std::memory_order_relaxed);
     SessionsActive().Sub(1);
+    obs::Journal::Global().Append(obs::JournalEvent::kSessionClose,
+                                  static_cast<int64_t>(id_));
   }
 }
 

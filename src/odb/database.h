@@ -11,8 +11,10 @@
 #include <string>
 #include <vector>
 
+#include "common/journal.h"
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/trace.h"
 #include "common/status.h"
 #include "odb/buffer_pool.h"
 #include "odb/catalog.h"
@@ -235,10 +237,13 @@ class Database {
   Result<std::vector<ObjectBuffer>> StepObjectBuffers(Oid oid, bool forward,
                                                       size_t limit);
   void BumpMutationEpoch() {
-    mutation_epoch_.fetch_add(1, std::memory_order_release);
+    uint64_t epoch =
+        mutation_epoch_.fetch_add(1, std::memory_order_release) + 1;
     static obs::Counter* bumps =
         obs::Registry::Global().counter("db.epoch_bumps");
     bumps->Increment();
+    obs::Journal::Global().Append(obs::JournalEvent::kEpochBump,
+                                  static_cast<int64_t>(epoch));
   }
   Result<std::vector<Oid>> ScanClusterUnlocked(const std::string& class_name);
 
@@ -308,6 +313,12 @@ class Session {
   uint64_t id() const { return id_; }
   Database* database() { return db_; }
 
+  /// The session's causal anchor: a trace context rooted at the
+  /// zero-length `db.session` span recorded when the session opened
+  /// (zero ids when tracing was off). Browse cascades adopt it so a
+  /// Chrome trace groups every gesture under its session.
+  obs::TraceContext trace_context() const { return trace_context_; }
+
   Result<Oid> CreateObject(const std::string& class_name, Value value);
   Result<ObjectBuffer> GetObject(Oid oid);
   Result<ObjectBuffer> GetObjectVersion(Oid oid, uint32_t version);
@@ -338,6 +349,7 @@ class Session {
   uint64_t id_ = 0;
   /// Co-owned session counter; see Database::active_sessions_.
   std::shared_ptr<std::atomic<int>> counter_;
+  obs::TraceContext trace_context_;
 };
 
 /// Stateful cursor over one cluster with an optional selection

@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "common/metrics.h"
+#include "common/trace.h"
 
 namespace ode::odb {
 
@@ -136,6 +137,7 @@ Result<PageId> FilePager::Allocate() {
 }
 
 Status FilePager::Read(PageId id, Page* page) {
+  ODE_TRACE_SPAN("pager.read");
   if (id >= page_count_.load(std::memory_order_acquire)) {
     return Status::IOError("read of unallocated page " + std::to_string(id));
   }
@@ -158,6 +160,7 @@ Status FilePager::Read(PageId id, Page* page) {
 }
 
 Status FilePager::Write(PageId id, const Page& page) {
+  ODE_TRACE_SPAN("pager.write");
   // Fast path: rewriting an existing page needs no lock — pwrite is
   // positional and the pool serializes same-page writers.
   if (id < page_count_.load(std::memory_order_acquire)) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/journal.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/strings.h"
@@ -396,6 +397,11 @@ Status BrowseNode::Step(bool forward) {
 }
 
 Status BrowseNode::Next() {
+  // Adopt the session's causal anchor for the whole gesture, so the
+  // step's object fetches and the refresh cascade land in one trace.
+  obs::TraceContextScope adopt(context_->session != nullptr
+                                   ? context_->session->trace_context()
+                                   : obs::TraceContext{});
   if (faulted_) {
     return Status::FailedPrecondition("object-interactor has terminated: " +
                                       fault_message_);
@@ -408,16 +414,15 @@ Status BrowseNode::Next() {
     return stepped;
   }
   SetLabel(context_->server, panel_window_, "status", "");
-  ODE_TRACE_SPAN("view.sync_cascade");
-  RecordCascade(*this);
-  ODE_RETURN_IF_ERROR(RefreshSelf());
-  for (const auto& child : children_) {
-    ODE_RETURN_IF_ERROR(child->RefreshSubtree());
-  }
-  return Status::OK();
+  return PropagateCascade();
 }
 
 Status BrowseNode::Prev() {
+  // Adopt the session's causal anchor for the whole gesture, so the
+  // step's object fetches and the refresh cascade land in one trace.
+  obs::TraceContextScope adopt(context_->session != nullptr
+                                   ? context_->session->trace_context()
+                                   : obs::TraceContext{});
   if (faulted_) {
     return Status::FailedPrecondition("object-interactor has terminated: " +
                                       fault_message_);
@@ -430,16 +435,15 @@ Status BrowseNode::Prev() {
     return stepped;
   }
   SetLabel(context_->server, panel_window_, "status", "");
-  ODE_TRACE_SPAN("view.sync_cascade");
-  RecordCascade(*this);
-  ODE_RETURN_IF_ERROR(RefreshSelf());
-  for (const auto& child : children_) {
-    ODE_RETURN_IF_ERROR(child->RefreshSubtree());
-  }
-  return Status::OK();
+  return PropagateCascade();
 }
 
 Status BrowseNode::Reset() {
+  // Adopt the session's causal anchor for the whole gesture, so the
+  // step's object fetches and the refresh cascade land in one trace.
+  obs::TraceContextScope adopt(context_->session != nullptr
+                                   ? context_->session->trace_context()
+                                   : obs::TraceContext{});
   if (faulted_) {
     return Status::FailedPrecondition("object-interactor has terminated: " +
                                       fault_message_);
@@ -457,13 +461,28 @@ Status BrowseNode::Reset() {
   }
   current_.reset();
   SetLabel(context_->server, panel_window_, "status", "");
+  return PropagateCascade();
+}
+
+Status BrowseNode::PropagateCascade() {
+  // Callers (Next/Prev/Reset) have already adopted the session's trace
+  // context, so this span — and every pool/pager span the refreshes
+  // below it open — hangs off the user gesture that triggered it.
   ODE_TRACE_SPAN("view.sync_cascade");
   RecordCascade(*this);
-  ODE_RETURN_IF_ERROR(RefreshSelf());
+  const int fan_out = SubtreeSize();
+  obs::Journal::Global().Append(obs::JournalEvent::kCascadeStart, fan_out,
+                                SubtreeDepth(),
+                                obs::Journal::InternLabel(class_name_));
+  Status refreshed = RefreshSelf();
   for (const auto& child : children_) {
-    ODE_RETURN_IF_ERROR(child->RefreshSubtree());
+    if (!refreshed.ok()) break;
+    refreshed = child->RefreshSubtree();
   }
-  return Status::OK();
+  obs::Journal::Global().Append(obs::JournalEvent::kCascadeEnd, fan_out,
+                                refreshed.ok() ? 0 : 1,
+                                obs::Journal::InternLabel(class_name_));
+  return refreshed;
 }
 
 bool BrowseNode::IsFormatOpen(const std::string& format) const {
@@ -891,6 +910,8 @@ Status BrowseNode::MarkFaulted(const std::string& format,
   faulted_ = true;
   fault_message_ = message;
   DisplayFaults().Increment();
+  obs::Journal::Global().Append(obs::JournalEvent::kDynlinkFault, 0, 0,
+                                obs::Journal::InternLabel(class_name_));
   obs::Registry::Global()
       .counter("display.fault." + class_name_)
       ->Increment();

@@ -13,8 +13,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/journal.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "common/watchdog.h"
 #include "odb/buffer_pool.h"
 #include "odb/database.h"
 #include "odb/heap_file.h"
@@ -438,6 +440,16 @@ TEST(ObsStressTest, MetricsAndSpansUnderConcurrentExport) {
       registry.histogram("concurrency_test.obs.hist");
   obs::Tracing::Clear();
   obs::Tracing::Enable();
+  // Run the whole stress with the flight recorder live: a fast-scan
+  // watchdog reading open spans and journal appends racing the span
+  // writers. TSan checks the cross-component interactions.
+  obs::WatchdogOptions watchdog_options;
+  watchdog_options.scan_interval = std::chrono::milliseconds(5);
+  watchdog_options.span_deadline = std::chrono::milliseconds(10000);
+  watchdog_options.hold_deadline = std::chrono::milliseconds(10000);
+  watchdog_options.install_crash_handler = false;
+  obs::Watchdog stress_watchdog;
+  ASSERT_TRUE(stress_watchdog.Start(watchdog_options).ok());
 
   constexpr int kOpsPerThread = 4000;
   constexpr int kOwnerRounds = 200;
@@ -453,6 +465,9 @@ TEST(ObsStressTest, MetricsAndSpansUnderConcurrentExport) {
         ODE_TRACE_SPAN("concurrency_test.obs.span");
         shared_counter->Increment();
         shared_hist->Record(rng.Below(1 << 20));
+        if (op % 64 == 0) {
+          obs::Journal::Global().Append(obs::JournalEvent::kMark, op, t);
+        }
       }
     });
   }
@@ -481,12 +496,14 @@ TEST(ObsStressTest, MetricsAndSpansUnderConcurrentExport) {
       EXPECT_FALSE(registry.RenderJson().empty());
       EXPECT_FALSE(registry.RenderPrometheus().empty());
       EXPECT_FALSE(obs::Tracing::ExportChromeJson().empty());
+      EXPECT_FALSE(obs::Journal::Global().ExportJsonLines().empty());
     }
   });
 
   for (std::thread& w : workers) w.join();
   stop.store(true, std::memory_order_relaxed);
   reader.join();
+  stress_watchdog.Stop();
   obs::Tracing::Disable();
 
   EXPECT_EQ(shared_counter->value(),
@@ -510,6 +527,54 @@ TEST(ObsStressTest, MetricsAndSpansUnderConcurrentExport) {
   EXPECT_EQ(obs::Tracing::CapturedCount() + obs::Tracing::DroppedCount(),
             static_cast<size_t>(kThreads) * kOpsPerThread);
   obs::Tracing::Clear();
+}
+
+// The journal ring under concurrent producers and a racing consumer:
+// appends never block or tear, the retained tail is a strictly
+// increasing run of sequence numbers no longer than one ring, and
+// every append is accounted for (committed or counted dropped).
+TEST(ObsStressTest, JournalConcurrentWritersAndWrap) {
+  obs::Journal journal(/*capacity=*/256);
+  constexpr int kAppendsPerThread = 5000;
+  std::atomic<bool> stop{false};
+
+  std::thread reader([&journal, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::vector<obs::JournalRecord> tail = journal.Snapshot();
+      EXPECT_LE(tail.size(), journal.capacity());
+      for (size_t i = 1; i < tail.size(); ++i) {
+        EXPECT_LT(tail[i - 1].seq, tail[i].seq);
+      }
+      (void)journal.ExportJsonLines();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&journal, t] {
+      for (int i = 0; i < kAppendsPerThread; ++i) {
+        journal.Append(obs::JournalEvent::kMark, i, t);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(journal.appended(),
+            static_cast<uint64_t>(kThreads) * kAppendsPerThread);
+  std::vector<obs::JournalRecord> tail = journal.Snapshot();
+  EXPECT_LE(tail.size(), journal.capacity());
+  EXPECT_GE(tail.size() + journal.dropped(), journal.capacity());
+  for (size_t i = 1; i < tail.size(); ++i) {
+    EXPECT_LT(tail[i - 1].seq, tail[i].seq);
+  }
+  // The newest retained record is from the final ring generation (the
+  // very last append may itself have lost its claim race and dropped).
+  if (!tail.empty()) {
+    EXPECT_LE(tail.back().seq, journal.appended());
+    EXPECT_GE(tail.back().seq + journal.capacity(), journal.appended());
+  }
 }
 
 }  // namespace

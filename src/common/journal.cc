@@ -4,7 +4,6 @@
 
 #include <bit>
 #include <cstdio>
-#include <mutex>
 #include <sstream>
 #include <unordered_set>
 
@@ -66,6 +65,8 @@ const char* JournalEventName(JournalEvent type) {
       return "watchdog_stall";
     case JournalEvent::kMark:
       return "mark";
+    case JournalEvent::kLockRankViolation:
+      return "lockrank_violation";
   }
   return "unknown";
 }
@@ -213,10 +214,10 @@ void Journal::DumpTail(int fd, size_t max_records) const {
 const char* Journal::InternLabel(std::string_view label) {
   // Leaked intern table: returned pointers must stay valid for the
   // life of the process (journal slots hold them indefinitely).
-  static std::mutex* mu = new std::mutex();
+  static Mutex* mu = new Mutex(LockRank::kJournalIntern);
   static std::unordered_set<std::string>* table =
       new std::unordered_set<std::string>();
-  std::lock_guard<std::mutex> lock(*mu);
+  MutexLock lock(*mu);
   return table->emplace(label).first->c_str();
 }
 

@@ -22,6 +22,8 @@ enum class JournalEvent : uint32_t {
   kDynlinkFault = 6,     ///< detail = class name
   kWatchdogStall = 7,    ///< arg0 = age ns; arg1 = 0 span / 1 latch hold
   kMark = 8,             ///< free-form annotation (detail = label)
+  kLockRankViolation = 9,  ///< arg0 = acquired rank, arg1 = held rank,
+                           ///< detail = acquired lock name
 };
 
 /// Wire name of a journal event type ("session_open", ...).

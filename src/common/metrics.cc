@@ -188,12 +188,12 @@ Counter* Registry::CounterLocked(std::string_view name) {
 }
 
 Counter* Registry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return CounterLocked(ResolveName(name));
 }
 
 Gauge* Registry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   name = ResolveName(name);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
@@ -203,7 +203,7 @@ Gauge* Registry::gauge(std::string_view name) {
 }
 
 Histogram* Registry::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   name = ResolveName(name);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
@@ -216,7 +216,7 @@ Histogram* Registry::histogram(std::string_view name) {
 std::shared_ptr<Counter> Registry::NewOwnedCounter(std::string_view name) {
   // The deleter retires the final value so exports keep the history of
   // owners that have since been destroyed (e.g. benchmark-scoped pools).
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   name = ResolveName(name);
   std::shared_ptr<Counter> instrument(
       new Counter(), [this, key = std::string(name)](Counter* c) {
@@ -229,7 +229,7 @@ std::shared_ptr<Counter> Registry::NewOwnedCounter(std::string_view name) {
 
 std::shared_ptr<Histogram> Registry::NewOwnedHistogram(
     std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   name = ResolveName(name);
   std::shared_ptr<Histogram> instrument(
       new Histogram(), [this, key = std::string(name)](Histogram* h) {
@@ -241,12 +241,12 @@ std::shared_ptr<Histogram> Registry::NewOwnedHistogram(
 }
 
 void Registry::SetHelp(std::string_view name, std::string_view help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   help_[std::string(ResolveName(name))] = std::string(help);
 }
 
 void Registry::RetireCounter(const std::string& name, uint64_t value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   retired_counters_[name] += value;
   // Prune expired registrations while we are here so churning owners
   // (one pool per benchmark iteration) cannot grow the list unboundedly.
@@ -256,7 +256,7 @@ void Registry::RetireCounter(const std::string& name, uint64_t value) {
 
 void Registry::RetireHistogram(const std::string& name,
                                const Histogram& histogram) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = retired_histograms_.find(name);
   if (it == retired_histograms_.end()) {
     it = retired_histograms_
@@ -298,7 +298,7 @@ std::vector<MetricSample> Registry::Snapshot() const {
   std::vector<std::pair<std::string, std::shared_ptr<Histogram>>>
       live_histograms;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [name, c] : counters_) counter_totals[name] += c->value();
     for (const auto& [name, value] : retired_counters_) {
       counter_totals[name] += value;
@@ -372,7 +372,7 @@ std::vector<MetricSample> Registry::Snapshot() const {
 std::string Registry::RenderPrometheus() const {
   std::map<std::string, std::string, std::less<>> help;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     help = help_;
   }
   std::ostringstream os;
@@ -475,7 +475,7 @@ std::string Registry::RenderText() const {
 }
 
 void Registry::ResetForTest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Recreate rather than zero: instrument pointers cached at call sites
   // must stay valid, so zero in place.
   for (auto& [name, c] : counters_) {

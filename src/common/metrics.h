@@ -6,11 +6,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
+#include "common/threading.h"
 
 namespace ode::obs {
 
@@ -163,23 +165,28 @@ class Registry {
 
   /// Returns `name`, or the quarantine name after recording the
   /// rejection when `name` is invalid. Caller holds `mu_`.
-  std::string_view ResolveName(std::string_view name);
+  std::string_view ResolveName(std::string_view name) ODE_REQUIRES(mu_);
   /// counter() body without the lock. Caller holds `mu_`.
-  Counter* CounterLocked(std::string_view name);
+  Counter* CounterLocked(std::string_view name) ODE_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
-  std::vector<std::pair<std::string, std::weak_ptr<Counter>>> owned_counters_;
+  mutable Mutex mu_{LockRank::kMetricsRegistry};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      ODE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      ODE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      ODE_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, std::weak_ptr<Counter>>> owned_counters_
+      ODE_GUARDED_BY(mu_);
   std::vector<std::pair<std::string, std::weak_ptr<Histogram>>>
-      owned_histograms_;
+      owned_histograms_ ODE_GUARDED_BY(mu_);
   /// Totals carried over from destroyed owned instruments.
-  std::map<std::string, uint64_t, std::less<>> retired_counters_;
+  std::map<std::string, uint64_t, std::less<>> retired_counters_
+      ODE_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
-      retired_histograms_;
+      retired_histograms_ ODE_GUARDED_BY(mu_);
   /// Optional `# HELP` text per metric name.
-  std::map<std::string, std::string, std::less<>> help_;
+  std::map<std::string, std::string, std::less<>> help_ ODE_GUARDED_BY(mu_);
 };
 
 /// RAII timer recording elapsed nanoseconds into a histogram (and

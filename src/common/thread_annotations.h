@@ -1,0 +1,87 @@
+#ifndef ODEVIEW_COMMON_THREAD_ANNOTATIONS_H_
+#define ODEVIEW_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis attribute macros (the `ODE_` spelling
+/// of the scheme documented at
+/// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+///
+/// Under Clang with `-Wthread-safety` these turn locking contracts
+/// into compile errors: a field declared `ODE_GUARDED_BY(mu_)` cannot
+/// be touched without holding `mu_`, a method declared
+/// `ODE_REQUIRES(mu_)` cannot be called without it, and RAII lockers
+/// (`ODE_SCOPED_CAPABILITY`) are tracked through scopes. Under GCC (or
+/// any compiler without the attributes) every macro expands to
+/// nothing, so annotated headers stay portable — CI's static-analysis
+/// job is the enforcing build.
+///
+/// Known analysis limits we rely on (documented in docs/LOCKING.md):
+/// constructors/destructors are not analyzed, and the analysis is
+/// intra-procedural (no inlining), which is exactly why the contracts
+/// below live on function signatures.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define ODE_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define ODE_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Type attribute: the class is a lockable capability ("mutex" names
+/// it in warnings).
+#define ODE_CAPABILITY(x) ODE_THREAD_ANNOTATION_(capability(x))
+
+/// Type attribute: RAII object that acquires on construction and
+/// releases on destruction (std::lock_guard-style).
+#define ODE_SCOPED_CAPABILITY ODE_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member is protected by the given capability.
+#define ODE_GUARDED_BY(x) ODE_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the capability.
+#define ODE_PT_GUARDED_BY(x) ODE_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the capability held (exclusively / shared) on
+/// entry, and does not release it.
+#define ODE_REQUIRES(...) \
+  ODE_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define ODE_REQUIRES_SHARED(...) \
+  ODE_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (exclusively / shared) and holds
+/// it past return.
+#define ODE_ACQUIRE(...) \
+  ODE_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ODE_ACQUIRE_SHARED(...) \
+  ODE_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability. The plain form releases whatever
+/// mode was held (what RAII-locker destructors want).
+#define ODE_RELEASE(...) \
+  ODE_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define ODE_RELEASE_SHARED(...) \
+  ODE_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Function tries to acquire; the first argument is the return value
+/// meaning success.
+#define ODE_TRY_ACQUIRE(...) \
+  ODE_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define ODE_TRY_ACQUIRE_SHARED(...) \
+  ODE_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock
+/// guard for self-locking public methods).
+#define ODE_EXCLUDES(...) ODE_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function asserts (at runtime) that the capability is already held.
+#define ODE_ASSERT_CAPABILITY(x) \
+  ODE_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define ODE_RETURN_CAPABILITY(x) ODE_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the function body is not analyzed. Every use must
+/// carry a rationale comment and be listed in docs/LOCKING.md
+/// ("documented lock-free fast paths" in the PR acceptance sense).
+#define ODE_NO_THREAD_SAFETY_ANALYSIS \
+  ODE_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // ODEVIEW_COMMON_THREAD_ANNOTATIONS_H_

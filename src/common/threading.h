@@ -1,13 +1,18 @@
 #ifndef ODEVIEW_COMMON_THREADING_H_
 #define ODEVIEW_COMMON_THREADING_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <shared_mutex>
 #include <thread>
+
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
 
 namespace ode {
 
@@ -15,6 +20,184 @@ namespace ode {
 /// order), cached thread-locally. Used by log records and trace events,
 /// where `std::thread::id` is too opaque to read.
 uint32_t CurrentThreadId();
+
+class CondVar;
+
+/// The engine's mutex: a `std::mutex` carrying a static lock rank and
+/// Clang thread-safety annotations. Every acquisition is checked
+/// against the thread's held-lock stack by the `LockRankValidator`
+/// (out-of-order acquisition aborts in debug builds, is counted and
+/// journaled in release builds), and ranks flagged watchdog-visible
+/// claim a `HoldRegistry` slot for the duration of the hold — covering
+/// the blocking wait too, so a thread wedged *acquiring* the lock
+/// surfaces in crash dumps.
+class ODE_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(LockRank rank)
+      : rank_(rank),
+        name_(LockRankName(rank)),
+        watchdog_visible_(IsWatchdogVisible(rank)) {}
+  Mutex(LockRank rank, const char* name)
+      : rank_(rank),
+        name_(name),
+        watchdog_visible_(IsWatchdogVisible(rank)) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ODE_ACQUIRE();
+  bool TryLock() ODE_TRY_ACQUIRE(true);
+  void Unlock() ODE_RELEASE();
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  friend class CondVar;
+  static bool IsWatchdogVisible(LockRank rank) {
+    const LockRankInfo* info = FindLockRankInfo(rank);
+    return info != nullptr && info->watchdog_visible;
+  }
+  /// Condition-variable support: drop/reclaim the validator entry and
+  /// hold slot around a wait (the wait releases the native mutex).
+  void PrepareWait();
+  void FinishWait();
+
+  std::mutex mu_;
+  const LockRank rank_;
+  const char* const name_;
+  const bool watchdog_visible_;
+  /// HoldRegistry slot while locked (-1 = untracked). Written after
+  /// acquisition and read before release, so the mutex itself orders
+  /// access.
+  int hold_slot_ = -1;
+};
+
+/// Reader/writer companion to `Mutex` (wraps `std::shared_mutex`).
+/// Exclusive mode behaves exactly like `Mutex`; shared mode reports to
+/// the validator but never claims watchdog hold slots (shared holds
+/// are many and short).
+class ODE_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  explicit SharedMutex(LockRank rank)
+      : rank_(rank),
+        name_(LockRankName(rank)),
+        watchdog_visible_(IsWatchdogVisible(rank)) {}
+  SharedMutex(LockRank rank, const char* name)
+      : rank_(rank),
+        name_(name),
+        watchdog_visible_(IsWatchdogVisible(rank)) {}
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ODE_ACQUIRE();
+  bool TryLock() ODE_TRY_ACQUIRE(true);
+  void Unlock() ODE_RELEASE();
+
+  void LockShared() ODE_ACQUIRE_SHARED();
+  bool TryLockShared() ODE_TRY_ACQUIRE_SHARED(true);
+  void UnlockShared() ODE_RELEASE_SHARED();
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  static bool IsWatchdogVisible(LockRank rank) {
+    const LockRankInfo* info = FindLockRankInfo(rank);
+    return info != nullptr && info->watchdog_visible;
+  }
+
+  std::shared_mutex mu_;
+  const LockRank rank_;
+  const char* const name_;
+  const bool watchdog_visible_;
+  int hold_slot_ = -1;  ///< see Mutex::hold_slot_
+};
+
+/// RAII exclusive lock on a `Mutex`, relockable for wait loops that
+/// drop the lock mid-scope (the watchdog scanner does this).
+class ODE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ODE_ACQUIRE(mu) : mu_(&mu) {
+    mu_->Lock();
+    owned_ = true;
+  }
+  ~MutexLock() ODE_RELEASE() {
+    if (owned_) mu_->Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Lock() ODE_ACQUIRE() {
+    mu_->Lock();
+    owned_ = true;
+  }
+  void Unlock() ODE_RELEASE() {
+    owned_ = false;
+    mu_->Unlock();
+  }
+
+ private:
+  friend class CondVar;
+  Mutex* mu_;
+  bool owned_ = false;
+};
+
+/// RAII exclusive lock on a `SharedMutex`.
+class ODE_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ODE_ACQUIRE(mu) : mu_(&mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() ODE_RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+/// RAII shared (reader) lock on a `SharedMutex`.
+class ODE_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ODE_ACQUIRE_SHARED(mu)
+      : mu_(&mu) {
+    mu_->LockShared();
+  }
+  ~ReaderMutexLock() ODE_RELEASE() { mu_->UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+/// Condition variable paired with `ode::Mutex`. Waits release the
+/// mutex, so the wrapper returns the mutex's watchdog hold slot and
+/// validator entry for the duration of the block (a thread parked on a
+/// condition is not "holding" anything worth flagging) and reclaims
+/// them before returning.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// `lock` must be held; it is held again on return.
+  void Wait(MutexLock& lock);
+  /// Returns `std::cv_status::timeout` when `timeout` elapsed first.
+  std::cv_status WaitFor(MutexLock& lock, std::chrono::nanoseconds timeout);
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
 
 /// A single worker thread draining a FIFO of closures.
 ///
@@ -45,14 +228,14 @@ class BackgroundWorker {
  private:
   void Loop();
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  ///< wakes the worker
-  std::condition_variable idle_cv_;  ///< wakes Drain()
-  std::deque<std::function<void()>> queue_;
-  std::thread thread_;
-  bool started_ = false;
-  bool stopping_ = false;
-  bool busy_ = false;
+  mutable Mutex mu_{LockRank::kBackgroundWorker};
+  CondVar work_cv_;  ///< wakes the worker
+  CondVar idle_cv_;  ///< wakes Drain()
+  std::deque<std::function<void()>> queue_ ODE_GUARDED_BY(mu_);
+  std::thread thread_ ODE_GUARDED_BY(mu_);
+  bool started_ ODE_GUARDED_BY(mu_) = false;
+  bool stopping_ ODE_GUARDED_BY(mu_) = false;
+  bool busy_ ODE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ode

@@ -5,10 +5,10 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/threading.h"
 
 namespace ode::obs {
@@ -29,23 +29,24 @@ constexpr size_t kMaxOpenSpans = 64;
 /// thread reads — both under `mu`, which the owner almost always takes
 /// uncontended.
 struct ThreadBuffer {
-  std::mutex mu;
-  std::vector<TraceEvent> ring;
-  size_t next = 0;      ///< ring slot for the next event
-  bool wrapped = false; ///< ring holds kRingCapacity events
-  uint64_t dropped = 0;
+  Mutex mu{LockRank::kTraceBuffer};
+  std::vector<TraceEvent> ring ODE_GUARDED_BY(mu);
+  size_t next ODE_GUARDED_BY(mu) = 0;  ///< ring slot for the next event
+  bool wrapped ODE_GUARDED_BY(mu) = false;  ///< holds kRingCapacity events
+  uint64_t dropped ODE_GUARDED_BY(mu) = 0;
   /// Stack of spans whose TraceSpan is still in scope.
-  OpenSpanInfo open[kMaxOpenSpans];
-  size_t open_count = 0;
+  OpenSpanInfo open[kMaxOpenSpans] ODE_GUARDED_BY(mu);
+  size_t open_count ODE_GUARDED_BY(mu) = 0;
   /// Updated every time the owning thread opens or closes a span; the
   /// watchdog's progress signal.
-  uint64_t last_activity_ns = 0;
+  uint64_t last_activity_ns ODE_GUARDED_BY(mu) = 0;
+  /// Immutable after the registration in LocalBuffer().
   uint32_t thread_id = 0;
 };
 
 struct BufferDirectory {
-  std::mutex mu;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  Mutex mu{LockRank::kTraceDirectory};
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers ODE_GUARDED_BY(mu);
 };
 
 BufferDirectory& Directory() {
@@ -61,7 +62,7 @@ ThreadBuffer& LocalBuffer() {
     auto b = std::make_shared<ThreadBuffer>();
     b->thread_id = CurrentThreadId();
     BufferDirectory& directory = Directory();
-    std::lock_guard<std::mutex> lock(directory.mu);
+    MutexLock lock(directory.mu);
     directory.buffers.push_back(b);
     return b;
   }();
@@ -81,7 +82,7 @@ uint64_t NextCausalId() {
 
 std::vector<std::shared_ptr<ThreadBuffer>> AllBuffers() {
   BufferDirectory& directory = Directory();
-  std::lock_guard<std::mutex> lock(directory.mu);
+  MutexLock lock(directory.mu);
   return directory.buffers;
 }
 
@@ -127,7 +128,7 @@ void Tracing::Record(const char* name, uint64_t start_ns,
   event.span_id = span_id;
   event.parent_id = parent_id;
   ThreadBuffer& buffer = LocalBuffer();
-  std::lock_guard<std::mutex> lock(buffer.mu);
+  MutexLock lock(buffer.mu);
   buffer.last_activity_ns = NowNanos();
   if (buffer.ring.size() < kRingCapacity) {
     buffer.ring.push_back(event);
@@ -143,7 +144,7 @@ void Tracing::Record(const char* name, uint64_t start_ns,
 size_t Tracing::CapturedCount() {
   size_t total = 0;
   for (const auto& buffer : AllBuffers()) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    MutexLock lock(buffer->mu);
     total += buffer->ring.size();
   }
   return total;
@@ -152,7 +153,7 @@ size_t Tracing::CapturedCount() {
 uint64_t Tracing::DroppedCount() {
   uint64_t total = 0;
   for (const auto& buffer : AllBuffers()) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    MutexLock lock(buffer->mu);
     total += buffer->dropped;
   }
   return total;
@@ -160,7 +161,7 @@ uint64_t Tracing::DroppedCount() {
 
 void Tracing::Clear() {
   for (const auto& buffer : AllBuffers()) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    MutexLock lock(buffer->mu);
     buffer->ring.clear();
     buffer->next = 0;
     buffer->wrapped = false;
@@ -171,7 +172,7 @@ void Tracing::Clear() {
 std::vector<OpenSpanInfo> Tracing::OpenSpans() {
   std::vector<OpenSpanInfo> out;
   for (const auto& buffer : AllBuffers()) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    MutexLock lock(buffer->mu);
     for (size_t i = 0; i < buffer->open_count; ++i) {
       OpenSpanInfo info = buffer->open[i];
       info.thread_last_activity_ns = buffer->last_activity_ns;
@@ -185,11 +186,11 @@ void Tracing::DumpOpenSpans(int fd) {
   // Async-signal context: no allocation, try-lock only (a buffer whose
   // owner crashed mid-append is skipped rather than deadlocked on).
   BufferDirectory& directory = Directory();
-  if (!directory.mu.try_lock()) return;
+  if (!directory.mu.TryLock()) return;
   char line[256];
   uint64_t now = NowNanos();
   for (const auto& buffer : directory.buffers) {
-    if (!buffer->mu.try_lock()) continue;
+    if (!buffer->mu.TryLock()) continue;
     for (size_t i = 0; i < buffer->open_count; ++i) {
       const OpenSpanInfo& span = buffer->open[i];
       int n = std::snprintf(
@@ -206,15 +207,15 @@ void Tracing::DumpOpenSpans(int fd) {
         (void)ignored;
       }
     }
-    buffer->mu.unlock();
+    buffer->mu.Unlock();
   }
-  directory.mu.unlock();
+  directory.mu.Unlock();
 }
 
 std::vector<TraceEvent> Tracing::SnapshotEvents() {
   std::vector<TraceEvent> out;
   for (const auto& buffer : AllBuffers()) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    MutexLock lock(buffer->mu);
     out.insert(out.end(), buffer->ring.begin(), buffer->ring.end());
   }
   return out;
@@ -225,7 +226,7 @@ std::string Tracing::ExportChromeJson() {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   for (const auto& buffer : AllBuffers()) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    MutexLock lock(buffer->mu);
     for (const TraceEvent& event : buffer->ring) {
       if (!first) os << ",";
       first = false;
@@ -260,7 +261,7 @@ TraceSpan::TraceSpan(const char* name) {
   span_id_ = NextCausalId();
   tls_context = TraceContext{trace_id_, span_id_};
   ThreadBuffer& buffer = LocalBuffer();
-  std::lock_guard<std::mutex> lock(buffer.mu);
+  MutexLock lock(buffer.mu);
   buffer.last_activity_ns = start_ns_;
   if (buffer.open_count < kMaxOpenSpans) {
     OpenSpanInfo& info = buffer.open[buffer.open_count++];
@@ -279,7 +280,7 @@ TraceSpan::~TraceSpan() {
   tls_context = parent_;
   {
     ThreadBuffer& buffer = LocalBuffer();
-    std::lock_guard<std::mutex> lock(buffer.mu);
+    MutexLock lock(buffer.mu);
     // Pop this span if it is on the open stack (spans close LIFO, but
     // the stack is bounded, so deep spans may never have been pushed).
     if (buffer.open_count > 0 &&

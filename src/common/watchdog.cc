@@ -173,29 +173,29 @@ Status Watchdog::Start(WatchdogOptions options) {
 void Watchdog::Stop() {
   if (!running_.load(std::memory_order_relaxed)) return;
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
     stop_requested_.store(true, std::memory_order_relaxed);
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
   running_.store(false, std::memory_order_relaxed);
 }
 
 void Watchdog::Run() {
-  std::unique_lock<std::mutex> lock(wake_mu_);
+  MutexLock lock(wake_mu_);
   while (!stop_requested_.load(std::memory_order_relaxed)) {
-    lock.unlock();
+    lock.Unlock();
     ScanOnce();
     RefreshCrashSnapshot();
-    lock.lock();
-    wake_cv_.wait_for(lock, options_.scan_interval, [this] {
-      return stop_requested_.load(std::memory_order_relaxed);
-    });
+    lock.Lock();
+    // A spurious wakeup just rescans a little early; Stop() notifies
+    // under the lock, so the flag check above cannot miss it.
+    wake_cv_.WaitFor(lock, options_.scan_interval);
   }
 }
 
 void Watchdog::ScanOnce() {
-  std::lock_guard<std::mutex> lock(scan_mu_);
+  MutexLock lock(scan_mu_);
   uint64_t now = Tracing::NowNanos();
   auto span_deadline = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -292,8 +292,8 @@ void Watchdog::InstallCrashHandler() {
 void Watchdog::RefreshCrashSnapshot() {
   // Serialize writers (several watchdog instances can exist in tests);
   // the seqlock below is for the lock-free crash-handler reader.
-  static std::mutex* refresh_mu = new std::mutex();
-  std::lock_guard<std::mutex> refresh_lock(*refresh_mu);
+  static Mutex* refresh_mu = new Mutex(LockRank::kWatchdogRefresh);
+  MutexLock refresh_lock(*refresh_mu);
   std::string text = Registry::Global().RenderText();
   uint32_t version =
       g_snapshot_version.fetch_add(1, std::memory_order_acq_rel);

@@ -3,15 +3,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/threading.h"
 
 namespace ode::obs {
 
@@ -42,11 +42,12 @@ class HoldRegistry {
   static void Dump(int fd);
 };
 
-/// RAII hold tracking:
+/// RAII hold tracking for code that is not behind an `ode::Mutex`
+/// (annotated mutexes whose rank is watchdog-visible claim their hold
+/// slot automatically):
 ///
 ///   {
-///     ScopedHold hold("db.schema_lock");
-///     std::unique_lock lock(schema_mu_);
+///     ScopedHold hold("test.stuck_latch");
 ///     ...
 ///   }
 class ScopedHold {
@@ -127,13 +128,13 @@ class Watchdog {
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
+  Mutex wake_mu_{LockRank::kWatchdogWake};
+  CondVar wake_cv_;
   /// Span ids / hold identities already flagged (each stall reported
   /// exactly once). Only touched by ScanOnce callers.
-  std::mutex scan_mu_;
-  std::unordered_set<uint64_t> flagged_spans_;
-  std::unordered_set<uint64_t> flagged_holds_;
+  Mutex scan_mu_{LockRank::kWatchdogScan};
+  std::unordered_set<uint64_t> flagged_spans_ ODE_GUARDED_BY(scan_mu_);
+  std::unordered_set<uint64_t> flagged_holds_ ODE_GUARDED_BY(scan_mu_);
 };
 
 }  // namespace ode::obs

@@ -30,6 +30,23 @@ size_t ResolveShardCount(size_t capacity, size_t requested) {
   return requested;
 }
 
+/// Latches `frame` in `intent` mode and leaves it held for the
+/// returned PageHandle. Not analyzed: the latch intentionally outlives
+/// this function (ownership transfers to the handle); see
+/// docs/LOCKING.md §escape-hatches. Try-latch first so the uncontended
+/// path (including single-threaded callers holding several handles,
+/// where frame latches are taken in arbitrary order) never registers a
+/// blocking hold-and-wait.
+void LatchFrame(internal::Frame* frame,
+                PageIntent intent) ODE_NO_THREAD_SAFETY_ANALYSIS;
+void LatchFrame(internal::Frame* frame, PageIntent intent) {
+  if (intent == PageIntent::kWrite) {
+    if (!frame->latch.TryLock()) frame->latch.Lock();
+  } else {
+    if (!frame->latch.TryLockShared()) frame->latch.LockShared();
+  }
+}
+
 }  // namespace
 
 PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
@@ -62,11 +79,9 @@ void PageHandle::Release() {
 void BufferPool::ReleaseHandle(internal::Frame* frame, bool dirty,
                                PageIntent intent) {
   if (intent == PageIntent::kWrite) {
-    obs::HoldRegistry::Release(
-        frame->hold_slot.exchange(-1, std::memory_order_relaxed));
-    frame->latch.unlock();
+    frame->latch.Unlock();
   } else {
-    frame->latch.unlock_shared();
+    frame->latch.UnlockShared();
   }
   if (dirty) frame->dirty.store(true, std::memory_order_relaxed);
   // Release ordering publishes the page content and dirty flag to the
@@ -105,7 +120,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id, PageIntent intent) {
   Shard& shard = ShardOf(id);
   internal::Frame* frame = nullptr;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.lookups->Increment();
     auto it = shard.page_to_frame.find(id);
     if (it != shard.page_to_frame.end()) {
@@ -127,22 +142,14 @@ Result<PageHandle> BufferPool::Fetch(PageId id, PageIntent intent) {
     }
   }
   // Latch outside the shard lock: a blocked latch acquisition must not
-  // stall unrelated fetches in this shard (and holding the shard lock
-  // while waiting on a latch could deadlock against a latch holder
-  // fetching another page of the same shard). The pin taken above
-  // keeps the frame from being evicted or repurposed meanwhile.
-  // Try-latch first so the uncontended path (including single-threaded
-  // callers holding several handles, where frame latches are taken in
-  // arbitrary order) never registers a blocking hold-and-wait.
-  if (intent == PageIntent::kWrite) {
-    if (!frame->latch.try_lock()) frame->latch.lock();
-    // Exclusive latch holds are watchdog-visible: a writer wedged on a
-    // page surfaces as a stalled `pool.frame_latch` hold.
-    frame->hold_slot.store(obs::HoldRegistry::Claim("pool.frame_latch"),
-                           std::memory_order_relaxed);
-  } else {
-    if (!frame->latch.try_lock_shared()) frame->latch.lock_shared();
-  }
+  // stall unrelated fetches in this shard, and the documented rank
+  // order (frame latch 60 < shard 70) forbids blocking on a latch
+  // while inside the shard — a latch holder may legally enter another
+  // page's shard. The pin taken above keeps the frame from being
+  // evicted or repurposed meanwhile. Exclusive latch holds are
+  // watchdog-visible via the SharedMutex wrapper: a writer wedged on a
+  // page surfaces as a stalled `pool.frame_latch` hold.
+  LatchFrame(frame, intent);
   return PageHandle(frame, id, &frame->page, intent);
 }
 
@@ -151,7 +158,7 @@ Result<PageHandle> BufferPool::NewPage() {
   Shard& shard = ShardOf(id);
   internal::Frame* frame = nullptr;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     ODE_ASSIGN_OR_RETURN(size_t idx, AcquireFrame(shard));
     frame = &shard.frames[idx];
     frame->page.Zero();
@@ -163,9 +170,7 @@ Result<PageHandle> BufferPool::NewPage() {
     shard.page_to_frame[id] = idx;
     TouchLru(shard, idx);
   }
-  frame->latch.lock();
-  frame->hold_slot.store(obs::HoldRegistry::Claim("pool.frame_latch"),
-                         std::memory_order_relaxed);
+  LatchFrame(frame, PageIntent::kWrite);
   return PageHandle(frame, id, &frame->page, PageIntent::kWrite);
 }
 
@@ -177,7 +182,7 @@ Status BufferPool::FlushAll() {
     // excluded without risking a latch-vs-shard-lock deadlock).
     std::vector<internal::Frame*> to_flush;
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       for (size_t i = 0; i < shard.frame_count; ++i) {
         internal::Frame& frame = shard.frames[i];
         if (frame.in_use && frame.dirty.load(std::memory_order_relaxed)) {
@@ -189,7 +194,7 @@ Status BufferPool::FlushAll() {
     Status failure = Status::OK();
     for (internal::Frame* frame : to_flush) {
       if (failure.ok()) {
-        frame->latch.lock_shared();
+        frame->latch.LockShared();
         if (frame->dirty.load(std::memory_order_acquire)) {
           Status written = pager_->Write(frame->id, frame->page);
           if (written.ok()) {
@@ -199,7 +204,7 @@ Status BufferPool::FlushAll() {
             failure = written;
           }
         }
-        frame->latch.unlock_shared();
+        frame->latch.UnlockShared();
       }
       frame->pin_count.fetch_sub(1, std::memory_order_release);
     }
@@ -234,7 +239,7 @@ void BufferPool::WaitForPrefetches() { prefetcher_.Drain(); }
 
 bool BufferPool::Cached(PageId id) const {
   const Shard& shard = ShardOf(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   return shard.page_to_frame.find(id) != shard.page_to_frame.end();
 }
 

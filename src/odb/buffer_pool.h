@@ -5,11 +5,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <unordered_map>
 
 #include "common/metrics.h"
+#include "common/thread_annotations.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/threading.h"
@@ -40,10 +39,12 @@ struct Frame {
   std::atomic<int> pin_count{0};
   std::atomic<bool> dirty{false};
   bool in_use = false;
-  std::shared_mutex latch;
-  /// Watchdog hold-registry slot while the exclusive latch is held
-  /// (-1 = untracked). Written by the latch holder only.
-  std::atomic<int> hold_slot{-1};
+  /// Rank kPoolFrameLatch (60): below the shard mutex (70) — a latch
+  /// may be held while entering another page's shard on a multi-handle
+  /// path, but never the other way around (Fetch/NewPage release the
+  /// shard lock before latching). Exclusive holds are watchdog-visible
+  /// and lock-rank-tracked by the wrapper itself.
+  SharedMutex latch{LockRank::kPoolFrameLatch};
 };
 
 }  // namespace internal
@@ -127,9 +128,10 @@ class BufferPool {
   ///
   /// A single thread may hold several handles at once, but threads that
   /// do so while other threads contend for the same pages can deadlock
-  /// on frame latches (there is no global latch order). Layers above
-  /// the pool therefore hold at most one handle at a time; multi-handle
-  /// use is reserved for single-threaded callers such as fuzz harnesses.
+  /// on frame latches (frame latches share one rank; there is no order
+  /// *within* it). Layers above the pool therefore hold at most one
+  /// handle at a time; multi-handle use is reserved for single-threaded
+  /// callers such as fuzz harnesses.
   Result<PageHandle> Fetch(PageId id, PageIntent intent = PageIntent::kRead);
 
   /// Allocates a fresh zeroed page, pins it (write intent), and
@@ -167,12 +169,16 @@ class BufferPool {
   /// registry-owned instruments (one instance per shard, so counting
   /// stays contention-free) aggregated under the `pool.*` names.
   struct Shard {
-    mutable std::mutex mu;
+    mutable Mutex mu{LockRank::kPoolShard};
+    /// The frame array itself is immutable after construction; frame
+    /// *assignment* (`id`, `in_use`) changes only under `mu`, while
+    /// page content is covered by each frame's latch.
     std::unique_ptr<internal::Frame[]> frames;
     size_t frame_count = 0;
-    std::unordered_map<PageId, size_t> page_to_frame;
-    std::list<size_t> lru;  // front = most recent
-    std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos;
+    std::unordered_map<PageId, size_t> page_to_frame ODE_GUARDED_BY(mu);
+    std::list<size_t> lru ODE_GUARDED_BY(mu);  // front = most recent
+    std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos
+        ODE_GUARDED_BY(mu);
     std::shared_ptr<obs::Counter> lookups;
     std::shared_ptr<obs::Counter> hits;
     std::shared_ptr<obs::Counter> misses;
@@ -184,15 +190,18 @@ class BufferPool {
   const Shard& ShardOf(PageId id) const { return shards_[id % shard_count_]; }
 
   /// Unlatches and unpins; called by PageHandle without the shard lock.
+  /// Not analyzed: latch ownership lives in the PageHandle (a
+  /// capability transfer across function boundaries Clang's analysis
+  /// cannot model); see docs/LOCKING.md §escape-hatches.
   static void ReleaseHandle(internal::Frame* frame, bool dirty,
-                            PageIntent intent);
+                            PageIntent intent) ODE_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Returns a frame index to (re)use within `shard`, evicting an
   /// unpinned LRU frame if necessary. Fails when every frame is
   /// pinned. Caller holds `shard.mu`.
-  Result<size_t> AcquireFrame(Shard& shard);
+  Result<size_t> AcquireFrame(Shard& shard) ODE_REQUIRES(shard.mu);
   /// Caller holds `shard.mu`.
-  void TouchLru(Shard& shard, size_t frame_index);
+  void TouchLru(Shard& shard, size_t frame_index) ODE_REQUIRES(shard.mu);
 
   Pager* pager_;
   size_t capacity_;

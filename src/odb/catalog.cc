@@ -37,12 +37,12 @@ constexpr size_t kBlobPayloadPerPage = kPageSize - kBlobHeaderSize;
 }  // namespace
 
 PageId FreeList::head() const {
-  std::lock_guard<std::mutex> lock(*mu_);
+  MutexLock lock(*mu_);
   return head_;
 }
 
 Result<PageId> FreeList::Acquire() {
-  std::lock_guard<std::mutex> lock(*mu_);
+  MutexLock lock(*mu_);
   if (head_ == kNoPage) {
     ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->NewPage());
     PageId id = handle.id();
@@ -59,7 +59,7 @@ Result<PageId> FreeList::Acquire() {
 }
 
 Status FreeList::Release(PageId id) {
-  std::lock_guard<std::mutex> lock(*mu_);
+  MutexLock lock(*mu_);
   ODE_ASSIGN_OR_RETURN(PageHandle handle,
                        pool_->Fetch(id, PageIntent::kWrite));
   handle.page()->Zero();
@@ -70,7 +70,7 @@ Status FreeList::Release(PageId id) {
 }
 
 Result<uint32_t> FreeList::Size() const {
-  std::lock_guard<std::mutex> lock(*mu_);
+  MutexLock lock(*mu_);
   uint32_t n = 0;
   PageId current = head_;
   while (current != kNoPage) {
@@ -243,7 +243,7 @@ std::vector<const ClusterInfo*> Catalog::clusters() const {
 }
 
 Result<uint64_t> Catalog::NextLocalId(ClusterId id) {
-  std::lock_guard<std::mutex> lock(*id_mu_);
+  MutexLock lock(*id_mu_);
   auto it = clusters_.find(id);
   if (it == clusters_.end()) {
     return Status::NotFound("cluster " + std::to_string(id));
@@ -252,7 +252,7 @@ Result<uint64_t> Catalog::NextLocalId(ClusterId id) {
 }
 
 Status Catalog::BumpNextLocalId(ClusterId id, uint64_t at_least) {
-  std::lock_guard<std::mutex> lock(*id_mu_);
+  MutexLock lock(*id_mu_);
   auto it = clusters_.find(id);
   if (it == clusters_.end()) {
     return Status::NotFound("cluster " + std::to_string(id));

@@ -4,12 +4,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/threading.h"
 #include "odb/buffer_pool.h"
 #include "odb/oid.h"
 #include "odb/page.h"
@@ -26,7 +27,9 @@ namespace ode::odb {
 class FreeList {
  public:
   FreeList(BufferPool* pool, PageId head)
-      : pool_(pool), head_(head), mu_(std::make_unique<std::mutex>()) {}
+      : pool_(pool),
+        mu_(std::make_unique<Mutex>(LockRank::kFreeList)),
+        head_(head) {}
 
   PageId head() const;
 
@@ -41,10 +44,11 @@ class FreeList {
 
  private:
   BufferPool* pool_;
-  PageId head_;
   /// In a unique_ptr so the list (and the Catalog holding it) stays
-  /// movable.
-  mutable std::unique_ptr<std::mutex> mu_;
+  /// movable. Rank kFreeList (50): held across page fetches, so it
+  /// sits below frame latches and the pool shards in the lock order.
+  mutable std::unique_ptr<Mutex> mu_;
+  PageId head_ ODE_GUARDED_BY(*mu_);
 };
 
 /// Reads/writes a byte blob across a chain of pages from `free_list`.
@@ -111,7 +115,7 @@ class Catalog {
       : pool_(pool),
         db_name_(std::move(db_name)),
         free_list_(std::move(free_list)),
-        id_mu_(std::make_unique<std::mutex>()) {}
+        id_mu_(std::make_unique<Mutex>(LockRank::kCatalogId)) {}
 
   Status WriteSuperblock(PageId catalog_head);
   void EncodeBody(std::string* dst) const;
@@ -124,11 +128,12 @@ class Catalog {
   std::map<ClusterId, ClusterInfo> clusters_;
   ClusterId next_cluster_id_ = 1;
   PageId catalog_head_ = kNoPage;
-  /// Guards the per-cluster next-id watermarks, which concurrent
-  /// sessions bump while creating objects (schema changes themselves
-  /// are serialized by the Database's exclusive lock). unique_ptr
-  /// keeps the Catalog movable.
-  std::unique_ptr<std::mutex> id_mu_;
+  /// Guards the per-cluster next-id watermarks in `clusters_`, which
+  /// concurrent sessions bump while creating objects (all *structural*
+  /// access to `clusters_` — insert, erase, Persist — is serialized by
+  /// the Database's exclusive schema lock instead, so the map itself
+  /// carries no annotation). unique_ptr keeps the Catalog movable.
+  std::unique_ptr<Mutex> id_mu_;
 };
 
 }  // namespace ode::odb

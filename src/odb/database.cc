@@ -1,14 +1,11 @@
 #include "odb/database.h"
 
 #include <algorithm>
-#include <mutex>
-#include <shared_mutex>
 
 #include "common/coding.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/trace.h"
-#include "common/watchdog.h"
 #include "odb/ddl_parser.h"
 #include "odb/typecheck.h"
 #include "odb/value_codec.h"
@@ -146,6 +143,7 @@ Result<std::unique_ptr<Database>> Database::OpenOnDisk(
   db->catalog_.emplace(std::move(catalog));
   // Raise next-id watermarks above anything already stored, so ids are
   // not reused even if the catalog was last persisted before a crash.
+  ReaderMutexLock lock(db->schema_mu_);
   for (const ClusterInfo* info : db->catalog_->clusters()) {
     ODE_ASSIGN_OR_RETURN(HeapFile * heap, db->GetHeap(info->id));
     Result<uint64_t> last = heap->LastId();
@@ -160,8 +158,7 @@ Result<std::unique_ptr<Database>> Database::OpenOnDisk(
 const std::string& Database::name() const { return catalog_->db_name(); }
 
 Status Database::DefineSchema(std::string_view ddl) {
-  obs::ScopedHold schema_hold("db.schema_lock");
-  std::unique_lock lock(schema_mu_);
+  WriterMutexLock lock(schema_mu_);
   BumpMutationEpoch();
   ODE_ASSIGN_OR_RETURN(Schema parsed, ParseSchema(ddl));
   for (const ClassDef& def : parsed.classes()) {
@@ -172,8 +169,7 @@ Status Database::DefineSchema(std::string_view ddl) {
 }
 
 Status Database::AddClass(ClassDef def) {
-  obs::ScopedHold schema_hold("db.schema_lock");
-  std::unique_lock lock(schema_mu_);
+  WriterMutexLock lock(schema_mu_);
   BumpMutationEpoch();
   ODE_RETURN_IF_ERROR(AddClassInternal(std::move(def), /*persist=*/true));
   return Status::OK();
@@ -191,6 +187,7 @@ Status Database::AddClassInternal(ClassDef def, bool persist) {
       (void)catalog_->mutable_schema()->DropClass(class_name);
       return id.status();
     }
+    MutexLock guard(heaps_mu_);
     heaps_.emplace(*id, std::move(heap));
   }
   if (persist) {
@@ -201,8 +198,7 @@ Status Database::AddClassInternal(ClassDef def, bool persist) {
 }
 
 Status Database::AlterClass(ClassDef def) {
-  obs::ScopedHold schema_hold("db.schema_lock");
-  std::unique_lock lock(schema_mu_);
+  WriterMutexLock lock(schema_mu_);
   BumpMutationEpoch();
   ODE_ASSIGN_OR_RETURN(const ClassDef* old_def, schema().GetClass(def.name));
   if (old_def->bases != def.bases) {
@@ -302,8 +298,7 @@ Result<Value> Database::DefaultMemberValue(const MemberDef& member) {
 }
 
 Status Database::DropClass(const std::string& class_name) {
-  obs::ScopedHold schema_hold("db.schema_lock");
-  std::unique_lock lock(schema_mu_);
+  WriterMutexLock lock(schema_mu_);
   BumpMutationEpoch();
   Result<const ClusterInfo*> cluster = catalog_->FindCluster(class_name);
   if (cluster.ok()) {
@@ -316,14 +311,17 @@ Status Database::DropClass(const std::string& class_name) {
   }
   ODE_RETURN_IF_ERROR(catalog_->mutable_schema()->DropClass(class_name));
   if (cluster.ok()) {
-    heaps_.erase((*cluster)->id);
+    {
+      MutexLock guard(heaps_mu_);
+      heaps_.erase((*cluster)->id);
+    }
     ODE_RETURN_IF_ERROR(catalog_->RemoveCluster(class_name));
   }
   return catalog_->Persist();
 }
 
 Result<HeapFile*> Database::GetHeap(ClusterId id) {
-  std::lock_guard guard(heaps_mu_);
+  MutexLock guard(heaps_mu_);
   auto it = heaps_.find(id);
   if (it != heaps_.end()) return &it->second;
   ODE_ASSIGN_OR_RETURN(const ClusterInfo* info, catalog_->FindCluster(id));
@@ -371,7 +369,7 @@ Status Database::CheckConstraints(const std::string& class_name,
     {
       // std::map nodes are stable, so the pointer survives concurrent
       // inserts once the mutex is dropped.
-      std::lock_guard guard(predicate_mu_);
+      MutexLock guard(predicate_mu_);
       auto it = predicate_cache_.find(c->predicate_text);
       if (it == predicate_cache_.end()) {
         ODE_ASSIGN_OR_RETURN(Predicate p, ParsePredicate(c->predicate_text));
@@ -400,7 +398,7 @@ Status Database::FireTriggers(const std::string& class_name, Oid oid,
     if (!t->condition_text.empty()) {
       const Predicate* pred = nullptr;
       {
-        std::lock_guard guard(predicate_mu_);
+        MutexLock guard(predicate_mu_);
         auto it = predicate_cache_.find(t->condition_text);
         if (it == predicate_cache_.end()) {
           ODE_ASSIGN_OR_RETURN(Predicate p,
@@ -412,7 +410,7 @@ Status Database::FireTriggers(const std::string& class_name, Oid oid,
       ODE_ASSIGN_OR_RETURN(fires, pred->Evaluate(value));
     }
     if (fires) {
-      std::lock_guard guard(trigger_mu_);
+      MutexLock guard(trigger_mu_);
       trigger_log_.push_back(
           TriggerFiring{class_name, oid, t->name, t->action, event});
     }
@@ -423,7 +421,7 @@ Status Database::FireTriggers(const std::string& class_name, Oid oid,
 Result<Oid> Database::CreateObject(const std::string& class_name,
                                    Value value) {
   ODE_TRACE_SPAN("db.create_object");
-  std::shared_lock lock(schema_mu_);
+  ReaderMutexLock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(const ClassDef* def, schema().GetClass(class_name));
   if (!def->persistent) {
     return Status::InvalidArgument("class '" + class_name +
@@ -451,7 +449,7 @@ Result<Oid> Database::CreateObject(const std::string& class_name,
 Result<ObjectBuffer> Database::GetObject(Oid oid) {
   ODE_TRACE_SPAN("db.get_object");
   obs::ScopedLatencyTimer timer(&GetObjectLatency());
-  std::shared_lock lock(schema_mu_);
+  ReaderMutexLock lock(schema_mu_);
   return GetObjectUnlocked(oid);
 }
 
@@ -471,7 +469,7 @@ Result<ObjectBuffer> Database::GetObjectUnlocked(Oid oid) {
 }
 
 Result<ObjectBuffer> Database::GetObjectVersion(Oid oid, uint32_t version) {
-  std::shared_lock lock(schema_mu_);
+  ReaderMutexLock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
                        catalog_->FindCluster(oid.cluster));
   ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(oid.cluster));
@@ -498,7 +496,7 @@ Result<ObjectBuffer> Database::GetObjectVersion(Oid oid, uint32_t version) {
 }
 
 Result<std::vector<uint32_t>> Database::ListVersions(Oid oid) {
-  std::shared_lock lock(schema_mu_);
+  ReaderMutexLock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(oid.cluster));
   ODE_ASSIGN_OR_RETURN(std::string bytes, heap->Get(oid.local));
   ODE_ASSIGN_OR_RETURN(ObjectRecord record, DecodeObjectRecord(bytes));
@@ -510,7 +508,7 @@ Result<std::vector<uint32_t>> Database::ListVersions(Oid oid) {
 }
 
 Status Database::UpdateObject(Oid oid, Value value) {
-  std::shared_lock lock(schema_mu_);
+  ReaderMutexLock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
                        catalog_->FindCluster(oid.cluster));
   ODE_ASSIGN_OR_RETURN(const ClassDef* def,
@@ -536,7 +534,7 @@ Status Database::UpdateObject(Oid oid, Value value) {
 }
 
 Status Database::DeleteObject(Oid oid) {
-  std::shared_lock lock(schema_mu_);
+  ReaderMutexLock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
                        catalog_->FindCluster(oid.cluster));
   ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(oid.cluster));
@@ -550,7 +548,7 @@ Status Database::DeleteObject(Oid oid) {
 }
 
 Result<uint64_t> Database::ClusterCount(const std::string& class_name) {
-  std::shared_lock lock(schema_mu_);
+  ReaderMutexLock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
                        catalog_->FindCluster(class_name));
   ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(info->id));
@@ -558,20 +556,20 @@ Result<uint64_t> Database::ClusterCount(const std::string& class_name) {
 }
 
 Result<ClusterId> Database::ClusterOf(const std::string& class_name) const {
-  std::shared_lock lock(schema_mu_);
+  ReaderMutexLock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
                        catalog_->FindCluster(class_name));
   return info->id;
 }
 
 Result<std::string> Database::ClassOfCluster(ClusterId id) const {
-  std::shared_lock lock(schema_mu_);
+  ReaderMutexLock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(const ClusterInfo* info, catalog_->FindCluster(id));
   return info->class_name;
 }
 
 Result<Oid> Database::FirstObject(const std::string& class_name) {
-  std::shared_lock lock(schema_mu_);
+  ReaderMutexLock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
                        catalog_->FindCluster(class_name));
   ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(info->id));
@@ -580,7 +578,7 @@ Result<Oid> Database::FirstObject(const std::string& class_name) {
 }
 
 Result<Oid> Database::LastObject(const std::string& class_name) {
-  std::shared_lock lock(schema_mu_);
+  ReaderMutexLock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
                        catalog_->FindCluster(class_name));
   ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(info->id));
@@ -589,28 +587,28 @@ Result<Oid> Database::LastObject(const std::string& class_name) {
 }
 
 Result<Oid> Database::NextObject(Oid oid) {
-  std::shared_lock lock(schema_mu_);
+  ReaderMutexLock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(oid.cluster));
   ODE_ASSIGN_OR_RETURN(uint64_t id, heap->NextId(oid.local));
   return Oid{oid.cluster, id};
 }
 
 Result<Oid> Database::PrevObject(Oid oid) {
-  std::shared_lock lock(schema_mu_);
+  ReaderMutexLock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(oid.cluster));
   ODE_ASSIGN_OR_RETURN(uint64_t id, heap->PrevId(oid.local));
   return Oid{oid.cluster, id};
 }
 
 Result<ObjectBuffer> Database::NextObjectBuffer(Oid oid) {
-  std::shared_lock lock(schema_mu_);
+  ReaderMutexLock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(std::vector<ObjectBuffer> batch,
                        StepObjectBuffers(oid, /*forward=*/true, 1));
   return std::move(batch.front());
 }
 
 Result<ObjectBuffer> Database::PrevObjectBuffer(Oid oid) {
-  std::shared_lock lock(schema_mu_);
+  ReaderMutexLock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(std::vector<ObjectBuffer> batch,
                        StepObjectBuffers(oid, /*forward=*/false, 1));
   return std::move(batch.front());
@@ -618,13 +616,13 @@ Result<ObjectBuffer> Database::PrevObjectBuffer(Oid oid) {
 
 Result<std::vector<ObjectBuffer>> Database::NextObjectBuffers(Oid oid,
                                                               size_t limit) {
-  std::shared_lock lock(schema_mu_);
+  ReaderMutexLock lock(schema_mu_);
   return StepObjectBuffers(oid, /*forward=*/true, limit);
 }
 
 Result<std::vector<ObjectBuffer>> Database::PrevObjectBuffers(Oid oid,
                                                               size_t limit) {
-  std::shared_lock lock(schema_mu_);
+  ReaderMutexLock lock(schema_mu_);
   return StepObjectBuffers(oid, /*forward=*/false, limit);
 }
 
@@ -653,7 +651,7 @@ Result<std::vector<ObjectBuffer>> Database::StepObjectBuffers(Oid oid,
 
 Result<std::vector<Oid>> Database::ScanCluster(
     const std::string& class_name) {
-  std::shared_lock lock(schema_mu_);
+  ReaderMutexLock lock(schema_mu_);
   return ScanClusterUnlocked(class_name);
 }
 
@@ -669,7 +667,7 @@ Result<std::vector<Oid>> Database::ScanClusterUnlocked(
 
 Result<std::vector<Oid>> Database::ScanClusterDeep(
     const std::string& class_name) {
-  std::shared_lock lock(schema_mu_);
+  ReaderMutexLock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(std::vector<Oid> out, ScanClusterUnlocked(class_name));
   ODE_ASSIGN_OR_RETURN(std::vector<std::string> descendants,
                        schema().Descendants(class_name));
@@ -685,7 +683,7 @@ Result<std::vector<Oid>> Database::Select(const std::string& class_name,
                                           const Predicate& predicate) {
   ODE_TRACE_SPAN("db.select");
   Selects().Increment();
-  std::shared_lock lock(schema_mu_);
+  ReaderMutexLock lock(schema_mu_);
   ODE_ASSIGN_OR_RETURN(std::vector<Oid> all, ScanClusterUnlocked(class_name));
   std::vector<Oid> out;
   for (Oid oid : all) {
@@ -697,8 +695,7 @@ Result<std::vector<Oid>> Database::Select(const std::string& class_name,
 }
 
 Status Database::Sync() {
-  obs::ScopedHold schema_hold("db.schema_lock");
-  std::unique_lock lock(schema_mu_);
+  WriterMutexLock lock(schema_mu_);
   ODE_RETURN_IF_ERROR(catalog_->Persist());
   return pool_->Sync();
 }

@@ -5,15 +5,15 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/journal.h"
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
+#include "common/threading.h"
 #include "common/trace.h"
 #include "common/status.h"
 #include "odb/buffer_pool.h"
@@ -190,10 +190,18 @@ class Database {
   // --- Triggers --------------------------------------------------------
 
   /// Fired triggers since the last `ClearTriggerLog()`.
-  const std::vector<TriggerFiring>& trigger_log() const {
+  /// Lock-free read by design: returns a reference into `trigger_log_`,
+  /// so it cannot hold `trigger_mu_` for the caller. Only stable while
+  /// no concurrent DML runs (see the class comment); tests and the
+  /// single-threaded UI read it between operations.
+  const std::vector<TriggerFiring>& trigger_log() const
+      ODE_NO_THREAD_SAFETY_ANALYSIS {
     return trigger_log_;
   }
-  void ClearTriggerLog() { trigger_log_.clear(); }
+  void ClearTriggerLog() {
+    MutexLock lock(trigger_mu_);
+    trigger_log_.clear();
+  }
 
   // --- Maintenance -----------------------------------------------------
 
@@ -229,13 +237,17 @@ class Database {
         pool_(std::move(pool)),
         options_(options) {}
 
-  /// Loads (and caches) the heap file of a cluster.
-  Result<HeapFile*> GetHeap(ClusterId id);
+  /// Loads (and caches) the heap file of a cluster. The returned
+  /// pointer stays valid only while `schema_mu_` is held (a schema
+  /// change may drop the heap).
+  Result<HeapFile*> GetHeap(ClusterId id) ODE_REQUIRES_SHARED(schema_mu_);
 
   /// Unlocked implementations (callers hold `schema_mu_`).
-  Result<ObjectBuffer> GetObjectUnlocked(Oid oid);
+  Result<ObjectBuffer> GetObjectUnlocked(Oid oid)
+      ODE_REQUIRES_SHARED(schema_mu_);
   Result<std::vector<ObjectBuffer>> StepObjectBuffers(Oid oid, bool forward,
-                                                      size_t limit);
+                                                      size_t limit)
+      ODE_REQUIRES_SHARED(schema_mu_);
   void BumpMutationEpoch() {
     uint64_t epoch =
         mutation_epoch_.fetch_add(1, std::memory_order_release) + 1;
@@ -245,20 +257,24 @@ class Database {
     obs::Journal::Global().Append(obs::JournalEvent::kEpochBump,
                                   static_cast<int64_t>(epoch));
   }
-  Result<std::vector<Oid>> ScanClusterUnlocked(const std::string& class_name);
+  Result<std::vector<Oid>> ScanClusterUnlocked(const std::string& class_name)
+      ODE_REQUIRES_SHARED(schema_mu_);
 
   /// Adds one class + cluster; optionally validates and persists.
-  Status AddClassInternal(ClassDef def, bool persist);
+  Status AddClassInternal(ClassDef def, bool persist)
+      ODE_REQUIRES(schema_mu_);
 
   /// Default value for one member (used by AlterClass migration).
   Result<Value> DefaultMemberValue(const MemberDef& member);
 
   /// Runs constraint checks for the class and its ancestors.
-  Status CheckConstraints(const std::string& class_name, const Value& value);
+  Status CheckConstraints(const std::string& class_name, const Value& value)
+      ODE_REQUIRES_SHARED(schema_mu_);
 
   /// Evaluates and logs triggers for `event`.
   Status FireTriggers(const std::string& class_name, Oid oid,
-                      TriggerEvent event, const Value& value);
+                      TriggerEvent event, const Value& value)
+      ODE_REQUIRES_SHARED(schema_mu_);
 
   /// All constraint/trigger definitions effective for a class
   /// (own + inherited).
@@ -270,20 +286,28 @@ class Database {
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<BufferPool> pool_;
   DatabaseOptions options_;
+  /// Set once at open (before the database is shared) and never
+  /// reseated, so the optional itself is read lock-free; the catalog
+  /// *contents* follow schema_mu_ (exclusive for schema mutation,
+  /// shared for reads) except the per-cluster id watermarks, which the
+  /// catalog guards with its own id mutex.
   std::optional<Catalog> catalog_;
-  std::map<ClusterId, HeapFile> heaps_;
-  std::vector<TriggerFiring> trigger_log_;
-  /// Parsed-predicate cache for constraints/trigger conditions.
-  std::map<std::string, Predicate> predicate_cache_;
 
-  /// Schema operations exclusive, object operations shared. Lock
-  /// order: schema_mu_ -> heaps_mu_ -> heap rwlock -> (catalog id /
-  /// trigger / predicate mutexes) -> pool shard -> frame latch.
-  mutable std::shared_mutex schema_mu_;
+  /// Schema operations exclusive, object operations shared. Lock order
+  /// (see docs/LOCKING.md for the full rank table): schema (10) ->
+  /// heaps map (20) -> heap rwlock (30) -> catalog id (35) / trigger
+  /// (36) / predicate (37) -> free list (50) -> frame latch (60) ->
+  /// pool shard (70) -> pager (80).
+  mutable SharedMutex schema_mu_{LockRank::kDbSchema};
   /// Guards the heaps_ map (per-heap state has its own rwlock).
-  std::mutex heaps_mu_;
-  std::mutex trigger_mu_;
-  std::mutex predicate_mu_;
+  Mutex heaps_mu_{LockRank::kDbHeaps};
+  Mutex trigger_mu_{LockRank::kDbTrigger};
+  Mutex predicate_mu_{LockRank::kDbPredicate};
+  std::map<ClusterId, HeapFile> heaps_ ODE_GUARDED_BY(heaps_mu_);
+  std::vector<TriggerFiring> trigger_log_ ODE_GUARDED_BY(trigger_mu_);
+  /// Parsed-predicate cache for constraints/trigger conditions.
+  std::map<std::string, Predicate> predicate_cache_
+      ODE_GUARDED_BY(predicate_mu_);
   std::atomic<uint64_t> next_session_id_{1};
   /// Bumped by every successful mutation; see mutation_epoch().
   std::atomic<uint64_t> mutation_epoch_{0};

@@ -74,34 +74,45 @@ Result<ParsedRecord> ParseStoredRecord(std::string_view record) {
 }  // namespace
 
 Result<HeapFile> HeapFile::Create(BufferPool* pool, FreeList* free_list) {
-  ODE_ASSIGN_OR_RETURN(PageHandle handle, pool->NewPage());
-  SlottedPage sp(handle.page());
-  sp.Init();
-  handle.MarkDirty();
-  HeapFile heap(pool, free_list, handle.id());
-  heap.last_page_ = handle.id();
+  PageId first = kNoPage;
+  {
+    ODE_ASSIGN_OR_RETURN(PageHandle handle, pool->NewPage());
+    SlottedPage sp(handle.page());
+    sp.Init();
+    handle.MarkDirty();
+    first = handle.id();
+    // The handle (frame latch, rank 60) is released here, before the
+    // heap lock (rank 30) below — heap locks order before latches.
+  }
+  HeapFile heap(pool, free_list, first);
+  {
+    WriterMutexLock lock(*heap.mu_);
+    heap.last_page_ = first;
+  }
   return heap;
 }
 
 Result<HeapFile> HeapFile::Open(BufferPool* pool, FreeList* free_list,
                                 PageId first_page) {
   HeapFile heap(pool, free_list, first_page);
-  ODE_RETURN_IF_ERROR(heap.ScanChain());
+  {
+    WriterMutexLock lock(*heap.mu_);
+    ODE_RETURN_IF_ERROR(heap.ScanChain());
+  }
   return heap;
 }
 
 uint64_t HeapFile::count() const {
-  std::shared_lock<std::shared_mutex> lock(*mu_);
+  ReaderMutexLock lock(*mu_);
   return directory_.size();
 }
 
 bool HeapFile::Contains(uint64_t local_id) const {
-  std::shared_lock<std::shared_mutex> lock(*mu_);
+  ReaderMutexLock lock(*mu_);
   return directory_.find(local_id) != directory_.end();
 }
 
 Status HeapFile::ScanChain() {
-  // Runs at open time, before the heap can be shared; no lock needed.
   directory_.clear();
   PageId current = first_page_;
   while (current != kNoPage) {
@@ -182,7 +193,7 @@ Result<PageId> HeapFile::FindPageWithRoom(size_t needed) {
 }
 
 Status HeapFile::Insert(uint64_t local_id, std::string_view payload) {
-  std::unique_lock<std::shared_mutex> lock(*mu_);
+  WriterMutexLock lock(*mu_);
   if (directory_.find(local_id) != directory_.end()) {
     return Status::AlreadyExists("record id " + std::to_string(local_id));
   }
@@ -200,7 +211,7 @@ Status HeapFile::Insert(uint64_t local_id, std::string_view payload) {
 }
 
 Result<std::string> HeapFile::Get(uint64_t local_id) const {
-  std::shared_lock<std::shared_mutex> lock(*mu_);
+  ReaderMutexLock lock(*mu_);
   return GetLocked(local_id);
 }
 
@@ -246,7 +257,7 @@ Result<std::string> HeapFile::ReadRecordLocked(uint64_t local_id,
 }
 
 Status HeapFile::Update(uint64_t local_id, std::string_view payload) {
-  std::unique_lock<std::shared_mutex> lock(*mu_);
+  WriterMutexLock lock(*mu_);
   return UpdateLocked(local_id, payload);
 }
 
@@ -296,7 +307,7 @@ Status HeapFile::UpdateLocked(uint64_t local_id, std::string_view payload) {
 }
 
 Status HeapFile::Delete(uint64_t local_id) {
-  std::unique_lock<std::shared_mutex> lock(*mu_);
+  WriterMutexLock lock(*mu_);
   return DeleteLocked(local_id);
 }
 
@@ -325,19 +336,19 @@ Status HeapFile::DeleteLocked(uint64_t local_id) {
 }
 
 Result<uint64_t> HeapFile::FirstId() const {
-  std::shared_lock<std::shared_mutex> lock(*mu_);
+  ReaderMutexLock lock(*mu_);
   if (directory_.empty()) return Status::NotFound("cluster is empty");
   return directory_.begin()->first;
 }
 
 Result<uint64_t> HeapFile::LastId() const {
-  std::shared_lock<std::shared_mutex> lock(*mu_);
+  ReaderMutexLock lock(*mu_);
   if (directory_.empty()) return Status::NotFound("cluster is empty");
   return directory_.rbegin()->first;
 }
 
 Result<uint64_t> HeapFile::NextId(uint64_t after) const {
-  std::shared_lock<std::shared_mutex> lock(*mu_);
+  ReaderMutexLock lock(*mu_);
   return NextIdLocked(after);
 }
 
@@ -358,7 +369,7 @@ Result<uint64_t> HeapFile::NextIdLocked(uint64_t after) const {
 }
 
 Result<uint64_t> HeapFile::PrevId(uint64_t before) const {
-  std::shared_lock<std::shared_mutex> lock(*mu_);
+  ReaderMutexLock lock(*mu_);
   return PrevIdLocked(before);
 }
 
@@ -382,7 +393,7 @@ Result<uint64_t> HeapFile::PrevIdLocked(uint64_t before) const {
 Result<std::vector<std::pair<uint64_t, std::string>>> HeapFile::NextRecords(
     uint64_t after, size_t limit) const {
   ODE_TRACE_SPAN("heap.batch_read");
-  std::shared_lock<std::shared_mutex> lock(*mu_);
+  ReaderMutexLock lock(*mu_);
   auto it = directory_.upper_bound(after);
   if (it == directory_.end()) {
     return Status::OutOfRange("no object after id " + std::to_string(after));
@@ -408,7 +419,7 @@ Result<std::vector<std::pair<uint64_t, std::string>>> HeapFile::NextRecords(
 Result<std::vector<std::pair<uint64_t, std::string>>> HeapFile::PrevRecords(
     uint64_t before, size_t limit) const {
   ODE_TRACE_SPAN("heap.batch_read");
-  std::shared_lock<std::shared_mutex> lock(*mu_);
+  ReaderMutexLock lock(*mu_);
   auto it = directory_.lower_bound(before);
   if (it == directory_.begin()) {
     return Status::OutOfRange("no object before id " +
@@ -436,7 +447,7 @@ Result<std::vector<std::pair<uint64_t, std::string>>> HeapFile::PrevRecords(
 std::vector<uint64_t> HeapFile::AllIds() const {
   ODE_TRACE_SPAN("heap.scan");
   HeapScans().Increment();
-  std::shared_lock<std::shared_mutex> lock(*mu_);
+  ReaderMutexLock lock(*mu_);
   std::vector<uint64_t> ids;
   ids.reserve(directory_.size());
   for (const auto& [id, loc] : directory_) ids.push_back(id);
@@ -444,7 +455,7 @@ std::vector<uint64_t> HeapFile::AllIds() const {
 }
 
 Result<uint32_t> HeapFile::PageCount() const {
-  std::shared_lock<std::shared_mutex> lock(*mu_);
+  ReaderMutexLock lock(*mu_);
   uint32_t n = 0;
   PageId current = first_page_;
   while (current != kNoPage) {
@@ -458,7 +469,7 @@ Result<uint32_t> HeapFile::PageCount() const {
 }
 
 Result<uint64_t> HeapFile::OverflowCount() const {
-  std::shared_lock<std::shared_mutex> lock(*mu_);
+  ReaderMutexLock lock(*mu_);
   uint64_t n = 0;
   for (const auto& [id, loc] : directory_) {
     ODE_ASSIGN_OR_RETURN(PageHandle handle,

@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -12,6 +11,8 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/threading.h"
 #include "odb/buffer_pool.h"
 #include "odb/catalog.h"
 #include "odb/page.h"
@@ -110,25 +111,30 @@ class HeapFile {
       : pool_(pool),
         free_list_(free_list),
         first_page_(first_page),
-        mu_(std::make_unique<std::shared_mutex>()) {}
+        mu_(std::make_unique<SharedMutex>(LockRank::kHeapFile)) {}
 
-  Status ScanChain();
+  Status ScanChain() ODE_REQUIRES(*mu_);
   /// Unlocked implementations; callers hold `mu_` as noted.
-  Result<uint64_t> NextIdLocked(uint64_t after) const;
-  Result<uint64_t> PrevIdLocked(uint64_t before) const;
-  Result<std::string> GetLocked(uint64_t local_id) const;
+  Result<uint64_t> NextIdLocked(uint64_t after) const
+      ODE_REQUIRES_SHARED(*mu_);
+  Result<uint64_t> PrevIdLocked(uint64_t before) const
+      ODE_REQUIRES_SHARED(*mu_);
+  Result<std::string> GetLocked(uint64_t local_id) const
+      ODE_REQUIRES_SHARED(*mu_);
   /// Reads one record, reusing `*handle` when the record lives on the
   /// page already held (`*held`); releases the handle before chasing
   /// an overflow chain so at most one page is latched at a time.
   Result<std::string> ReadRecordLocked(uint64_t local_id,
                                        const Location& loc,
                                        PageHandle* handle,
-                                       PageId* held) const;
-  Status UpdateLocked(uint64_t local_id, std::string_view payload);
-  Status DeleteLocked(uint64_t local_id);
+                                       PageId* held) const
+      ODE_REQUIRES_SHARED(*mu_);
+  Status UpdateLocked(uint64_t local_id, std::string_view payload)
+      ODE_REQUIRES(*mu_);
+  Status DeleteLocked(uint64_t local_id) ODE_REQUIRES(*mu_);
   /// Finds a page with room for `needed` bytes, extending the chain if
   /// necessary; returns the page id.
-  Result<PageId> FindPageWithRoom(size_t needed);
+  Result<PageId> FindPageWithRoom(size_t needed) ODE_REQUIRES(*mu_);
   /// Builds the stored record for `payload` (inline or spilled).
   Result<std::string> MakeStoredRecord(uint64_t local_id,
                                        std::string_view payload);
@@ -138,11 +144,13 @@ class HeapFile {
   BufferPool* pool_;
   FreeList* free_list_;
   PageId first_page_;
-  PageId last_page_ = kNoPage;
-  std::map<uint64_t, Location> directory_;
   /// Readers share, writers exclude. Held in a unique_ptr so the heap
   /// stays movable (it lives by value in Database's cluster map).
-  mutable std::unique_ptr<std::shared_mutex> mu_;
+  /// Rank kHeapFile (30): held across free-list calls (50) and page
+  /// fetches (60/70), so it sits near the bottom of the lock order.
+  mutable std::unique_ptr<SharedMutex> mu_;
+  PageId last_page_ ODE_GUARDED_BY(*mu_) = kNoPage;
+  std::map<uint64_t, Location> directory_ ODE_GUARDED_BY(*mu_);
 };
 
 }  // namespace ode::odb

@@ -42,7 +42,7 @@ obs::Counter& FileSyncs() {
 }  // namespace
 
 Result<PageId> MemPager::Allocate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto page = std::make_unique<Page>();
   page->Zero();
   pages_.push_back(std::move(page));
@@ -50,7 +50,7 @@ Result<PageId> MemPager::Allocate() {
 }
 
 Status MemPager::Read(PageId id, Page* page) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (id >= pages_.size()) {
     return Status::IOError("read of unallocated page " + std::to_string(id));
   }
@@ -60,7 +60,7 @@ Status MemPager::Read(PageId id, Page* page) {
 }
 
 Status MemPager::Write(PageId id, const Page& page) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Like FilePager, a write exactly at page_count extends by one page;
   // anything past that is an error.
   if (id > pages_.size()) {
@@ -76,7 +76,7 @@ Status MemPager::Write(PageId id, const Page& page) {
 }
 
 uint32_t MemPager::page_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<uint32_t>(pages_.size());
 }
 
@@ -129,7 +129,7 @@ Status FilePager::WriteAt(PageId id, const Page& page) {
 Result<PageId> FilePager::Allocate() {
   Page zero;
   zero.Zero();
-  std::lock_guard<std::mutex> lock(extend_mu_);
+  MutexLock lock(extend_mu_);
   PageId id = page_count_.load(std::memory_order_relaxed);
   ODE_RETURN_IF_ERROR(WriteAt(id, zero));
   page_count_.store(id + 1, std::memory_order_release);
@@ -166,7 +166,7 @@ Status FilePager::Write(PageId id, const Page& page) {
   if (id < page_count_.load(std::memory_order_acquire)) {
     return WriteAt(id, page);
   }
-  std::lock_guard<std::mutex> lock(extend_mu_);
+  MutexLock lock(extend_mu_);
   uint32_t count = page_count_.load(std::memory_order_relaxed);
   if (id > count) {
     return Status::IOError("write of unallocated page " +

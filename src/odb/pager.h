@@ -3,11 +3,12 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
+#include "common/threading.h"
 #include "common/status.h"
 #include "odb/page.h"
 
@@ -57,8 +58,10 @@ class MemPager final : public Pager {
   Status Sync() override { return Status::OK(); }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Page>> pages_;
+  /// MemPager and FilePager's extend lock share LockRank::kPager: one
+  /// pager backs one pool, so the two are never nested.
+  mutable Mutex mu_{LockRank::kPager, "pager.mem_lock"};
+  std::vector<std::unique_ptr<Page>> pages_ ODE_GUARDED_BY(mu_);
 };
 
 /// File-backed pager over a single database file. Reads and writes use
@@ -89,7 +92,7 @@ class FilePager final : public Pager {
   std::atomic<uint32_t> page_count_;
   std::string path_;
   /// Serializes file growth (Allocate / first write of a fresh page).
-  std::mutex extend_mu_;
+  Mutex extend_mu_{LockRank::kPager, "pager.extend_lock"};
 };
 
 }  // namespace ode::odb

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "common/journal.h"
+#include "common/lock_rank.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "common/watchdog.h"
@@ -575,6 +576,66 @@ TEST(ObsStressTest, JournalConcurrentWritersAndWrap) {
     EXPECT_LE(tail.back().seq, journal.appended());
     EXPECT_GE(tail.back().seq + journal.capacity(), journal.appended());
   }
+}
+
+// --- Lock-rank validator under the full engine ------------------------
+
+// The whole battery above exercises every lock in the engine; this case
+// drives a representative multi-session DDL+DML mix and asserts that the
+// rank validator saw *zero* violations — i.e. the engine's real
+// acquisition orders all fit the documented partial order. Runs in
+// kCount mode so an ordering bug fails the assertion (with the journal
+// carrying the record) instead of aborting the battery.
+TEST(LockRankBatteryTest, EngineWorkloadProducesNoRankViolations) {
+  LockRankValidator::SetMode(LockRankValidator::Mode::kCount);
+  const uint64_t before = LockRankValidator::violations();
+
+  auto db_or = Database::CreateInMemory("rankdb");
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  Database* db = db_or->get();
+  ASSERT_TRUE(db->DefineSchema("persistent class Item { int n; };").ok());
+
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([db, t] {
+      Session session = db->OpenSession();
+      Rng rng(static_cast<uint64_t>(t) + 99);
+      std::vector<Oid> mine;
+      for (int i = 0; i < kPerThread; ++i) {
+        switch (rng.Below(4)) {
+          case 0: {
+            auto oid = session.CreateObject(
+                "Item", Value::Struct({{"n", Value::Int(i)}}));
+            if (oid.ok()) mine.push_back(*oid);
+            break;
+          }
+          case 1:
+            if (!mine.empty()) {
+              (void)session.GetObject(mine[rng.Below(mine.size())]);
+            }
+            break;
+          case 2:
+            if (!mine.empty()) {
+              (void)session.UpdateObject(
+                  mine[rng.Below(mine.size())],
+                  Value::Struct({{"n", Value::Int(-i)}}));
+            }
+            break;
+          default:
+            (void)session.ScanCluster("Item");
+            break;
+        }
+      }
+      EXPECT_EQ(LockRankValidator::HeldCount(), 0u);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_TRUE(db->Sync().ok());
+
+  EXPECT_EQ(LockRankValidator::violations(), before)
+      << "engine workload broke the documented lock order; check the "
+         "lockrank_violation records in the journal";
 }
 
 }  // namespace

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Compare a Google Benchmark JSON run against BENCH_BASELINE.json.
+
+Usage:
+  compare_bench.py --baseline BENCH_BASELINE.json --run out.json \
+      [--binary bench_ext_selection] [--filter REGEX] [--tolerance 0.20]
+
+Fails (exit 1) when any benchmark matched by --filter is slower than
+baseline * (1 + tolerance). Benchmarks missing from the baseline are
+skipped with a note, so adding a new benchmark never breaks the gate.
+
+Caveat: the committed baseline was captured on one specific machine
+and build type. Cross-machine absolute comparisons are meaningless —
+CI re-captures or uses a generous tolerance on stable runners; local
+use is for spotting order-of-magnitude regressions, not ±5% drift.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load_run(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        out[bench["name"]] = bench
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--run", required=True,
+                        help="benchmark JSON produced with --benchmark_out")
+    parser.add_argument("--binary", default=None,
+                        help="baseline 'benches' key; inferred from the "
+                             "run's executable name when omitted")
+    parser.add_argument("--filter", default=".*",
+                        help="regex over benchmark names to compare")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed slowdown fraction (0.20 = +20%%)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    binary = args.binary
+    if binary is None:
+        with open(args.run) as f:
+            executable = json.load(f)["context"]["executable"]
+        binary = executable.rsplit("/", 1)[-1]
+    base_benches = baseline["benches"].get(binary)
+    if base_benches is None:
+        print(f"compare_bench: no baseline for binary '{binary}'; known: "
+              f"{sorted(baseline['benches'])}", file=sys.stderr)
+        return 1
+
+    run_benches = load_run(args.run)
+    pattern = re.compile(args.filter)
+    failures = []
+    compared = 0
+    for name, bench in sorted(run_benches.items()):
+        if not pattern.search(name):
+            continue
+        base = base_benches.get(name)
+        if base is None:
+            print(f"  skip {name}: not in baseline")
+            continue
+        if base["time_unit"] != bench["time_unit"]:
+            print(f"  skip {name}: unit mismatch "
+                  f"({base['time_unit']} vs {bench['time_unit']})")
+            continue
+        compared += 1
+        ratio = bench["real_time"] / base["real_time"]
+        verdict = "OK"
+        if ratio > 1.0 + args.tolerance:
+            verdict = "REGRESSION"
+            failures.append(name)
+        print(f"  {verdict:10s} {name}: {base['real_time']:.0f} -> "
+              f"{bench['real_time']:.0f} {bench['time_unit']} "
+              f"({ratio:.2f}x)")
+    if compared == 0:
+        print(f"compare_bench: filter '{args.filter}' matched nothing "
+              f"in {args.run}", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"compare_bench: {len(failures)} regression(s) beyond "
+              f"+{args.tolerance:.0%}: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print(f"compare_bench: {compared} benchmark(s) within +"
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

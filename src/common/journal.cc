@@ -67,6 +67,10 @@ const char* JournalEventName(JournalEvent type) {
       return "mark";
     case JournalEvent::kLockRankViolation:
       return "lockrank_violation";
+    case JournalEvent::kExecScan:
+      return "exec_scan";
+    case JournalEvent::kExecJoin:
+      return "exec_join";
   }
   return "unknown";
 }

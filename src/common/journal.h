@@ -24,6 +24,8 @@ enum class JournalEvent : uint32_t {
   kMark = 8,             ///< free-form annotation (detail = label)
   kLockRankViolation = 9,  ///< arg0 = acquired rank, arg1 = held rank,
                            ///< detail = acquired lock name
+  kExecScan = 10,          ///< arg0 = rows scanned, arg1 = rows matched
+  kExecJoin = 11,          ///< arg0 = build rows, arg1 = result pairs
 };
 
 /// Wire name of a journal event type ("session_open", ...).

@@ -7,6 +7,8 @@
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "odb/ddl_parser.h"
+#include "odb/exec/executor.h"
+#include "odb/object_record.h"
 #include "odb/typecheck.h"
 #include "odb/value_codec.h"
 
@@ -55,50 +57,6 @@ obs::Histogram& GetObjectLatency() {
   static obs::Histogram* h =
       obs::Registry::Global().histogram("db.get_object.latency_ns");
   return *h;
-}
-
-/// Stored object record:
-///   varint current_version
-///   varint history_count
-///   repeat: varint version || length-prefixed value bytes
-///   current value bytes (to end of record)
-struct ObjectRecord {
-  uint32_t version = 1;
-  std::vector<std::pair<uint32_t, Value>> history;  // oldest first
-  Value value;
-};
-
-std::string EncodeObjectRecord(const ObjectRecord& record) {
-  std::string out;
-  PutVarint32(&out, record.version);
-  PutVarint64(&out, record.history.size());
-  for (const auto& [ver, val] : record.history) {
-    PutVarint32(&out, ver);
-    PutLengthPrefixed(&out, EncodeValueToString(val));
-  }
-  EncodeValue(record.value, &out);
-  return out;
-}
-
-Result<ObjectRecord> DecodeObjectRecord(std::string_view bytes) {
-  Decoder decoder(bytes);
-  ObjectRecord record;
-  ODE_RETURN_IF_ERROR(decoder.GetVarint32(&record.version));
-  uint64_t n = 0;
-  ODE_RETURN_IF_ERROR(decoder.GetVarint64(&n));
-  for (uint64_t i = 0; i < n; ++i) {
-    uint32_t ver = 0;
-    std::string_view val_bytes;
-    ODE_RETURN_IF_ERROR(decoder.GetVarint32(&ver));
-    ODE_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&val_bytes));
-    ODE_ASSIGN_OR_RETURN(Value val, DecodeValue(val_bytes));
-    record.history.emplace_back(ver, std::move(val));
-  }
-  ODE_ASSIGN_OR_RETURN(record.value, DecodeValue(&decoder));
-  if (!decoder.empty()) {
-    return Status::Corruption("trailing bytes after object record");
-  }
-  return record;
 }
 
 }  // namespace
@@ -683,15 +641,31 @@ Result<std::vector<Oid>> Database::Select(const std::string& class_name,
                                           const Predicate& predicate) {
   ODE_TRACE_SPAN("db.select");
   Selects().Increment();
-  ReaderMutexLock lock(schema_mu_);
-  ODE_ASSIGN_OR_RETURN(std::vector<Oid> all, ScanClusterUnlocked(class_name));
+  // Batched path: projection pushed to the record decode (only the
+  // predicate's attributes are materialized), predicate compiled to a
+  // slot program, evaluation column-at-a-time per batch.
+  exec::ScanSpec spec;
+  spec.class_name = class_name;
+  spec.predicate = &predicate;
+  spec.emit_values = false;  // only the ids leave this function
+  ODE_ASSIGN_OR_RETURN(exec::ScanResult result, exec::ExecuteScan(this, spec));
   std::vector<Oid> out;
-  for (Oid oid : all) {
-    ODE_ASSIGN_OR_RETURN(ObjectBuffer buffer, GetObjectUnlocked(oid));
-    ODE_ASSIGN_OR_RETURN(bool match, predicate.Evaluate(buffer.value));
-    if (match) out.push_back(oid);
-  }
+  out.reserve(result.rows.size());
+  for (const exec::ScanRow& row : result.rows) out.push_back(row.oid);
   return out;
+}
+
+Status Database::ScanRawRecords(const std::string& class_name, uint64_t after,
+                                size_t limit, RawRecordBatch* out) {
+  ReaderMutexLock lock(schema_mu_);
+  ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
+                       catalog_->FindCluster(class_name));
+  ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(info->id));
+  out->cluster = info->id;
+  Status status =
+      heap->NextRecordsInto(after, limit, &out->arena, &out->records);
+  if (status.IsOutOfRange()) return Status::OK();  // exhausted: empty batch
+  return status;
 }
 
 Status Database::Sync() {
@@ -829,7 +803,7 @@ Result<Oid> ObjectCursor::Current() const {
 
 Result<bool> ObjectCursor::Matches(const ObjectBuffer& buffer) const {
   if (!filtered_) return true;
-  return predicate_.Evaluate(buffer.value);
+  return compiled_.EvaluateOne(buffer.value, &scratch_);
 }
 
 namespace {

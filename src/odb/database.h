@@ -18,6 +18,7 @@
 #include "common/status.h"
 #include "odb/buffer_pool.h"
 #include "odb/catalog.h"
+#include "odb/exec/compiled_predicate.h"
 #include "odb/heap_file.h"
 #include "odb/oid.h"
 #include "odb/pager.h"
@@ -34,6 +35,26 @@ struct ObjectBuffer {
   std::string class_name;
   uint32_t version = 1;
   Value value;
+};
+
+/// One batch from the raw scan primitive: consecutive records of a
+/// cluster, their stored `ObjectRecord` bytes packed back to back in
+/// one arena. The batched executor decodes the spans under a
+/// projection mask instead of materializing full buffers; reusing the
+/// batch across calls makes the raw read allocation-free once warm.
+struct RawRecordBatch {
+  ClusterId cluster = 0;
+  std::string arena;
+  std::vector<HeapFile::RecordSpan> records;
+
+  std::string_view bytes(const HeapFile::RecordSpan& span) const {
+    return std::string_view(arena).substr(span.offset, span.length);
+  }
+  void clear() {
+    cluster = 0;
+    arena.clear();
+    records.clear();
+  }
 };
 
 /// A record of one trigger firing (the simulated trigger action queue).
@@ -184,8 +205,21 @@ class Database {
 
   /// OIDs of objects satisfying `predicate`, creation order (§5.2:
   /// the object manager filters objects retrieved from the database).
+  /// Runs on the batched executor: projection is pushed into the
+  /// record decode and the predicate is evaluated in compiled form.
   Result<std::vector<Oid>> Select(const std::string& class_name,
                                   const Predicate& predicate);
+
+  /// Raw batched scan primitive for the executor: up to `limit`
+  /// (local id, record bytes) pairs with id greater than `after`, in
+  /// one lock round-trip. An exhausted scan returns an empty batch
+  /// (never OutOfRange). The schema lock is held per call, not across
+  /// the whole scan, so partitions interleave with mutations; callers
+  /// needing a stable snapshot bound the scan by `mutation_epoch()`.
+  /// `*out` is cleared (capacity retained) then refilled, so a looping
+  /// caller reuses the arena instead of reallocating per batch.
+  Status ScanRawRecords(const std::string& class_name, uint64_t after,
+                        size_t limit, RawRecordBatch* out);
 
   // --- Triggers --------------------------------------------------------
 
@@ -389,6 +423,9 @@ class ObjectCursor {
       : db_(db),
         class_name_(std::move(class_name)),
         predicate_(std::move(predicate)),
+        // Compiled once here; stepping then evaluates the slot
+        // program instead of re-walking the tree per object.
+        compiled_(exec::CompiledPredicate::Compile(predicate_)),
         filtered_(true) {}
 
   const std::string& class_name() const { return class_name_; }
@@ -417,6 +454,10 @@ class ObjectCursor {
   Database* db_;
   std::string class_name_;
   Predicate predicate_ = Predicate::True();
+  exec::CompiledPredicate compiled_;
+  /// Per-cursor evaluation state (field-index hints); cursors are
+  /// single-threaded, mutable so `Matches` stays const.
+  mutable exec::CompiledPredicate::Scratch scratch_;
   bool filtered_ = false;
   std::optional<Oid> current_;
 

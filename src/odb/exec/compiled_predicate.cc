@@ -1,0 +1,236 @@
+#include "odb/exec/compiled_predicate.h"
+
+#include <numeric>
+
+namespace ode::odb::exec {
+
+namespace {
+constexpr uint32_t kNoHint = ~uint32_t{0};
+}  // namespace
+
+CompiledPredicate CompiledPredicate::Compile(const Predicate& predicate) {
+  CompiledPredicate compiled;
+  if (predicate.kind() == Predicate::Kind::kTrue) return compiled;
+  Status error = Status::OK();
+  compiled.root_ = compiled.CompileNode(predicate, /*join=*/false, &error);
+  // Single-object compilation cannot fail: every path is kSelf.
+  return compiled;
+}
+
+Result<CompiledPredicate> CompiledPredicate::CompileJoin(
+    const Predicate& predicate) {
+  CompiledPredicate compiled;
+  if (predicate.kind() == Predicate::Kind::kTrue) return compiled;
+  Status error = Status::OK();
+  compiled.root_ = compiled.CompileNode(predicate, /*join=*/true, &error);
+  ODE_RETURN_IF_ERROR(error);
+  return compiled;
+}
+
+int32_t CompiledPredicate::CompileNode(const Predicate& predicate, bool join,
+                                       Status* error) {
+  Node node;
+  node.kind = predicate.kind();
+  switch (predicate.kind()) {
+    case Predicate::Kind::kTrue:
+      break;
+    case Predicate::Kind::kCompare: {
+      const Operand& lhs = predicate.compare_lhs();
+      const Operand& rhs = predicate.compare_rhs();
+      node.op = predicate.compare_op();
+      auto intern = [&](const Operand& operand, int32_t* slot,
+                        Value* literal) {
+        if (operand.kind == Operand::Kind::kLiteral) {
+          *literal = operand.literal;
+          return;
+        }
+        if (!join) {
+          *slot = InternSlot(Side::kSelf, operand.path);
+          return;
+        }
+        std::string_view path = operand.path;
+        size_t dot = path.find('.');
+        std::string_view head = path.substr(0, dot);
+        std::string_view rest =
+            dot == std::string_view::npos ? std::string_view{}
+                                          : path.substr(dot + 1);
+        if (head == "left") {
+          *slot = InternSlot(Side::kLeft, rest);
+        } else if (head == "right") {
+          *slot = InternSlot(Side::kRight, rest);
+        } else if (error->ok()) {
+          *error = Status::InvalidArgument(
+              "join predicates reference attributes as left.<attr> / "
+              "right.<attr>; got '" +
+              operand.path + "'");
+        }
+      };
+      intern(lhs, &node.lhs_slot, &node.lhs_literal);
+      intern(rhs, &node.rhs_slot, &node.rhs_literal);
+      break;
+    }
+    case Predicate::Kind::kNot:
+      node.child0 =
+          CompileNode(predicate.children()[0], join, error);
+      break;
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr:
+      node.child0 = CompileNode(predicate.children()[0], join, error);
+      node.child1 = CompileNode(predicate.children()[1], join, error);
+      break;
+  }
+  nodes_.push_back(std::move(node));
+  return static_cast<int32_t>(nodes_.size()) - 1;
+}
+
+int32_t CompiledPredicate::InternSlot(Side side, std::string_view dotted) {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].side == side && slots_[i].dotted == dotted) {
+      return static_cast<int32_t>(i);
+    }
+  }
+  Slot slot;
+  slot.side = side;
+  slot.dotted = std::string(dotted);
+  size_t start = 0;
+  while (start <= dotted.size() && !dotted.empty()) {
+    size_t dot = dotted.find('.', start);
+    if (dot == std::string_view::npos) {
+      slot.parts.emplace_back(dotted.substr(start));
+      break;
+    }
+    slot.parts.emplace_back(dotted.substr(start, dot - start));
+    start = dot + 1;
+  }
+  slots_.push_back(std::move(slot));
+  return static_cast<int32_t>(slots_.size()) - 1;
+}
+
+void CompiledPredicate::BindColumns(const Value* rows, const Value* left,
+                                    const Value* right, size_t n,
+                                    Scratch* scratch) const {
+  if (scratch->hints.size() != slots_.size()) {
+    scratch->hints.assign(slots_.size(), {});
+    for (size_t s = 0; s < slots_.size(); ++s) {
+      scratch->hints[s].assign(slots_[s].parts.size(), kNoHint);
+    }
+  }
+  scratch->columns.resize(slots_.size());
+  for (size_t s = 0; s < slots_.size(); ++s) {
+    const Slot& slot = slots_[s];
+    std::vector<uint32_t>& hints = scratch->hints[s];
+    if (hints.size() != slot.parts.size()) {
+      hints.assign(slot.parts.size(), kNoHint);
+    }
+    std::vector<const Value*>& column = scratch->columns[s];
+    column.assign(n, nullptr);
+    for (size_t i = 0; i < n; ++i) {
+      const Value* cur = slot.side == Side::kSelf
+                             ? &rows[i]
+                             : (slot.side == Side::kLeft ? left : right);
+      for (size_t d = 0; d < slot.parts.size() && cur != nullptr; ++d) {
+        if (cur->kind() != ValueKind::kStruct) {
+          cur = nullptr;
+          break;
+        }
+        const std::vector<Value::Field>& fields = cur->fields();
+        uint32_t hint = hints[d];
+        if (hint < fields.size() && fields[hint].name == slot.parts[d]) {
+          cur = &fields[hint].value;
+          continue;
+        }
+        // Hint miss (first row, or a heterogeneous batch): linear
+        // probe once, then remember the index — objects of one class
+        // share their field order.
+        cur = nullptr;
+        for (size_t f = 0; f < fields.size(); ++f) {
+          if (fields[f].name == slot.parts[d]) {
+            hints[d] = static_cast<uint32_t>(f);
+            cur = &fields[f].value;
+            break;
+          }
+        }
+      }
+      column[i] = cur;
+    }
+  }
+}
+
+Status CompiledPredicate::EvalNode(int32_t index,
+                                   const std::vector<uint32_t>& sel,
+                                   Scratch* scratch) const {
+  const Node& node = nodes_[static_cast<size_t>(index)];
+  switch (node.kind) {
+    case Predicate::Kind::kTrue:
+      for (uint32_t r : sel) scratch->truth[r] = 1;
+      return Status::OK();
+    case Predicate::Kind::kCompare: {
+      const std::vector<const Value*>* lhs_col =
+          node.lhs_slot >= 0
+              ? &scratch->columns[static_cast<size_t>(node.lhs_slot)]
+              : nullptr;
+      const std::vector<const Value*>* rhs_col =
+          node.rhs_slot >= 0
+              ? &scratch->columns[static_cast<size_t>(node.rhs_slot)]
+              : nullptr;
+      for (uint32_t r : sel) {
+        const Value* lhs = lhs_col ? (*lhs_col)[r] : &node.lhs_literal;
+        const Value* rhs = rhs_col ? (*rhs_col)[r] : &node.rhs_literal;
+        ODE_ASSIGN_OR_RETURN(bool match,
+                             EvaluateCompareOp(lhs, node.op, rhs));
+        scratch->truth[r] = match ? 1 : 0;
+      }
+      return Status::OK();
+    }
+    case Predicate::Kind::kNot: {
+      ODE_RETURN_IF_ERROR(EvalNode(node.child0, sel, scratch));
+      for (uint32_t r : sel) scratch->truth[r] ^= 1;
+      return Status::OK();
+    }
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr: {
+      ODE_RETURN_IF_ERROR(EvalNode(node.child0, sel, scratch));
+      // Per-row short-circuit: the right operand only runs over rows
+      // the left did not decide, so type errors surface for exactly
+      // the rows the tree-walking evaluator would evaluate.
+      const uint8_t undecided = node.kind == Predicate::Kind::kAnd ? 1 : 0;
+      std::vector<uint32_t> narrowed;
+      narrowed.reserve(sel.size());
+      for (uint32_t r : sel) {
+        if (scratch->truth[r] == undecided) narrowed.push_back(r);
+      }
+      if (narrowed.empty()) return Status::OK();
+      return EvalNode(node.child1, narrowed, scratch);
+    }
+  }
+  return Status::Internal("unhandled compiled predicate node");
+}
+
+Status CompiledPredicate::EvaluateBatch(const Value* rows, size_t n,
+                                        Scratch* scratch) const {
+  scratch->truth.assign(n, 1);
+  if (always_true() || n == 0) return Status::OK();
+  BindColumns(rows, nullptr, nullptr, n, scratch);
+  std::vector<uint32_t> sel(n);
+  std::iota(sel.begin(), sel.end(), 0);
+  return EvalNode(root_, sel, scratch);
+}
+
+Result<bool> CompiledPredicate::EvaluateOne(const Value& object,
+                                            Scratch* scratch) const {
+  ODE_RETURN_IF_ERROR(EvaluateBatch(&object, 1, scratch));
+  return scratch->truth[0] != 0;
+}
+
+Result<bool> CompiledPredicate::EvaluatePair(const Value& left,
+                                             const Value& right,
+                                             Scratch* scratch) const {
+  scratch->truth.assign(1, 1);
+  if (always_true()) return true;
+  BindColumns(nullptr, &left, &right, 1, scratch);
+  std::vector<uint32_t> sel{0};
+  ODE_RETURN_IF_ERROR(EvalNode(root_, sel, scratch));
+  return scratch->truth[0] != 0;
+}
+
+}  // namespace ode::odb::exec

@@ -1,0 +1,113 @@
+#ifndef ODEVIEW_ODB_EXEC_COMPILED_PREDICATE_H_
+#define ODEVIEW_ODB_EXEC_COMPILED_PREDICATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "odb/predicate.h"
+#include "odb/value.h"
+
+namespace ode::odb::exec {
+
+/// A `Predicate` flattened into a slot-indexed program for batched
+/// evaluation.
+///
+/// Compilation resolves every distinct attribute path to a *slot*
+/// once; at scan time a batch first materializes one column of
+/// resolved `Value*` per slot (nullptr = attribute absent, preserving
+/// QBE semantics), then the node program runs column-at-a-time over
+/// selection vectors. `&&` / `||` short-circuit per row exactly like
+/// the tree-walking `Predicate::Evaluate`: the right operand is only
+/// evaluated for rows the left operand did not decide, so type errors
+/// surface for the same rows on both paths.
+///
+/// The compiled form is immutable and shareable across threads; all
+/// mutable evaluation state (field-index hints, column buffers,
+/// selection vectors) lives in a per-worker `Scratch`.
+class CompiledPredicate {
+ public:
+  /// Which object a slot's path resolves against. Scans use kSelf
+  /// only; join compilation strips the `left.` / `right.` qualifier
+  /// into the side tag so pairs are evaluated without building the
+  /// combined {left:…, right:…} struct the legacy path allocates per
+  /// probe.
+  enum class Side : uint8_t { kSelf, kLeft, kRight };
+
+  struct Slot {
+    Side side = Side::kSelf;
+    std::vector<std::string> parts;  ///< dotted path, split
+    std::string dotted;              ///< original (side-stripped) path
+  };
+
+  struct Node {
+    Predicate::Kind kind = Predicate::Kind::kTrue;
+    CompareOp op = CompareOp::kEq;
+    int32_t lhs_slot = -1;  ///< -1: use lhs_literal
+    int32_t rhs_slot = -1;  ///< -1: use rhs_literal
+    Value lhs_literal;
+    Value rhs_literal;
+    int32_t child0 = -1;
+    int32_t child1 = -1;
+  };
+
+  /// Per-worker mutable evaluation state. Default-constructible and
+  /// reusable across batches; never shared between threads.
+  struct Scratch {
+    /// Cached field index per (slot, path depth). Objects of one
+    /// class share their field order, so after the first row each
+    /// lookup is a single index + name check.
+    std::vector<std::vector<uint32_t>> hints;
+    /// Resolved column per slot, row-major within the batch.
+    std::vector<std::vector<const Value*>> columns;
+    std::vector<uint8_t> truth;  ///< per-row result bits
+  };
+
+  CompiledPredicate() = default;  ///< compiled `true`
+
+  /// Compiles a single-object predicate (every path side kSelf).
+  static CompiledPredicate Compile(const Predicate& predicate);
+
+  /// Compiles a join predicate whose paths are `left.<attr>` /
+  /// `right.<attr>`; fails on any other qualifier.
+  static Result<CompiledPredicate> CompileJoin(const Predicate& predicate);
+
+  const std::vector<Slot>& slots() const { return slots_; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  bool always_true() const { return nodes_.empty(); }
+
+  /// Evaluates one object (the cursor path — same machinery, batch of
+  /// one).
+  Result<bool> EvaluateOne(const Value& object, Scratch* scratch) const;
+
+  /// Evaluates one (left, right) pair for a join predicate.
+  Result<bool> EvaluatePair(const Value& left, const Value& right,
+                            Scratch* scratch) const;
+
+  /// Evaluates the batch `rows[0..n)` column-at-a-time, writing one
+  /// truth byte per row into `scratch->truth`. Fails on the first
+  /// type error an evaluated row produces.
+  Status EvaluateBatch(const Value* rows, size_t n, Scratch* scratch) const;
+
+ private:
+  int32_t CompileNode(const Predicate& predicate, bool join,
+                      Status* error);
+  int32_t InternSlot(Side side, std::string_view dotted);
+
+  /// Fills `scratch->columns[slot]` for `n` rows. `left`/`right` are
+  /// the pair objects for join slots; `rows` serves kSelf slots.
+  void BindColumns(const Value* rows, const Value* left, const Value* right,
+                   size_t n, Scratch* scratch) const;
+  Status EvalNode(int32_t node, const std::vector<uint32_t>& sel,
+                  Scratch* scratch) const;
+
+  std::vector<Slot> slots_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+};
+
+}  // namespace ode::odb::exec
+
+#endif  // ODEVIEW_ODB_EXEC_COMPILED_PREDICATE_H_

@@ -1,0 +1,100 @@
+#ifndef ODEVIEW_ODB_EXEC_EXECUTOR_H_
+#define ODEVIEW_ODB_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "odb/exec/batch_scanner.h"
+#include "odb/oid.h"
+#include "odb/predicate.h"
+#include "odb/value.h"
+
+namespace ode::odb {
+class Database;
+}  // namespace ode::odb
+
+namespace ode::odb::exec {
+
+/// One batched scan: which cluster, what to keep, how to run.
+struct ScanSpec {
+  std::string class_name;
+  /// Filter; null (or `Predicate::True`) scans everything.
+  const Predicate* predicate = nullptr;
+  /// Extra attribute paths to materialize beyond the predicate's own
+  /// (e.g. a displaylist). The mask is the union of both; with neither
+  /// — and no filter — the scan returns ids without decoding records.
+  const std::vector<std::string>* projection = nullptr;
+  /// Decode records fully, ignoring the mask (legacy-shaped values).
+  bool project_all = false;
+  /// When false, matched rows carry only oid + version — the decoded
+  /// value stays in the batch buffer (for id-only consumers like
+  /// `Select`, which still need the decode for filtering).
+  bool emit_values = true;
+  size_t batch_size = kDefaultBatchSize;
+  /// Worker threads; ids are split into this many contiguous
+  /// partitions scanned concurrently (1 = inline on the caller).
+  int parallelism = 1;
+};
+
+struct ScanRow {
+  Oid oid;
+  uint32_t version = 0;
+  /// Projected value (only masked attributes present); empty struct
+  /// on the ids-only fast path.
+  Value value;
+};
+
+struct ScanStats {
+  uint64_t rows_scanned = 0;
+  uint64_t rows_matched = 0;
+  uint64_t batches = 0;
+  uint64_t skipped_fields = 0;  ///< attribute decodes avoided
+  int partitions = 1;
+};
+
+struct ScanResult {
+  std::vector<ScanRow> rows;  ///< ascending local id
+  ScanStats stats;
+};
+
+/// Runs a batched, optionally parallel, filtered + projected scan.
+/// Rows come back in ascending id order regardless of parallelism
+/// (partitions are contiguous id ranges concatenated in order).
+Result<ScanResult> ExecuteScan(Database* db, const ScanSpec& spec);
+
+/// One join: predicate over `left.<attr>` / `right.<attr>` paths.
+struct JoinSpec {
+  std::string left_class;
+  std::string right_class;
+  const Predicate* predicate = nullptr;  ///< null joins every pair
+  size_t batch_size = kDefaultBatchSize;
+};
+
+struct JoinStats {
+  uint64_t build_rows = 0;  ///< hash-table entries (0 for nested loop)
+  uint64_t probe_rows = 0;
+  uint64_t pairs = 0;
+  bool hash_join = false;
+  bool built_left = false;  ///< which side the hash table held
+};
+
+struct JoinResult {
+  /// Matching (left oid, right oid) pairs, sorted by (left id,
+  /// right id) — the legacy nested-loop order.
+  std::vector<std::pair<Oid, Oid>> pairs;
+  JoinStats stats;
+};
+
+/// Joins two clusters. An equality conjunct between one left and one
+/// right attribute selects a hash join (build the smaller side, probe
+/// the larger, re-check the full predicate on candidates); otherwise —
+/// or when a key turns out non-scalar or NaN at runtime — a batched
+/// nested loop evaluates the compiled predicate over every pair.
+Result<JoinResult> ExecuteJoin(Database* db, const JoinSpec& spec);
+
+}  // namespace ode::odb::exec
+
+#endif  // ODEVIEW_ODB_EXEC_EXECUTOR_H_

@@ -229,6 +229,16 @@ Result<std::string> HeapFile::ReadRecordLocked(uint64_t local_id,
                                                const Location& loc,
                                                PageHandle* handle,
                                                PageId* held) const {
+  std::string payload;
+  ODE_RETURN_IF_ERROR(
+      AppendRecordLocked(local_id, loc, handle, held, &payload).status());
+  return payload;
+}
+
+Result<size_t> HeapFile::AppendRecordLocked(uint64_t local_id,
+                                            const Location& loc,
+                                            PageHandle* handle, PageId* held,
+                                            std::string* arena) const {
   if (*held != loc.page) {
     ODE_ASSIGN_OR_RETURN(*handle, pool_->Fetch(loc.page, PageIntent::kRead));
     *held = loc.page;
@@ -240,7 +250,8 @@ Result<std::string> HeapFile::ReadRecordLocked(uint64_t local_id,
     return Status::Corruption("directory/record id mismatch");
   }
   if (!parsed.overflow) {
-    return std::string(parsed.inline_payload);
+    arena->append(parsed.inline_payload);
+    return parsed.inline_payload.size();
   }
   // The record view dies with the handle; read the blob afterwards
   // (never hold a page latch while chasing the overflow chain).
@@ -253,7 +264,8 @@ Result<std::string> HeapFile::ReadRecordLocked(uint64_t local_id,
     return Status::Corruption("overflow chain length mismatch for id " +
                               std::to_string(local_id));
   }
-  return payload;
+  arena->append(payload);
+  return payload.size();
 }
 
 Status HeapFile::Update(uint64_t local_id, std::string_view payload) {
@@ -414,6 +426,35 @@ Result<std::vector<std::pair<uint64_t, std::string>>> HeapFile::NextRecords(
   }
   HeapBatchRecords().Add(out.size());
   return out;
+}
+
+Status HeapFile::NextRecordsInto(uint64_t after, size_t limit,
+                                 std::string* arena,
+                                 std::vector<RecordSpan>* spans) const {
+  ODE_TRACE_SPAN("heap.batch_read");
+  arena->clear();
+  spans->clear();
+  ReaderMutexLock lock(*mu_);
+  auto it = directory_.upper_bound(after);
+  if (it == directory_.end()) {
+    return Status::OutOfRange("no object after id " + std::to_string(after));
+  }
+  spans->reserve(limit);
+  PageHandle handle;
+  PageId held = kNoPage;
+  for (; it != directory_.end() && spans->size() < limit; ++it) {
+    size_t offset = arena->size();
+    ODE_ASSIGN_OR_RETURN(
+        size_t length,
+        AppendRecordLocked(it->first, it->second, &handle, &held, arena));
+    spans->push_back(RecordSpan{it->first, offset, length});
+  }
+  // Read-ahead: warm the page the record after the batch lives on.
+  if (it != directory_.end() && it->second.page != held) {
+    pool_->Prefetch(it->second.page);
+  }
+  HeapBatchRecords().Add(spans->size());
+  return Status::OK();
 }
 
 Result<std::vector<std::pair<uint64_t, std::string>>> HeapFile::PrevRecords(

@@ -48,6 +48,14 @@ class HeapFile {
     uint16_t slot = 0;
   };
 
+  /// One record's payload inside a caller-supplied arena (see
+  /// `NextRecordsInto`).
+  struct RecordSpan {
+    uint64_t local_id = 0;
+    size_t offset = 0;
+    size_t length = 0;
+  };
+
   /// Creates an empty heap (allocates the first page). `free_list`
   /// supplies/reclaims overflow pages and must outlive the heap.
   static Result<HeapFile> Create(BufferPool* pool, FreeList* free_list);
@@ -97,6 +105,15 @@ class HeapFile {
   Result<std::vector<std::pair<uint64_t, std::string>>> PrevRecords(
       uint64_t before, size_t limit) const;
 
+  /// Allocation-free variant of `NextRecords` for the batched
+  /// executor: payloads are appended to `*arena` back to back and
+  /// described by spans, so a warm caller that reuses the arena pays
+  /// zero heap allocations per batch instead of one per record. Both
+  /// outputs are cleared first (capacity retained). Same OutOfRange
+  /// contract as `NextRecords`.
+  Status NextRecordsInto(uint64_t after, size_t limit, std::string* arena,
+                         std::vector<RecordSpan>* spans) const;
+
   /// All ids in ascending order (for tests and bulk operations).
   std::vector<uint64_t> AllIds() const;
 
@@ -128,6 +145,12 @@ class HeapFile {
                                        const Location& loc,
                                        PageHandle* handle,
                                        PageId* held) const
+      ODE_REQUIRES_SHARED(*mu_);
+  /// `ReadRecordLocked` into an arena: appends the payload to `*arena`
+  /// and returns its length, avoiding a per-record string.
+  Result<size_t> AppendRecordLocked(uint64_t local_id, const Location& loc,
+                                    PageHandle* handle, PageId* held,
+                                    std::string* arena) const
       ODE_REQUIRES_SHARED(*mu_);
   Status UpdateLocked(uint64_t local_id, std::string_view payload)
       ODE_REQUIRES(*mu_);

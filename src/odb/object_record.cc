@@ -1,0 +1,118 @@
+#include "odb/object_record.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "odb/value_codec.h"
+
+namespace ode::odb {
+
+std::string EncodeObjectRecord(const ObjectRecord& record) {
+  std::string out;
+  PutVarint32(&out, record.version);
+  PutVarint64(&out, record.history.size());
+  for (const auto& [ver, val] : record.history) {
+    PutVarint32(&out, ver);
+    PutLengthPrefixed(&out, EncodeValueToString(val));
+  }
+  EncodeValue(record.value, &out);
+  return out;
+}
+
+Result<ObjectRecord> DecodeObjectRecord(std::string_view bytes) {
+  Decoder decoder(bytes);
+  ObjectRecord record;
+  ODE_RETURN_IF_ERROR(decoder.GetVarint32(&record.version));
+  uint64_t n = 0;
+  ODE_RETURN_IF_ERROR(decoder.GetVarint64(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t ver = 0;
+    std::string_view val_bytes;
+    ODE_RETURN_IF_ERROR(decoder.GetVarint32(&ver));
+    ODE_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&val_bytes));
+    ODE_ASSIGN_OR_RETURN(Value val, DecodeValue(val_bytes));
+    record.history.emplace_back(ver, std::move(val));
+  }
+  ODE_ASSIGN_OR_RETURN(record.value, DecodeValue(&decoder));
+  if (!decoder.empty()) {
+    return Status::Corruption("trailing bytes after object record");
+  }
+  return record;
+}
+
+ProjectionMask ProjectionMask::Of(std::vector<std::string> names) {
+  ProjectionMask mask;
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  mask.names_ = std::move(names);
+  return mask;
+}
+
+ProjectionMask ProjectionMask::FromPaths(
+    const std::vector<std::string>& paths) {
+  ProjectionMask mask;
+  for (const std::string& p : paths) mask.AddPath(p);
+  return mask;
+}
+
+void ProjectionMask::AddPath(std::string_view path) {
+  std::string_view head = path.substr(0, path.find('.'));
+  auto it = std::lower_bound(names_.begin(), names_.end(), head);
+  if (it != names_.end() && *it == head) return;
+  names_.insert(it, std::string(head));
+}
+
+bool ProjectionMask::contains(std::string_view name) const {
+  return std::binary_search(names_.begin(), names_.end(), name);
+}
+
+Result<ProjectedRecord> DecodeObjectRecordProjected(
+    std::string_view bytes, const ProjectionMask* mask) {
+  Decoder decoder(bytes);
+  ProjectedRecord out;
+  ODE_RETURN_IF_ERROR(decoder.GetVarint32(&out.version));
+  uint64_t history = 0;
+  ODE_RETURN_IF_ERROR(decoder.GetVarint64(&history));
+  for (uint64_t i = 0; i < history; ++i) {
+    // History entries are length-prefixed, so skipping one costs a
+    // varint read — never a value decode.
+    uint32_t ver = 0;
+    std::string_view val_bytes;
+    ODE_RETURN_IF_ERROR(decoder.GetVarint32(&ver));
+    ODE_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&val_bytes));
+  }
+  std::string_view current = decoder.remaining();
+  std::string_view tag_bytes;
+  ODE_RETURN_IF_ERROR(decoder.GetRaw(1, &tag_bytes));
+  auto kind = static_cast<ValueKind>(static_cast<uint8_t>(tag_bytes[0]));
+  if (mask == nullptr || kind != ValueKind::kStruct) {
+    Decoder full(current);
+    ODE_ASSIGN_OR_RETURN(out.value, DecodeValue(&full));
+    if (!full.empty()) {
+      return Status::Corruption("trailing bytes after object record");
+    }
+    return out;
+  }
+  uint64_t field_count = 0;
+  ODE_RETURN_IF_ERROR(decoder.GetVarint64(&field_count));
+  std::vector<Value::Field> fields;
+  fields.reserve(std::min<uint64_t>(field_count, mask->size()));
+  for (uint64_t i = 0; i < field_count; ++i) {
+    std::string_view name;
+    ODE_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&name));
+    if (mask->contains(name)) {
+      ODE_ASSIGN_OR_RETURN(Value v, DecodeValue(&decoder));
+      fields.push_back({std::string(name), std::move(v)});
+    } else {
+      ODE_RETURN_IF_ERROR(SkipValue(&decoder));
+      ++out.skipped_fields;
+    }
+  }
+  if (!decoder.empty()) {
+    return Status::Corruption("trailing bytes after object record");
+  }
+  out.value = Value::Struct(std::move(fields));
+  return out;
+}
+
+}  // namespace ode::odb

@@ -1,0 +1,76 @@
+#ifndef ODEVIEW_ODB_OBJECT_RECORD_H_
+#define ODEVIEW_ODB_OBJECT_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "odb/value.h"
+
+namespace ode::odb {
+
+/// Stored object record:
+///   varint current_version
+///   varint history_count
+///   repeat: varint version || length-prefixed value bytes
+///   current value bytes (to end of record)
+struct ObjectRecord {
+  uint32_t version = 1;
+  std::vector<std::pair<uint32_t, Value>> history;  // oldest first
+  Value value;
+};
+
+std::string EncodeObjectRecord(const ObjectRecord& record);
+Result<ObjectRecord> DecodeObjectRecord(std::string_view bytes);
+
+/// The set of top-level attributes a projected decode materializes.
+/// Built from a displaylist or from the attribute paths of a
+/// predicate; a dotted path ("dept.name") keeps its top-level
+/// attribute ("dept") because the codec frames structs per top-level
+/// field.
+class ProjectionMask {
+ public:
+  ProjectionMask() = default;
+
+  /// Mask keeping exactly `names` (top-level attribute names).
+  static ProjectionMask Of(std::vector<std::string> names);
+
+  /// Mask keeping the top-level prefix of each dotted path.
+  static ProjectionMask FromPaths(const std::vector<std::string>& paths);
+
+  /// Adds the top-level prefix of one dotted path.
+  void AddPath(std::string_view path);
+
+  bool contains(std::string_view name) const;
+  size_t size() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;  // sorted, unique
+};
+
+/// A record decoded under a projection mask: version history entries
+/// are skipped wholesale (their framing is length-prefixed, so they
+/// cost O(1) each) and top-level struct fields outside the mask are
+/// skipped via `SkipValue` instead of materialized. `skipped_fields`
+/// counts the fields whose decode was avoided, feeding the
+/// `exec.rows.skipped_decode` counter.
+struct ProjectedRecord {
+  uint32_t version = 1;
+  Value value;
+  uint32_t skipped_fields = 0;
+};
+
+/// Decodes `bytes` keeping only masked top-level fields. A null
+/// `mask` decodes the current value fully (history is still skipped).
+/// Non-struct current values are always decoded fully — there is no
+/// per-field framing to prune.
+Result<ProjectedRecord> DecodeObjectRecordProjected(
+    std::string_view bytes, const ProjectionMask* mask);
+
+}  // namespace ode::odb
+
+#endif  // ODEVIEW_ODB_OBJECT_RECORD_H_

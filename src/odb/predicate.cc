@@ -73,7 +73,9 @@ const Value* ResolveOperand(const Operand& operand, const Value& object,
   return object.FindPath(operand.path);
 }
 
-Result<int> CompareValues(const Value& a, const Value& b) {
+}  // namespace
+
+Result<int> OrderValues(const Value& a, const Value& b) {
   // Numeric comparison when both sides are numeric.
   if ((a.kind() == ValueKind::kInt || a.kind() == ValueKind::kReal ||
        a.kind() == ValueKind::kBool) &&
@@ -96,7 +98,62 @@ Result<int> CompareValues(const Value& a, const Value& b) {
       std::string(ValueKindName(b.kind())));
 }
 
-}  // namespace
+Result<bool> EvaluateCompareOp(const Value* lhs, CompareOp op,
+                               const Value* rhs) {
+  if (lhs == nullptr || rhs == nullptr) {
+    return false;  // missing attribute: QBE semantics
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      // Equality works across all kinds, numerically when numeric.
+      if (lhs->kind() != rhs->kind()) {
+        Result<int> cmp = OrderValues(*lhs, *rhs);
+        if (cmp.ok()) return *cmp == 0;
+        return false;
+      }
+      return *lhs == *rhs;
+    case CompareOp::kNe: {
+      if (lhs->kind() != rhs->kind()) {
+        Result<int> cmp = OrderValues(*lhs, *rhs);
+        if (cmp.ok()) return *cmp != 0;
+        return true;
+      }
+      return !(*lhs == *rhs);
+    }
+    case CompareOp::kLt: {
+      ODE_ASSIGN_OR_RETURN(int cmp, OrderValues(*lhs, *rhs));
+      return cmp < 0;
+    }
+    case CompareOp::kLe: {
+      ODE_ASSIGN_OR_RETURN(int cmp, OrderValues(*lhs, *rhs));
+      return cmp <= 0;
+    }
+    case CompareOp::kGt: {
+      ODE_ASSIGN_OR_RETURN(int cmp, OrderValues(*lhs, *rhs));
+      return cmp > 0;
+    }
+    case CompareOp::kGe: {
+      ODE_ASSIGN_OR_RETURN(int cmp, OrderValues(*lhs, *rhs));
+      return cmp >= 0;
+    }
+    case CompareOp::kContains: {
+      if (lhs->kind() == ValueKind::kString &&
+          rhs->kind() == ValueKind::kString) {
+        return lhs->AsString().find(rhs->AsString()) != std::string::npos;
+      }
+      if (lhs->kind() == ValueKind::kSet ||
+          lhs->kind() == ValueKind::kArray) {
+        for (const Value& e : lhs->elements()) {
+          if (e == *rhs) return true;
+        }
+        return false;
+      }
+      return Status::InvalidArgument(
+          "contains requires a string, set, or array on the left");
+    }
+  }
+  return Status::Internal("unhandled compare op");
+}
 
 Result<bool> Predicate::Evaluate(const Value& object) const {
   switch (kind_) {
@@ -123,59 +180,7 @@ Result<bool> Predicate::Evaluate(const Value& object) const {
   const Value* rhs_storage = nullptr;
   const Value* lhs = ResolveOperand(lhs_, object, &lhs_storage);
   const Value* rhs = ResolveOperand(rhs_, object, &rhs_storage);
-  if (lhs == nullptr || rhs == nullptr) {
-    return false;  // missing attribute: QBE semantics
-  }
-  switch (op_) {
-    case CompareOp::kEq:
-      // Equality works across all kinds, numerically when numeric.
-      if (lhs->kind() != rhs->kind()) {
-        Result<int> cmp = CompareValues(*lhs, *rhs);
-        if (cmp.ok()) return *cmp == 0;
-        return false;
-      }
-      return *lhs == *rhs;
-    case CompareOp::kNe: {
-      if (lhs->kind() != rhs->kind()) {
-        Result<int> cmp = CompareValues(*lhs, *rhs);
-        if (cmp.ok()) return *cmp != 0;
-        return true;
-      }
-      return !(*lhs == *rhs);
-    }
-    case CompareOp::kLt: {
-      ODE_ASSIGN_OR_RETURN(int cmp, CompareValues(*lhs, *rhs));
-      return cmp < 0;
-    }
-    case CompareOp::kLe: {
-      ODE_ASSIGN_OR_RETURN(int cmp, CompareValues(*lhs, *rhs));
-      return cmp <= 0;
-    }
-    case CompareOp::kGt: {
-      ODE_ASSIGN_OR_RETURN(int cmp, CompareValues(*lhs, *rhs));
-      return cmp > 0;
-    }
-    case CompareOp::kGe: {
-      ODE_ASSIGN_OR_RETURN(int cmp, CompareValues(*lhs, *rhs));
-      return cmp >= 0;
-    }
-    case CompareOp::kContains: {
-      if (lhs->kind() == ValueKind::kString &&
-          rhs->kind() == ValueKind::kString) {
-        return lhs->AsString().find(rhs->AsString()) != std::string::npos;
-      }
-      if (lhs->kind() == ValueKind::kSet ||
-          lhs->kind() == ValueKind::kArray) {
-        for (const Value& e : lhs->elements()) {
-          if (e == *rhs) return true;
-        }
-        return false;
-      }
-      return Status::InvalidArgument(
-          "contains requires a string, set, or array on the left");
-    }
-  }
-  return Status::Internal("unhandled compare op");
+  return EvaluateCompareOp(lhs, op_, rhs);
 }
 
 namespace {

@@ -69,6 +69,14 @@ class Predicate {
 
   Kind kind() const { return kind_; }
 
+  /// kCompare structure (meaningful only when kind() == kCompare).
+  const Operand& compare_lhs() const { return lhs_; }
+  CompareOp compare_op() const { return op_; }
+  const Operand& compare_rhs() const { return rhs_; }
+
+  /// kAnd / kOr children (two) or the kNot operand (one).
+  const std::vector<Predicate>& children() const { return children_; }
+
   /// Evaluates against `object` (normally a struct value).
   ///
   /// A missing attribute makes the enclosing comparison false rather
@@ -93,6 +101,19 @@ class Predicate {
   // kAnd / kOr / kNot (children_[0], children_[1])
   std::vector<Predicate> children_;
 };
+
+/// Three-way ordering used by the relational operators: numeric across
+/// bool/int/real, lexicographic for strings, an error for any other
+/// kind pairing.
+Result<int> OrderValues(const Value& a, const Value& b);
+
+/// Applies `op` to two resolved operands. Either pointer may be null
+/// (a missing attribute), which makes the comparison false rather than
+/// an error — QBE semantics. Shared by the tree-walking
+/// `Predicate::Evaluate` and the batched executor's compiled form so
+/// the two paths cannot drift apart.
+Result<bool> EvaluateCompareOp(const Value* lhs, CompareOp op,
+                               const Value* rhs);
 
 /// Parses a condition-box string into a predicate. Grammar:
 /// ```

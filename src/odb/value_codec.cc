@@ -133,7 +133,68 @@ Result<Value> DecodeValueImpl(Decoder* decoder, int depth) {
                             std::to_string(static_cast<int>(kind)));
 }
 
+Status SkipValueImpl(Decoder* decoder, int depth) {
+  if (depth > kMaxDepth) {
+    return Status::Corruption("value nesting exceeds limit");
+  }
+  std::string_view tag_bytes;
+  ODE_RETURN_IF_ERROR(decoder->GetRaw(1, &tag_bytes));
+  auto kind = static_cast<ValueKind>(static_cast<uint8_t>(tag_bytes[0]));
+  switch (kind) {
+    case ValueKind::kNull:
+      return Status::OK();
+    case ValueKind::kBool: {
+      std::string_view b;
+      return decoder->GetRaw(1, &b);
+    }
+    case ValueKind::kInt: {
+      uint64_t zz = 0;
+      return decoder->GetVarint64(&zz);
+    }
+    case ValueKind::kReal: {
+      double d = 0;
+      return decoder->GetDouble(&d);
+    }
+    case ValueKind::kString:
+    case ValueKind::kBlob: {
+      std::string_view s;
+      return decoder->GetLengthPrefixed(&s);
+    }
+    case ValueKind::kRef: {
+      uint32_t cluster = 0;
+      uint64_t local = 0;
+      std::string_view cls;
+      ODE_RETURN_IF_ERROR(decoder->GetVarint32(&cluster));
+      ODE_RETURN_IF_ERROR(decoder->GetVarint64(&local));
+      return decoder->GetLengthPrefixed(&cls);
+    }
+    case ValueKind::kStruct: {
+      uint64_t n = 0;
+      ODE_RETURN_IF_ERROR(decoder->GetVarint64(&n));
+      for (uint64_t i = 0; i < n; ++i) {
+        std::string_view name;
+        ODE_RETURN_IF_ERROR(decoder->GetLengthPrefixed(&name));
+        ODE_RETURN_IF_ERROR(SkipValueImpl(decoder, depth + 1));
+      }
+      return Status::OK();
+    }
+    case ValueKind::kArray:
+    case ValueKind::kSet: {
+      uint64_t n = 0;
+      ODE_RETURN_IF_ERROR(decoder->GetVarint64(&n));
+      for (uint64_t i = 0; i < n; ++i) {
+        ODE_RETURN_IF_ERROR(SkipValueImpl(decoder, depth + 1));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("unknown value tag " +
+                            std::to_string(static_cast<int>(kind)));
+}
+
 }  // namespace
+
+Status SkipValue(Decoder* decoder) { return SkipValueImpl(decoder, 0); }
 
 Result<Value> DecodeValue(Decoder* decoder) {
   return DecodeValueImpl(decoder, 0);

@@ -26,6 +26,13 @@ Result<Value> DecodeValue(Decoder* decoder);
 /// Decodes a buffer that must contain exactly one value.
 Result<Value> DecodeValue(std::string_view bytes);
 
+/// Advances `*decoder` past one encoded value without materializing
+/// it. Strings, blobs, and scalars skip in O(1); containers walk their
+/// children's framing only. This is the primitive behind projection
+/// pushdown: a batched scan skips the bytes of attributes outside the
+/// displaylist instead of decoding them.
+Status SkipValue(Decoder* decoder);
+
 }  // namespace ode::odb
 
 #endif  // ODEVIEW_ODB_VALUE_CODEC_H_

@@ -485,6 +485,16 @@ Result<JoinView*> DbInteractor::OpenJoinView(const std::string& left_class,
   return join_views_.back().get();
 }
 
+Status DbInteractor::CloseJoinView(JoinView* view) {
+  for (auto it = join_views_.begin(); it != join_views_.end(); ++it) {
+    if (it->get() == view) {
+      join_views_.erase(it);  // destructor destroys the view's windows
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("join view is not open in this interactor");
+}
+
 void DbInteractor::set_privileged(bool privileged) {
   context_.privileged = privileged;
   for (const auto& node : object_sets_) {

@@ -108,6 +108,11 @@ class DbInteractor {
     return join_views_;
   }
 
+  /// Closes (destroys) a join view previously returned by
+  /// `OpenJoinView`, tearing down its windows. NotFound if `view` is
+  /// not an open join view of this interactor.
+  Status CloseJoinView(JoinView* view);
+
   // --- Privileged (debug) mode -----------------------------------------------
 
   /// When enabled, synthesized displays "selectively violate"

@@ -2,17 +2,13 @@
 
 #include "common/strings.h"
 #include "dynlink/synthesized.h"
+#include "odb/exec/executor.h"
 #include "owl/widgets.h"
 
 namespace ode::view {
 
 namespace {
 constexpr owl::Size kSideWindowSize{40, 12};
-
-odb::Value CombinedObject(const odb::ObjectBuffer& left,
-                          const odb::ObjectBuffer& right) {
-  return odb::Value::Struct({{"left", left.value}, {"right", right.value}});
-}
 }  // namespace
 
 JoinView::JoinView(BrowseContext* context, std::string left_class,
@@ -54,21 +50,17 @@ Result<std::unique_ptr<JoinView>> JoinView::Create(
 }
 
 Status JoinView::Materialize() {
-  ODE_ASSIGN_OR_RETURN(std::vector<odb::Oid> lefts,
-                       context_->db->ScanCluster(left_class_));
-  ODE_ASSIGN_OR_RETURN(std::vector<odb::Oid> rights,
-                       context_->db->ScanCluster(right_class_));
-  for (odb::Oid left : lefts) {
-    ODE_ASSIGN_OR_RETURN(odb::ObjectBuffer lbuf,
-                         context_->db->GetObject(left));
-    for (odb::Oid right : rights) {
-      ODE_ASSIGN_OR_RETURN(odb::ObjectBuffer rbuf,
-                           context_->db->GetObject(right));
-      ODE_ASSIGN_OR_RETURN(bool match,
-                           predicate_.Evaluate(CombinedObject(lbuf, rbuf)));
-      if (match) pairs_.emplace_back(left, right);
-    }
-  }
+  // Batched executor: hash join on an equality conjunct when one
+  // exists, batched nested loop otherwise — replacing the per-pair
+  // GetObject + combined-struct cross product. The view keeps the
+  // separation principle: it receives only the sequenced pair list.
+  odb::exec::JoinSpec spec;
+  spec.left_class = left_class_;
+  spec.right_class = right_class_;
+  spec.predicate = &predicate_;
+  ODE_ASSIGN_OR_RETURN(odb::exec::JoinResult result,
+                       odb::exec::ExecuteJoin(context_->db, spec));
+  pairs_ = std::move(result.pairs);
   return Status::OK();
 }
 

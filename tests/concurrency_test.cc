@@ -20,6 +20,7 @@
 #include "common/watchdog.h"
 #include "odb/buffer_pool.h"
 #include "odb/database.h"
+#include "odb/exec/executor.h"
 #include "odb/heap_file.h"
 #include "odb/pager.h"
 
@@ -636,6 +637,114 @@ TEST(LockRankBatteryTest, EngineWorkloadProducesNoRankViolations) {
   EXPECT_EQ(LockRankValidator::violations(), before)
       << "engine workload broke the documented lock order; check the "
          "lockrank_violation records in the journal";
+}
+
+// --- Batched executor under concurrency --------------------------------
+
+// Parallel partitioned scans race against writers creating, updating,
+// and deleting objects in the scanned cluster. Outcomes depend on the
+// interleaving, so the assertions check invariants instead of counts:
+// every result is sorted by id with no duplicates, every matched row
+// actually satisfies the predicate (updates write non-matching values,
+// so a torn read would surface here), and the partition workers honor
+// the documented lock order. CI runs this binary under TSan.
+TEST(ExecConcurrencyTest, ParallelScansDuringMutationsStayConsistent) {
+  LockRankValidator::SetMode(LockRankValidator::Mode::kCount);
+  const uint64_t before = LockRankValidator::violations();
+
+  auto db_or = Database::CreateInMemory("execdb");
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  Database* db = db_or->get();
+  ASSERT_TRUE(
+      db->DefineSchema("persistent class Item { int n; string tag; };").ok());
+  {
+    Session session = db->OpenSession();
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE(session
+                      .CreateObject("Item",
+                                    Value::Struct(
+                                        {{"n", Value::Int(i)},
+                                         {"tag", Value::String(
+                                                     PayloadFor(i))}}))
+                      .ok());
+    }
+  }
+
+  auto predicate_or = ParsePredicate("n >= 0");
+  ASSERT_TRUE(predicate_or.ok());
+  const Predicate predicate = *predicate_or;
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([db, t, &stop] {
+      Session session = db->OpenSession();
+      Rng rng(static_cast<uint64_t>(t) + 4242);
+      std::vector<Oid> mine;
+      for (uint64_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        switch (rng.Below(3)) {
+          case 0: {
+            auto oid = session.CreateObject(
+                "Item",
+                Value::Struct({{"n", Value::Int(static_cast<int64_t>(i))},
+                               {"tag", Value::String(PayloadFor(i))}}));
+            if (oid.ok()) mine.push_back(*oid);
+            break;
+          }
+          case 1:
+            if (!mine.empty()) {
+              // Non-matching value: a scan must never return it.
+              (void)session.UpdateObject(
+                  mine[rng.Below(mine.size())],
+                  Value::Struct(
+                      {{"n", Value::Int(-1 - static_cast<int64_t>(i))},
+                       {"tag", Value::String("updated")}}));
+            }
+            break;
+          default:
+            if (!mine.empty()) {
+              size_t at = rng.Below(mine.size());
+              (void)session.DeleteObject(mine[at]);
+              mine.erase(mine.begin() + static_cast<ptrdiff_t>(at));
+            }
+            break;
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> scanners;
+  for (int t = 0; t < 4; ++t) {
+    scanners.emplace_back([db, &predicate] {
+      for (int iter = 0; iter < 25; ++iter) {
+        exec::ScanSpec spec;
+        spec.class_name = "Item";
+        spec.predicate = &predicate;
+        spec.project_all = true;
+        spec.batch_size = 16;
+        spec.parallelism = 4;
+        auto result = exec::ExecuteScan(db, spec);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        Oid previous = Oid::Null();
+        for (const exec::ScanRow& row : result->rows) {
+          EXPECT_TRUE(previous < row.oid);  // sorted, no duplicates
+          previous = row.oid;
+          const Value* n = row.value.FindField("n");
+          ASSERT_NE(n, nullptr);
+          EXPECT_GE(n->AsInt(), 0);
+        }
+        EXPECT_EQ(result->stats.rows_matched, result->rows.size());
+      }
+      EXPECT_EQ(LockRankValidator::HeldCount(), 0u);
+    });
+  }
+
+  for (std::thread& s : scanners) s.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& w : writers) w.join();
+
+  EXPECT_EQ(LockRankValidator::violations(), before)
+      << "parallel partitioned scans broke the documented lock order";
 }
 
 }  // namespace

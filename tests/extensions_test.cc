@@ -105,6 +105,26 @@ TEST_F(ExtensionsSession, JoinValidatesPredicatePaths) {
                   .IsNotFound());
 }
 
+TEST_F(ExtensionsSession, CloseJoinViewDestroysWindowsAndReleasesView) {
+  Result<JoinView*> join = interactor_->OpenJoinView(
+      "employee", "manager", "left.age == right.age");
+  ASSERT_TRUE(join.ok()) << join.status().ToString();
+  ASSERT_TRUE((*join)->Next().ok());  // materialize the side windows
+  owl::WindowId panel = (*join)->panel_window();
+  owl::WindowId left = (*join)->left_window();
+  ASSERT_NE(app_->server()->FindWindow(panel), nullptr);
+  ASSERT_NE(app_->server()->FindWindow(left), nullptr);
+  size_t open_before = interactor_->join_views().size();
+
+  ASSERT_TRUE(interactor_->CloseJoinView(*join).ok());
+  EXPECT_EQ(interactor_->join_views().size(), open_before - 1);
+  EXPECT_EQ(app_->server()->FindWindow(panel), nullptr);
+  EXPECT_EQ(app_->server()->FindWindow(left), nullptr);
+  // The view is gone; a second close must not find it.
+  EXPECT_TRUE(interactor_->CloseJoinView(*join).IsNotFound());
+  EXPECT_TRUE(interactor_->CloseJoinView(nullptr).IsNotFound());
+}
+
 TEST_F(ExtensionsSession, EmptyJoinIsUsable) {
   Result<JoinView*> join = interactor_->OpenJoinView(
       "employee", "manager", "left.age == -1");

@@ -138,4 +138,33 @@ Status Decoder::GetRaw(size_t n, std::string_view* value) {
   return Status::OK();
 }
 
+namespace {
+
+/// Table-driven CRC-32 (reflected 0xEDB88320, the zlib/ISO-HDLC form).
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    auto* t = new uint32_t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0xEDB88320u : 0);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view bytes, uint32_t seed) {
+  const uint32_t* table = Crc32Table();
+  uint32_t crc = ~seed;
+  for (char c : bytes) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<uint8_t>(c)) & 0xff];
+  }
+  return ~crc;
+}
+
 }  // namespace ode

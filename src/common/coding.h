@@ -30,6 +30,11 @@ void PutLengthPrefixed(std::string* dst, std::string_view value);
 /// Appends an IEEE double as 8 little-endian bytes.
 void PutDouble(std::string* dst, double value);
 
+/// CRC-32 (ISO-HDLC polynomial, the zlib variant) of `bytes`, seeded
+/// with `seed` so multi-buffer checksums chain: Crc32(b, Crc32(a)) ==
+/// Crc32(a+b). Used by the write-ahead log to detect torn record tails.
+uint32_t Crc32(std::string_view bytes, uint32_t seed = 0);
+
 /// Decodes fixed-width integers from raw buffers (caller checks bounds).
 uint16_t DecodeFixed16(const char* ptr);
 uint32_t DecodeFixed32(const char* ptr);

@@ -71,6 +71,14 @@ const char* JournalEventName(JournalEvent type) {
       return "exec_scan";
     case JournalEvent::kExecJoin:
       return "exec_join";
+    case JournalEvent::kWalRecoveryStart:
+      return "wal_recovery_start";
+    case JournalEvent::kWalRecoveryEnd:
+      return "wal_recovery_end";
+    case JournalEvent::kWalCheckpoint:
+      return "wal_checkpoint";
+    case JournalEvent::kWalTornTail:
+      return "wal_torn_tail";
   }
   return "unknown";
 }

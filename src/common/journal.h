@@ -26,6 +26,10 @@ enum class JournalEvent : uint32_t {
                            ///< detail = acquired lock name
   kExecScan = 10,          ///< arg0 = rows scanned, arg1 = rows matched
   kExecJoin = 11,          ///< arg0 = build rows, arg1 = result pairs
+  kWalRecoveryStart = 12,  ///< arg0 = log bytes scanned
+  kWalRecoveryEnd = 13,    ///< arg0 = pages redone, arg1 = committed txns
+  kWalCheckpoint = 14,     ///< arg0 = log bytes released
+  kWalTornTail = 15,       ///< arg0 = bytes truncated from the log tail
 };
 
 /// Wire name of a journal event type ("session_open", ...).

@@ -134,6 +134,10 @@ bool IsRecursion(const HeldEntry& held, const void* instance, bool exclusive,
 const std::vector<LockRankInfo>& LockRankTable() {
   static const std::vector<LockRankInfo>* table = new std::vector<LockRankInfo>{
       {LockRank::kDbSchema, "db.schema_lock", false, true},
+      // Held for the whole of one logged write operation (DML or DDL
+      // body through the commit-record append), so a wedged writer
+      // surfaces in crash dumps.
+      {LockRank::kWalTxn, "db.wal_txn_lock", false, true},
       {LockRank::kDbHeaps, "db.heaps_lock", false, false},
       {LockRank::kHeapFile, "heap.rwlock", false, false},
       {LockRank::kCatalogId, "catalog.id_lock", false, false},
@@ -144,6 +148,10 @@ const std::vector<LockRankInfo>& LockRankTable() {
       // once (fuzz harnesses, blob chains); see docs/LOCKING.md.
       {LockRank::kPoolFrameLatch, "pool.frame_latch", true, true},
       {LockRank::kPoolShard, "pool.shard_lock", false, false},
+      // Above the shard mutex: eviction gates a dirty write-back on
+      // WAL durability while inside the shard. Never held across the
+      // group-commit fsync (the leader syncs with the mutex dropped).
+      {LockRank::kWal, "wal.buffer_lock", false, false},
       // MemPager's mutex and FilePager's extend lock share the rank:
       // one pager backs a pool, so the two are never nested.
       {LockRank::kPager, "pager.lock", false, false},

@@ -21,6 +21,7 @@ namespace ode {
 /// observability locks (which every layer may enter last) at the top.
 enum class LockRank : uint16_t {
   kDbSchema = 10,        ///< Database::schema_mu_ (DDL vs DML)
+  kWalTxn = 15,          ///< Database::wal_txn_mu_ (write-txn serialization)
   kDbHeaps = 20,         ///< Database::heaps_mu_ (heap cache map)
   kHeapFile = 30,        ///< HeapFile::mu_ (directory + chain)
   kCatalogId = 35,       ///< Catalog::id_mu_ (next-id watermarks)
@@ -29,6 +30,7 @@ enum class LockRank : uint16_t {
   kFreeList = 50,        ///< FreeList::mu_ (free page chain)
   kPoolFrameLatch = 60,  ///< internal::Frame::latch (page content)
   kPoolShard = 70,       ///< BufferPool::Shard::mu (frame table/LRU)
+  kWal = 75,             ///< Wal::mu_ (log append / group-commit state)
   kPager = 80,           ///< MemPager::mu_ / FilePager::extend_mu_
   kBackgroundWorker = 90,   ///< BackgroundWorker::mu_ (task queue)
   kWatchdogScan = 100,      ///< Watchdog::scan_mu_ (flag sets)

@@ -6,6 +6,7 @@
 #include "common/journal.h"
 #include "common/trace.h"
 #include "common/watchdog.h"
+#include "odb/wal.h"
 
 namespace ode::odb {
 
@@ -52,6 +53,7 @@ void LatchFrame(internal::Frame* frame, PageIntent intent) {
 PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
   if (this != &other) {
     Release();
+    pool_ = other.pool_;
     frame_ = other.frame_;
     id_ = other.id_;
     page_ = other.page_;
@@ -69,7 +71,7 @@ PageHandle::~PageHandle() { Release(); }
 
 void PageHandle::Release() {
   if (frame_ != nullptr) {
-    BufferPool::ReleaseHandle(frame_, dirty_, intent_);
+    pool_->ReleaseHandle(frame_, dirty_, intent_);
     frame_ = nullptr;
     page_ = nullptr;
     dirty_ = false;
@@ -78,6 +80,25 @@ void PageHandle::Release() {
 
 void BufferPool::ReleaseHandle(internal::Frame* frame, bool dirty,
                                PageIntent intent) {
+  if (intent == PageIntent::kWrite && dirty && wal_ != nullptr) {
+    // Capture the after-image while the exclusive latch is still held:
+    // the logged bytes are exactly what the writer produced, and the
+    // latch + pin exclude concurrent flush/eviction of the frame until
+    // its WAL flags are set.
+    WalTransactionScope* scope = WalTransactionScope::Current();
+    if (scope != nullptr && scope->wal() == wal_) {
+      Result<uint64_t> lsn =
+          wal_->AppendPageImage(scope->txn_id(), frame->id, &frame->page);
+      if (lsn.ok()) {
+        frame->page_lsn.store(*lsn, std::memory_order_relaxed);
+        frame->wal_uncommitted.store(true, std::memory_order_release);
+        scope->RecordCapturedFrame(
+            {&frame->page_lsn, &frame->wal_uncommitted});
+      } else {
+        scope->NoteCaptureFailure(lsn.status());
+      }
+    }
+  }
   if (intent == PageIntent::kWrite) {
     frame->latch.Unlock();
   } else {
@@ -136,6 +157,8 @@ Result<PageHandle> BufferPool::Fetch(PageId id, PageIntent intent) {
       frame->id = id;
       frame->pin_count.store(1, std::memory_order_relaxed);
       frame->dirty.store(false, std::memory_order_relaxed);
+      frame->page_lsn.store(frame->page.lsn(), std::memory_order_relaxed);
+      frame->wal_uncommitted.store(false, std::memory_order_relaxed);
       frame->in_use = true;
       shard.page_to_frame[id] = idx;
       TouchLru(shard, idx);
@@ -150,7 +173,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id, PageIntent intent) {
   // watchdog-visible via the SharedMutex wrapper: a writer wedged on a
   // page surfaces as a stalled `pool.frame_latch` hold.
   LatchFrame(frame, intent);
-  return PageHandle(frame, id, &frame->page, intent);
+  return PageHandle(this, frame, id, &frame->page, intent);
 }
 
 Result<PageHandle> BufferPool::NewPage() {
@@ -166,12 +189,14 @@ Result<PageHandle> BufferPool::NewPage() {
     frame->pin_count.store(1, std::memory_order_relaxed);
     // Dirty so the zeroed page reaches the backend.
     frame->dirty.store(true, std::memory_order_relaxed);
+    frame->page_lsn.store(0, std::memory_order_relaxed);
+    frame->wal_uncommitted.store(false, std::memory_order_relaxed);
     frame->in_use = true;
     shard.page_to_frame[id] = idx;
     TouchLru(shard, idx);
   }
   LatchFrame(frame, PageIntent::kWrite);
-  return PageHandle(frame, id, &frame->page, PageIntent::kWrite);
+  return PageHandle(this, frame, id, &frame->page, PageIntent::kWrite);
 }
 
 Status BufferPool::FlushAll() {
@@ -195,13 +220,30 @@ Status BufferPool::FlushAll() {
     for (internal::Frame* frame : to_flush) {
       if (failure.ok()) {
         frame->latch.LockShared();
+        // No-steal: frames of unsealed transactions stay dirty in
+        // memory (the acquire pairs with the capture/publish stores).
+        if (frame->wal_uncommitted.load(std::memory_order_acquire)) {
+          frame->latch.UnlockShared();
+          frame->pin_count.fetch_sub(1, std::memory_order_release);
+          continue;
+        }
         if (frame->dirty.load(std::memory_order_acquire)) {
-          Status written = pager_->Write(frame->id, frame->page);
-          if (written.ok()) {
-            frame->dirty.store(false, std::memory_order_relaxed);
-            shard.writebacks->Increment();
+          // WAL-before-data: the log must cover this image first.
+          Status gated = Status::OK();
+          if (wal_ != nullptr) {
+            gated = wal_->FlushUntil(
+                frame->page_lsn.load(std::memory_order_relaxed));
+          }
+          if (gated.ok()) {
+            Status written = pager_->Write(frame->id, frame->page);
+            if (written.ok()) {
+              frame->dirty.store(false, std::memory_order_relaxed);
+              shard.writebacks->Increment();
+            } else {
+              failure = written;
+            }
           } else {
-            failure = written;
+            failure = gated;
           }
         }
         frame->latch.UnlockShared();
@@ -269,7 +311,16 @@ Result<size_t> BufferPool::AcquireFrame(Shard& shard) {
     // Acquire pairs with the releasing unpin: a zero pin count means
     // the last holder's page writes and dirty flag are visible here.
     if (frame.pin_count.load(std::memory_order_acquire) > 0) continue;
+    // No-steal: never evict a frame whose image belongs to an unsealed
+    // transaction (its bytes are not yet redo-able from the log).
+    if (frame.wal_uncommitted.load(std::memory_order_acquire)) continue;
     if (frame.dirty.load(std::memory_order_relaxed)) {
+      if (wal_ != nullptr) {
+        // WAL-before-data. FlushUntil (rank kWal, 75) from inside the
+        // shard mutex (70) follows the lock order.
+        ODE_RETURN_IF_ERROR(wal_->FlushUntil(
+            frame.page_lsn.load(std::memory_order_relaxed)));
+      }
       ODE_RETURN_IF_ERROR(pager_->Write(frame.id, frame.page));
       shard.writebacks->Increment();
     }

@@ -18,6 +18,7 @@
 namespace ode::odb {
 
 class BufferPool;
+class Wal;
 
 /// How a caller intends to use a fetched page. The pool takes the
 /// frame's reader/writer latch accordingly: readers share, writers
@@ -39,6 +40,15 @@ struct Frame {
   std::atomic<int> pin_count{0};
   std::atomic<bool> dirty{false};
   bool in_use = false;
+  /// WAL-before-data gate: the log must be durable up to this LSN
+  /// before the frame may be written back (see DESIGN.md §10).
+  /// Set at capture time and raised to the commit LSN when the
+  /// transaction seals.
+  std::atomic<uint64_t> page_lsn{0};
+  /// No-steal gate: true while the frame's latest image belongs to an
+  /// unsealed transaction. Such frames are never flushed or evicted —
+  /// losers must not reach the data file.
+  std::atomic<bool> wal_uncommitted{false};
   /// Rank kPoolFrameLatch (60): below the shard mutex (70) — a latch
   /// may be held while entering another page's shard on a multi-handle
   /// path, but never the other way around (Fetch/NewPage release the
@@ -72,10 +82,11 @@ class PageHandle {
 
  private:
   friend class BufferPool;
-  PageHandle(internal::Frame* frame, PageId id, Page* page,
+  PageHandle(BufferPool* pool, internal::Frame* frame, PageId id, Page* page,
              PageIntent intent)
-      : frame_(frame), id_(id), page_(page), intent_(intent) {}
+      : pool_(pool), frame_(frame), id_(id), page_(page), intent_(intent) {}
 
+  BufferPool* pool_ = nullptr;
   internal::Frame* frame_ = nullptr;
   PageId id_ = kNoPage;
   Page* page_ = nullptr;
@@ -162,6 +173,14 @@ class BufferPool {
   size_t shard_count() const { return shard_count_; }
   Pager* pager() { return pager_; }
 
+  /// Attaches the write-ahead log. With a WAL attached the pool (a)
+  /// captures dirtied pages released under a `WalTransactionScope`
+  /// into the log, (b) refuses to flush or evict frames of unsealed
+  /// transactions, and (c) makes the log durable up to a frame's
+  /// `page_lsn` before any writeback. Call before concurrent use.
+  void SetWal(Wal* wal) { wal_ = wal; }
+  Wal* wal() { return wal_; }
+
  private:
   friend class PageHandle;
 
@@ -190,11 +209,15 @@ class BufferPool {
   const Shard& ShardOf(PageId id) const { return shards_[id % shard_count_]; }
 
   /// Unlatches and unpins; called by PageHandle without the shard lock.
-  /// Not analyzed: latch ownership lives in the PageHandle (a
-  /// capability transfer across function boundaries Clang's analysis
-  /// cannot model); see docs/LOCKING.md §escape-hatches.
-  static void ReleaseHandle(internal::Frame* frame, bool dirty,
-                            PageIntent intent) ODE_NO_THREAD_SAFETY_ANALYSIS;
+  /// With a WAL attached, a dirty write-intent release is first
+  /// captured into the current transaction scope (while the exclusive
+  /// latch is still held, so the logged image is the exact bytes the
+  /// writer produced). Not analyzed: latch ownership lives in the
+  /// PageHandle (a capability transfer across function boundaries
+  /// Clang's analysis cannot model); see docs/LOCKING.md
+  /// §escape-hatches.
+  void ReleaseHandle(internal::Frame* frame, bool dirty,
+                     PageIntent intent) ODE_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Returns a frame index to (re)use within `shard`, evicting an
   /// unpinned LRU frame if necessary. Fails when every frame is
@@ -204,6 +227,7 @@ class BufferPool {
   void TouchLru(Shard& shard, size_t frame_index) ODE_REQUIRES(shard.mu);
 
   Pager* pager_;
+  Wal* wal_ = nullptr;
   size_t capacity_;
   size_t shard_count_;
   std::unique_ptr<Shard[]> shards_;

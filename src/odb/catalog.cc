@@ -8,7 +8,10 @@ namespace ode::odb {
 
 namespace {
 constexpr uint64_t kMagic = 0x4f44455649455731ull;  // "ODEVIEW1"
-constexpr uint32_t kFormatVersion = 1;
+// Version 2: every page reserves an 8-byte LSN trailer (see page.h),
+// shrinking slotted/blob payload capacity, and the superblock mirrors
+// the free-list head on every acquire/release.
+constexpr uint32_t kFormatVersion = 2;
 
 // Superblock layout (page 0):
 //   magic u64 | format u32 | catalog_head u32 | free_head u32 |
@@ -31,9 +34,10 @@ void StoreU16(char* p, uint16_t v) {
   p[1] = static_cast<char>((v >> 8) & 0xff);
 }
 
-// Blob page layout: next u32 | length u16 | payload
+// Blob page layout: next u32 | length u16 | payload (the LSN trailer
+// caps the payload at the usable prefix).
 constexpr size_t kBlobHeaderSize = 6;
-constexpr size_t kBlobPayloadPerPage = kPageSize - kBlobHeaderSize;
+constexpr size_t kBlobPayloadPerPage = kPageUsableSize - kBlobHeaderSize;
 }  // namespace
 
 PageId FreeList::head() const {
@@ -47,25 +51,44 @@ Result<PageId> FreeList::Acquire() {
     ODE_ASSIGN_OR_RETURN(PageHandle handle, pool_->NewPage());
     PageId id = handle.id();
     handle.MarkDirty();
+    // Fresh allocation: the head is unchanged, nothing to mirror.
     return id;
   }
   PageId id = head_;
-  ODE_ASSIGN_OR_RETURN(PageHandle handle,
-                       pool_->Fetch(id, PageIntent::kWrite));
-  head_ = DecodeFixed32(handle.page()->bytes());
-  handle.page()->Zero();
-  handle.MarkDirty();
+  {
+    ODE_ASSIGN_OR_RETURN(PageHandle handle,
+                         pool_->Fetch(id, PageIntent::kWrite));
+    head_ = DecodeFixed32(handle.page()->bytes());
+    handle.page()->Zero();
+    handle.MarkDirty();
+  }
+  ODE_RETURN_IF_ERROR(PersistHead());
   return id;
 }
 
 Status FreeList::Release(PageId id) {
   MutexLock lock(*mu_);
-  ODE_ASSIGN_OR_RETURN(PageHandle handle,
-                       pool_->Fetch(id, PageIntent::kWrite));
-  handle.page()->Zero();
-  StoreU32(handle.page()->bytes(), head_);
-  handle.MarkDirty();
+  {
+    ODE_ASSIGN_OR_RETURN(PageHandle handle,
+                         pool_->Fetch(id, PageIntent::kWrite));
+    handle.page()->Zero();
+    StoreU32(handle.page()->bytes(), head_);
+    handle.MarkDirty();
+  }
   head_ = id;
+  return PersistHead();
+}
+
+Status FreeList::PersistHead() {
+  if (superblock_ == kNoPage) return Status::OK();
+  // Write-through of the head into the superblock so every head change
+  // is part of the write transaction that caused it (a crash can then
+  // never resurrect an acquired page or orphan a released one beyond
+  // what log replay reconstructs).
+  ODE_ASSIGN_OR_RETURN(PageHandle super,
+                       pool_->Fetch(superblock_, PageIntent::kWrite));
+  StoreU32(super.page()->bytes() + kFreeHeadOffset, head_);
+  super.MarkDirty();
   return Status::OK();
 }
 
@@ -155,7 +178,7 @@ Result<Catalog> Catalog::Format(BufferPool* pool, std::string db_name) {
   if (pool->pager()->page_count() != 0) {
     return Status::FailedPrecondition("Format requires an empty database");
   }
-  if (db_name.size() > kPageSize - kNameOffset) {
+  if (db_name.size() > kPageUsableSize - kNameOffset) {
     return Status::InvalidArgument("database name too long");
   }
   ODE_ASSIGN_OR_RETURN(PageHandle super, pool->NewPage());
@@ -164,7 +187,8 @@ Result<Catalog> Catalog::Format(BufferPool* pool, std::string db_name) {
   }
   super.MarkDirty();
   super.Release();
-  Catalog catalog(pool, std::move(db_name), FreeList(pool, kNoPage));
+  Catalog catalog(pool, std::move(db_name),
+                  FreeList(pool, kNoPage, /*superblock=*/0));
   ODE_RETURN_IF_ERROR(catalog.Persist());
   return catalog;
 }
@@ -183,12 +207,13 @@ Result<Catalog> Catalog::Load(BufferPool* pool) {
   PageId catalog_head = DecodeFixed32(bytes + kCatalogHeadOffset);
   PageId free_head = DecodeFixed32(bytes + kFreeHeadOffset);
   uint16_t name_len = DecodeFixed16(bytes + kNameLenOffset);
-  if (name_len > kPageSize - kNameOffset) {
+  if (name_len > kPageUsableSize - kNameOffset) {
     return Status::Corruption("database name length out of range");
   }
   std::string name(bytes + kNameOffset, name_len);
   super.Release();
-  Catalog catalog(pool, std::move(name), FreeList(pool, free_head));
+  Catalog catalog(pool, std::move(name),
+                  FreeList(pool, free_head, /*superblock=*/0));
   catalog.catalog_head_ = catalog_head;
   if (catalog_head != kNoPage) {
     ODE_ASSIGN_OR_RETURN(std::string body, ReadBlob(pool, catalog_head));

@@ -26,10 +26,16 @@ namespace ode::odb {
 /// pages concurrently.
 class FreeList {
  public:
-  FreeList(BufferPool* pool, PageId head)
+  /// `superblock`, when given, is the page whose free-head field is
+  /// rewritten on every head change (write-through, so the head is
+  /// always crash-consistent with the chain — the write joins whatever
+  /// WAL transaction is mutating the chain). `kNoPage` keeps the head
+  /// in memory only (standalone heaps in tests have no superblock).
+  FreeList(BufferPool* pool, PageId head, PageId superblock = kNoPage)
       : pool_(pool),
         mu_(std::make_unique<Mutex>(LockRank::kFreeList)),
-        head_(head) {}
+        head_(head),
+        superblock_(superblock) {}
 
   PageId head() const;
 
@@ -43,12 +49,16 @@ class FreeList {
   Result<uint32_t> Size() const;
 
  private:
+  /// Mirrors `head_` into the superblock (no-op without one).
+  Status PersistHead() ODE_REQUIRES(*mu_);
+
   BufferPool* pool_;
   /// In a unique_ptr so the list (and the Catalog holding it) stays
   /// movable. Rank kFreeList (50): held across page fetches, so it
   /// sits below frame latches and the pool shards in the lock order.
   mutable std::unique_ptr<Mutex> mu_;
   PageId head_ ODE_GUARDED_BY(*mu_);
+  PageId superblock_ = kNoPage;
 };
 
 /// Reads/writes a byte blob across a chain of pages from `free_list`.

@@ -74,17 +74,39 @@ Result<std::unique_ptr<Database>> Database::CreateInMemory(
   return db;
 }
 
+namespace {
+
+WalOptions WalOptionsFor(const DatabaseOptions& options) {
+  WalOptions wal_options;
+  wal_options.sync = options.wal_sync;
+  wal_options.group_commit = options.wal_group_commit;
+  return wal_options;
+}
+
+}  // namespace
+
 Result<std::unique_ptr<Database>> Database::CreateOnDisk(
     const std::string& path, std::string name, DatabaseOptions options) {
   ODE_ASSIGN_OR_RETURN(std::unique_ptr<FilePager> pager,
                        FilePager::Open(path, /*create=*/true));
+  ODE_ASSIGN_OR_RETURN(std::unique_ptr<Wal> wal,
+                       Wal::Create(path + ".wal", WalOptionsFor(options)));
   auto pool =
       std::make_unique<BufferPool>(pager.get(), options.buffer_pool_pages);
+  pool->SetWal(wal.get());
   std::unique_ptr<Database> db(
       new Database(std::move(pager), std::move(pool), options));
-  ODE_ASSIGN_OR_RETURN(Catalog catalog,
-                       Catalog::Format(db->pool_.get(), std::move(name)));
-  db->catalog_.emplace(std::move(catalog));
+  db->wal_ = std::move(wal);
+  {
+    // The format writes are a logged transaction too, so a crash
+    // between Format and Sync leaves a replayable (or cleanly absent)
+    // superblock rather than a torn one.
+    WalTransactionScope txn(db->wal_.get(), &db->wal_txn_mu_);
+    ODE_ASSIGN_OR_RETURN(Catalog catalog,
+                         Catalog::Format(db->pool_.get(), std::move(name)));
+    db->catalog_.emplace(std::move(catalog));
+    ODE_RETURN_IF_ERROR(txn.Commit());
+  }
   ODE_RETURN_IF_ERROR(db->Sync());
   return db;
 }
@@ -93,10 +115,18 @@ Result<std::unique_ptr<Database>> Database::OpenOnDisk(
     const std::string& path, DatabaseOptions options) {
   ODE_ASSIGN_OR_RETURN(std::unique_ptr<FilePager> pager,
                        FilePager::Open(path, /*create=*/false));
+  // Restart recovery runs before anything reads through the pool: the
+  // committed tail of the previous incarnation's log is replayed into
+  // the data file, torn records are dropped, and the log is reset.
+  ODE_ASSIGN_OR_RETURN(
+      std::unique_ptr<Wal> wal,
+      Wal::OpenAndRecover(path + ".wal", pager.get(), WalOptionsFor(options)));
   auto pool =
       std::make_unique<BufferPool>(pager.get(), options.buffer_pool_pages);
+  pool->SetWal(wal.get());
   std::unique_ptr<Database> db(
       new Database(std::move(pager), std::move(pool), options));
+  db->wal_ = std::move(wal);
   ODE_ASSIGN_OR_RETURN(Catalog catalog, Catalog::Load(db->pool_.get()));
   db->catalog_.emplace(std::move(catalog));
   // Raise next-id watermarks above anything already stored, so ids are
@@ -117,20 +147,23 @@ const std::string& Database::name() const { return catalog_->db_name(); }
 
 Status Database::DefineSchema(std::string_view ddl) {
   WriterMutexLock lock(schema_mu_);
+  WalTransactionScope txn(wal_.get(), &wal_txn_mu_);
   BumpMutationEpoch();
   ODE_ASSIGN_OR_RETURN(Schema parsed, ParseSchema(ddl));
   for (const ClassDef& def : parsed.classes()) {
     ODE_RETURN_IF_ERROR(AddClassInternal(def, /*persist=*/false));
   }
   ODE_RETURN_IF_ERROR(catalog_->mutable_schema()->Validate());
-  return catalog_->Persist();
+  ODE_RETURN_IF_ERROR(catalog_->Persist());
+  return txn.Commit();
 }
 
 Status Database::AddClass(ClassDef def) {
   WriterMutexLock lock(schema_mu_);
+  WalTransactionScope txn(wal_.get(), &wal_txn_mu_);
   BumpMutationEpoch();
   ODE_RETURN_IF_ERROR(AddClassInternal(std::move(def), /*persist=*/true));
-  return Status::OK();
+  return txn.Commit();
 }
 
 Status Database::AddClassInternal(ClassDef def, bool persist) {
@@ -157,6 +190,7 @@ Status Database::AddClassInternal(ClassDef def, bool persist) {
 
 Status Database::AlterClass(ClassDef def) {
   WriterMutexLock lock(schema_mu_);
+  WalTransactionScope txn(wal_.get(), &wal_txn_mu_);
   BumpMutationEpoch();
   ODE_ASSIGN_OR_RETURN(const ClassDef* old_def, schema().GetClass(def.name));
   if (old_def->bases != def.bases) {
@@ -210,7 +244,8 @@ Status Database::AlterClass(ClassDef def) {
           heap->Update(local, EncodeObjectRecord(record)));
     }
   }
-  return catalog_->Persist();
+  ODE_RETURN_IF_ERROR(catalog_->Persist());
+  return txn.Commit();
 }
 
 Result<Value> Database::DefaultMemberValue(const MemberDef& member) {
@@ -257,6 +292,7 @@ Result<Value> Database::DefaultMemberValue(const MemberDef& member) {
 
 Status Database::DropClass(const std::string& class_name) {
   WriterMutexLock lock(schema_mu_);
+  WalTransactionScope txn(wal_.get(), &wal_txn_mu_);
   BumpMutationEpoch();
   Result<const ClusterInfo*> cluster = catalog_->FindCluster(class_name);
   if (cluster.ok()) {
@@ -275,7 +311,8 @@ Status Database::DropClass(const std::string& class_name) {
     }
     ODE_RETURN_IF_ERROR(catalog_->RemoveCluster(class_name));
   }
-  return catalog_->Persist();
+  ODE_RETURN_IF_ERROR(catalog_->Persist());
+  return txn.Commit();
 }
 
 Result<HeapFile*> Database::GetHeap(ClusterId id) {
@@ -380,6 +417,10 @@ Result<Oid> Database::CreateObject(const std::string& class_name,
                                    Value value) {
   ODE_TRACE_SPAN("db.create_object");
   ReaderMutexLock lock(schema_mu_);
+  // The scope serializes writers before the local id is assigned, so
+  // commit-record order matches id order: the survivors of a crash are
+  // always exactly the ids 1..k of each cluster.
+  WalTransactionScope txn(wal_.get(), &wal_txn_mu_);
   ODE_ASSIGN_OR_RETURN(const ClassDef* def, schema().GetClass(class_name));
   if (!def->persistent) {
     return Status::InvalidArgument("class '" + class_name +
@@ -401,6 +442,8 @@ Result<Oid> Database::CreateObject(const std::string& class_name,
   Oid oid{cluster_id, local};
   ODE_RETURN_IF_ERROR(
       FireTriggers(class_name, oid, TriggerEvent::kCreate, record.value));
+  ODE_RETURN_IF_ERROR(txn.Commit());
+  ODE_RETURN_IF_ERROR(MaybeCheckpointLocked());
   return oid;
 }
 
@@ -467,6 +510,7 @@ Result<std::vector<uint32_t>> Database::ListVersions(Oid oid) {
 
 Status Database::UpdateObject(Oid oid, Value value) {
   ReaderMutexLock lock(schema_mu_);
+  WalTransactionScope txn(wal_.get(), &wal_txn_mu_);
   ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
                        catalog_->FindCluster(oid.cluster));
   ODE_ASSIGN_OR_RETURN(const ClassDef* def,
@@ -487,12 +531,15 @@ Status Database::UpdateObject(Oid oid, Value value) {
   ODE_RETURN_IF_ERROR(heap->Update(oid.local, EncodeObjectRecord(record)));
   BumpMutationEpoch();
   ObjectsUpdated().Increment();
-  return FireTriggers(info->class_name, oid, TriggerEvent::kUpdate,
-                      record.value);
+  ODE_RETURN_IF_ERROR(FireTriggers(info->class_name, oid,
+                                   TriggerEvent::kUpdate, record.value));
+  ODE_RETURN_IF_ERROR(txn.Commit());
+  return MaybeCheckpointLocked();
 }
 
 Status Database::DeleteObject(Oid oid) {
   ReaderMutexLock lock(schema_mu_);
+  WalTransactionScope txn(wal_.get(), &wal_txn_mu_);
   ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
                        catalog_->FindCluster(oid.cluster));
   ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(oid.cluster));
@@ -501,8 +548,10 @@ Status Database::DeleteObject(Oid oid) {
   ODE_RETURN_IF_ERROR(heap->Delete(oid.local));
   BumpMutationEpoch();
   ObjectsDeleted().Increment();
-  return FireTriggers(info->class_name, oid, TriggerEvent::kDelete,
-                      record.value);
+  ODE_RETURN_IF_ERROR(FireTriggers(info->class_name, oid,
+                                   TriggerEvent::kDelete, record.value));
+  ODE_RETURN_IF_ERROR(txn.Commit());
+  return MaybeCheckpointLocked();
 }
 
 Result<uint64_t> Database::ClusterCount(const std::string& class_name) {
@@ -670,8 +719,49 @@ Status Database::ScanRawRecords(const std::string& class_name, uint64_t after,
 
 Status Database::Sync() {
   WriterMutexLock lock(schema_mu_);
-  ODE_RETURN_IF_ERROR(catalog_->Persist());
-  return pool_->Sync();
+  {
+    WalTransactionScope txn(wal_.get(), &wal_txn_mu_);
+    ODE_RETURN_IF_ERROR(catalog_->Persist());
+    ODE_RETURN_IF_ERROR(txn.Commit());
+  }
+  return CheckpointLocked();
+}
+
+Status Database::Checkpoint() {
+  ReaderMutexLock lock(schema_mu_);
+  return CheckpointLocked();
+}
+
+Status Database::CheckpointLocked() {
+  ODE_TRACE_SPAN("db.checkpoint");
+  // Phase 1 (fuzzy): push committed work out without blocking writers.
+  // Most of the flush I/O happens here, so the quiesce below is short.
+  if (wal_ != nullptr) {
+    ODE_RETURN_IF_ERROR(wal_->FlushUntil(wal_->next_lsn()));
+  }
+  ODE_RETURN_IF_ERROR(pool_->FlushAll());
+  // Phase 2: quiesce writers. With `wal_txn_mu_` held no transaction
+  // is in flight, so every frame is either clean or committed-dirty;
+  // after the flush + data sync the log's history is fully contained
+  // in the data file and can be truncated.
+  MutexLock txn_lock(wal_txn_mu_);
+  if (wal_ != nullptr) {
+    ODE_RETURN_IF_ERROR(wal_->FlushUntil(wal_->next_lsn()));
+  }
+  ODE_RETURN_IF_ERROR(pool_->FlushAll());
+  ODE_RETURN_IF_ERROR(pager_->Sync());
+  if (wal_ != nullptr) {
+    ODE_RETURN_IF_ERROR(wal_->ResetLog());
+  }
+  return Status::OK();
+}
+
+Status Database::MaybeCheckpointLocked() {
+  if (wal_ == nullptr ||
+      wal_->size_bytes() <= options_.wal_checkpoint_bytes) {
+    return Status::OK();
+  }
+  return CheckpointLocked();
 }
 
 std::string Database::DumpTelemetry() const {

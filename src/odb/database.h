@@ -25,6 +25,7 @@
 #include "odb/predicate.h"
 #include "odb/schema.h"
 #include "odb/value.h"
+#include "odb/wal.h"
 
 namespace ode::odb {
 
@@ -73,6 +74,15 @@ struct DatabaseOptions {
   /// Versions retained per object of a `versioned` class (oldest
   /// versions are dropped beyond the limit).
   size_t version_history_limit = 8;
+  /// On-disk databases: checkpoint (flush + truncate the WAL) after a
+  /// commit leaves the log larger than this many bytes.
+  size_t wal_checkpoint_bytes = 4u << 20;
+  /// On-disk databases: fsync the WAL on commit. Off = no durability
+  /// guarantee on power loss (crash consistency is still preserved —
+  /// recovery replays whatever prefix survived).
+  bool wal_sync = true;
+  /// Batch concurrent commits behind one fsync (see WalOptions).
+  bool wal_group_commit = true;
 };
 
 class Session;
@@ -239,8 +249,15 @@ class Database {
 
   // --- Maintenance -----------------------------------------------------
 
-  /// Flushes dirty pages and persists the catalog.
+  /// Flushes dirty pages, persists the catalog, and (on-disk) runs a
+  /// checkpoint so the data file alone holds the full state.
   Status Sync();
+
+  /// Checkpoints the WAL: flushes every committed dirty page, syncs the
+  /// data file, and truncates the log. Phase 1 runs fuzzy (concurrent
+  /// writers keep going); phase 2 briefly quiesces writers. No-op for
+  /// in-memory databases beyond a flush.
+  Status Checkpoint();
 
   /// Text report of every metric in the global `obs::Registry` — the
   /// runtime inspector's data source. Deliberately consumes only
@@ -249,6 +266,8 @@ class Database {
   std::string DumpTelemetry() const;
 
   BufferPool* buffer_pool() { return pool_.get(); }
+  /// The write-ahead log (nullptr for in-memory databases).
+  Wal* wal() { return wal_.get(); }
   const DatabaseOptions& options() const { return options_; }
 
   // --- Sessions ---------------------------------------------------------
@@ -298,6 +317,12 @@ class Database {
   Status AddClassInternal(ClassDef def, bool persist)
       ODE_REQUIRES(schema_mu_);
 
+  /// Checkpoint body (callers hold `schema_mu_` in either mode).
+  Status CheckpointLocked() ODE_REQUIRES_SHARED(schema_mu_);
+  /// Checkpoints when the log has outgrown `wal_checkpoint_bytes`
+  /// (called after DML commits; must not hold `wal_txn_mu_`).
+  Status MaybeCheckpointLocked() ODE_REQUIRES_SHARED(schema_mu_);
+
   /// Default value for one member (used by AlterClass migration).
   Result<Value> DefaultMemberValue(const MemberDef& member);
 
@@ -319,6 +344,10 @@ class Database {
 
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<BufferPool> pool_;
+  /// Set at open for on-disk databases, before the pool learns about
+  /// it via `SetWal`; null for in-memory databases. Destroyed after the
+  /// pool (member order), which never touches it post-destruction.
+  std::unique_ptr<Wal> wal_;
   DatabaseOptions options_;
   /// Set once at open (before the database is shared) and never
   /// reseated, so the optional itself is read lock-free; the catalog
@@ -333,6 +362,12 @@ class Database {
   /// (36) / predicate (37) -> free list (50) -> frame latch (60) ->
   /// pool shard (70) -> pager (80).
   mutable SharedMutex schema_mu_{LockRank::kDbSchema};
+  /// Serializes write transactions (rank kWalTxn, 15): held by a
+  /// `WalTransactionScope` from the start of a logged operation until
+  /// its commit record is appended — so uncommitted log records are
+  /// always a strict suffix — and by checkpoint phase 2 to quiesce
+  /// writers. Watchdog-visible: a wedged writer surfaces as a stall.
+  Mutex wal_txn_mu_{LockRank::kWalTxn, "db.wal_txn_lock"};
   /// Guards the heaps_ map (per-heap state has its own rwlock).
   Mutex heaps_mu_{LockRank::kDbHeaps};
   Mutex trigger_mu_{LockRank::kDbTrigger};

@@ -10,6 +10,16 @@ namespace ode::odb {
 /// Size of every database page in bytes.
 inline constexpr size_t kPageSize = 4096;
 
+/// Every page reserves its last 8 bytes for the page LSN: the log
+/// sequence number of the WAL record carrying this page's latest
+/// image. Stamped when a dirtied page is captured into the log;
+/// recovery and tooling read it to tell how current an on-disk page
+/// is. Layouts (slotted pages, blob pages, the superblock) must stay
+/// inside the usable prefix.
+inline constexpr size_t kPageLsnSize = 8;
+inline constexpr size_t kPageLsnOffset = kPageSize - kPageLsnSize;
+inline constexpr size_t kPageUsableSize = kPageLsnOffset;
+
 /// Page number within a database file. Page 0 is the superblock.
 using PageId = uint32_t;
 
@@ -24,6 +34,16 @@ struct Page {
   void Zero() { data.fill(0); }
   char* bytes() { return data.data(); }
   const char* bytes() const { return data.data(); }
+
+  /// The LSN trailer (0 on pages never captured into a WAL).
+  uint64_t lsn() const {
+    uint64_t v = 0;
+    std::memcpy(&v, data.data() + kPageLsnOffset, sizeof(v));
+    return v;
+  }
+  void set_lsn(uint64_t v) {
+    std::memcpy(data.data() + kPageLsnOffset, &v, sizeof(v));
+  }
 };
 
 }  // namespace ode::odb

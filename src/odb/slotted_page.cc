@@ -21,7 +21,7 @@ void SlottedPage::Init() {
   page_->Zero();
   set_next_page(kNoPage);
   set_slot_count(0);
-  set_free_end(static_cast<uint16_t>(kPageSize));
+  set_free_end(static_cast<uint16_t>(kPageUsableSize));
   set_live_count(0);
 }
 
@@ -84,7 +84,7 @@ size_t SlottedPage::FreeSpace() const {
     if (slot_offset(s) != 0) live_bytes += slot_length(s);
   }
   size_t used = kHeaderSize + slot_count() * kSlotSize + live_bytes;
-  return used < kPageSize ? kPageSize - used : 0;
+  return used < kPageUsableSize ? kPageUsableSize - used : 0;
 }
 
 Result<uint16_t> SlottedPage::Insert(std::string_view record) {
@@ -194,7 +194,7 @@ void SlottedPage::Compact() {
                           slot_length(s))});
     }
   }
-  uint16_t cursor = static_cast<uint16_t>(kPageSize);
+  uint16_t cursor = static_cast<uint16_t>(kPageUsableSize);
   for (const LiveRecord& rec : live) {
     cursor = static_cast<uint16_t>(cursor - rec.bytes.size());
     std::memcpy(page_->bytes() + cursor, rec.bytes.data(),

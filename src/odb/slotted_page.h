@@ -26,9 +26,10 @@ class SlottedPage {
  public:
   static constexpr size_t kHeaderSize = 12;
   static constexpr size_t kSlotSize = 4;
-  /// Largest record a single page can hold.
+  /// Largest record a single page can hold. Record data stops at
+  /// `kPageUsableSize`: the page's LSN trailer is not ours to use.
   static constexpr size_t kMaxRecordSize =
-      kPageSize - kHeaderSize - kSlotSize;
+      kPageUsableSize - kHeaderSize - kSlotSize;
 
   /// Wraps `page` without validating; call `Init()` on fresh pages.
   explicit SlottedPage(Page* page) : page_(page) {}

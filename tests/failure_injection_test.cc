@@ -1,24 +1,40 @@
-// Failure injection: a pager decorator that starts failing after N
-// operations, verifying that I/O errors propagate as Status through
-// every storage layer instead of crashing or corrupting state.
+// Failure injection: a pager decorator with several failure models
+// (operation budget, sync-only failures, torn sector writes),
+// verifying that I/O errors propagate as Status through every storage
+// layer instead of crashing or corrupting state — and that the WAL
+// turns the surviving failure modes back into consistent state.
 
 #include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
 
 #include "odb/buffer_pool.h"
 #include "odb/catalog.h"
 #include "odb/heap_file.h"
 #include "odb/pager.h"
+#include "odb/wal.h"
 
 namespace ode::odb {
 namespace {
 
-/// Wraps a MemPager; after `budget` successful operations every call
-/// fails with IOError (a full disk / dead device).
+/// Wraps a MemPager with an injectable failure model:
+///  - kFailOps: after `budget` successful operations every call fails
+///    with IOError (a full disk / dead device).
+///  - kSyncFail: reads/writes succeed but `Sync()` fails — a device
+///    that acknowledges writes it cannot make durable.
+///  - kTornWrite: `Write()` persists only the first `kTornBytes` of
+///    the page and reports success — a power cut mid-sector.
 class FlakyPager final : public Pager {
  public:
+  enum class Mode { kFailOps, kSyncFail, kTornWrite };
+  static constexpr size_t kTornBytes = 512;
+
   explicit FlakyPager(int budget) : budget_(budget) {}
 
   void set_budget(int budget) { budget_ = budget; }
+  void set_mode(Mode mode) { mode_ = mode; }
 
   Result<PageId> Allocate() override {
     ODE_RETURN_IF_ERROR(Spend());
@@ -30,22 +46,38 @@ class FlakyPager final : public Pager {
   }
   Status Write(PageId id, const Page& page) override {
     ODE_RETURN_IF_ERROR(Spend());
+    if (mode_ == Mode::kTornWrite) {
+      // Persist a torn image: old (or zero) content with only the
+      // first kTornBytes of the new page applied.
+      Page merged;
+      merged.Zero();
+      if (id < inner_.page_count()) {
+        ODE_RETURN_IF_ERROR(inner_.Read(id, &merged));
+      }
+      std::memcpy(merged.bytes(), page.bytes(), kTornBytes);
+      return inner_.Write(id, merged);
+    }
     return inner_.Write(id, page);
   }
   uint32_t page_count() const override { return inner_.page_count(); }
   Status Sync() override {
+    if (mode_ == Mode::kSyncFail) {
+      return Status::IOError("injected fsync failure");
+    }
     ODE_RETURN_IF_ERROR(Spend());
     return inner_.Sync();
   }
 
  private:
   Status Spend() {
+    if (mode_ != Mode::kFailOps) return Status::OK();
     if (budget_ <= 0) return Status::IOError("injected device failure");
     --budget_;
     return Status::OK();
   }
 
   MemPager inner_;
+  Mode mode_ = Mode::kFailOps;
   int budget_;
 };
 
@@ -124,6 +156,165 @@ TEST(FailureInjectionTest, CatalogPersistFailureSurfaces) {
   }
   ASSERT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kIOError);
+}
+
+// --- WAL-aware durability cases --------------------------------------------
+
+/// Builds a MemWalStore preloaded with `bytes` (the crash image a
+/// power loss would leave behind) for handing to recovery.
+std::unique_ptr<MemWalStore> CrashImageStore(const std::string& bytes) {
+  auto store = std::make_unique<MemWalStore>();
+  EXPECT_TRUE(store->Append(bytes).ok());
+  return store;
+}
+
+TEST(WalFailureInjectionTest, CommitNotClaimedUntilFsync) {
+  // A commit whose fsync fails must surface IOError, and a crash at
+  // that point must lose the transaction: durability is claimed only
+  // after the log sync succeeded.
+  auto store = std::make_unique<MemWalStore>();
+  MemWalStore* raw = store.get();
+  WalOptions wal_options;
+  auto wal = *Wal::Create(std::move(store), wal_options);
+
+  MemPager pager;
+  BufferPool pool(&pager, 8);
+  pool.SetWal(wal.get());
+
+  raw->set_fail_syncs(true);
+  {
+    WalTransactionScope txn(wal.get(), /*txn_mu=*/nullptr);
+    PageHandle handle = *pool.NewPage();
+    handle.page()->bytes()[0] = 'd';
+    handle.MarkDirty();
+    handle.Release();
+    Status committed = txn.Commit();
+    ASSERT_FALSE(committed.ok());
+    EXPECT_EQ(committed.code(), StatusCode::kIOError);
+  }
+
+  // Power loss now: only the synced prefix (the file header written at
+  // Create) survives. Recovery must find zero committed transactions.
+  {
+    MemPager crash_pager;
+    WalRecoveryStats stats;
+    auto recovered = Wal::OpenAndRecover(CrashImageStore(raw->durable_bytes()),
+                                         &crash_pager, wal_options, &stats);
+    ASSERT_TRUE(recovered.ok());
+    EXPECT_EQ(stats.committed_txns, 0u);
+    EXPECT_EQ(stats.pages_redone, 0u);
+  }
+
+  // The device recovers; the already-appended records become durable
+  // and a crash after that point preserves the transaction.
+  raw->set_fail_syncs(false);
+  ASSERT_TRUE(wal->WaitCommitDurable(wal->next_lsn()).ok());
+  {
+    MemPager crash_pager;
+    WalRecoveryStats stats;
+    auto recovered = Wal::OpenAndRecover(CrashImageStore(raw->durable_bytes()),
+                                         &crash_pager, wal_options, &stats);
+    ASSERT_TRUE(recovered.ok());
+    EXPECT_EQ(stats.committed_txns, 1u);
+    EXPECT_EQ(stats.pages_redone, 1u);
+    Page raw_page;
+    ASSERT_TRUE(crash_pager.Read(0, &raw_page).ok());
+    EXPECT_EQ(raw_page.bytes()[0], 'd');
+  }
+}
+
+TEST(WalFailureInjectionTest, DataFileSyncFailureSurfaces) {
+  // A data-file fsync failure must propagate out of pool.Sync() rather
+  // than being swallowed (writes alone do not make pages durable).
+  FlakyPager pager(1 << 30);
+  BufferPool pool(&pager, 4);
+  {
+    PageHandle handle = *pool.NewPage();
+    handle.page()->bytes()[0] = 's';
+    handle.MarkDirty();
+  }
+  pager.set_mode(FlakyPager::Mode::kSyncFail);
+  Status status = pool.Sync();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  pager.set_mode(FlakyPager::Mode::kFailOps);
+  EXPECT_TRUE(pool.Sync().ok());
+}
+
+TEST(WalFailureInjectionTest, TornDataPageRepairedByReplay) {
+  // A torn data-page write (power cut mid-sector) is invisible to the
+  // writer — the pager reports success. Replaying the committed
+  // after-image from the log must restore the full page.
+  auto store = std::make_unique<MemWalStore>();
+  MemWalStore* raw = store.get();
+  WalOptions wal_options;
+  auto wal = *Wal::Create(std::move(store), wal_options);
+
+  FlakyPager pager(1 << 30);
+  BufferPool pool(&pager, 4);
+  pool.SetWal(wal.get());
+
+  PageId id = kNoPage;
+  {
+    WalTransactionScope txn(wal.get(), /*txn_mu=*/nullptr);
+    PageHandle handle = *pool.NewPage();
+    id = handle.id();
+    for (size_t i = 0; i < kPageUsableSize; ++i) {
+      handle.page()->bytes()[i] = static_cast<char>('a' + i % 23);
+    }
+    handle.MarkDirty();
+    handle.Release();
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+
+  // The flush tears the page: only the first 512 bytes reach "disk".
+  pager.set_mode(FlakyPager::Mode::kTornWrite);
+  ASSERT_TRUE(pool.FlushAll().ok());
+  pager.set_mode(FlakyPager::Mode::kFailOps);
+  {
+    Page torn;
+    ASSERT_TRUE(pager.Read(id, &torn).ok());
+    EXPECT_EQ(torn.bytes()[FlakyPager::kTornBytes], '\0')
+        << "test premise: the tail of the page must have been lost";
+  }
+
+  // Crash + restart: recovery replays the committed image over the
+  // torn page.
+  WalRecoveryStats stats;
+  auto recovered = Wal::OpenAndRecover(CrashImageStore(raw->contents()),
+                                       &pager, wal_options, &stats);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(stats.committed_txns, 1u);
+  EXPECT_GE(stats.pages_redone, 1u);
+  Page repaired;
+  ASSERT_TRUE(pager.Read(id, &repaired).ok());
+  for (size_t i = 0; i < kPageUsableSize; ++i) {
+    ASSERT_EQ(repaired.bytes()[i], static_cast<char>('a' + i % 23))
+        << "byte " << i << " not restored";
+  }
+}
+
+TEST(WalFailureInjectionTest, PerCommitFsyncModeStillDurable) {
+  // group_commit=false (the bench baseline) must still make every
+  // commit durable before returning.
+  auto store = std::make_unique<MemWalStore>();
+  MemWalStore* raw = store.get();
+  WalOptions wal_options;
+  wal_options.group_commit = false;
+  auto wal = *Wal::Create(std::move(store), wal_options);
+  MemPager pager;
+  BufferPool pool(&pager, 4);
+  pool.SetWal(wal.get());
+  {
+    WalTransactionScope txn(wal.get(), /*txn_mu=*/nullptr);
+    PageHandle handle = *pool.NewPage();
+    handle.page()->bytes()[7] = 'g';
+    handle.MarkDirty();
+    handle.Release();
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  EXPECT_EQ(wal->durable_lsn(), wal->next_lsn());
+  EXPECT_EQ(raw->durable_bytes().size(), raw->contents().size());
 }
 
 }  // namespace

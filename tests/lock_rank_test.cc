@@ -39,11 +39,12 @@ class ScopedValidatorMode {
 /// and docs/LOCKING.md) together when adding a lock.
 const std::vector<LockRank>& AllRanks() {
   static const std::vector<LockRank>* ranks = new std::vector<LockRank>{
-      LockRank::kDbSchema,        LockRank::kDbHeaps,
-      LockRank::kHeapFile,        LockRank::kCatalogId,
-      LockRank::kDbTrigger,       LockRank::kDbPredicate,
-      LockRank::kFreeList,        LockRank::kPoolFrameLatch,
-      LockRank::kPoolShard,       LockRank::kPager,
+      LockRank::kDbSchema,        LockRank::kWalTxn,
+      LockRank::kDbHeaps,         LockRank::kHeapFile,
+      LockRank::kCatalogId,       LockRank::kDbTrigger,
+      LockRank::kDbPredicate,     LockRank::kFreeList,
+      LockRank::kPoolFrameLatch,  LockRank::kPoolShard,
+      LockRank::kWal,             LockRank::kPager,
       LockRank::kBackgroundWorker, LockRank::kWatchdogScan,
       LockRank::kWatchdogWake,    LockRank::kWatchdogRefresh,
       LockRank::kMetricsRegistry, LockRank::kTraceDirectory,

@@ -9,6 +9,15 @@ Fails (exit 1) when any benchmark matched by --filter is slower than
 baseline * (1 + tolerance). Benchmarks missing from the baseline are
 skipped with a note, so adding a new benchmark never breaks the gate.
 
+Same-run ratio mode (machine-independent — no baseline needed):
+  compare_bench.py --run out.json \
+      --ratio BM_SelectProfilingOn:BM_SelectProfilingOff --max-ratio 1.5
+
+Fails when numerator/denominator real_time exceeds --max-ratio. Both
+benchmarks come from the *same* run, so the gate holds on any machine;
+it's how CI bounds profiling-on overhead relative to profiling-off.
+--ratio may repeat.
+
 Caveat: the committed baseline was captured on one specific machine
 and build type. Cross-machine absolute comparisons are meaningless —
 CI re-captures or uses a generous tolerance on stable runners; local
@@ -32,9 +41,47 @@ def load_run(path):
     return out
 
 
+def check_ratios(run_benches, specs, max_ratio):
+    """Same-run numerator:denominator gates. Returns the exit code."""
+    failures = []
+    for spec in specs:
+        try:
+            num_name, den_name = spec.split(":", 1)
+        except ValueError:
+            print(f"compare_bench: bad --ratio '{spec}' (want NUM:DEN)",
+                  file=sys.stderr)
+            return 1
+        num = run_benches.get(num_name)
+        den = run_benches.get(den_name)
+        if num is None or den is None:
+            missing = num_name if num is None else den_name
+            print(f"compare_bench: --ratio benchmark '{missing}' not in "
+                  f"the run", file=sys.stderr)
+            return 1
+        if num["time_unit"] != den["time_unit"]:
+            print(f"compare_bench: unit mismatch in '{spec}'",
+                  file=sys.stderr)
+            return 1
+        ratio = num["real_time"] / den["real_time"]
+        verdict = "OK"
+        if ratio > max_ratio:
+            verdict = "REGRESSION"
+            failures.append(spec)
+        print(f"  {verdict:10s} {num_name} / {den_name}: "
+              f"{num['real_time']:.0f} / {den['real_time']:.0f} "
+              f"{num['time_unit']} = {ratio:.2f}x (max {max_ratio:.2f}x)")
+    if failures:
+        print(f"compare_bench: {len(failures)} ratio gate(s) exceeded: "
+              f"{', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"compare_bench: {len(specs)} ratio gate(s) within "
+          f"{max_ratio:.2f}x")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--baseline", default=None)
     parser.add_argument("--run", required=True,
                         help="benchmark JSON produced with --benchmark_out")
     parser.add_argument("--binary", default=None,
@@ -44,7 +91,20 @@ def main():
                         help="regex over benchmark names to compare")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed slowdown fraction (0.20 = +20%%)")
+    parser.add_argument("--ratio", action="append", default=[],
+                        metavar="NUM:DEN",
+                        help="same-run ratio gate; may repeat")
+    parser.add_argument("--max-ratio", type=float, default=1.5,
+                        help="fail when a --ratio pair exceeds this")
     args = parser.parse_args()
+
+    if args.ratio:
+        return check_ratios(load_run(args.run), args.ratio, args.max_ratio)
+
+    if args.baseline is None:
+        print("compare_bench: --baseline is required unless --ratio is "
+              "used", file=sys.stderr)
+        return 1
 
     with open(args.baseline) as f:
         baseline = json.load(f)

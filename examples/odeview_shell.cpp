@@ -14,16 +14,20 @@
 
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/journal.h"
+#include "common/op_profile.h"
 #include "common/strings.h"
 #include "common/telemetry_http.h"
 #include "common/watchdog.h"
 #include "dynlink/lab_modules.h"
 #include "odb/database.h"
+#include "odb/exec/executor.h"
+#include "odb/exec/explain.h"
 #include "odb/integrity.h"
 #include "odb/labdb.h"
 #include "odeview/app.h"
@@ -48,6 +52,12 @@ void Help() {
   project <class> <attrs,...>  project onto attributes (empty = ALL)
   select <class> <predicate>   apply a selection predicate
   join <left> <right> <pred>   open a §5.3 join view
+  explain [analyze] select <class> <pred>
+                               show (and with analyze, run) the plan
+  explain [analyze] join <left> <right> <pred>
+  sessions                     list open sessions (JSON)
+  slow-demo                    run a deliberately slow profiled query
+                               (parks it in the /slow ring)
   versions <class>             open the version-history window
   check                        run the referential-integrity checker
   stats                        open/refresh the statistics window
@@ -83,7 +93,8 @@ int main(int argc, char** argv) {
     if (started.ok()) {
       std::fprintf(stderr,
                    "telemetry endpoint listening on 127.0.0.1:%u "
-                   "(/metrics /journal /trace)\n",
+                   "(/metrics /metrics.json /journal /trace /sessions "
+                   "/slow /healthz)\n",
                    telemetry_server.port());
     } else {
       std::fprintf(stderr, "telemetry endpoint: %s\n",
@@ -105,6 +116,11 @@ int main(int argc, char** argv) {
                                            db->schema());
   (void)app.AddDatabaseBorrowed(db.get());
   (void)app.OpenInitialWindow();
+
+  // slow-demo state: a second database with a deliberately tiny pool
+  // and a session held open so /sessions and /slow have live content.
+  std::unique_ptr<odb::Database> demo_db;
+  std::optional<odb::Session> demo_session;
 
   auto interactor = [&]() -> view::DbInteractor* {
     return app.FindInteractor("lab");
@@ -140,6 +156,60 @@ int main(int argc, char** argv) {
       std::string name;
       in >> name;
       report(app.OpenDatabase(name).status());
+    } else if (cmd == "slow-demo") {
+      // A page-miss-heavy profiled query made predictably slow: an
+      // 8-frame pool over 200 employees forces real pool misses, and
+      // a 2 ms/batch injected delay pushes the op past the (lowered)
+      // slow threshold. CI curls /slow and /sessions afterwards and
+      // asserts the parked record carries nonzero pages_read.
+      if (demo_db == nullptr) {
+        odb::DatabaseOptions demo_options;
+        demo_options.buffer_pool_pages = 8;
+        auto demo_or =
+            odb::Database::CreateInMemory("slowdemo", demo_options);
+        if (!demo_or.ok()) {
+          report(demo_or.status());
+          continue;
+        }
+        demo_db = std::move(*demo_or);
+        odb::LabDbConfig demo_config;
+        demo_config.employees = 200;
+        if (Status s = odb::BuildLabDatabase(demo_db.get(), demo_config);
+            !s.ok()) {
+          report(s);
+          demo_db.reset();
+          continue;
+        }
+        demo_session.emplace(demo_db->OpenSession());
+      }
+      obs::SlowOpLog::Global().set_threshold_ns(1'000'000);  // 1 ms
+      auto predicate = odb::ParsePredicate("age > 30");
+      if (!predicate.ok()) {
+        report(predicate.status());
+        continue;
+      }
+      odb::exec::ScanSpec spec;
+      spec.class_name = "employee";
+      spec.predicate = &*predicate;
+      spec.batch_size = 32;  // ~7 batches over 200 employees
+      spec.injected_delay_ns_per_batch = 2'000'000;  // 2 ms per batch
+      size_t matched = 0;
+      {
+        obs::ProfiledOp op(demo_session->entry(), "slow_demo");
+        auto result = odb::exec::ExecuteScan(demo_db.get(), spec);
+        if (!result.ok()) {
+          report(result.status());
+          continue;
+        }
+        matched = result->rows.size();
+      }
+      std::printf(
+          "slow demo: %zu rows matched; the op is parked in /slow and "
+          "the session shows on /sessions\n",
+          matched);
+    } else if (cmd == "sessions") {
+      std::printf("%s\n",
+                  obs::SessionRegistry::Global().RenderJson().c_str());
     } else if (interactor() == nullptr) {
       std::puts("open a database first ('open lab')");
     } else if (cmd == "schema") {
@@ -220,6 +290,42 @@ int main(int argc, char** argv) {
         std::printf("%zu matching pairs\n", (*join)->pair_count());
       } else {
         report(join.status());
+      }
+    } else if (cmd == "explain") {
+      std::string what;
+      in >> what;
+      bool analyze = false;
+      if (what == "analyze") {
+        analyze = true;
+        in >> what;
+      }
+      std::string left, right;
+      if (what == "select") {
+        in >> left;
+      } else if (what == "join") {
+        in >> left >> right;
+      } else {
+        std::puts(
+            "usage: explain [analyze] select <class> <pred>\n"
+            "       explain [analyze] join <left> <right> <pred>");
+        continue;
+      }
+      std::string predicate_text;
+      std::getline(in, predicate_text);
+      auto predicate =
+          odb::ParsePredicate(StripWhitespace(predicate_text));
+      if (!predicate.ok()) {
+        report(predicate.status());
+        continue;
+      }
+      auto explained =
+          what == "select"
+              ? db->ExplainSelect(left, *predicate, analyze)
+              : db->ExplainJoin(left, right, *predicate, analyze);
+      if (explained.ok()) {
+        std::fputs(explained->RenderText().c_str(), stdout);
+      } else {
+        report(explained.status());
       }
     } else if (cmd == "versions") {
       std::string cls;

@@ -79,6 +79,8 @@ const char* JournalEventName(JournalEvent type) {
       return "wal_checkpoint";
     case JournalEvent::kWalTornTail:
       return "wal_torn_tail";
+    case JournalEvent::kSlowOp:
+      return "slow_op";
   }
   return "unknown";
 }

@@ -30,6 +30,8 @@ enum class JournalEvent : uint32_t {
   kWalRecoveryEnd = 13,    ///< arg0 = pages redone, arg1 = committed txns
   kWalCheckpoint = 14,     ///< arg0 = log bytes released
   kWalTornTail = 15,       ///< arg0 = bytes truncated from the log tail
+  kSlowOp = 16,            ///< arg0 = duration ns, arg1 = session id,
+                           ///< detail = op name
 };
 
 /// Wire name of a journal event type ("session_open", ...).

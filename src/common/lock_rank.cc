@@ -159,6 +159,11 @@ const std::vector<LockRankInfo>& LockRankTable() {
       {LockRank::kWatchdogScan, "watchdog.scan_lock", false, false},
       {LockRank::kWatchdogWake, "watchdog.wake_lock", false, false},
       {LockRank::kWatchdogRefresh, "watchdog.refresh_lock", false, false},
+      // Session inspector / slow-op ring: registered below the metrics
+      // registry so render paths may still create instruments.
+      {LockRank::kSessionRegistry, "obs.session_registry_lock", false,
+       false},
+      {LockRank::kSlowOpLog, "obs.slow_op_lock", false, false},
       {LockRank::kMetricsRegistry, "obs.registry_lock", false, false},
       {LockRank::kTraceDirectory, "trace.directory_lock", false, false},
       // Same-rank stacking: OpenSpans/export paths iterate thread

@@ -98,6 +98,31 @@ int BucketIndex(uint64_t value) {
   return std::min(width, Histogram::kBuckets - 1);
 }
 
+uint64_t NowSteadyNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Quantile from a plain bucket-count array (same bucket geometry as
+/// `Histogram`); `max` stands in for the unbounded top bucket.
+uint64_t QuantileFromBuckets(const uint64_t* buckets, uint64_t count,
+                             uint64_t max, double q) {
+  if (count == 0) return 0;
+  auto rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (rank >= count) rank = count - 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen > rank) {
+      if (i >= Histogram::kBuckets - 1) return max;
+      return Histogram::BucketUpperBound(i);
+    }
+  }
+  return max;
+}
+
 }  // namespace
 
 bool IsValidMetricName(std::string_view name) {
@@ -318,19 +343,62 @@ std::vector<MetricSample> Registry::Snapshot() const {
   for (const auto& [name, c] : live_counters) counter_totals[name] += c->value();
   for (const auto& [name, h] : live_histograms) fold(name, *h);
 
-  auto quantile_of = [](const HistAgg& agg, double q) -> uint64_t {
-    if (agg.count == 0) return 0;
-    auto rank = static_cast<uint64_t>(q * static_cast<double>(agg.count));
-    if (rank >= agg.count) rank = agg.count - 1;
-    uint64_t seen = 0;
-    for (int i = 0; i < Histogram::kBuckets; ++i) {
-      seen += agg.buckets[i];
-      if (seen > rank) {
-        if (i >= Histogram::kBuckets - 1) return agg.max;
-        return Histogram::BucketUpperBound(i);
+  // Window rotation, lazily on snapshot: the aggregate above is the
+  // lifetime total, so a window is just the delta of bucket counts
+  // since the window opened. mu_ is re-acquired (briefly) because the
+  // window baselines are registry state.
+  struct WindowView {
+    uint64_t count = 0;
+    uint64_t p50 = 0;
+    uint64_t p95 = 0;
+    uint64_t p99 = 0;
+  };
+  std::map<std::string, WindowView> window_views;
+  {
+    const uint64_t duration = window_duration_ns();
+    const uint64_t now = NowSteadyNs();
+    MutexLock lock(mu_);
+    for (const auto& [name, agg] : hist_totals) {
+      HistWindow& w = windows_[name];
+      if (agg.count < w.baseline_count) {
+        // Totals shrank (a test reset retired history): restart clean.
+        w = HistWindow{};
       }
+      uint64_t delta[Histogram::kBuckets];
+      for (int i = 0; i < Histogram::kBuckets; ++i) {
+        delta[i] = agg.buckets[i] - w.baseline[i];
+      }
+      uint64_t delta_count = agg.count - w.baseline_count;
+      const bool rotate = w.opened_at_ns == 0 || duration == 0 ||
+                          now - w.opened_at_ns >= duration;
+      if (rotate) {
+        std::copy(delta, delta + Histogram::kBuckets, w.completed);
+        w.completed_count = delta_count;
+        std::copy(agg.buckets, agg.buckets + Histogram::kBuckets,
+                  w.baseline);
+        w.baseline_count = agg.count;
+        w.opened_at_ns = now;
+      }
+      // Prefer the last completed window; while it is empty (fresh
+      // start or a quiet minute) fall back to the in-progress delta so
+      // the export never goes dark mid-burst.
+      const uint64_t* src = w.completed;
+      uint64_t src_count = w.completed_count;
+      if (src_count == 0) {
+        src = delta;
+        src_count = delta_count;
+      }
+      WindowView view;
+      view.count = src_count;
+      view.p50 = QuantileFromBuckets(src, src_count, agg.max, 0.50);
+      view.p95 = QuantileFromBuckets(src, src_count, agg.max, 0.95);
+      view.p99 = QuantileFromBuckets(src, src_count, agg.max, 0.99);
+      window_views[name] = view;
     }
-    return agg.max;
+  }
+
+  auto quantile_of = [](const HistAgg& agg, double q) -> uint64_t {
+    return QuantileFromBuckets(agg.buckets, agg.count, agg.max, q);
   };
 
   std::vector<MetricSample> out;
@@ -358,8 +426,15 @@ std::vector<MetricSample> Registry::Snapshot() const {
     s.sum = agg.sum;
     s.max = agg.max;
     s.p50 = quantile_of(agg, 0.50);
+    s.p95 = quantile_of(agg, 0.95);
     s.p99 = quantile_of(agg, 0.99);
     s.buckets.assign(agg.buckets, agg.buckets + Histogram::kBuckets);
+    if (auto it = window_views.find(name); it != window_views.end()) {
+      s.window_count = it->second.count;
+      s.window_p50 = it->second.p50;
+      s.window_p95 = it->second.p95;
+      s.window_p99 = it->second.p99;
+    }
     out.push_back(std::move(s));
   }
   std::sort(out.begin(), out.end(),
@@ -408,6 +483,14 @@ std::string Registry::RenderPrometheus() const {
         }
         os << name << "_sum " << s.sum << "\n"
            << name << "_count " << s.count << "\n";
+        // Rotating-window quantiles export as gauges (a quantile is
+        // not a cumulative series).
+        os << "# TYPE " << name << "_window_p50 gauge\n"
+           << name << "_window_p50 " << s.window_p50 << "\n"
+           << "# TYPE " << name << "_window_p95 gauge\n"
+           << name << "_window_p95 " << s.window_p95 << "\n"
+           << "# TYPE " << name << "_window_p99 gauge\n"
+           << name << "_window_p99 " << s.window_p99 << "\n";
         break;
       }
     }
@@ -430,14 +513,36 @@ std::string Registry::RenderJson() const {
         first_g = false;
         gauges << "\"" << JsonEscape(s.name) << "\":" << s.value;
         break;
-      case MetricSample::Kind::kHistogram:
+      case MetricSample::Kind::kHistogram: {
         if (!first_h) histograms << ",";
         first_h = false;
         histograms << "\"" << JsonEscape(s.name) << "\":{"
                    << "\"count\":" << s.count << ",\"sum\":" << s.sum
                    << ",\"max\":" << s.max << ",\"p50\":" << s.p50
-                   << ",\"p99\":" << s.p99 << "}";
+                   << ",\"p95\":" << s.p95 << ",\"p99\":" << s.p99
+                   << ",\"window\":{\"count\":" << s.window_count
+                   << ",\"p50\":" << s.window_p50
+                   << ",\"p95\":" << s.window_p95
+                   << ",\"p99\":" << s.window_p99 << "}";
+        // Bucket boundaries ride along so consumers can re-derive any
+        // quantile; zero buckets are omitted, the top one is "inf".
+        histograms << ",\"buckets\":[";
+        bool first_b = true;
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+          if (s.buckets[i] == 0) continue;
+          if (!first_b) histograms << ",";
+          first_b = false;
+          if (i == Histogram::kBuckets - 1) {
+            histograms << "{\"le\":\"inf\",\"count\":" << s.buckets[i]
+                       << "}";
+          } else {
+            histograms << "{\"le\":" << Histogram::BucketUpperBound(i)
+                       << ",\"count\":" << s.buckets[i] << "}";
+          }
+        }
+        histograms << "]}";
         break;
+      }
     }
   }
   std::ostringstream os;
@@ -460,7 +565,7 @@ std::string Registry::RenderText() const {
       }
       if (kind == MetricSample::Kind::kHistogram) {
         os << "  " << s.name << ": n=" << s.count << " p50=" << s.p50
-           << " p99=" << s.p99 << " max=" << s.max;
+           << " p95=" << s.p95 << " p99=" << s.p99 << " max=" << s.max;
         if (s.count > 0) os << " mean=" << s.sum / s.count;
         os << "\n";
       } else {
@@ -494,6 +599,7 @@ void Registry::ResetForTest() {
   owned_histograms_.clear();
   retired_counters_.clear();
   retired_histograms_.clear();
+  windows_.clear();
 }
 
 }  // namespace ode::obs

@@ -96,8 +96,17 @@ struct MetricSample {
   uint64_t sum = 0;
   uint64_t max = 0;
   uint64_t p50 = 0;
+  uint64_t p95 = 0;
   uint64_t p99 = 0;
   std::vector<uint64_t> buckets;  ///< per-bucket counts (non-cumulative)
+  /// Rotating-window view: quantiles over the most recent completed
+  /// window (or the in-progress one while the first fills), so a burst
+  /// of slow operations shows up even under a long uptime's worth of
+  /// fast samples. `window_count` is the sample count behind them.
+  uint64_t window_count = 0;
+  uint64_t window_p50 = 0;
+  uint64_t window_p95 = 0;
+  uint64_t window_p99 = 0;
 };
 
 /// The process-wide metrics registry.
@@ -153,6 +162,18 @@ class Registry {
   /// Human-readable report (the runtime inspector's data source).
   std::string RenderText() const;
 
+  /// Percentile-window length for `MetricSample`'s `window_*` fields.
+  /// Windows rotate lazily during `Snapshot()`: when one has been open
+  /// at least this long it is closed (its bucket delta becomes the
+  /// exported window) and the next begins. 0 closes a window on every
+  /// snapshot — deterministic, for tests and tight harness polling.
+  void SetWindowDurationNs(uint64_t ns) {
+    window_duration_ns_.store(ns, std::memory_order_relaxed);
+  }
+  uint64_t window_duration_ns() const {
+    return window_duration_ns_.load(std::memory_order_relaxed);
+  }
+
   /// Zeroes every shared instrument and drops owned registrations.
   /// Test-only: racing writers may land bumps in either era.
   void ResetForTest();
@@ -185,6 +206,21 @@ class Registry {
       ODE_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
       retired_histograms_ ODE_GUARDED_BY(mu_);
+  /// Per-histogram-name window state. `baseline` holds the aggregated
+  /// bucket counts at the moment the current window opened; the delta
+  /// against the live aggregate is the in-progress window, and
+  /// `completed` the last closed one.
+  struct HistWindow {
+    uint64_t baseline[Histogram::kBuckets] = {};
+    uint64_t baseline_count = 0;
+    uint64_t completed[Histogram::kBuckets] = {};
+    uint64_t completed_count = 0;
+    uint64_t opened_at_ns = 0;  ///< 0 = never seen (first snapshot opens)
+  };
+  mutable std::map<std::string, HistWindow, std::less<>> windows_
+      ODE_GUARDED_BY(mu_);
+  std::atomic<uint64_t> window_duration_ns_{60ull * 1000 * 1000 * 1000};
+
   /// Optional `# HELP` text per metric name.
   std::map<std::string, std::string, std::less<>> help_ ODE_GUARDED_BY(mu_);
 };

@@ -11,6 +11,7 @@
 
 #include "common/journal.h"
 #include "common/metrics.h"
+#include "common/op_profile.h"
 #include "common/trace.h"
 
 namespace ode::obs {
@@ -23,18 +24,49 @@ struct Response {
   std::string body;
 };
 
+/// Liveness plus WAL restart-recovery outcome: a probe can tell "came
+/// up clean" from "came up after replaying N pages / truncating a torn
+/// tail" without scraping the full metrics page. The counters are
+/// cumulative for the process (0 everywhere = no recovery ran).
+std::string RenderHealthJson() {
+  Registry& registry = Registry::Global();
+  std::string out = "{\"status\":\"ok\",\"wal\":{";
+  out += "\"recovery_runs\":" +
+         std::to_string(registry.counter("wal.recovery.runs")->value());
+  out +=
+      ",\"pages_redone\":" +
+      std::to_string(registry.counter("wal.recovery.pages_redone")->value());
+  out += ",\"committed_txns\":" +
+         std::to_string(
+             registry.counter("wal.recovery.committed_txns")->value());
+  out += ",\"torn_bytes\":" +
+         std::to_string(registry.counter("wal.recovery.torn_bytes")->value());
+  out += "}}\n";
+  return out;
+}
+
 Response HandleRequest(std::string_view path) {
   Response response;
   if (path == "/metrics") {
     response.body = Registry::Global().RenderPrometheus();
+  } else if (path == "/metrics.json") {
+    response.content_type = "application/json";
+    response.body = Registry::Global().RenderJson();
   } else if (path == "/journal") {
     response.content_type = "application/x-ndjson";
     response.body = Journal::Global().ExportJsonLines();
   } else if (path == "/trace") {
     response.content_type = "application/json";
     response.body = Tracing::ExportChromeJson();
+  } else if (path == "/sessions") {
+    response.content_type = "application/json";
+    response.body = SessionRegistry::Global().RenderJson();
+  } else if (path == "/slow") {
+    response.content_type = "application/json";
+    response.body = SlowOpLog::Global().RenderJson();
   } else if (path == "/healthz") {
-    response.body = "ok\n";
+    response.content_type = "application/json";
+    response.body = RenderHealthJson();
   } else {
     response.status = 404;
     response.body = "not found\n";
@@ -42,9 +74,26 @@ Response HandleRequest(std::string_view path) {
   return response;
 }
 
+Response BadRequest(const char* reason) {
+  Response response;
+  response.status = 400;
+  response.body = std::string(reason) + "\n";
+  return response;
+}
+
 void WriteResponse(int fd, const Response& response) {
   std::string out = "HTTP/1.0 ";
-  out += response.status == 200 ? "200 OK" : "404 Not Found";
+  switch (response.status) {
+    case 200:
+      out += "200 OK";
+      break;
+    case 400:
+      out += "400 Bad Request";
+      break;
+    default:
+      out += "404 Not Found";
+      break;
+  }
   out += "\r\nContent-Type: ";
   out += response.content_type;
   out += "\r\nContent-Length: " + std::to_string(response.body.size());
@@ -125,13 +174,33 @@ void TelemetryServer::Serve() {
       if (errno == EINTR) continue;
       break;  // listener shut down
     }
-    // Read the request line ("GET /path HTTP/1.x"); headers, if any,
-    // are irrelevant to a scrape and ignored.
-    char buffer[1024];
-    ssize_t n = ::recv(client, buffer, sizeof(buffer) - 1, 0);
-    if (n > 0) {
-      buffer[n] = '\0';
-      std::string_view request(buffer, static_cast<size_t>(n));
+    // Read until the request line ("GET /path HTTP/1.x") is complete;
+    // headers, if any, are irrelevant to a scrape and ignored. A line
+    // that exceeds the cap is rejected outright — a scraper never
+    // sends one, so it is either garbage or abuse.
+    constexpr size_t kMaxRequestLine = 4096;
+    char buffer[kMaxRequestLine];
+    size_t filled = 0;
+    bool line_complete = false;
+    bool oversized = false;
+    while (!line_complete && !oversized) {
+      if (filled == sizeof(buffer)) {
+        oversized = true;
+        break;
+      }
+      ssize_t n =
+          ::recv(client, buffer + filled, sizeof(buffer) - filled, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;  // client went away mid-line
+      filled += static_cast<size_t>(n);
+      line_complete =
+          std::string_view(buffer, filled).find("\r\n") !=
+          std::string_view::npos;
+    }
+    if (oversized) {
+      WriteResponse(client, BadRequest("request line too long"));
+    } else if (line_complete) {
+      std::string_view request(buffer, filled);
       std::string_view path = "/";
       size_t method_end = request.find(' ');
       if (method_end != std::string_view::npos) {

@@ -1,12 +1,38 @@
 #include "common/threading.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <utility>
 
+#include "common/op_profile.h"
 #include "common/watchdog.h"
 
 namespace ode {
+
+namespace {
+
+/// Charges a blocking acquisition to the attached profile, if any.
+/// Uncontended locks (try succeeds) charge nothing and skip the clock
+/// reads entirely; with no profile attached the cost is one
+/// thread-local pointer test.
+template <typename NativeMutex, typename TryFn, typename LockFn>
+void LockCharged(NativeMutex&, TryFn try_lock, LockFn lock) {
+  obs::OpProfile* profile = obs::CurrentOpProfile();
+  if (profile == nullptr) {
+    lock();
+    return;
+  }
+  if (try_lock()) return;
+  auto start = std::chrono::steady_clock::now();
+  lock();
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  profile->ChargeLockWait(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+          .count()));
+}
+
+}  // namespace
 
 uint32_t CurrentThreadId() {
   static std::atomic<uint32_t> next_id{1};
@@ -23,7 +49,7 @@ void Mutex::Lock() {
   // Claim before blocking: a thread wedged *waiting* for a
   // watchdog-visible lock is exactly what crash dumps should show.
   int slot = watchdog_visible_ ? obs::HoldRegistry::Claim(name_) : -1;
-  mu_.lock();
+  LockCharged(mu_, [this] { return mu_.try_lock(); }, [this] { mu_.lock(); });
   hold_slot_ = slot;
 }
 
@@ -59,7 +85,7 @@ void Mutex::FinishWait() {
 void SharedMutex::Lock() {
   LockRankValidator::OnAcquire(rank_, name_, this);
   int slot = watchdog_visible_ ? obs::HoldRegistry::Claim(name_) : -1;
-  mu_.lock();
+  LockCharged(mu_, [this] { return mu_.try_lock(); }, [this] { mu_.lock(); });
   hold_slot_ = slot;
 }
 
@@ -80,7 +106,8 @@ void SharedMutex::Unlock() {
 
 void SharedMutex::LockShared() {
   LockRankValidator::OnAcquire(rank_, name_, this, /*exclusive=*/false);
-  mu_.lock_shared();
+  LockCharged(mu_, [this] { return mu_.try_lock_shared(); },
+              [this] { mu_.lock_shared(); });
 }
 
 bool SharedMutex::TryLockShared() {

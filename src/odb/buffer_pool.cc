@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/journal.h"
+#include "common/op_profile.h"
 #include "common/trace.h"
 #include "common/watchdog.h"
 #include "odb/wal.h"
@@ -140,12 +141,14 @@ Result<PageHandle> BufferPool::Fetch(PageId id, PageIntent intent) {
   obs::ScopedLatencyTimer timer(fetch_latency_.get());
   Shard& shard = ShardOf(id);
   internal::Frame* frame = nullptr;
+  bool hit = false;
   {
     MutexLock lock(shard.mu);
     shard.lookups->Increment();
     auto it = shard.page_to_frame.find(id);
     if (it != shard.page_to_frame.end()) {
       shard.hits->Increment();
+      hit = true;
       frame = &shard.frames[it->second];
       frame->pin_count.fetch_add(1, std::memory_order_relaxed);
       TouchLru(shard, it->second);
@@ -164,6 +167,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id, PageIntent intent) {
       TouchLru(shard, idx);
     }
   }
+  if (auto* profile = obs::CurrentOpProfile()) profile->ChargePoolFetch(hit);
   // Latch outside the shard lock: a blocked latch acquisition must not
   // stall unrelated fetches in this shard, and the documented rank
   // order (frame latch 60 < shard 70) forbids blocking on a latch
@@ -266,10 +270,13 @@ void BufferPool::Prefetch(PageId id) {
   prefetches_->Increment();
   // Capture the caller's causal context so the prefetch fetch spans
   // attach to the scan/cascade that requested them, not to a detached
-  // worker-thread root.
+  // worker-thread root. The op profile rides along the same way, so
+  // read-ahead I/O is billed to the operation that asked for it.
   obs::TraceContext ctx = obs::CurrentTraceContext();
-  prefetcher_.Submit([this, id, ctx] {
+  obs::OpProfile* profile = obs::CurrentOpProfile();
+  prefetcher_.Submit([this, id, ctx, profile] {
     obs::TraceContextScope adopt(ctx);
+    obs::OpProfileScope adopt_profile(profile);
     // Pin briefly with read intent so the page lands in its shard;
     // errors (e.g. a speculative id past the end) are ignored.
     Result<PageHandle> handle = Fetch(id, PageIntent::kRead);

@@ -5,9 +5,11 @@
 #include "common/coding.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/op_profile.h"
 #include "common/trace.h"
 #include "odb/ddl_parser.h"
 #include "odb/exec/executor.h"
+#include "odb/exec/explain.h"
 #include "odb/object_record.h"
 #include "odb/typecheck.h"
 #include "odb/value_codec.h"
@@ -704,6 +706,27 @@ Result<std::vector<Oid>> Database::Select(const std::string& class_name,
   return out;
 }
 
+Result<exec::ExplainResult> Database::ExplainSelect(
+    const std::string& class_name, const Predicate& predicate, bool analyze) {
+  // The exact spec Select() builds, so the plan describes what Select
+  // would run (ids-only projection, compiled filter, batched decode).
+  exec::ScanSpec spec;
+  spec.class_name = class_name;
+  spec.predicate = &predicate;
+  spec.emit_values = false;
+  return exec::ExplainScan(this, spec, analyze);
+}
+
+Result<exec::ExplainResult> Database::ExplainJoin(
+    const std::string& left_class, const std::string& right_class,
+    const Predicate& predicate, bool analyze) {
+  exec::JoinSpec spec;
+  spec.left_class = left_class;
+  spec.right_class = right_class;
+  spec.predicate = &predicate;
+  return exec::ExplainJoin(this, spec, analyze);
+}
+
 Status Database::ScanRawRecords(const std::string& class_name, uint64_t after,
                                 size_t limit, RawRecordBatch* out) {
   ReaderMutexLock lock(schema_mu_);
@@ -787,6 +810,8 @@ Session Database::OpenSession() {
                          session.trace_context_.trace_id,
                          session.trace_context_.span_id, 0);
   }
+  session.entry_ = obs::SessionRegistry::Global().Register(
+      id, session.trace_context_.trace_id);
   return session;
 }
 
@@ -798,10 +823,12 @@ Session& Session::operator=(Session&& other) noexcept {
       obs::Journal::Global().Append(obs::JournalEvent::kSessionClose,
                                     static_cast<int64_t>(id_));
     }
+    if (entry_ != nullptr) obs::SessionRegistry::Global().Unregister(id_);
     db_ = other.db_;
     id_ = other.id_;
     counter_ = std::move(other.counter_);
     trace_context_ = other.trace_context_;
+    entry_ = std::move(other.entry_);
     other.db_ = nullptr;
     other.id_ = 0;
     other.trace_context_ = obs::TraceContext{};
@@ -816,71 +843,101 @@ Session::~Session() {
     obs::Journal::Global().Append(obs::JournalEvent::kSessionClose,
                                   static_cast<int64_t>(id_));
   }
+  if (entry_ != nullptr) obs::SessionRegistry::Global().Unregister(id_);
 }
+
+// Session methods run under a ProfiledOp: every resource the engine
+// charges during the call lands on this op (and the session's
+// cumulative totals), and ops past the slow threshold park their full
+// profile in the slow-op ring. Op names are string literals — the
+// SessionEntry/SlowOpLog static-storage contract.
 
 Result<Oid> Session::CreateObject(const std::string& class_name,
                                   Value value) {
+  obs::ProfiledOp op(entry_.get(), "create_object");
   return db_->CreateObject(class_name, std::move(value));
 }
 
 Result<ObjectBuffer> Session::GetObject(Oid oid) {
+  obs::ProfiledOp op(entry_.get(), "get_object");
   return db_->GetObject(oid);
 }
 
 Result<ObjectBuffer> Session::GetObjectVersion(Oid oid, uint32_t version) {
+  obs::ProfiledOp op(entry_.get(), "get_object_version");
   return db_->GetObjectVersion(oid, version);
 }
 
 Result<std::vector<uint32_t>> Session::ListVersions(Oid oid) {
+  obs::ProfiledOp op(entry_.get(), "list_versions");
   return db_->ListVersions(oid);
 }
 
 Status Session::UpdateObject(Oid oid, Value value) {
+  obs::ProfiledOp op(entry_.get(), "update_object");
   return db_->UpdateObject(oid, std::move(value));
 }
 
-Status Session::DeleteObject(Oid oid) { return db_->DeleteObject(oid); }
+Status Session::DeleteObject(Oid oid) {
+  obs::ProfiledOp op(entry_.get(), "delete_object");
+  return db_->DeleteObject(oid);
+}
 
 Result<uint64_t> Session::ClusterCount(const std::string& class_name) {
+  obs::ProfiledOp op(entry_.get(), "cluster_count");
   return db_->ClusterCount(class_name);
 }
 
 Result<Oid> Session::FirstObject(const std::string& class_name) {
+  obs::ProfiledOp op(entry_.get(), "first_object");
   return db_->FirstObject(class_name);
 }
 
 Result<Oid> Session::LastObject(const std::string& class_name) {
+  obs::ProfiledOp op(entry_.get(), "last_object");
   return db_->LastObject(class_name);
 }
 
-Result<Oid> Session::NextObject(Oid oid) { return db_->NextObject(oid); }
+Result<Oid> Session::NextObject(Oid oid) {
+  obs::ProfiledOp op(entry_.get(), "next_object");
+  return db_->NextObject(oid);
+}
 
-Result<Oid> Session::PrevObject(Oid oid) { return db_->PrevObject(oid); }
+Result<Oid> Session::PrevObject(Oid oid) {
+  obs::ProfiledOp op(entry_.get(), "prev_object");
+  return db_->PrevObject(oid);
+}
 
 Result<ObjectBuffer> Session::NextObjectBuffer(Oid oid) {
+  obs::ProfiledOp op(entry_.get(), "next_object_buffer");
   return db_->NextObjectBuffer(oid);
 }
 
 Result<ObjectBuffer> Session::PrevObjectBuffer(Oid oid) {
+  obs::ProfiledOp op(entry_.get(), "prev_object_buffer");
   return db_->PrevObjectBuffer(oid);
 }
 
 Result<std::vector<ObjectBuffer>> Session::NextObjectBuffers(Oid oid,
                                                              size_t limit) {
+  obs::ProfiledOp op(entry_.get(), "next_object_buffers");
   return db_->NextObjectBuffers(oid, limit);
 }
 
 Result<std::vector<ObjectBuffer>> Session::PrevObjectBuffers(Oid oid,
                                                              size_t limit) {
+  obs::ProfiledOp op(entry_.get(), "prev_object_buffers");
   return db_->PrevObjectBuffers(oid, limit);
 }
 
 Result<std::vector<Oid>> Session::ScanCluster(const std::string& class_name) {
+  obs::ProfiledOp op(entry_.get(), "scan_cluster");
   return db_->ScanCluster(class_name);
 }
 
 Result<std::vector<Oid>> Session::Select(const std::string& class_name,
                                          const Predicate& predicate) {
+  obs::ProfiledOp op(entry_.get(), "select");
   return db_->Select(class_name, predicate);
 }
 

@@ -11,6 +11,7 @@
 
 #include "common/journal.h"
 #include "common/metrics.h"
+#include "common/op_profile.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
 #include "common/threading.h"
@@ -28,6 +29,12 @@
 #include "odb/wal.h"
 
 namespace ode::odb {
+
+namespace exec {
+// Defined in odb/exec/explain.h (which includes this header — the
+// explain API is therefore only forward-declared here).
+struct ExplainResult;
+}  // namespace exec
 
 /// The in-memory copy of a persistent object — the paper's "object
 /// buffer" that the object manager hands to display functions.
@@ -219,6 +226,20 @@ class Database {
   /// record decode and the predicate is evaluated in compiled form.
   Result<std::vector<Oid>> Select(const std::string& class_name,
                                   const Predicate& predicate);
+
+  /// EXPLAIN [ANALYZE] for a `Select` over one class: the static plan
+  /// (strategy, projection, compiled program size), plus — with
+  /// `analyze` — the executed plan's rows, pages, and wall time.
+  Result<exec::ExplainResult> ExplainSelect(const std::string& class_name,
+                                            const Predicate& predicate,
+                                            bool analyze);
+
+  /// EXPLAIN [ANALYZE] for a join between two classes (predicate over
+  /// `left.<attr>` / `right.<attr>` paths).
+  Result<exec::ExplainResult> ExplainJoin(const std::string& left_class,
+                                          const std::string& right_class,
+                                          const Predicate& predicate,
+                                          bool analyze);
 
   /// Raw batched scan primitive for the executor: up to `limit`
   /// (local id, record bytes) pairs with id greater than `after`, in
@@ -412,6 +433,11 @@ class Session {
   /// Chrome trace groups every gesture under its session.
   obs::TraceContext trace_context() const { return trace_context_; }
 
+  /// The session's inspector entry (`/sessions`): live current-op
+  /// state plus cumulative resource totals. Null for a
+  /// default-constructed (invalid) session.
+  obs::SessionEntry* entry() { return entry_.get(); }
+
   Result<Oid> CreateObject(const std::string& class_name, Value value);
   Result<ObjectBuffer> GetObject(Oid oid);
   Result<ObjectBuffer> GetObjectVersion(Oid oid, uint32_t version);
@@ -443,6 +469,10 @@ class Session {
   /// Co-owned session counter; see Database::active_sessions_.
   std::shared_ptr<std::atomic<int>> counter_;
   obs::TraceContext trace_context_;
+  /// Inspector entry; registered by OpenSession, unregistered on close.
+  /// Shared with the registry so a `/sessions` scrape racing a close
+  /// reads a still-valid entry.
+  std::shared_ptr<obs::SessionEntry> entry_;
 };
 
 /// Stateful cursor over one cluster with an optional selection

@@ -41,6 +41,7 @@ Result<bool> BatchScanner::Next(RowBatch* batch) {
     batch->versions.push_back(record.version);
     batch->values.push_back(std::move(record.value));
     batch->skipped_fields += record.skipped_fields;
+    batch->arena_bytes += span.length;
   }
   if (raw_.records.size() < batch_size_) done_ = true;
   return !batch->locals.empty();

@@ -25,6 +25,7 @@ struct RowBatch {
   std::vector<uint32_t> versions;
   std::vector<Value> values;
   uint64_t skipped_fields = 0;  ///< decodes avoided by the mask
+  uint64_t arena_bytes = 0;     ///< raw record bytes behind this batch
 
   size_t size() const { return locals.size(); }
   void clear() {
@@ -32,6 +33,7 @@ struct RowBatch {
     versions.clear();
     values.clear();
     skipped_fields = 0;
+    arena_bytes = 0;
   }
 };
 

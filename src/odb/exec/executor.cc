@@ -1,6 +1,7 @@
 #include "odb/exec/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -9,9 +10,11 @@
 
 #include "common/journal.h"
 #include "common/metrics.h"
+#include "common/op_profile.h"
 #include "common/trace.h"
 #include "odb/database.h"
 #include "odb/exec/compiled_predicate.h"
+#include "odb/exec/explain.h"
 
 namespace ode::odb::exec {
 
@@ -57,6 +60,13 @@ obs::Histogram& ExecScanLatency() {
   return *h;
 }
 
+uint64_t MonotonicNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 /// Scans one contiguous id range (`after`, `last`] of the cluster,
 /// filtering batches through the compiled predicate.
 Status ScanPartition(Database* db, const ScanSpec& spec,
@@ -73,7 +83,13 @@ Status ScanPartition(Database* db, const ScanSpec& spec,
     out->stats.batches += 1;
     out->stats.rows_scanned += batch.size();
     out->stats.skipped_fields += batch.skipped_fields;
+    out->stats.arena_bytes += batch.arena_bytes;
+    if (spec.injected_delay_ns_per_batch > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(spec.injected_delay_ns_per_batch));
+    }
     if (!compiled.always_true()) {
+      out->stats.predicate_evals += batch.size();
       ODE_RETURN_IF_ERROR(
           compiled.EvaluateBatch(batch.values.data(), batch.size(),
                                  &scratch));
@@ -107,6 +123,15 @@ void PublishScanStats(const ScanStats& stats) {
   ExecRowsScanned().Add(stats.rows_scanned);
   ExecRowsMatched().Add(stats.rows_matched);
   ExecRowsSkippedDecode().Add(stats.skipped_fields);
+  // Exec-level charges land exactly once, on the caller's profile —
+  // partition workers adopt the profile only for the storage and lock
+  // charges they incur themselves.
+  if (auto* profile = obs::CurrentOpProfile()) {
+    profile->ChargeScan(stats.rows_scanned, stats.rows_matched,
+                        stats.skipped_fields, stats.predicate_evals,
+                        stats.batches,
+                        static_cast<uint64_t>(stats.partitions));
+  }
   obs::Journal::Global().Append(obs::JournalEvent::kExecScan,
                                 static_cast<int64_t>(stats.rows_scanned),
                                 static_cast<int64_t>(stats.rows_matched));
@@ -181,6 +206,7 @@ Result<ScanResult> ExecuteScan(Database* db, const ScanSpec& spec) {
   std::vector<ScanResult> parts(workers);
   std::vector<Status> statuses(workers, Status::OK());
   obs::TraceContext parent = obs::CurrentTraceContext();
+  obs::OpProfile* parent_profile = obs::CurrentOpProfile();
   std::vector<std::thread> threads;
   threads.reserve(workers);
   for (size_t w = 0; w < workers; ++w) {
@@ -192,8 +218,9 @@ Result<ScanResult> ExecuteScan(Database* db, const ScanSpec& spec) {
     // partition twice.
     uint64_t after = begin == 0 ? 0 : ids[begin - 1].local;
     uint64_t last = ids[end - 1].local;
-    threads.emplace_back([&, w, after, last, parent] {
+    threads.emplace_back([&, w, after, last, parent, parent_profile] {
       obs::TraceContextScope adopt(parent);
+      obs::OpProfileScope adopt_profile(parent_profile);
       ODE_TRACE_SPAN("exec.scan.partition");
       statuses[w] =
           ScanPartition(db, spec, compiled, mask_ptr, after, last, &parts[w]);
@@ -207,6 +234,8 @@ Result<ScanResult> ExecuteScan(Database* db, const ScanSpec& spec) {
     result.stats.rows_scanned += part.stats.rows_scanned;
     result.stats.rows_matched += part.stats.rows_matched;
     result.stats.skipped_fields += part.stats.skipped_fields;
+    result.stats.predicate_evals += part.stats.predicate_evals;
+    result.stats.arena_bytes += part.stats.arena_bytes;
     for (ScanRow& row : part.rows) result.rows.push_back(std::move(row));
   }
   PublishScanStats(result.stats);
@@ -335,7 +364,36 @@ bool ComputeKeys(const std::vector<ScanRow>& rows, const std::string& path,
 
 }  // namespace
 
-Result<JoinResult> ExecuteJoin(Database* db, const JoinSpec& spec) {
+namespace {
+
+/// Runs `body` under a fresh nested profile when `actuals` is wanted,
+/// recording wall time and the phase's resource snapshot, then merges
+/// the nested profile back into the enclosing one (so session totals
+/// and the op's own slow-log record stay complete). With no actuals
+/// requested the body runs directly under the caller's profile.
+template <typename Body>
+auto RunJoinPhase(bool collect, uint64_t* out_ns,
+                  obs::OpProfileStats* out_profile, Body body)
+    -> decltype(body()) {
+  if (!collect) return body();
+  obs::OpProfile phase_profile;
+  uint64_t start = MonotonicNs();
+  decltype(body()) result = [&] {
+    obs::OpProfileScope scope(&phase_profile);
+    return body();
+  }();
+  *out_ns = MonotonicNs() - start;
+  *out_profile = phase_profile.Snapshot();
+  if (auto* enclosing = obs::CurrentOpProfile()) {
+    phase_profile.MergeInto(enclosing);
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<JoinResult> ExecuteJoin(Database* db, const JoinSpec& spec,
+                               JoinPhaseActuals* actuals) {
   ODE_TRACE_SPAN("exec.join");
   Predicate always = Predicate::True();
   const Predicate& predicate =
@@ -364,11 +422,23 @@ Result<JoinResult> ExecuteJoin(Database* db, const JoinSpec& spec) {
     scan.batch_size = spec.batch_size;
     return ExecuteScan(db, scan);
   };
-  ODE_ASSIGN_OR_RETURN(ScanResult lefts,
-                       scan_side(spec.left_class, left_paths, left_all));
-  ODE_ASSIGN_OR_RETURN(ScanResult rights,
-                       scan_side(spec.right_class, right_paths, right_all));
+  const bool collect = actuals != nullptr;
+  JoinPhaseActuals scratch_actuals;
+  JoinPhaseActuals& act = collect ? *actuals : scratch_actuals;
+  ODE_ASSIGN_OR_RETURN(
+      ScanResult lefts,
+      RunJoinPhase(collect, &act.left_ns, &act.left_profile, [&] {
+        return scan_side(spec.left_class, left_paths, left_all);
+      }));
+  ODE_ASSIGN_OR_RETURN(
+      ScanResult rights,
+      RunJoinPhase(collect, &act.right_ns, &act.right_profile, [&] {
+        return scan_side(spec.right_class, right_paths, right_all);
+      }));
+  act.left_scan = lefts.stats;
+  act.right_scan = rights.stats;
 
+  uint64_t match_start = collect ? MonotonicNs() : 0;
   JoinResult out;
   CompiledPredicate::Scratch scratch;
   EquiKey key = FindEquiKey(predicate);
@@ -446,10 +516,31 @@ Result<JoinResult> ExecuteJoin(Database* db, const JoinSpec& spec) {
   ExecJoinBuildRows().Add(out.stats.build_rows);
   ExecJoinProbeRows().Add(out.stats.probe_rows);
   ExecJoinPairs().Add(out.stats.pairs);
+  if (auto* profile = obs::CurrentOpProfile()) {
+    profile->ChargeJoin(out.stats.build_rows, out.stats.probe_rows,
+                        out.stats.pairs);
+  }
+  if (collect) {
+    act.match_ns = MonotonicNs() - match_start;
+    // The match phase touches no storage (both sides are already
+    // materialized), so its profile is the join-row charge alone.
+    act.match_profile.join_build_rows = out.stats.build_rows;
+    act.match_profile.join_probe_rows = out.stats.probe_rows;
+    act.match_profile.join_pairs = out.stats.pairs;
+  }
   obs::Journal::Global().Append(obs::JournalEvent::kExecJoin,
                                 static_cast<int64_t>(out.stats.build_rows),
                                 static_cast<int64_t>(out.stats.pairs));
   return out;
+}
+
+bool FindHashJoinKey(const Predicate& predicate, std::string* left_path,
+                     std::string* right_path) {
+  EquiKey key = FindEquiKey(predicate);
+  if (!key.found) return false;
+  *left_path = key.left_path;
+  *right_path = key.right_path;
+  return true;
 }
 
 }  // namespace ode::odb::exec

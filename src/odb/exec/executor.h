@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/op_profile.h"
 #include "common/result.h"
 #include "odb/exec/batch_scanner.h"
 #include "odb/oid.h"
@@ -37,6 +38,9 @@ struct ScanSpec {
   /// Worker threads; ids are split into this many contiguous
   /// partitions scanned concurrently (1 = inline on the caller).
   int parallelism = 1;
+  /// Test/demo hook: sleep this long after each batch, making the scan
+  /// predictably slow (slow-op log demos, CI latency assertions).
+  uint64_t injected_delay_ns_per_batch = 0;
 };
 
 struct ScanRow {
@@ -51,7 +55,9 @@ struct ScanStats {
   uint64_t rows_scanned = 0;
   uint64_t rows_matched = 0;
   uint64_t batches = 0;
-  uint64_t skipped_fields = 0;  ///< attribute decodes avoided
+  uint64_t skipped_fields = 0;   ///< attribute decodes avoided
+  uint64_t predicate_evals = 0;  ///< rows pushed through the filter
+  uint64_t arena_bytes = 0;      ///< raw record bytes decoded
   int partitions = 1;
 };
 
@@ -88,12 +94,30 @@ struct JoinResult {
   JoinStats stats;
 };
 
+/// Per-phase actuals for EXPLAIN ANALYZE: wall time and resource
+/// profile of the two input scans and the match phase. Filled only
+/// when a caller passes it to `ExecuteJoin`; each phase runs under its
+/// own nested `OpProfile`, which merges back into the caller's current
+/// profile so session totals stay exact.
+struct JoinPhaseActuals {
+  ScanStats left_scan;
+  ScanStats right_scan;
+  uint64_t left_ns = 0;
+  uint64_t right_ns = 0;
+  uint64_t match_ns = 0;
+  obs::OpProfileStats left_profile;
+  obs::OpProfileStats right_profile;
+  obs::OpProfileStats match_profile;
+};
+
 /// Joins two clusters. An equality conjunct between one left and one
 /// right attribute selects a hash join (build the smaller side, probe
 /// the larger, re-check the full predicate on candidates); otherwise —
 /// or when a key turns out non-scalar or NaN at runtime — a batched
 /// nested loop evaluates the compiled predicate over every pair.
-Result<JoinResult> ExecuteJoin(Database* db, const JoinSpec& spec);
+/// `actuals`, if non-null, receives per-phase timings and profiles.
+Result<JoinResult> ExecuteJoin(Database* db, const JoinSpec& spec,
+                               JoinPhaseActuals* actuals = nullptr);
 
 }  // namespace ode::odb::exec
 

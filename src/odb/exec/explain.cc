@@ -1,0 +1,307 @@
+#include "odb/exec/explain.h"
+
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+#include "odb/exec/compiled_predicate.h"
+#include "odb/predicate.h"
+
+namespace ode::odb::exec {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string EscapeJson(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatMs(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
+  return std::string(buf) + " ms";
+}
+
+/// The one-line actuals summary under each text-rendered operator:
+/// the numbers someone tuning a query reaches for first. The full
+/// charge set is in the JSON rendering.
+void AppendActualText(std::ostringstream& os, const std::string& indent,
+                      const PlanNode& node) {
+  const obs::OpProfileStats& a = node.actual;
+  os << indent << "actual: rows=" << node.rows_out
+     << " time=" << FormatMs(node.time_ns) << " pages_read=" << a.pool_misses
+     << " pool_hits=" << a.pool_hits << " rows_scanned=" << a.rows_scanned;
+  if (a.lock_wait_ns != 0) {
+    os << " lock_wait=" << FormatMs(a.lock_wait_ns);
+  }
+  if (a.wal_commit_wait_ns != 0) {
+    os << " wal_wait=" << FormatMs(a.wal_commit_wait_ns);
+  }
+  os << "\n";
+}
+
+void RenderNodeText(std::ostringstream& os, const PlanNode& node, int depth) {
+  std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  os << indent << (depth == 0 ? "" : "-> ") << node.op << "\n";
+  std::string prop_indent = indent + (depth == 0 ? "  " : "     ");
+  for (const auto& [key, value] : node.props) {
+    os << prop_indent << key << ": " << value << "\n";
+  }
+  if (node.analyzed) AppendActualText(os, prop_indent, node);
+  for (const PlanNode& child : node.children) {
+    RenderNodeText(os, child, depth + 1);
+  }
+}
+
+void RenderNodeJson(std::ostringstream& os, const PlanNode& node) {
+  os << "{\"op\":\"" << EscapeJson(node.op) << "\",\"props\":{";
+  bool first = true;
+  for (const auto& [key, value] : node.props) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << EscapeJson(key) << "\":\"" << EscapeJson(value) << "\"";
+  }
+  os << "}";
+  if (node.analyzed) {
+    os << ",\"time_ns\":" << node.time_ns << ",\"rows\":" << node.rows_out
+       << ",\"actual\":{";
+    obs::AppendOpProfileStatsJson(os, node.actual);
+    os << "}";
+  }
+  os << ",\"children\":[";
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (i != 0) os << ",";
+    RenderNodeJson(os, node.children[i]);
+  }
+  os << "]}";
+}
+
+/// Shared static description of one scan input (used by both the
+/// top-level scan plan and a join's children).
+PlanNode DescribeScan(const ScanSpec& spec) {
+  PlanNode node;
+  node.op = "scan";
+  node.props.emplace_back("class", spec.class_name);
+  node.props.emplace_back("predicate", spec.predicate != nullptr
+                                           ? spec.predicate->ToString()
+                                           : "true");
+  CompiledPredicate compiled = spec.predicate != nullptr
+                                   ? CompiledPredicate::Compile(*spec.predicate)
+                                   : CompiledPredicate();
+  // Mirror ExecuteScan's strategy choice: with nothing to decode and
+  // nothing to filter, ids come straight from the heap directory.
+  std::set<std::string> mask;
+  if (!spec.project_all) {
+    if (spec.predicate != nullptr) {
+      for (const std::string& path : spec.predicate->AttributePaths()) {
+        mask.insert(path);
+      }
+    }
+    if (spec.projection != nullptr) {
+      for (const std::string& path : *spec.projection) mask.insert(path);
+    }
+  }
+  bool ids_only = !spec.project_all && mask.empty() && compiled.always_true();
+  node.props.emplace_back("strategy", ids_only ? "ids-only" : "batched-decode");
+  node.props.emplace_back(
+      "projection", spec.project_all
+                        ? "full"
+                        : (mask.empty() ? "none"
+                                        : "masked (" +
+                                              std::to_string(mask.size()) +
+                                              " attributes)"));
+  node.props.emplace_back(
+      "compiled", std::to_string(compiled.nodes().size()) + " nodes, " +
+                      std::to_string(compiled.slots().size()) + " slots");
+  node.props.emplace_back("batch_size", std::to_string(spec.batch_size));
+  node.props.emplace_back("parallelism", std::to_string(spec.parallelism));
+  return node;
+}
+
+void FillActuals(PlanNode* node, uint64_t time_ns, uint64_t rows_out,
+                 const obs::OpProfileStats& actual) {
+  node->analyzed = true;
+  node->time_ns = time_ns;
+  node->rows_out = rows_out;
+  node->actual = actual;
+}
+
+}  // namespace
+
+std::string ExplainResult::RenderText() const {
+  std::ostringstream os;
+  RenderNodeText(os, root, 0);
+  if (analyzed) {
+    const obs::OpProfileStats& t = totals;
+    os << "totals: time=" << FormatMs(total_ns)
+       << " pages_read=" << t.pool_misses << " pool_hits=" << t.pool_hits
+       << " pager_reads=" << t.pager_reads
+       << " rows_scanned=" << t.rows_scanned
+       << " lock_wait=" << FormatMs(t.lock_wait_ns) << "\n";
+  }
+  return os.str();
+}
+
+std::string ExplainResult::RenderJson() const {
+  std::ostringstream os;
+  os << "{\"analyzed\":" << (analyzed ? "true" : "false");
+  if (analyzed) {
+    os << ",\"total_ns\":" << total_ns << ",\"totals\":{";
+    obs::AppendOpProfileStatsJson(os, totals);
+    os << "}";
+  }
+  os << ",\"plan\":";
+  RenderNodeJson(os, root);
+  os << "}";
+  return os.str();
+}
+
+Result<ExplainResult> ExplainScan(Database* db, const ScanSpec& spec,
+                                  bool analyze) {
+  ExplainResult result;
+  result.root = DescribeScan(spec);
+  if (!analyze) return result;
+
+  // Run the scan under a nested profile so the plan's actuals carry
+  // exactly this scan's charges; the profile then merges back into the
+  // caller's current one so session totals stay exact.
+  obs::OpProfile profile;
+  uint64_t start = NowNs();
+  auto run = [&]() -> Result<ScanResult> {
+    obs::OpProfileScope scope(&profile);
+    return ExecuteScan(db, spec);
+  };
+  ODE_ASSIGN_OR_RETURN(ScanResult scan, run());
+  uint64_t elapsed = NowNs() - start;
+  if (auto* enclosing = obs::CurrentOpProfile()) profile.MergeInto(enclosing);
+
+  result.analyzed = true;
+  result.total_ns = elapsed;
+  result.totals = profile.Snapshot();
+  FillActuals(&result.root, elapsed, scan.stats.rows_matched, result.totals);
+  return result;
+}
+
+Result<ExplainResult> ExplainJoin(Database* db, const JoinSpec& spec,
+                                  bool analyze) {
+  Predicate always = Predicate::True();
+  const Predicate& predicate =
+      spec.predicate != nullptr ? *spec.predicate : always;
+  // Compiling up front both validates the predicate (EXPLAIN fails the
+  // same way the join would) and sizes the program for the plan.
+  ODE_ASSIGN_OR_RETURN(CompiledPredicate compiled,
+                       CompiledPredicate::CompileJoin(predicate));
+
+  ExplainResult result;
+  PlanNode& root = result.root;
+  std::string left_key, right_key;
+  bool hash = FindHashJoinKey(predicate, &left_key, &right_key);
+  root.op = hash ? "hash-join" : "nested-loop-join";
+  root.props.emplace_back("predicate", predicate.ToString());
+  if (hash) {
+    root.props.emplace_back("key",
+                            "left." + left_key + " = right." + right_key);
+    root.props.emplace_back("note",
+                            "falls back to nested loop on non-scalar keys");
+  }
+  root.props.emplace_back(
+      "compiled", std::to_string(compiled.nodes().size()) + " nodes, " +
+                      std::to_string(compiled.slots().size()) + " slots");
+  root.props.emplace_back("batch_size", std::to_string(spec.batch_size));
+
+  // The children mirror ExecuteJoin's inputs: each side materializes
+  // only the attributes the join predicate touches.
+  std::vector<std::string> left_paths, right_paths;
+  bool left_all = false, right_all = false;
+  for (const CompiledPredicate::Slot& slot : compiled.slots()) {
+    bool left = slot.side == CompiledPredicate::Side::kLeft;
+    if (slot.parts.empty()) {
+      (left ? left_all : right_all) = true;
+    } else {
+      (left ? left_paths : right_paths).push_back(slot.dotted);
+    }
+  }
+  auto side_spec = [&](const std::string& class_name,
+                       const std::vector<std::string>& paths, bool all) {
+    ScanSpec scan;
+    scan.class_name = class_name;
+    scan.projection = &paths;
+    scan.project_all = all;
+    scan.batch_size = spec.batch_size;
+    return scan;
+  };
+  {
+    ScanSpec left = side_spec(spec.left_class, left_paths, left_all);
+    ScanSpec right = side_spec(spec.right_class, right_paths, right_all);
+    root.children.push_back(DescribeScan(left));
+    root.children.push_back(DescribeScan(right));
+  }
+  if (!analyze) return result;
+
+  // One wrapper profile around the whole join: the per-phase profiles
+  // ExecuteJoin collects merge into it (scans via RunJoinPhase, the
+  // match charge directly), so the totals equal the sum of the three
+  // per-operator actuals — the equivalence EXPLAIN ANALYZE promises.
+  obs::OpProfile profile;
+  JoinPhaseActuals actuals;
+  uint64_t start = NowNs();
+  auto run = [&]() -> Result<JoinResult> {
+    obs::OpProfileScope scope(&profile);
+    return ExecuteJoin(db, spec, &actuals);
+  };
+  ODE_ASSIGN_OR_RETURN(JoinResult out, run());
+  uint64_t elapsed = NowNs() - start;
+  if (auto* enclosing = obs::CurrentOpProfile()) profile.MergeInto(enclosing);
+
+  result.analyzed = true;
+  result.total_ns = elapsed;
+  result.totals = profile.Snapshot();
+  // The runtime can downgrade a predicted hash join (non-scalar keys);
+  // report what actually ran.
+  root.op = out.stats.hash_join ? "hash-join" : "nested-loop-join";
+  if (out.stats.hash_join) {
+    root.props.emplace_back("built",
+                            out.stats.built_left ? "left" : "right");
+  }
+  FillActuals(&root, actuals.match_ns, out.stats.pairs, actuals.match_profile);
+  FillActuals(&root.children[0], actuals.left_ns,
+              actuals.left_scan.rows_matched, actuals.left_profile);
+  FillActuals(&root.children[1], actuals.right_ns,
+              actuals.right_scan.rows_matched, actuals.right_profile);
+  return result;
+}
+
+}  // namespace ode::odb::exec

@@ -2,6 +2,7 @@
 
 #include "common/coding.h"
 #include "common/metrics.h"
+#include "common/op_profile.h"
 #include "common/trace.h"
 #include "odb/slotted_page.h"
 
@@ -425,6 +426,11 @@ Result<std::vector<std::pair<uint64_t, std::string>>> HeapFile::NextRecords(
     pool_->Prefetch(it->second.page);
   }
   HeapBatchRecords().Add(out.size());
+  if (auto* profile = obs::CurrentOpProfile()) {
+    size_t bytes = 0;
+    for (const auto& [id, payload] : out) bytes += payload.size();
+    profile->ChargeHeapBatch(out.size(), bytes);
+  }
   return out;
 }
 
@@ -454,6 +460,9 @@ Status HeapFile::NextRecordsInto(uint64_t after, size_t limit,
     pool_->Prefetch(it->second.page);
   }
   HeapBatchRecords().Add(spans->size());
+  if (auto* profile = obs::CurrentOpProfile()) {
+    profile->ChargeHeapBatch(spans->size(), arena->size());
+  }
   return Status::OK();
 }
 
@@ -482,6 +491,11 @@ Result<std::vector<std::pair<uint64_t, std::string>>> HeapFile::PrevRecords(
     if (follow->second.page != held) pool_->Prefetch(follow->second.page);
   }
   HeapBatchRecords().Add(out.size());
+  if (auto* profile = obs::CurrentOpProfile()) {
+    size_t bytes = 0;
+    for (const auto& [id, payload] : out) bytes += payload.size();
+    profile->ChargeHeapBatch(out.size(), bytes);
+  }
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "common/metrics.h"
+#include "common/op_profile.h"
 #include "common/trace.h"
 
 namespace ode::odb {
@@ -56,6 +57,7 @@ Status MemPager::Read(PageId id, Page* page) {
   }
   *page = *pages_[id];
   MemReads().Increment();
+  if (auto* profile = obs::CurrentOpProfile()) profile->ChargePagerRead();
   return Status::OK();
 }
 
@@ -72,6 +74,7 @@ Status MemPager::Write(PageId id, const Page& page) {
   }
   *pages_[id] = page;
   MemWrites().Increment();
+  if (auto* profile = obs::CurrentOpProfile()) profile->ChargePagerWrite();
   return Status::OK();
 }
 
@@ -123,6 +126,7 @@ Status FilePager::WriteAt(PageId id, const Page& page) {
     remaining -= static_cast<size_t>(n);
   }
   FileWrites().Increment();
+  if (auto* profile = obs::CurrentOpProfile()) profile->ChargePagerWrite();
   return Status::OK();
 }
 
@@ -156,6 +160,7 @@ Status FilePager::Read(PageId id, Page* page) {
     remaining -= static_cast<size_t>(n);
   }
   FileReads().Increment();
+  if (auto* profile = obs::CurrentOpProfile()) profile->ChargePagerRead();
   return Status::OK();
 }
 

@@ -5,12 +5,14 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <set>
 
 #include "common/coding.h"
 #include "common/journal.h"
 #include "common/metrics.h"
+#include "common/op_profile.h"
 #include "common/trace.h"
 
 namespace ode::odb {
@@ -441,6 +443,9 @@ Result<uint64_t> Wal::AppendLocked(WalRecordType type, uint64_t txn,
   if (!options_.sync) durable_lsn_ = next_lsn_;
   RecordsAppended().Increment();
   BytesAppended().Add(rec.size());
+  if (auto* profile = obs::CurrentOpProfile()) {
+    profile->ChargeWalBytes(rec.size());
+  }
   return next_lsn_;
 }
 
@@ -467,7 +472,17 @@ Result<uint64_t> Wal::AppendCommit(uint64_t txn) {
 
 Status Wal::WaitCommitDurable(uint64_t lsn) {
   obs::ScopedLatencyTimer timer(&CommitWaitNs());
-  return WaitDurableInternal(lsn, /*force_own_sync=*/!options_.group_commit);
+  obs::OpProfile* profile = obs::CurrentOpProfile();
+  if (profile == nullptr) {
+    return WaitDurableInternal(lsn, /*force_own_sync=*/!options_.group_commit);
+  }
+  auto start = std::chrono::steady_clock::now();
+  Status status =
+      WaitDurableInternal(lsn, /*force_own_sync=*/!options_.group_commit);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  profile->ChargeWalCommitWait(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+  return status;
 }
 
 Status Wal::FlushUntil(uint64_t lsn) {

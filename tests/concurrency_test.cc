@@ -2,6 +2,11 @@
 // BufferPool, thread-safe HeapFile, and multi-session Database. These
 // tests are the ones CI runs under TSan; they must be deterministic in
 // outcome (assertions) even though interleavings vary.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -16,13 +21,18 @@
 #include "common/journal.h"
 #include "common/lock_rank.h"
 #include "common/metrics.h"
+#include "common/op_profile.h"
+#include "common/telemetry_http.h"
 #include "common/trace.h"
 #include "common/watchdog.h"
 #include "odb/buffer_pool.h"
 #include "odb/database.h"
 #include "odb/exec/executor.h"
+#include "odb/exec/explain.h"
 #include "odb/heap_file.h"
+#include "odb/labdb.h"
 #include "odb/pager.h"
+#include "odb/predicate.h"
 
 namespace ode::odb {
 namespace {
@@ -864,6 +874,167 @@ public:
   EXPECT_GT(*(*reopened)->ClusterCount("item"), 0u);
   std::remove(path.c_str());
   std::remove((path + ".wal").c_str());
+}
+
+// --- Profiled queries under concurrency --------------------------------
+
+// The acceptance battery for the profiling layer: 8 sessions run
+// profiled queries (plain ops, parallel scans, EXPLAIN ANALYZE) with
+// the slow-op threshold at 1 ns so *every* op takes the SlowOpLog
+// mutex, while a scraper thread concurrently renders /sessions and
+// /slow the way the telemetry endpoint does. TSan checks the memory
+// model; the rank validator checks that the two new obs locks slot
+// into the documented order with zero violations.
+TEST(ProfiledQueryBatteryTest, EightProfiledSessionsUnderConcurrentScrapes) {
+  LockRankValidator::SetMode(LockRankValidator::Mode::kCount);
+  const uint64_t before = LockRankValidator::violations();
+
+  auto db_or = Database::CreateInMemory("profdb");
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  Database* db = db_or->get();
+  LabDbConfig config;
+  config.employees = 120;
+  ASSERT_TRUE(BuildLabDatabase(db, config).ok());
+
+  obs::SlowOpLog::Global().ResetForTest();
+  const uint64_t threshold_before = obs::SlowOpLog::Global().threshold_ns();
+  obs::SlowOpLog::Global().set_threshold_ns(1);
+
+  Predicate predicate = *ParsePredicate("age > 40");
+  std::atomic<bool> stop{false};
+  std::thread scraper([&stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::string sessions = obs::SessionRegistry::Global().RenderJson();
+      EXPECT_NE(sessions.find('['), std::string::npos);
+      (void)obs::SessionRegistry::Global().Snapshot();
+      std::string slow = obs::SlowOpLog::Global().RenderJson();
+      EXPECT_NE(slow.find('['), std::string::npos);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([db, &predicate, t] {
+      Session session = db->OpenSession();
+      Rng rng(7000 + static_cast<uint64_t>(t));
+      for (int i = 0; i < 60; ++i) {
+        switch (rng.Below(4)) {
+          case 0: {
+            auto ids = session.Select("employee", predicate);
+            ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+            break;
+          }
+          case 1: {
+            auto first = session.FirstObject("employee");
+            if (first.ok()) (void)session.GetObject(*first);
+            break;
+          }
+          case 2: {
+            auto explained =
+                db->ExplainSelect("employee", predicate, /*analyze=*/true);
+            ASSERT_TRUE(explained.ok()) << explained.status().ToString();
+            EXPECT_GT(explained->totals.rows_scanned, 0u);
+            break;
+          }
+          default: {
+            exec::ScanSpec spec;
+            spec.class_name = "employee";
+            spec.predicate = &predicate;
+            spec.parallelism = 4;
+            obs::ProfiledOp op(session.entry(), "parallel_scan");
+            auto result = exec::ExecuteScan(db, spec);
+            ASSERT_TRUE(result.ok()) << result.status().ToString();
+            break;
+          }
+        }
+        EXPECT_EQ(LockRankValidator::HeldCount(), 0u);
+      }
+      EXPECT_GE(session.entry()->ops_completed(), 1u);
+      EXPECT_GT(session.entry()->totals().Snapshot().rows_scanned, 0u);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  stop.store(true, std::memory_order_release);
+  scraper.join();
+
+  EXPECT_GE(obs::SlowOpLog::Global().recorded(), 1u);
+  obs::SlowOpLog::Global().set_threshold_ns(threshold_before);
+  obs::SlowOpLog::Global().ResetForTest();
+
+  EXPECT_EQ(LockRankValidator::violations(), before)
+      << "profiled queries broke the documented lock order";
+}
+
+// --- Telemetry endpoint shutdown race -----------------------------------
+
+namespace {
+std::string ScrapeOnce(uint16_t port, const char* path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string request = std::string("GET ") + path + " HTTP/1.0\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buffer[2048];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+}  // namespace
+
+// Scrapers hammer every endpoint while the main thread stops the
+// server. Scrapes racing the shutdown may fail to connect or read a
+// short response — both fine — but the Stop must fully join the accept
+// thread with no use-after-free or leaked socket (TSan + ASan CI).
+TEST(TelemetryShutdownTest, ConcurrentScrapesDuringStop) {
+  obs::TelemetryServer server;
+  ASSERT_TRUE(server.Start(/*port=*/0).ok());
+  const uint16_t port = server.port();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> ok_scrapes{0};
+  const char* kPaths[] = {"/metrics", "/metrics.json", "/sessions",
+                          "/slow",    "/healthz",      "/nope"};
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < 4; ++t) {
+    scrapers.emplace_back([&, t] {
+      uint64_t i = static_cast<uint64_t>(t);
+      while (!stop.load(std::memory_order_acquire)) {
+        std::string response = ScrapeOnce(port, kPaths[i++ % 6]);
+        if (response.find("HTTP/1.0") != std::string::npos) {
+          ok_scrapes.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // Let the scrapers land some successful requests first.
+  while (ok_scrapes.load(std::memory_order_relaxed) < 8) {
+    std::this_thread::yield();
+  }
+  server.Stop();  // races in-flight accepts/responses
+  stop.store(true, std::memory_order_release);
+  for (std::thread& s : scrapers) s.join();
+  EXPECT_GE(ok_scrapes.load(), 8u);
+
+  // Stop is idempotent and the port is genuinely released: a second
+  // server can bind it immediately.
+  server.Stop();
+  obs::TelemetryServer second;
+  ASSERT_TRUE(second.Start(port).ok());
+  EXPECT_NE(ScrapeOnce(port, "/healthz").find("200 OK"), std::string::npos);
+  second.Stop();
 }
 
 }  // namespace

@@ -19,8 +19,11 @@
 // reopening. Five lineages x 20 trials = 100 randomized, seed-logged
 // kill points.
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netinet/in.h>
 #include <signal.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -38,6 +41,7 @@
 
 #include "common/journal.h"
 #include "common/metrics.h"
+#include "common/telemetry_http.h"
 #include "odb/database.h"
 #include "odb/integrity.h"
 #include "odb/value.h"
@@ -366,6 +370,66 @@ TEST_F(CrashRecoveryTest, MultiWriterGroupCommitKills) {
   // never take acknowledged followers with it.
   RunLineage("multi", 20, /*threads=*/4, /*checkpoint_bytes=*/4u << 20,
              /*immediate_kill=*/false, /*torn=*/false, /*seed=*/0xD4);
+}
+
+/// Minimal loopback GET for the /healthz assertion below.
+std::string HttpGet(uint16_t port, const char* path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string request = std::string("GET ") + path + " HTTP/1.0\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST_F(CrashRecoveryTest, HealthzReportsRecoveryAfterCrash) {
+  // One kill/reopen cycle, then the operator's view: /healthz must say
+  // restart recovery ran and committed transactions were replayed —
+  // the CI crash-recovery job curls this exact surface.
+  std::string path = NewDbPath("healthz");
+  TrialOutcome outcome = SpawnAndKill(path, /*threads=*/1,
+                                      /*checkpoint_bytes=*/1u << 30,
+                                      /*kill_after_acks=*/20,
+                                      /*sleep_us=*/0);
+  ASSERT_TRUE(outcome.ready);
+  ASSERT_GT(outcome.max_acked_id, 0u);
+
+  auto reopened = Database::OpenOnDisk(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+
+  obs::TelemetryServer server;
+  ASSERT_TRUE(server.Start(/*port=*/0).ok());
+  std::string health = HttpGet(server.port(), "/healthz");
+  server.Stop();
+
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_NE(health.find("application/json"), std::string::npos);
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos);
+  // Recovery ran in *this* process (the reopen above), so the counters
+  // behind the health document are nonzero.
+  EXPECT_EQ(health.find("\"recovery_runs\":0"), std::string::npos) << health;
+  EXPECT_NE(health.find("\"recovery_runs\":"), std::string::npos);
+  EXPECT_EQ(health.find("\"committed_txns\":0"), std::string::npos) << health;
+  EXPECT_NE(health.find("\"pages_redone\":"), std::string::npos);
+  EXPECT_NE(health.find("\"torn_bytes\":"), std::string::npos);
+
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
 }
 
 TEST_F(CrashRecoveryTest, ImmediateKillAfterOpen) {

@@ -1,0 +1,655 @@
+// Tests for the query-profiling layer: OpProfile charge propagation
+// (storage / WAL / lock / executor charge sites), per-session resource
+// accounting and the /sessions inspector, the slow-operation ring,
+// EXPLAIN / EXPLAIN ANALYZE (including the per-operator-vs-totals
+// equivalence the join plan promises), latency-percentile windows, and
+// the telemetry endpoint's new surfaces and error paths.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/journal.h"
+#include "common/metrics.h"
+#include "common/op_profile.h"
+#include "common/telemetry_http.h"
+#include "common/threading.h"
+#include "odb/database.h"
+#include "odb/exec/executor.h"
+#include "odb/exec/explain.h"
+#include "odb/labdb.h"
+#include "odb/predicate.h"
+
+namespace ode::odb {
+namespace {
+
+/// Restores the slow-op threshold on scope exit; several tests lower
+/// it to capture everything and must not leak that into neighbors.
+class ScopedSlowThreshold {
+ public:
+  explicit ScopedSlowThreshold(uint64_t ns)
+      : previous_(obs::SlowOpLog::Global().threshold_ns()) {
+    obs::SlowOpLog::Global().set_threshold_ns(ns);
+  }
+  ~ScopedSlowThreshold() {
+    obs::SlowOpLog::Global().set_threshold_ns(previous_);
+  }
+
+ private:
+  uint64_t previous_;
+};
+
+std::string StatsJson(const obs::OpProfileStats& stats) {
+  std::ostringstream os;
+  obs::AppendOpProfileStatsJson(os, stats);
+  return os.str();
+}
+
+class QueryProfileSuite : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::move(*Database::CreateInMemory("lab"));
+    LabDbConfig config;
+    ASSERT_TRUE(BuildLabDatabase(db_.get(), config).ok());
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+// --- OpProfile core ---------------------------------------------------
+
+TEST(OpProfileTest, ChargesSnapshotAndMerge) {
+  obs::OpProfile profile;
+  profile.ChargePoolFetch(/*hit=*/true);
+  profile.ChargePoolFetch(/*hit=*/false);
+  profile.ChargePagerRead();
+  profile.ChargeHeapBatch(/*records=*/7, /*bytes=*/123);
+  profile.ChargeScan(10, 4, 6, 10, 2, 1);
+  profile.ChargeJoin(3, 5, 2);
+  profile.ChargeLockWait(1000);
+  profile.ChargeWalCommitWait(2000);
+  profile.ChargeWalBytes(64);
+
+  obs::OpProfileStats s = profile.Snapshot();
+  EXPECT_EQ(s.pool_lookups, 2u);
+  EXPECT_EQ(s.pool_hits, 1u);
+  EXPECT_EQ(s.pool_misses, 1u);
+  EXPECT_EQ(s.pager_reads, 1u);
+  EXPECT_EQ(s.heap_records, 7u);
+  EXPECT_EQ(s.arena_bytes, 123u);
+  EXPECT_EQ(s.rows_scanned, 10u);
+  EXPECT_EQ(s.rows_matched, 4u);
+  EXPECT_EQ(s.rows_skipped_decode, 6u);
+  EXPECT_EQ(s.predicate_evals, 10u);
+  EXPECT_EQ(s.batches, 2u);
+  EXPECT_EQ(s.partitions, 1u);
+  EXPECT_EQ(s.join_build_rows, 3u);
+  EXPECT_EQ(s.join_probe_rows, 5u);
+  EXPECT_EQ(s.join_pairs, 2u);
+  EXPECT_EQ(s.lock_wait_ns, 1000u);
+  EXPECT_EQ(s.wal_commit_wait_ns, 2000u);
+  EXPECT_EQ(s.wal_bytes_logged, 64u);
+
+  obs::OpProfile dest;
+  profile.MergeInto(&dest);
+  profile.MergeInto(&dest);
+  EXPECT_EQ(dest.Snapshot().pool_lookups, 4u);
+  EXPECT_EQ(dest.Snapshot().wal_bytes_logged, 128u);
+}
+
+TEST(OpProfileTest, ScopeInstallsAndRestores) {
+  EXPECT_EQ(obs::CurrentOpProfile(), nullptr);
+  obs::OpProfile outer, inner;
+  {
+    obs::OpProfileScope a(&outer);
+    EXPECT_EQ(obs::CurrentOpProfile(), &outer);
+    {
+      obs::OpProfileScope b(&inner);
+      EXPECT_EQ(obs::CurrentOpProfile(), &inner);
+      // Installing nullptr turns profiling off for the scope.
+      obs::OpProfileScope off(nullptr);
+      EXPECT_EQ(obs::CurrentOpProfile(), nullptr);
+    }
+    EXPECT_EQ(obs::CurrentOpProfile(), &outer);
+  }
+  EXPECT_EQ(obs::CurrentOpProfile(), nullptr);
+}
+
+TEST(OpProfileTest, ProfiledOpMergesIntoParentAndSession) {
+  ScopedSlowThreshold quiet(0);  // 0 disables slow capture
+  obs::SessionEntry session(/*session_id=*/77, /*trace_id=*/0,
+                            /*opened_ns=*/0);
+  obs::OpProfile outer;
+  obs::OpProfileScope scope(&outer);
+  {
+    obs::ProfiledOp op(&session, "test_op");
+    EXPECT_EQ(session.current_op(), std::string("test_op"));
+    obs::CurrentOpProfile()->ChargePagerRead();
+    obs::CurrentOpProfile()->ChargeScan(5, 2, 0, 5, 1, 1);
+  }
+  EXPECT_EQ(session.current_op(), nullptr);
+  EXPECT_EQ(session.ops_completed(), 1u);
+  // Charges aggregate upward into the enclosing profile AND into the
+  // session's cumulative totals.
+  EXPECT_EQ(outer.Snapshot().pager_reads, 1u);
+  EXPECT_EQ(outer.Snapshot().rows_scanned, 5u);
+  EXPECT_EQ(session.totals().Snapshot().pager_reads, 1u);
+}
+
+TEST(OpProfileTest, ContendedLockWaitIsCharged) {
+  obs::OpProfile profile;
+  Mutex mu(LockRank::kPager);
+  std::atomic<bool> held{false};
+  std::thread holder([&] {
+    mu.Lock();
+    held.store(true, std::memory_order_release);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    mu.Unlock();
+  });
+  while (!held.load(std::memory_order_acquire)) std::this_thread::yield();
+  {
+    obs::OpProfileScope scope(&profile);
+    MutexLock blocked(mu);  // contended: the timed slow path runs
+  }
+  holder.join();
+  EXPECT_GT(profile.Snapshot().lock_wait_ns, 0u);
+
+  // Uncontended acquisition takes the try_lock fast path: no charge.
+  obs::OpProfile cheap;
+  {
+    obs::OpProfileScope scope(&cheap);
+    MutexLock uncontended(mu);
+  }
+  EXPECT_EQ(cheap.Snapshot().lock_wait_ns, 0u);
+}
+
+// --- Executor / storage charge sites ---------------------------------
+
+TEST_F(QueryProfileSuite, SelectChargesAttachedProfile) {
+  Predicate predicate = *ParsePredicate("age > 40");
+  obs::OpProfile profile;
+  {
+    obs::OpProfileScope scope(&profile);
+    auto result = db_->Select("employee", predicate);
+    ASSERT_TRUE(result.ok());
+    EXPECT_FALSE(result->empty());
+  }
+  obs::OpProfileStats s = profile.Snapshot();
+  EXPECT_GT(s.rows_scanned, 0u);
+  EXPECT_GT(s.rows_matched, 0u);
+  EXPECT_GT(s.predicate_evals, 0u);
+  EXPECT_GT(s.batches, 0u);
+  EXPECT_GT(s.heap_records, 0u);
+  EXPECT_GT(s.arena_bytes, 0u);
+  EXPECT_GT(s.pool_lookups, 0u);
+  EXPECT_EQ(s.rows_scanned, s.heap_records);
+}
+
+TEST_F(QueryProfileSuite, NoProfileAttachedStaysCheapAndSafe) {
+  ASSERT_EQ(obs::CurrentOpProfile(), nullptr);
+  Predicate predicate = *ParsePredicate("age > 40");
+  auto result = db_->Select("employee", predicate);
+  ASSERT_TRUE(result.ok());  // every charge site tolerates nullptr
+}
+
+TEST_F(QueryProfileSuite, ParallelScanWorkersAdoptCallersProfile) {
+  Predicate predicate = *ParsePredicate("age >= 18");
+  exec::ScanSpec spec;
+  spec.class_name = "employee";
+  spec.predicate = &predicate;
+  spec.parallelism = 4;
+  obs::OpProfile profile;
+  exec::ScanResult serial;
+  {
+    obs::OpProfileScope scope(&profile);
+    auto result = exec::ExecuteScan(db_.get(), spec);
+    ASSERT_TRUE(result.ok());
+    serial = std::move(*result);
+  }
+  obs::OpProfileStats s = profile.Snapshot();
+  EXPECT_GT(s.partitions, 1u);
+  // Worker threads charged the initiator's profile: every record the
+  // partitions pulled through the heap layer landed here (>= the rows
+  // the executor reports — partition boundaries over-read).
+  EXPECT_GE(s.heap_records, serial.stats.rows_scanned);
+  EXPECT_EQ(s.rows_scanned, serial.stats.rows_scanned);
+}
+
+// --- EXPLAIN / EXPLAIN ANALYZE ---------------------------------------
+
+TEST_F(QueryProfileSuite, ExplainSelectDescribesPlanWithoutRunning) {
+  Predicate predicate = *ParsePredicate("age > 40");
+  auto explained = db_->ExplainSelect("employee", predicate, false);
+  ASSERT_TRUE(explained.ok());
+  EXPECT_FALSE(explained->analyzed);
+  std::string text = explained->RenderText();
+  EXPECT_NE(text.find("scan"), std::string::npos);
+  EXPECT_NE(text.find("class: employee"), std::string::npos);
+  EXPECT_NE(text.find("predicate: "), std::string::npos);
+  EXPECT_NE(text.find("strategy: batched-decode"), std::string::npos);
+  EXPECT_NE(text.find("masked (1 attributes)"), std::string::npos);
+  EXPECT_EQ(text.find("actual:"), std::string::npos) << text;
+  std::string json = explained->RenderJson();
+  EXPECT_NE(json.find("\"analyzed\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"op\":\"scan\""), std::string::npos);
+}
+
+TEST_F(QueryProfileSuite, ExplainPredictsIdsOnlyFastPath) {
+  auto explained =
+      db_->ExplainSelect("employee", Predicate::True(), false);
+  ASSERT_TRUE(explained.ok());
+  EXPECT_NE(explained->RenderText().find("strategy: ids-only"),
+            std::string::npos);
+}
+
+TEST_F(QueryProfileSuite, ExplainAnalyzeSelectReportsActuals) {
+  Predicate predicate = *ParsePredicate("age > 40");
+  auto expected = db_->Select("employee", predicate);
+  ASSERT_TRUE(expected.ok());
+  auto explained = db_->ExplainSelect("employee", predicate, true);
+  ASSERT_TRUE(explained.ok());
+  EXPECT_TRUE(explained->analyzed);
+  EXPECT_GT(explained->total_ns, 0u);
+  EXPECT_EQ(explained->root.rows_out, expected->size());
+  EXPECT_GT(explained->totals.rows_scanned, 0u);
+  EXPECT_GT(explained->totals.pool_lookups, 0u);
+  // Single-operator plan: root actuals ARE the totals.
+  EXPECT_EQ(StatsJson(explained->root.actual),
+            StatsJson(explained->totals));
+  std::string text = explained->RenderText();
+  EXPECT_NE(text.find("actual: rows="), std::string::npos);
+  EXPECT_NE(text.find("totals: time="), std::string::npos);
+  std::string json = explained->RenderJson();
+  EXPECT_NE(json.find("\"rows_scanned\":"), std::string::npos);
+  EXPECT_NE(json.find("\"pages_read\":"), std::string::npos);
+}
+
+TEST_F(QueryProfileSuite, ExplainAnalyzeMergesIntoEnclosingProfile) {
+  Predicate predicate = *ParsePredicate("age > 40");
+  obs::OpProfile outer;
+  obs::OpProfileScope scope(&outer);
+  auto explained = db_->ExplainSelect("employee", predicate, true);
+  ASSERT_TRUE(explained.ok());
+  // The nested analysis profile merged back: session totals would not
+  // lose the work EXPLAIN ANALYZE performed.
+  EXPECT_EQ(outer.Snapshot().rows_scanned,
+            explained->totals.rows_scanned);
+}
+
+TEST_F(QueryProfileSuite, ExplainJoinPredictsStrategy) {
+  Predicate hash = *ParsePredicate("left.age == right.age");
+  auto explained = db_->ExplainJoin("employee", "manager", hash, false);
+  ASSERT_TRUE(explained.ok());
+  EXPECT_EQ(explained->root.op, "hash-join");
+  ASSERT_EQ(explained->root.children.size(), 2u);
+  EXPECT_EQ(explained->root.children[0].op, "scan");
+  EXPECT_NE(explained->RenderText().find("key: left.age = right.age"),
+            std::string::npos);
+
+  Predicate loop = *ParsePredicate("left.age < right.age");
+  auto nested = db_->ExplainJoin("employee", "manager", loop, false);
+  ASSERT_TRUE(nested.ok());
+  EXPECT_EQ(nested->root.op, "nested-loop-join");
+}
+
+// The acceptance property: per-operator actuals sum to exactly the
+// query totals — no charge is double-counted or dropped between the
+// two scan phases, the match phase, and the whole-query profile.
+TEST_F(QueryProfileSuite, ExplainAnalyzeJoinActualsSumToTotals) {
+  Predicate predicate = *ParsePredicate("left.age == right.age");
+  auto explained = db_->ExplainJoin("employee", "manager", predicate, true);
+  ASSERT_TRUE(explained.ok());
+  ASSERT_TRUE(explained->analyzed);
+  ASSERT_EQ(explained->root.children.size(), 2u);
+
+  obs::OpProfileStats sum;
+  sum += explained->root.children[0].actual;  // left scan
+  sum += explained->root.children[1].actual;  // right scan
+  sum += explained->root.actual;              // match phase
+  EXPECT_EQ(StatsJson(sum), StatsJson(explained->totals));
+
+  // And the operator attribution is sane: scans carry the storage
+  // charges, the match phase carries the join-row charges.
+  EXPECT_GT(explained->root.children[0].actual.rows_scanned, 0u);
+  EXPECT_GT(explained->root.children[1].actual.rows_scanned, 0u);
+  EXPECT_EQ(explained->root.actual.rows_scanned, 0u);
+  EXPECT_GT(explained->root.actual.join_probe_rows, 0u);
+  EXPECT_EQ(explained->root.children[0].actual.join_probe_rows, 0u);
+}
+
+// The profile's charges must agree with the engine's global metrics:
+// running a query under a profile moves the process-wide pool counters
+// by exactly what the profile recorded.
+TEST_F(QueryProfileSuite, ProfileAgreesWithGlobalCounters) {
+  db_->buffer_pool()->WaitForPrefetches();
+  Predicate predicate = *ParsePredicate("age > 40");
+
+  auto lookups_total = [&] {
+    for (const obs::MetricSample& s : obs::Registry::Global().Snapshot()) {
+      if (s.name == "pool.fetch.lookups") {
+        return static_cast<uint64_t>(s.value);
+      }
+    }
+    return uint64_t{0};
+  };
+
+  uint64_t before = lookups_total();
+  obs::OpProfile profile;
+  {
+    obs::OpProfileScope scope(&profile);
+    ASSERT_TRUE(db_->Select("employee", predicate).ok());
+  }
+  db_->buffer_pool()->WaitForPrefetches();
+  uint64_t after = lookups_total();
+  obs::OpProfileStats s = profile.Snapshot();
+  EXPECT_GT(s.pool_lookups, 0u);
+  // Other tests don't run concurrently in this process, so the global
+  // delta is this query's work (prefetches it triggered included —
+  // they adopt the caller's profile).
+  EXPECT_EQ(after - before, s.pool_lookups);
+}
+
+// --- Session accounting ----------------------------------------------
+
+TEST_F(QueryProfileSuite, SessionRegistryTracksOpenSessions) {
+  obs::SessionRegistry& registry = obs::SessionRegistry::Global();
+  size_t before = registry.size();
+  {
+    Session session = db_->OpenSession();
+    ASSERT_NE(session.entry(), nullptr);
+    EXPECT_EQ(registry.size(), before + 1);
+    EXPECT_EQ(session.entry()->session_id(), session.id());
+    EXPECT_EQ(session.entry()->current_op(), nullptr);
+
+    Predicate predicate = *ParsePredicate("age > 40");
+    ASSERT_TRUE(session.Select("employee", predicate).ok());
+    ASSERT_TRUE(session.FirstObject("employee").ok());
+    EXPECT_EQ(session.entry()->ops_completed(), 2u);
+    EXPECT_GT(session.entry()->busy_ns(), 0u);
+    EXPECT_GT(session.entry()->totals().Snapshot().rows_scanned, 0u);
+
+    std::string json = registry.RenderJson();
+    EXPECT_NE(json.find("\"session_id\":" + std::to_string(session.id())),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ops_completed\":"), std::string::npos);
+    EXPECT_NE(json.find("\"totals\":{"), std::string::npos);
+  }
+  EXPECT_EQ(registry.size(), before);  // close unregisters
+}
+
+TEST_F(QueryProfileSuite, MovedSessionKeepsSingleRegistration) {
+  obs::SessionRegistry& registry = obs::SessionRegistry::Global();
+  size_t before = registry.size();
+  Session a = db_->OpenSession();
+  uint64_t id = a.id();
+  Session b = std::move(a);
+  EXPECT_EQ(registry.size(), before + 1);
+  EXPECT_EQ(b.entry()->session_id(), id);
+  b = db_->OpenSession();  // overwriting unregisters the old entry
+  EXPECT_EQ(registry.size(), before + 1);
+  EXPECT_NE(b.entry()->session_id(), id);
+}
+
+// --- Slow-operation log ----------------------------------------------
+
+TEST_F(QueryProfileSuite, SlowOpsParkFullProfileInRing) {
+  obs::SlowOpLog::Global().ResetForTest();
+  ScopedSlowThreshold capture_everything(1);
+
+  Session session = db_->OpenSession();
+  Predicate predicate = *ParsePredicate("age > 40");
+  ASSERT_TRUE(session.Select("employee", predicate).ok());
+
+  ASSERT_GE(obs::SlowOpLog::Global().recorded(), 1u);
+  std::vector<obs::SlowOpRecord> records =
+      obs::SlowOpLog::Global().Snapshot();
+  ASSERT_FALSE(records.empty());
+  const obs::SlowOpRecord& slow = records.back();
+  EXPECT_STREQ(slow.op, "select");
+  EXPECT_EQ(slow.session_id, session.id());
+  EXPECT_GT(slow.duration_ns, 0u);
+  EXPECT_GT(slow.stats.rows_scanned, 0u);
+
+  // The journal carries the threshold crossing too.
+  bool journaled = false;
+  for (const obs::JournalRecord& r : obs::Journal::Global().Snapshot()) {
+    if (r.type == obs::JournalEvent::kSlowOp &&
+        r.arg1 == static_cast<int64_t>(session.id())) {
+      journaled = true;
+    }
+  }
+  EXPECT_TRUE(journaled);
+
+  std::string json = obs::SlowOpLog::Global().RenderJson();
+  EXPECT_NE(json.find("\"op\":\"select\""), std::string::npos);
+  EXPECT_NE(json.find("\"stats\":{"), std::string::npos);
+}
+
+TEST(SlowOpLogTest, ZeroThresholdDisablesCapture) {
+  obs::SlowOpLog::Global().ResetForTest();
+  ScopedSlowThreshold disabled(0);
+  obs::ProfiledOp op(nullptr, "never_recorded");
+  // (destructor runs at scope end)
+}
+
+TEST(SlowOpLogTest, RingOverwritesOldestBeyondCapacity) {
+  obs::SlowOpLog& log = obs::SlowOpLog::Global();
+  log.ResetForTest();
+  obs::OpProfileStats stats;
+  const uint64_t total = obs::SlowOpLog::kCapacity + 22;
+  for (uint64_t i = 0; i < total; ++i) {
+    stats.rows_scanned = i;
+    log.Record("ring_test", /*session_id=*/i, /*trace_id=*/0,
+               /*duration_ns=*/100 + i, stats);
+  }
+  EXPECT_EQ(log.recorded(), total);
+  std::vector<obs::SlowOpRecord> records = log.Snapshot();
+  ASSERT_EQ(records.size(), obs::SlowOpLog::kCapacity);
+  // Oldest first, and exactly the newest kCapacity survive.
+  EXPECT_EQ(records.front().seq, total - obs::SlowOpLog::kCapacity + 1);
+  EXPECT_EQ(records.back().seq, total);
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].seq, records[i - 1].seq + 1);
+  }
+  log.ResetForTest();
+}
+
+// --- Percentile windows ----------------------------------------------
+
+TEST(MetricsWindowTest, WindowsRotateAndTrackRecentSamples) {
+  obs::Registry& registry = obs::Registry::Global();
+  registry.SetWindowDurationNs(0);  // rotate every snapshot
+  obs::Histogram* h = registry.histogram("obs_test.profile.window");
+  for (int i = 0; i < 100; ++i) h->Record(1000);
+
+  auto window_of = [&](const char* name) {
+    obs::MetricSample out;
+    for (const obs::MetricSample& s : registry.Snapshot()) {
+      if (s.name == name) out = s;
+    }
+    return out;
+  };
+
+  obs::MetricSample first = window_of("obs_test.profile.window");
+  EXPECT_EQ(first.window_count, 100u);
+  EXPECT_GT(first.window_p50, 0u);
+
+  // A burst of much slower samples dominates the *next* window even
+  // though the lifetime histogram is still mostly fast samples.
+  for (int i = 0; i < 10; ++i) h->Record(1u << 20);
+  obs::MetricSample second = window_of("obs_test.profile.window");
+  EXPECT_EQ(second.window_count, 10u);
+  EXPECT_GT(second.window_p50, first.window_p50 * 100);
+  EXPECT_GT(second.window_p99, first.window_p99);
+  // Lifetime quantiles still reflect the full population.
+  EXPECT_LT(second.p50, second.window_p50);
+
+  // With rotate-every-snapshot, an idle interval closes as an *empty*
+  // window — the quantiles honestly say "nothing ran", they don't
+  // replay stale samples.
+  obs::MetricSample third = window_of("obs_test.profile.window");
+  EXPECT_EQ(third.window_count, 0u);
+  EXPECT_EQ(third.window_p99, 0u);
+
+  registry.SetWindowDurationNs(60ull * 1000 * 1000 * 1000);
+}
+
+TEST(MetricsWindowTest, PrometheusAndJsonCarryWindowQuantiles) {
+  obs::Registry& registry = obs::Registry::Global();
+  registry.SetWindowDurationNs(0);
+  obs::Histogram* h = registry.histogram("obs_test.profile.window_export");
+  h->Record(5000);
+  (void)registry.Snapshot();  // close a window containing the sample
+
+  std::string prometheus = registry.RenderPrometheus();
+  EXPECT_NE(prometheus.find("obs_test_profile_window_export_window_p95"),
+            std::string::npos);
+  std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"window\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  registry.SetWindowDurationNs(60ull * 1000 * 1000 * 1000);
+}
+
+TEST(MetricsWindowTest, JsonExportsBucketBoundaries) {
+  obs::Registry& registry = obs::Registry::Global();
+  obs::Histogram* h = registry.histogram("obs_test.profile.buckets");
+  h->Record(1);     // bucket le=1
+  h->Record(1000);  // mid bucket
+  std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"buckets\":[{"), std::string::npos);
+  EXPECT_NE(json.find("\"le\":1,"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":"), std::string::npos);
+}
+
+// --- Telemetry endpoint ----------------------------------------------
+
+std::string HttpGet(uint16_t port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+/// Sends `payload` raw (no trailing CRLF added) and returns the
+/// response — for the malformed-request tests.
+std::string HttpRaw(uint16_t port, const std::string& payload) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  (void)::send(fd, payload.data(), payload.size(), 0);
+  ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST_F(QueryProfileSuite, TelemetryServesSessionsSlowAndHealth) {
+  obs::SlowOpLog::Global().ResetForTest();
+  ScopedSlowThreshold capture_everything(1);
+  Session session = db_->OpenSession();
+  Predicate predicate = *ParsePredicate("age > 40");
+  ASSERT_TRUE(session.Select("employee", predicate).ok());
+
+  obs::TelemetryServer server;
+  ASSERT_TRUE(server.Start(/*port=*/0).ok());
+
+  std::string sessions = HttpGet(server.port(), "/sessions");
+  EXPECT_NE(sessions.find("200 OK"), std::string::npos);
+  EXPECT_NE(sessions.find("application/json"), std::string::npos);
+  EXPECT_NE(
+      sessions.find("\"session_id\":" + std::to_string(session.id())),
+      std::string::npos);
+
+  std::string slow = HttpGet(server.port(), "/slow");
+  EXPECT_NE(slow.find("200 OK"), std::string::npos);
+  EXPECT_NE(slow.find("\"op\":\"select\""), std::string::npos);
+  EXPECT_NE(slow.find("\"rows_scanned\":"), std::string::npos);
+
+  std::string health = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(health.find("\"wal\":{\"recovery_runs\":"), std::string::npos);
+  EXPECT_NE(health.find("\"torn_bytes\":"), std::string::npos);
+
+  std::string metrics_json = HttpGet(server.port(), "/metrics.json");
+  EXPECT_NE(metrics_json.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics_json.find("\"counters\":{"), std::string::npos);
+
+  server.Stop();
+}
+
+TEST(TelemetryErrorPathTest, UnknownPathReturns404) {
+  obs::TelemetryServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  std::string response = HttpGet(server.port(), "/definitely-not-a-page");
+  EXPECT_NE(response.find("404 Not Found"), std::string::npos);
+  server.Stop();
+}
+
+TEST(TelemetryErrorPathTest, OversizedRequestLineRejected) {
+  obs::TelemetryServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  // 8 KiB without a CRLF: the server must reject, not buffer forever.
+  std::string huge = "GET /" + std::string(8192, 'a');
+  std::string response = HttpRaw(server.port(), huge);
+  EXPECT_NE(response.find("400 Bad Request"), std::string::npos);
+  EXPECT_NE(response.find("request line too long"), std::string::npos);
+  server.Stop();
+}
+
+TEST(TelemetryErrorPathTest, TruncatedRequestGetsNoResponse) {
+  obs::TelemetryServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  // Connection closed before the request line completes: the server
+  // just drops it (and must not crash or stall the accept loop).
+  std::string response = HttpRaw(server.port(), "GET /metrics");
+  EXPECT_EQ(response, "");
+  // The listener is still healthy afterwards.
+  std::string ok = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(ok.find("200 OK"), std::string::npos);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace ode::odb

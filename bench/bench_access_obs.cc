@@ -1,0 +1,148 @@
+// Overhead matrix for the access-pattern recorder.
+//
+// The reference-chase-style workload (point reads + a batched scan)
+// runs in four flavors:
+//   BM_ChaseControl      — recorder never started this flavor: each
+//     charge site costs one relaxed load. CI gates
+//     BM_ChaseRecorderOff : BM_ChaseControl at 1.05x — stopping the
+//     recorder must return the engine to its undisturbed cost.
+//   BM_ChaseRecorderOff  — recorder started then stopped before the
+//     timed loop (tables allocated, counters warm, still one load).
+//   BM_ChaseRecorderSampled — recorder on at 1-in-16 sampling, the
+//     always-on production posture.
+//   BM_ChaseRecorderFull — recorder on unsampled: every access pays
+//     the ring append + heat-table CAS. CI gates Full : Off at 1.5x.
+// Plus the scrape side: BM_HeatmapRender / BM_ProfileSnapshot against
+// a populated recorder.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/access_log.h"
+
+namespace ode::bench {
+namespace {
+
+odb::LabDbConfig BenchConfig() {
+  odb::LabDbConfig config;
+  config.employees = 400;
+  return config;
+}
+
+/// One "chase": a handful of point reads plus a short batched scan —
+/// the access mix a browse cascade generates.
+void RunChase(odb::Session& session, const std::vector<odb::Oid>& oids) {
+  for (size_t i = 0; i < 8 && i < oids.size(); ++i) {
+    benchmark::DoNotOptimize(ValueOrDie(session.GetObject(oids[i]), "get"));
+  }
+  benchmark::DoNotOptimize(
+      ValueOrDie(session.NextObjectBuffers(oids.front(), 16), "scan"));
+}
+
+std::vector<odb::Oid> ChaseOids(odb::Database* db) {
+  std::vector<odb::Oid> oids;
+  odb::Oid at = ValueOrDie(db->FirstObject("employee"), "first");
+  oids.push_back(at);
+  for (int i = 0; i < 15; ++i) {
+    Result<odb::Oid> next = db->NextObject(at);
+    if (!next.ok()) break;
+    at = *next;
+    oids.push_back(at);
+  }
+  return oids;
+}
+
+void BM_ChaseControl(benchmark::State& state) {
+  obs::AccessLog::Global().ResetForTest();  // recorder off, tables cold
+  LabSession session = LabSession::Create(BenchConfig());
+  std::vector<odb::Oid> oids = ChaseOids(session.db.get());
+  odb::Session db_session = session.db->OpenSession();
+  for (auto _ : state) {
+    RunChase(db_session, oids);
+  }
+}
+BENCHMARK(BM_ChaseControl);
+
+void BM_ChaseRecorderOff(benchmark::State& state) {
+  obs::AccessLog& log = obs::AccessLog::Global();
+  log.ResetForTest();
+  LabSession session = LabSession::Create(BenchConfig());
+  std::vector<odb::Oid> oids = ChaseOids(session.db.get());
+  odb::Session db_session = session.db->OpenSession();
+  // Exercise then stop: a recorder that has run must cost the same as
+  // one that never did.
+  log.Start();
+  RunChase(db_session, oids);
+  log.Stop();
+  for (auto _ : state) {
+    RunChase(db_session, oids);
+  }
+}
+BENCHMARK(BM_ChaseRecorderOff);
+
+void BM_ChaseRecorderSampled(benchmark::State& state) {
+  obs::AccessLog& log = obs::AccessLog::Global();
+  log.ResetForTest();
+  LabSession session = LabSession::Create(BenchConfig());
+  std::vector<odb::Oid> oids = ChaseOids(session.db.get());
+  odb::Session db_session = session.db->OpenSession();
+  log.Start(/*sample_period=*/16);
+  for (auto _ : state) {
+    RunChase(db_session, oids);
+  }
+  state.counters["recorded"] = static_cast<double>(log.recorded());
+  log.Stop();
+}
+BENCHMARK(BM_ChaseRecorderSampled);
+
+void BM_ChaseRecorderFull(benchmark::State& state) {
+  obs::AccessLog& log = obs::AccessLog::Global();
+  log.ResetForTest();
+  LabSession session = LabSession::Create(BenchConfig());
+  std::vector<odb::Oid> oids = ChaseOids(session.db.get());
+  odb::Session db_session = session.db->OpenSession();
+  log.Start(/*sample_period=*/1);
+  for (auto _ : state) {
+    RunChase(db_session, oids);
+  }
+  state.counters["recorded"] = static_cast<double>(log.recorded());
+  state.counters["overwritten"] = static_cast<double>(log.overwritten());
+  log.Stop();
+}
+BENCHMARK(BM_ChaseRecorderFull);
+
+/// Scrape cost against a recorder populated by a full-rate run.
+void BM_HeatmapRender(benchmark::State& state) {
+  obs::AccessLog& log = obs::AccessLog::Global();
+  log.ResetForTest();
+  LabSession session = LabSession::Create(BenchConfig());
+  std::vector<odb::Oid> oids = ChaseOids(session.db.get());
+  odb::Session db_session = session.db->OpenSession();
+  log.Start();
+  for (int i = 0; i < 64; ++i) RunChase(db_session, oids);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.RenderHeatmapJson());
+  }
+  log.Stop();
+}
+BENCHMARK(BM_HeatmapRender);
+
+void BM_ProfileSnapshot(benchmark::State& state) {
+  obs::AccessLog& log = obs::AccessLog::Global();
+  log.ResetForTest();
+  LabSession session = LabSession::Create(BenchConfig());
+  std::vector<odb::Oid> oids = ChaseOids(session.db.get());
+  odb::Session db_session = session.db->OpenSession();
+  log.Start();
+  for (int i = 0; i < 64; ++i) RunChase(db_session, oids);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.SnapshotProfile());
+  }
+  log.Stop();
+}
+BENCHMARK(BM_ProfileSnapshot);
+
+}  // namespace
+}  // namespace ode::bench
+
+ODE_BENCH_MAIN();

@@ -5,6 +5,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -21,6 +22,31 @@
 #include "odeview/app.h"
 
 namespace ode::bench {
+
+/// Version of the stamped bench-JSON context contract. Bump when the
+/// stamped keys change meaning so downstream tooling can dispatch.
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// Stamps provenance into the benchmark JSON "context" section:
+/// schema version, UTC run timestamp, and build type. compare_bench.py
+/// reads `ode_build_type` to warn when a run is compared against a
+/// baseline captured from a different build flavor.
+inline void StampBenchContext() {
+  benchmark::AddCustomContext("ode_bench_schema",
+                              std::to_string(kBenchSchemaVersion));
+  std::time_t now = std::time(nullptr);
+  std::tm utc;
+  if (gmtime_r(&now, &utc) != nullptr) {
+    char stamp[32];
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+    benchmark::AddCustomContext("ode_run_timestamp_utc", stamp);
+  }
+#ifdef NDEBUG
+  benchmark::AddCustomContext("ode_build_type", "Release");
+#else
+  benchmark::AddCustomContext("ode_build_type", "Debug");
+#endif
+}
 
 /// Aborts the benchmark binary on an unexpected error — benchmarks
 /// must not silently measure failure paths.
@@ -120,6 +146,7 @@ inline int BenchMain(int argc, char** argv) {
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  StampBenchContext();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   if (telemetry_hold_s > 0) {

@@ -41,6 +41,22 @@ def load_run(path):
     return out
 
 
+def warn_build_type_mismatch(run_path, baseline):
+    """Warn (never fail) when the run's stamped build type differs from
+    the baseline's. Absolute comparisons across build flavors are noise;
+    the numbers still print, but the verdicts should be read with that
+    in mind. Runs older than the stamping (no ode_build_type in the
+    context) and baselines without a build_type stay silent."""
+    with open(run_path) as f:
+        context = json.load(f).get("context", {})
+    run_build = context.get("ode_build_type")
+    base_build = baseline.get("build_type")
+    if run_build and base_build and run_build != base_build:
+        print(f"compare_bench: WARNING: run build type '{run_build}' != "
+              f"baseline build type '{base_build}'; absolute comparisons "
+              f"across build flavors are unreliable", file=sys.stderr)
+
+
 def check_ratios(run_benches, specs, max_ratio):
     """Same-run numerator:denominator gates. Returns the exit code."""
     failures = []
@@ -108,6 +124,7 @@ def main():
 
     with open(args.baseline) as f:
         baseline = json.load(f)
+    warn_build_type_mismatch(args.run, baseline)
 
     binary = args.binary
     if binary is None:

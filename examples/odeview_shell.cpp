@@ -19,10 +19,12 @@
 #include <string>
 #include <vector>
 
+#include "common/access_log.h"
 #include "common/journal.h"
 #include "common/op_profile.h"
 #include "common/strings.h"
 #include "common/telemetry_http.h"
+#include "common/timeseries.h"
 #include "common/watchdog.h"
 #include "dynlink/lab_modules.h"
 #include "odb/database.h"
@@ -62,6 +64,11 @@ void Help() {
   check                        run the referential-integrity checker
   stats                        open/refresh the statistics window
   telemetry                    dump the metrics registry (text report)
+  heatmap [top-n]              print the access heat map (pages, classes,
+                               affinity edges; recorder starts with
+                               --telemetry-port, or at 'record start')
+  record start <file>          capture the access stream to <file>
+  record stop                  close the capture; prints records written
   journal                      print the flight-recorder journal tail
   watchdog [start [ms]|stop]   stall watchdog status / control
   screen                       print the composed screen
@@ -94,8 +101,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "telemetry endpoint listening on 127.0.0.1:%u "
                    "(/metrics /metrics.json /journal /trace /sessions "
-                   "/slow /healthz)\n",
+                   "/slow /heatmap /timeseries /healthz)\n",
                    telemetry_server.port());
+      // Give the endpoint live content: the access recorder feeds
+      // /heatmap and a 1 s metrics-history tick feeds /timeseries.
+      obs::AccessLog::Global().Start();
+      (void)obs::TimeSeriesStore::Global().Configure(
+          /*resolution_ns=*/1'000'000'000ull, /*slots=*/600);
+      obs::TimeSeriesStore::Global().Start();
     } else {
       std::fprintf(stderr, "telemetry endpoint: %s\n",
                    started.ToString().c_str());
@@ -210,6 +223,46 @@ int main(int argc, char** argv) {
     } else if (cmd == "sessions") {
       std::printf("%s\n",
                   obs::SessionRegistry::Global().RenderJson().c_str());
+    } else if (cmd == "heatmap") {
+      size_t top_n = 16;
+      int requested = 0;
+      if (in >> requested && requested > 0) {
+        top_n = static_cast<size_t>(requested);
+      }
+      if (!obs::AccessLog::Global().enabled()) {
+        std::puts(
+            "access recorder is off — run with --telemetry-port or "
+            "'record start <file>' to enable it");
+      }
+      std::fputs(obs::AccessLog::Global().RenderHeatmapText(top_n).c_str(),
+                 stdout);
+    } else if (cmd == "record") {
+      std::string sub;
+      in >> sub;
+      if (sub == "start") {
+        std::string path;
+        in >> path;
+        if (path.empty()) {
+          std::puts("usage: record start <file>");
+          continue;
+        }
+        Status started = obs::AccessLog::Global().StartCapture(path);
+        if (started.ok()) {
+          std::printf("capturing access stream to %s\n", path.c_str());
+        } else {
+          report(started);
+        }
+      } else if (sub == "stop") {
+        auto written = obs::AccessLog::Global().StopCapture();
+        if (written.ok()) {
+          std::printf("capture closed: %llu records written\n",
+                      static_cast<unsigned long long>(*written));
+        } else {
+          report(written.status());
+        }
+      } else {
+        std::puts("usage: record start <file> | record stop");
+      }
     } else if (interactor() == nullptr) {
       std::puts("open a database first ('open lab')");
     } else if (cmd == "schema") {
@@ -372,6 +425,10 @@ int main(int argc, char** argv) {
     } else {
       std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
     }
+  }
+  obs::TimeSeriesStore::Global().Stop();
+  if (obs::AccessLog::Global().capturing()) {
+    (void)obs::AccessLog::Global().StopCapture();
   }
   return 0;
 }

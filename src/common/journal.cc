@@ -7,6 +7,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "common/metrics.h"
 #include "common/threading.h"
 #include "common/trace.h"
 
@@ -81,6 +82,12 @@ const char* JournalEventName(JournalEvent type) {
       return "wal_torn_tail";
     case JournalEvent::kSlowOp:
       return "slow_op";
+    case JournalEvent::kAccessRecorderStart:
+      return "access_recorder_start";
+    case JournalEvent::kAccessRecorderStop:
+      return "access_recorder_stop";
+    case JournalEvent::kAccessRingOverflow:
+      return "access_ring_overflow";
   }
   return "unknown";
 }
@@ -119,6 +126,9 @@ void Journal::Append(JournalEvent type, int64_t arg0, int64_t arg1,
                                           std::memory_order_relaxed)) {
       break;
     }
+  }
+  if (current != 0) {
+    overwritten_.fetch_add(1, std::memory_order_relaxed);
   }
   TraceContext ctx = CurrentTraceContext();
   slot.ts_ns.store(Tracing::NowNanos(), std::memory_order_relaxed);
@@ -179,7 +189,39 @@ std::string Journal::ExportJsonLines() const {
     }
     out += "}\n";
   }
+  // Loss-accounting trailer: consumers can tell a quiet system from a
+  // saturated ring. Shaped like a record (seq 0 = synthetic) so line
+  // parsers need no special case.
+  out += "{\"seq\":0,\"ts_ns\":" + std::to_string(Tracing::NowNanos()) +
+         ",\"type\":\"journal_stats\",\"appended\":" +
+         std::to_string(appended()) +
+         ",\"dropped\":" + std::to_string(dropped()) +
+         ",\"overwritten\":" + std::to_string(overwritten()) +
+         ",\"capacity\":" + std::to_string(capacity_) + "}\n";
+  PublishLossMetrics();
   return out;
+}
+
+void Journal::PublishLossMetrics() const {
+  // Instance journals (tests) have no process-wide counters to feed.
+  if (this != &Global()) return;
+  // Move each counter forward by the delta since the last publication
+  // (CAS keeps the watermark monotone under concurrent exports).
+  static std::atomic<uint64_t> published_appended{0};
+  static std::atomic<uint64_t> published_dropped{0};
+  static std::atomic<uint64_t> published_overwritten{0};
+  auto publish = [](const char* name, std::atomic<uint64_t>& last,
+                    uint64_t now) {
+    uint64_t prev = last.load(std::memory_order_relaxed);
+    while (prev < now &&
+           !last.compare_exchange_weak(prev, now,
+                                       std::memory_order_relaxed)) {
+    }
+    if (prev < now) Registry::Global().counter(name)->Add(now - prev);
+  };
+  publish("obs.journal.appended", published_appended, appended());
+  publish("obs.journal.dropped", published_dropped, dropped());
+  publish("obs.journal.overwritten", published_overwritten, overwritten());
 }
 
 std::string Journal::RenderText(size_t max_records) const {

@@ -32,6 +32,9 @@ enum class JournalEvent : uint32_t {
   kWalTornTail = 15,       ///< arg0 = bytes truncated from the log tail
   kSlowOp = 16,            ///< arg0 = duration ns, arg1 = session id,
                            ///< detail = op name
+  kAccessRecorderStart = 17,  ///< arg0 = sample period
+  kAccessRecorderStop = 18,   ///< arg0 = events recorded so far
+  kAccessRingOverflow = 19,   ///< arg0 = ring capacity (first wrap only)
 };
 
 /// Wire name of a journal event type ("session_open", ...).
@@ -87,7 +90,19 @@ class Journal {
   }
   /// Records dropped because the producer lost a slot-claim race.
   uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  /// Records overwritten by a newer ring generation (the ring wrapped).
+  uint64_t overwritten() const {
+    return overwritten_.load(std::memory_order_relaxed);
+  }
   size_t capacity() const { return capacity_; }
+
+  /// Mirrors the loss accounting into `obs.journal.appended/dropped/
+  /// overwritten` registry counters. Deliberately *not* done inside
+  /// `Append` — the journal is the lock-rank violation reporter's sink
+  /// and must never acquire the metrics registry lock itself. Export
+  /// paths (the `/journal` endpoint, `--journal-out`) call this from
+  /// lock-free contexts. No-op for non-global instances.
+  void PublishLossMetrics() const;
 
   /// The retained tail, oldest first. Safe against concurrent writers
   /// (slots being overwritten mid-read are skipped).
@@ -137,6 +152,7 @@ class Journal {
   std::unique_ptr<Slot[]> slots_;
   std::atomic<uint64_t> next_seq_{0};
   std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> overwritten_{0};
 };
 
 }  // namespace ode::obs

@@ -159,6 +159,13 @@ const std::vector<LockRankInfo>& LockRankTable() {
       {LockRank::kWatchdogScan, "watchdog.scan_lock", false, false},
       {LockRank::kWatchdogWake, "watchdog.wake_lock", false, false},
       {LockRank::kWatchdogRefresh, "watchdog.refresh_lock", false, false},
+      // Access observatory: the time-series fold and the capture-file
+      // writer sit above every engine lock (charge sites may hold heap
+      // / latch / shard / pager locks when they record) and below the
+      // session registry and metrics registry, so both may still
+      // create instruments or snapshot the registry while held.
+      {LockRank::kTimeSeries, "obs.timeseries_lock", false, false},
+      {LockRank::kAccessCapture, "obs.access_capture_lock", false, false},
       // Session inspector / slow-op ring: registered below the metrics
       // registry so render paths may still create instruments.
       {LockRank::kSessionRegistry, "obs.session_registry_lock", false,

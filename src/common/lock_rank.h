@@ -36,6 +36,8 @@ enum class LockRank : uint16_t {
   kWatchdogScan = 100,      ///< Watchdog::scan_mu_ (flag sets)
   kWatchdogWake = 102,      ///< Watchdog::wake_mu_ (scanner wakeup)
   kWatchdogRefresh = 110,   ///< crash-snapshot writer serialization
+  kTimeSeries = 182,        ///< obs::TimeSeriesStore::mu_ (history rings)
+  kAccessCapture = 185,     ///< obs::AccessLog capture-file writer
   kSessionRegistry = 190,   ///< obs::SessionRegistry::mu_ (open sessions)
   kSlowOpLog = 195,         ///< obs::SlowOpLog::mu_ (slow-op ring)
   kMetricsRegistry = 200,   ///< obs::Registry::mu_ (instrument maps)

@@ -10,6 +10,7 @@ namespace ode::obs {
 namespace {
 
 thread_local OpProfile* tls_profile = nullptr;
+thread_local uint64_t tls_session_id = 0;
 
 uint64_t NowNs() {
   return static_cast<uint64_t>(
@@ -122,6 +123,8 @@ void OpProfile::MergeInto(OpProfile* dest) const {
 }
 
 OpProfile* CurrentOpProfile() { return tls_profile; }
+
+uint64_t CurrentSessionId() { return tls_session_id; }
 
 OpProfileScope::OpProfileScope(OpProfile* profile) : prev_(tls_profile) {
   tls_profile = profile;
@@ -276,11 +279,16 @@ ProfiledOp::ProfiledOp(SessionEntry* session, const char* op_name)
       session_(session),
       op_name_(op_name),
       start_ns_(NowNs()),
+      prev_session_id_(tls_session_id),
       scope_(&profile_) {
-  if (session_ != nullptr) session_->BeginOp(op_name_, start_ns_);
+  if (session_ != nullptr) {
+    session_->BeginOp(op_name_, start_ns_);
+    tls_session_id = session_->session_id();
+  }
 }
 
 ProfiledOp::~ProfiledOp() {
+  tls_session_id = prev_session_id_;
   uint64_t duration = NowNs() - start_ns_;
   // The scope is still installed here (members are destroyed after this
   // body), so the snapshot covers every charge of the op.

@@ -137,6 +137,12 @@ class OpProfile {
 /// the near-zero-cost common case every charge site tests first).
 OpProfile* CurrentOpProfile();
 
+/// The session id of the `ProfiledOp` currently running on the calling
+/// thread (0 = none / not session-bound). The access recorder stamps
+/// this into its events, the same way journal records stamp the
+/// thread's trace context.
+uint64_t CurrentSessionId();
+
 /// Installs `profile` as the calling thread's current profile for the
 /// scope's lifetime, restoring the previous one on destruction. Used
 /// both to *attach* a profile on the initiating thread and to *adopt*
@@ -322,6 +328,7 @@ class ProfiledOp {
   SessionEntry* session_;
   const char* op_name_;
   uint64_t start_ns_;
+  uint64_t prev_session_id_;  ///< thread's session id before this op
   OpProfileScope scope_;  ///< installs &profile_; last member: first out
 };
 

@@ -9,9 +9,11 @@
 #include <cstring>
 #include <string_view>
 
+#include "common/access_log.h"
 #include "common/journal.h"
 #include "common/metrics.h"
 #include "common/op_profile.h"
+#include "common/timeseries.h"
 #include "common/trace.h"
 
 namespace ode::obs {
@@ -64,6 +66,12 @@ Response HandleRequest(std::string_view path) {
   } else if (path == "/slow") {
     response.content_type = "application/json";
     response.body = SlowOpLog::Global().RenderJson();
+  } else if (path == "/heatmap") {
+    response.content_type = "application/json";
+    response.body = AccessLog::Global().RenderHeatmapJson();
+  } else if (path == "/timeseries") {
+    response.content_type = "application/json";
+    response.body = TimeSeriesStore::Global().RenderJson();
   } else if (path == "/healthz") {
     response.content_type = "application/json";
     response.body = RenderHealthJson();

@@ -221,6 +221,34 @@ std::vector<TraceEvent> Tracing::SnapshotEvents() {
   return out;
 }
 
+namespace {
+
+/// Span names are compile-time literals by convention, but the export
+/// must stay valid JSON even when one carries a quote, backslash, or
+/// control byte.
+void StreamJsonEscaped(std::ostringstream& os, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    unsigned char c = static_cast<unsigned char>(*p);
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << *p;
+        }
+    }
+  }
+}
+
+}  // namespace
+
 std::string Tracing::ExportChromeJson() {
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
@@ -239,7 +267,9 @@ std::string Tracing::ExportChromeJson() {
       std::snprintf(dur, sizeof(dur), "%llu.%03llu",
                     static_cast<unsigned long long>(event.duration_ns / 1000),
                     static_cast<unsigned long long>(event.duration_ns % 1000));
-      os << "{\"name\":\"" << event.name << "\",\"cat\":\"ode\""
+      os << "{\"name\":\"";
+      StreamJsonEscaped(os, event.name);
+      os << "\",\"cat\":\"ode\""
          << ",\"ph\":\"X\",\"pid\":1,\"tid\":" << event.thread_id
          << ",\"ts\":" << ts << ",\"dur\":" << dur
          << ",\"args\":{\"depth\":" << event.depth

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <vector>
 
+#include "common/access_log.h"
 #include "common/journal.h"
 #include "common/op_profile.h"
 #include "common/trace.h"
@@ -168,6 +169,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id, PageIntent intent) {
     }
   }
   if (auto* profile = obs::CurrentOpProfile()) profile->ChargePoolFetch(hit);
+  obs::AccessLog::Global().RecordPageTouch(id);
   // Latch outside the shard lock: a blocked latch acquisition must not
   // stall unrelated fetches in this shard, and the documented rank
   // order (frame latch 60 < shard 70) forbids blocking on a latch

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/coding.h"
+#include "common/journal.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/op_profile.h"
@@ -180,6 +181,9 @@ Status Database::AddClassInternal(ClassDef def, bool persist) {
       (void)catalog_->mutable_schema()->DropClass(class_name);
       return id.status();
     }
+    // Wire access-observatory attribution before the heap becomes
+    // reachable (publication under heaps_mu_ orders the plain stores).
+    heap.SetAccessAttribution(*id, obs::Journal::InternLabel(class_name));
     MutexLock guard(heaps_mu_);
     heaps_.emplace(*id, std::move(heap));
   }
@@ -325,6 +329,7 @@ Result<HeapFile*> Database::GetHeap(ClusterId id) {
   ODE_ASSIGN_OR_RETURN(HeapFile heap,
                        HeapFile::Open(pool_.get(), catalog_->free_list(),
                                      info->first_page));
+  heap.SetAccessAttribution(id, obs::Journal::InternLabel(info->class_name));
   auto pos = heaps_.emplace(id, std::move(heap)).first;
   return &pos->second;
 }

@@ -8,6 +8,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/access_log.h"
 #include "common/journal.h"
 #include "common/metrics.h"
 #include "common/op_profile.h"
@@ -513,6 +514,17 @@ Result<JoinResult> ExecuteJoin(Database* db, const JoinSpec& spec,
               return a.second.local < b.second.local;
             });
   out.stats.pairs = out.pairs.size();
+  // Join row flow is reference affinity: each matched pair is an edge
+  // the clustering advisor can mine for co-location candidates.
+  if (obs::AccessLog::Global().enabled() && !out.pairs.empty()) {
+    const char* left_label = obs::Journal::InternLabel(spec.left_class);
+    const char* right_label = obs::Journal::InternLabel(spec.right_class);
+    for (const auto& [left_oid, right_oid] : out.pairs) {
+      obs::AccessLog::Global().RecordAffinity(
+          left_oid.cluster, left_oid.local, left_label, right_oid.cluster,
+          right_oid.local, right_label);
+    }
+  }
   ExecJoinBuildRows().Add(out.stats.build_rows);
   ExecJoinProbeRows().Add(out.stats.probe_rows);
   ExecJoinPairs().Add(out.stats.pairs);

@@ -193,6 +193,13 @@ Result<PageId> HeapFile::FindPageWithRoom(size_t needed) {
   return fresh_id;
 }
 
+void HeapFile::ChargeAccess(obs::AccessOp op, uint64_t local_id,
+                            PageId page) const {
+  if (access_label_ == nullptr) return;  // unwired heap (tests, bootstrap)
+  obs::AccessLog::Global().Record(op, access_cluster_, local_id,
+                                  access_label_, page);
+}
+
 Status HeapFile::Insert(uint64_t local_id, std::string_view payload) {
   WriterMutexLock lock(*mu_);
   if (directory_.find(local_id) != directory_.end()) {
@@ -208,6 +215,7 @@ Status HeapFile::Insert(uint64_t local_id, std::string_view payload) {
   handle.MarkDirty();
   directory_[local_id] = Location{target, slot};
   HeapInserts().Increment();
+  ChargeAccess(obs::AccessOp::kCreate, local_id, target);
   return Status::OK();
 }
 
@@ -221,6 +229,7 @@ Result<std::string> HeapFile::GetLocked(uint64_t local_id) const {
   if (it == directory_.end()) {
     return Status::NotFound("record id " + std::to_string(local_id));
   }
+  ChargeAccess(obs::AccessOp::kGet, local_id, it->second.page);
   PageHandle handle;
   PageId held = kNoPage;
   return ReadRecordLocked(local_id, it->second, &handle, &held);
@@ -300,6 +309,7 @@ Status HeapFile::UpdateLocked(uint64_t local_id, std::string_view payload) {
     if (in_place.ok()) {
       handle.MarkDirty();
       HeapUpdates().Increment();
+      ChargeAccess(obs::AccessOp::kUpdate, local_id, it->second.page);
       return Status::OK();
     }
     if (!in_place.IsOutOfRange()) return in_place;
@@ -316,6 +326,7 @@ Status HeapFile::UpdateLocked(uint64_t local_id, std::string_view payload) {
   handle.MarkDirty();
   directory_[local_id] = Location{target, slot};
   HeapUpdates().Increment();
+  ChargeAccess(obs::AccessOp::kUpdate, local_id, target);
   return Status::OK();
 }
 
@@ -343,8 +354,10 @@ Status HeapFile::DeleteLocked(uint64_t local_id) {
   SlottedPage sp(handle.page());
   ODE_RETURN_IF_ERROR(sp.Delete(it->second.slot));
   handle.MarkDirty();
+  PageId freed_page = it->second.page;
   directory_.erase(it);
   HeapDeletes().Increment();
+  ChargeAccess(obs::AccessOp::kDelete, local_id, freed_page);
   return Status::OK();
 }
 
@@ -416,6 +429,7 @@ Result<std::vector<std::pair<uint64_t, std::string>>> HeapFile::NextRecords(
   PageHandle handle;
   PageId held = kNoPage;
   for (; it != directory_.end() && out.size() < limit; ++it) {
+    ChargeAccess(obs::AccessOp::kScan, it->first, it->second.page);
     ODE_ASSIGN_OR_RETURN(
         std::string payload,
         ReadRecordLocked(it->first, it->second, &handle, &held));
@@ -449,6 +463,7 @@ Status HeapFile::NextRecordsInto(uint64_t after, size_t limit,
   PageHandle handle;
   PageId held = kNoPage;
   for (; it != directory_.end() && spans->size() < limit; ++it) {
+    ChargeAccess(obs::AccessOp::kScan, it->first, it->second.page);
     size_t offset = arena->size();
     ODE_ASSIGN_OR_RETURN(
         size_t length,
@@ -481,6 +496,7 @@ Result<std::vector<std::pair<uint64_t, std::string>>> HeapFile::PrevRecords(
   PageId held = kNoPage;
   while (it != directory_.begin() && out.size() < limit) {
     --it;
+    ChargeAccess(obs::AccessOp::kScan, it->first, it->second.page);
     ODE_ASSIGN_OR_RETURN(
         std::string payload,
         ReadRecordLocked(it->first, it->second, &handle, &held));

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/access_log.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -123,6 +124,18 @@ class HeapFile {
   /// Count of records currently stored out-of-line (for tests/stats).
   Result<uint64_t> OverflowCount() const;
 
+  /// Wires this heap to the access observatory: subsequent record
+  /// operations are charged to (`cluster`, `class_label`) by the
+  /// sampled access recorder. `class_label` must have static storage
+  /// duration (use `obs::Journal::InternLabel`). The database sets
+  /// this before publishing the heap, so no synchronization beyond the
+  /// publication's happens-before is needed; an unwired heap (tests,
+  /// bootstrap) records nothing.
+  void SetAccessAttribution(uint64_t cluster, const char* class_label) {
+    access_cluster_ = cluster;
+    access_label_ = class_label;
+  }
+
  private:
   HeapFile(BufferPool* pool, FreeList* free_list, PageId first_page)
       : pool_(pool),
@@ -164,9 +177,16 @@ class HeapFile {
   /// Frees the overflow chain of a stored record, if it has one.
   Status ReleaseOverflow(std::string_view stored_record);
 
+  /// Charges one sampled access event for `local_id` at `page`.
+  void ChargeAccess(obs::AccessOp op, uint64_t local_id, PageId page) const;
+
   BufferPool* pool_;
   FreeList* free_list_;
   PageId first_page_;
+  /// Access-observatory attribution (0/null until wired; see
+  /// `SetAccessAttribution`).
+  uint64_t access_cluster_ = 0;
+  const char* access_label_ = nullptr;
   /// Readers share, writers exclude. Held in a unique_ptr so the heap
   /// stays movable (it lives by value in Database's cluster map).
   /// Rank kHeapFile (30): held across free-list calls (50) and page

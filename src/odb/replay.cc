@@ -1,0 +1,56 @@
+#include "odb/replay.h"
+
+#include <utility>
+
+#include "common/trace.h"
+
+namespace ode::odb {
+
+Result<ReplayReport> ReplayAccessTrace(Database* db, const std::string& path) {
+  ODE_TRACE_SPAN("obs.access_replay");
+  ODE_ASSIGN_OR_RETURN(obs::AccessTrace trace, obs::ReadAccessTrace(path));
+
+  obs::AccessLog& log = obs::AccessLog::Global();
+  bool was_enabled = log.enabled();
+  uint32_t prior_period = log.sample_period();
+  log.Start(/*sample_period=*/1);
+
+  ReplayReport report;
+  report.torn_tail_bytes = trace.torn_tail_bytes;
+  {
+    Session session = db->OpenSession();
+    for (const obs::AccessTraceRecord& record : trace.records) {
+      if (record.kind == obs::AccessTraceRecord::Kind::kAffinity) {
+        log.RecordAffinity(record.src_cluster, record.src_local,
+                           record.src_class, record.dst_cluster,
+                           record.dst_local, record.dst_class);
+        ++report.affinity_edges;
+        continue;
+      }
+      ++report.events_total;
+      Oid oid{static_cast<ClusterId>(record.event.cluster),
+              record.event.local};
+      // Every captured op replays as a point read: re-running a
+      // mutation would change the database, and the profile only needs
+      // the class/page to be touched again.
+      Result<ObjectBuffer> object = session.GetObject(oid);
+      if (object.ok()) {
+        ++report.events_replayed;
+      } else if (object.status().IsNotFound()) {
+        ++report.events_missing;
+      } else {
+        ++report.events_failed;
+      }
+    }
+  }
+
+  // Restore the recorder's pre-replay state.
+  if (was_enabled) {
+    log.Start(prior_period);
+  } else {
+    log.Stop();
+  }
+  return report;
+}
+
+}  // namespace ode::odb

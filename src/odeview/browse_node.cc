@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/access_log.h"
 #include "common/journal.h"
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -382,6 +383,7 @@ Status BrowseNode::Step(bool forward) {
       if (next < 0 || next >= static_cast<int>(set_targets_.size())) {
         return Status::OutOfRange("no more objects in this set");
       }
+      RecordCascadeAffinity(set_targets_[static_cast<size_t>(next)]);
       ODE_ASSIGN_OR_RETURN(
           odb::ObjectBuffer buffer,
           FetchObject(set_targets_[static_cast<size_t>(next)]));
@@ -841,6 +843,17 @@ Result<BrowseNode*> BrowseNode::FollowReferenceSet(
   return children_.back().get();
 }
 
+void BrowseNode::RecordCascadeAffinity(odb::Oid dst) const {
+  obs::AccessLog& log = obs::AccessLog::Global();
+  if (!log.enabled()) return;
+  if (parent_ == nullptr || !parent_->current_.has_value()) return;
+  odb::Oid src = parent_->current_->oid;
+  log.RecordAffinity(src.cluster, src.local,
+                     obs::Journal::InternLabel(parent_->class_name_),
+                     dst.cluster, dst.local,
+                     obs::Journal::InternLabel(class_name_));
+}
+
 Status BrowseNode::ResolveFromParent() {
   if (parent_ == nullptr || !parent_->current_.has_value()) {
     current_.reset();
@@ -859,6 +872,7 @@ Status BrowseNode::ResolveFromParent() {
       current_.reset();
       return Status::OK();
     }
+    RecordCascadeAffinity(field->AsRef());
     ODE_ASSIGN_OR_RETURN(odb::ObjectBuffer buffer,
                          FetchObject(field->AsRef()));
     current_ = std::move(buffer);
@@ -884,6 +898,7 @@ Status BrowseNode::ResolveFromParent() {
   // was already showing one (Fig. 10's synchronized refresh).
   if (set_index_ >= 0 || kind_ == BrowseNodeKind::kReferenceSet) {
     set_index_ = 0;
+    RecordCascadeAffinity(set_targets_.front());
     ODE_ASSIGN_OR_RETURN(odb::ObjectBuffer buffer,
                          FetchObject(set_targets_.front()));
     current_ = std::move(buffer);

@@ -191,6 +191,12 @@ class BrowseNode {
   Result<std::vector<uint32_t>> FetchVersionList(odb::Oid oid) const;
   /// Advances the cluster cursor / set index.
   Status Step(bool forward);
+  /// Charges a reference-affinity edge (parent's current object →
+  /// `dst`) to the access observatory when the recorder is on. The
+  /// cascade that re-resolved this node touched both objects in one
+  /// display refresh — exactly the co-location signal the clustering
+  /// advisor wants.
+  void RecordCascadeAffinity(odb::Oid dst) const;
 
   BrowseContext* context_;
   BrowseNodeKind kind_;

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -18,8 +19,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/access_log.h"
 #include "common/journal.h"
 #include "common/lock_rank.h"
+#include "common/timeseries.h"
 #include "common/metrics.h"
 #include "common/op_profile.h"
 #include "common/telemetry_http.h"
@@ -1035,6 +1038,116 @@ TEST(TelemetryShutdownTest, ConcurrentScrapesDuringStop) {
   ASSERT_TRUE(second.Start(port).ok());
   EXPECT_NE(ScrapeOnce(port, "/healthz").find("200 OK"), std::string::npos);
   second.Stop();
+}
+
+// The access observatory under fire: real sessions charging the global
+// recorder through heap/pool (holding engine locks), direct recorder
+// traffic, a live capture file, and scrapers pulling heat maps, ring
+// snapshots, and time-series folds the whole time. TSan checks the
+// lock-free structures; the rank validator must see zero violations —
+// i.e. the capture mutex (rank 185) and time-series mutex (rank 182)
+// really do sit above every engine lock a charge site can hold.
+TEST(ObsStressTest, AccessRecorderAndScrapersUnderLoad) {
+  LockRankValidator::SetMode(LockRankValidator::Mode::kCount);
+  const uint64_t violations_before = LockRankValidator::violations();
+
+  obs::AccessLog& log = obs::AccessLog::Global();
+  log.ResetForTest();
+  std::string capture_path =
+      testing::TempDir() + "/ode_access_stress.trace";
+  ASSERT_TRUE(log.StartCapture(capture_path).ok());
+  log.Start(/*sample_period=*/2);
+
+  obs::TimeSeriesStore store(/*resolution_ns=*/1000 * 1000, /*slots=*/32);
+  store.Start();
+
+  auto db_or = Database::CreateInMemory("obsstress");
+  ASSERT_TRUE(db_or.ok());
+  Database* db = db_or->get();
+  ASSERT_TRUE(
+      db->DefineSchema("persistent class Item { int n; };").ok());
+
+  constexpr int kPerThread = 400;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+
+  // Engine writers: sessions create/read/scan, charging the recorder
+  // from inside heap and pool code paths.
+  for (int t = 0; t < kThreads / 2; ++t) {
+    workers.emplace_back([db, t] {
+      Session session = db->OpenSession();
+      Rng rng(311 + t);
+      std::vector<Oid> mine;
+      for (int i = 0; i < kPerThread; ++i) {
+        switch (rng.Below(3)) {
+          case 0: {
+            auto oid = session.CreateObject(
+                "Item", Value::Struct({{"n", Value::Int(i)}}));
+            if (oid.ok()) mine.push_back(*oid);
+            break;
+          }
+          case 1:
+            if (!mine.empty()) {
+              (void)session.GetObject(mine[rng.Below(mine.size())]);
+            }
+            break;
+          default:
+            (void)session.ScanCluster("Item");
+            break;
+        }
+      }
+    });
+  }
+  // Direct recorder writers: raw events, page touches, affinity edges.
+  const char* stress_label = obs::Journal::InternLabel("stress.direct");
+  for (int t = 0; t < kThreads / 2; ++t) {
+    workers.emplace_back([&log, stress_label, t] {
+      Rng rng(733 + t);
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Record(static_cast<obs::AccessOp>(rng.Below(5)), 90 + t,
+                   rng.Below(64), stress_label, rng.Below(32));
+        log.RecordPageTouch(rng.Below(32));
+        if (i % 16 == 0) {
+          log.RecordAffinity(90 + t, rng.Below(8), stress_label, 91,
+                             rng.Below(8), stress_label);
+        }
+      }
+    });
+  }
+  // Scrapers: everything a telemetry client or shell can pull, pulled
+  // continuously while writers run.
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < 2; ++t) {
+    scrapers.emplace_back([&log, &store, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        EXPECT_FALSE(log.RenderHeatmapJson().empty());
+        (void)log.SnapshotProfile(/*top_pages=*/16, /*top_edges=*/16);
+        (void)log.SnapshotRing();
+        EXPECT_FALSE(store.RenderJson().empty());
+        store.TickOnce();
+      }
+    });
+  }
+
+  for (std::thread& w : workers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& s : scrapers) s.join();
+  store.Stop();
+
+  Result<uint64_t> written = log.StopCapture();
+  ASSERT_TRUE(written.ok());
+  EXPECT_GT(*written, 0u);
+  EXPECT_GT(log.recorded(), 0u);
+  // The captured file reads back cleanly even after concurrent writes.
+  Result<obs::AccessTrace> trace = obs::ReadAccessTrace(capture_path);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->torn_tail_bytes, 0u);
+  EXPECT_FALSE(trace->records.empty());
+
+  EXPECT_EQ(LockRankValidator::violations(), violations_before)
+      << "recorder/scraper stress broke the documented lock order";
+  log.ResetForTest();
+  std::remove(capture_path.c_str());
 }
 
 }  // namespace

@@ -7,18 +7,22 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <chrono>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/access_log.h"
 #include "common/journal.h"
 #include "common/metrics.h"
 #include "common/telemetry_http.h"
+#include "common/timeseries.h"
 #include "common/trace.h"
 #include "common/watchdog.h"
 #include "dynlink/lab_modules.h"
@@ -236,6 +240,170 @@ TEST_F(FlightRecorderTest, CascadeSpansFormOneTreePerGesture) {
             std::string::npos);
 }
 
+// --- Chrome trace export well-formedness -----------------------------
+
+// Minimal recursive-descent JSON validator: accepts exactly the RFC
+// 8259 value grammar (no trailing garbage), which is what
+// chrome://tracing requires of the export.
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view text) : text_(text) {}
+
+  bool Validate() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::strchr("\"\\/bfnrt", esc) == nullptr) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (Peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    return pos_ > start && std::isdigit(static_cast<unsigned char>(text_[pos_ - 1]));
+  }
+  bool Literal(const char* word) {
+    size_t len = std::strlen(word);
+    if (text_.substr(pos_, len) != word) return false;
+    pos_ += len;
+    return true;
+  }
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+TEST_F(FlightRecorderTest, ChromeTraceExportIsWellFormedJson) {
+  {
+    ODE_TRACE_SPAN("export.root");
+    { ODE_TRACE_SPAN("export.child \"quoted\"\n"); }
+    { ODE_TRACE_SPAN("export.sibling"); }
+  }
+  std::string json = Tracing::ExportChromeJson();
+  EXPECT_TRUE(JsonValidator(json).Validate())
+      << "export is not valid JSON:\n" << json;
+
+  // Every emitted event is a complete-duration ("ph":"X") event — there
+  // are no begin/end pairs to mismatch — and each carries the causal
+  // identity (trace/span/parent) in its args.
+  size_t events = 0, complete = 0, with_ids = 0;
+  for (size_t at = json.find("{\"name\""); at != std::string::npos;
+       at = json.find("{\"name\"", at + 1)) {
+    ++events;
+    size_t end = json.find('}', at);  // args is the last, nested object
+    ASSERT_NE(end, std::string::npos);
+    std::string_view event(json.data() + at, end - at + 1);
+    if (event.find("\"ph\":\"X\"") != std::string_view::npos) ++complete;
+    if (event.find("\"trace\":") != std::string_view::npos &&
+        event.find("\"span\":") != std::string_view::npos &&
+        event.find("\"parent\":") != std::string_view::npos) {
+      ++with_ids;
+    }
+  }
+  EXPECT_EQ(events, 3u);
+  EXPECT_EQ(complete, events);
+  EXPECT_EQ(with_ids, events);
+  // Both spans of one gesture share the root's trace id.
+  std::vector<TraceEvent> raw = Tracing::SnapshotEvents();
+  ASSERT_FALSE(raw.empty());
+  EXPECT_NE(json.find("\"trace\":" + std::to_string(raw[0].trace_id)),
+            std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, ChromeTraceExportEmptyRingIsStillValid) {
+  Tracing::Clear();
+  std::string json = Tracing::ExportChromeJson();
+  EXPECT_TRUE(JsonValidator(json).Validate()) << json;
+  EXPECT_NE(json.find("\"traceEvents\":[]"), std::string::npos);
+}
+
 // --- Journal ---------------------------------------------------------
 
 TEST(JournalTest, RetainsNewestTailAfterWrap) {
@@ -291,15 +459,37 @@ TEST(JournalTest, ExportJsonLinesIsWellFormed) {
   journal.Append(JournalEvent::kMark, 0, 0,
                  Journal::InternLabel("needs \"escaping\"\n"));
   std::string lines = journal.ExportJsonLines();
-  // One line per record, each a JSON object.
+  // One line per record, each a JSON object, plus the loss-accounting
+  // trailer (`journal_stats`).
   size_t newlines = 0;
   for (char c : lines) newlines += c == '\n';
-  EXPECT_EQ(newlines, 3u);
+  EXPECT_EQ(newlines, 4u);
   EXPECT_NE(lines.find("\"type\":\"session_open\""), std::string::npos);
+  EXPECT_NE(lines.find("\"type\":\"journal_stats\""), std::string::npos);
+  EXPECT_NE(lines.find("\"appended\":3"), std::string::npos);
+  EXPECT_NE(lines.find("\"dropped\":0"), std::string::npos);
+  EXPECT_NE(lines.find("\"overwritten\":0"), std::string::npos);
   EXPECT_NE(lines.find("\"type\":\"cascade_start\""), std::string::npos);
   EXPECT_NE(lines.find("\"detail\":\"employee\""), std::string::npos);
   // The quote and newline inside the label arrive escaped.
   EXPECT_NE(lines.find("needs \\\"escaping\\\"\\n"), std::string::npos);
+}
+
+TEST(JournalTest, ExportPublishesLossCountersIntoRegistry) {
+  Counter* appended = Registry::Global().counter("obs.journal.appended");
+  uint64_t before = appended->value();
+  Journal::Global().Append(JournalEvent::kMark, 0, 0,
+                           Journal::InternLabel("loss-metrics-probe"));
+  Journal::Global().Append(JournalEvent::kMark, 1);
+  std::string lines = Journal::Global().ExportJsonLines();
+  EXPECT_NE(lines.find("\"type\":\"journal_stats\""), std::string::npos);
+  // The export moved the registry counter forward by at least the two
+  // appends above (the watermark is monotone, so repeated exports do
+  // not double-count).
+  uint64_t after = appended->value();
+  EXPECT_GE(after, before + 2);
+  (void)Journal::Global().ExportJsonLines();
+  EXPECT_EQ(appended->value(), after);
 }
 
 TEST(JournalTest, InternLabelIsStableAndDeduplicated) {
@@ -553,6 +743,46 @@ TEST(TelemetryServerTest, ServesMetricsJournalAndTrace) {
 
   server.Stop();
   EXPECT_FALSE(server.running());
+}
+
+TEST(TelemetryServerTest, ServesHeatmapAndTimeseries) {
+  AccessLog& log = AccessLog::Global();
+  log.ResetForTest();
+  log.Start();
+  log.Record(AccessOp::kGet, 5, 1, Journal::InternLabel("scraped_class"), 9);
+  log.RecordAffinity(5, 1, Journal::InternLabel("scraped_class"), 5, 2,
+                     Journal::InternLabel("scraped_class"));
+  Registry::Global().counter("telemetry.ts_smoke")->Increment();
+  TimeSeriesStore::Global().TickOnce();
+
+  TelemetryServer server;
+  ASSERT_TRUE(server.Start(/*port=*/0).ok());
+
+  std::string heatmap = HttpGet(server.port(), "/heatmap");
+  EXPECT_NE(heatmap.find("200 OK"), std::string::npos);
+  EXPECT_NE(heatmap.find("application/json"), std::string::npos);
+  EXPECT_NE(heatmap.find("\"page\":9"), std::string::npos);
+  EXPECT_NE(heatmap.find("\"class\":\"scraped_class\""), std::string::npos);
+  EXPECT_NE(heatmap.find("\"src\":\"c5:o1\""), std::string::npos);
+  // The body (after the blank header separator) is valid JSON.
+  size_t body_at = heatmap.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  EXPECT_TRUE(JsonValidator(
+                  std::string_view(heatmap).substr(body_at + 4))
+                  .Validate());
+
+  std::string timeseries = HttpGet(server.port(), "/timeseries");
+  EXPECT_NE(timeseries.find("200 OK"), std::string::npos);
+  EXPECT_NE(timeseries.find("application/json"), std::string::npos);
+  EXPECT_NE(timeseries.find("telemetry.ts_smoke"), std::string::npos);
+  body_at = timeseries.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  EXPECT_TRUE(JsonValidator(
+                  std::string_view(timeseries).substr(body_at + 4))
+                  .Validate());
+
+  server.Stop();
+  log.ResetForTest();
 }
 
 TEST(TelemetryServerTest, StartTwiceFails) {

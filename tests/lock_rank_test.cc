@@ -47,6 +47,7 @@ const std::vector<LockRank>& AllRanks() {
       LockRank::kWal,             LockRank::kPager,
       LockRank::kBackgroundWorker, LockRank::kWatchdogScan,
       LockRank::kWatchdogWake,    LockRank::kWatchdogRefresh,
+      LockRank::kTimeSeries,      LockRank::kAccessCapture,
       LockRank::kSessionRegistry, LockRank::kSlowOpLog,
       LockRank::kMetricsRegistry, LockRank::kTraceDirectory,
       LockRank::kTraceBuffer,     LockRank::kJournalIntern,

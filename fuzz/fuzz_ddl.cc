@@ -1,0 +1,17 @@
+/// Fuzzes the O++ DDL front end (lexer + schema parser) — schema text
+/// arrives from users and from stored catalogs, so arbitrarily nested
+/// `set<array<...>>` types, unterminated tokens, and garbage bytes
+/// must all come back as InvalidArgument, never as a crash or a stack
+/// overflow.
+
+#include <cstdint>
+#include <string_view>
+
+#include "odb/ddl_parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view source(reinterpret_cast<const char*>(data), size);
+  (void)ode::odb::ParseSchema(source);
+  (void)ode::odb::ParseClassDef(source);
+  return 0;
+}

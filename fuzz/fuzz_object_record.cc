@@ -1,0 +1,44 @@
+/// Fuzzes the object-record codec, full and projected: the framing
+/// that wraps every stored object (version, history entries, current
+/// value). The invariant is one-way: any record the full decode
+/// accepts, the projected decode must also accept, agreeing on the
+/// version. (The converse does not hold by design — projection skips
+/// history entries by their length prefix without decoding their
+/// interior, so corruption confined to history bytes only fails the
+/// full decode.)
+
+#include <cstdint>
+#include <string_view>
+
+#include "odb/object_record.h"
+
+using ode::Result;
+using ode::odb::DecodeObjectRecord;
+using ode::odb::DecodeObjectRecordProjected;
+using ode::odb::ObjectRecord;
+using ode::odb::ProjectedRecord;
+using ode::odb::ProjectionMask;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+  Result<ObjectRecord> full = DecodeObjectRecord(bytes);
+
+  // Unmasked projected decode (null mask = keep everything).
+  Result<ProjectedRecord> projected =
+      DecodeObjectRecordProjected(bytes, nullptr);
+
+  // A masked decode exercises the skip paths over history and
+  // unselected top-level struct fields.
+  ProjectionMask mask = ProjectionMask::Of({"name", "dept"});
+  Result<ProjectedRecord> masked = DecodeObjectRecordProjected(bytes, &mask);
+
+  if (full.ok()) {
+    if (!projected.ok() || !masked.ok()) __builtin_trap();
+    if (full->version != projected->version ||
+        full->version != masked->version) {
+      __builtin_trap();
+    }
+  }
+  return 0;
+}

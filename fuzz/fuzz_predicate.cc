@@ -1,0 +1,19 @@
+/// Fuzzes the condition-box predicate parser — the text a user types
+/// into an OdeView condition box. Deep `!`/`(` nesting is depth-capped
+/// rather than stack-limited; everything else must parse or fail
+/// cleanly.
+
+#include <cstdint>
+#include <string_view>
+
+#include "odb/predicate.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto predicate = ode::odb::ParsePredicate(text);
+  if (predicate.ok()) {
+    // A parsed predicate must render back to parseable text.
+    (void)predicate->ToString();
+  }
+  return 0;
+}

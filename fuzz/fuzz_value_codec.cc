@@ -1,0 +1,43 @@
+/// Fuzzes the value codec — the innermost untrusted-byte boundary:
+/// every stored record, WAL payload, and wire value funnels through
+/// DecodeValue. A successful decode must round-trip byte-exactly
+/// through EncodeValue (the codec's documented invariant), and
+/// SkipValue must agree with DecodeValue on how many bytes one value
+/// occupies.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/coding.h"
+#include "odb/value_codec.h"
+
+using ode::Decoder;
+using ode::Result;
+using ode::Status;
+using ode::odb::DecodeValue;
+using ode::odb::EncodeValueToString;
+using ode::odb::SkipValue;
+using ode::odb::Value;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+  Decoder decoder(bytes);
+  Result<Value> value = DecodeValue(&decoder);
+  if (value.ok()) {
+    const size_t consumed = size - decoder.remaining().size();
+    // Skip must walk the same framing decode walked.
+    Decoder skipper(bytes);
+    Status skipped = SkipValue(&skipper);
+    if (!skipped.ok() ||
+        size - skipper.remaining().size() != consumed) {
+      __builtin_trap();
+    }
+    // Decoded values re-encode, and the re-encoding decodes back.
+    std::string encoded = EncodeValueToString(*value);
+    Result<Value> again = DecodeValue(encoded);
+    if (!again.ok() || !(*again == *value)) __builtin_trap();
+  }
+  return 0;
+}

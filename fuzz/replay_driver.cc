@@ -1,0 +1,66 @@
+/// Standalone main() for the fuzz harnesses. libFuzzer supplies its
+/// own main when a target is built with -fsanitize=fuzzer; every other
+/// build (GCC, plain ASan, Release) links this driver instead, so the
+/// committed corpus — including every past crasher — replays as an
+/// ordinary ctest case.
+///
+/// Usage: <harness>_replay FILE-OR-DIR...
+/// Directories are walked non-recursively; each regular file is fed to
+/// LLVMFuzzerTestOneInput once. Exit 0 iff every input was processed
+/// (a harness that crashes or trips a sanitizer never returns).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool ReplayFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s FILE-OR-DIR...\n", argv[0]);
+    return 2;
+  }
+  size_t replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::filesystem::path arg(argv[i]);
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      // Sort so a crash report names a deterministic input.
+      std::sort(files.begin(), files.end());
+      for (const auto& file : files) {
+        if (!ReplayFile(file)) return 1;
+        ++replayed;
+      }
+    } else {
+      if (!ReplayFile(arg)) return 1;
+      ++replayed;
+    }
+  }
+  std::printf("replayed %zu inputs\n", replayed);
+  return 0;
+}

@@ -194,16 +194,22 @@ Result<AccessTrace> ReadAccessTrace(const std::string& path) {
     bytes.append(chunk, n);
   }
   std::fclose(file);
+  Result<AccessTrace> trace = ParseAccessTrace(bytes);
+  if (!trace.ok()) {
+    return Status::Corruption("'" + path + "': " + trace.status().message());
+  }
+  return trace;
+}
 
+Result<AccessTrace> ParseAccessTrace(std::string_view bytes) {
   if (bytes.size() < sizeof(kCaptureMagic) ||
       std::memcmp(bytes.data(), kCaptureMagic, sizeof(kCaptureMagic)) != 0) {
-    return Status::Corruption("'" + path + "' is not an access capture");
+    return Status::Corruption("not an access capture");
   }
 
   AccessTrace trace;
   std::map<uint32_t, const char*> classes;
-  std::string_view rest =
-      std::string_view(bytes).substr(sizeof(kCaptureMagic));
+  std::string_view rest = bytes.substr(sizeof(kCaptureMagic));
   while (!rest.empty()) {
     // Frame: fixed32 len | payload | fixed32 crc. Anything that does
     // not parse cleanly is a torn tail: stop at the last intact record.

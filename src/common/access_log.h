@@ -156,6 +156,12 @@ struct AccessTrace {
 };
 Result<AccessTrace> ReadAccessTrace(const std::string& path);
 
+/// Parses capture bytes already in memory (the file reader above
+/// delegates here). This is the untrusted-byte boundary: arbitrary
+/// input must parse, fail cleanly, or stop at a torn tail — never
+/// crash (fuzzed by `fuzz/fuzz_access_trace.cc`).
+Result<AccessTrace> ParseAccessTrace(std::string_view bytes);
+
 /// The process-wide sampled access recorder.
 ///
 /// Producers (heap reads, pool fetches, cascade resolution, join row

@@ -210,18 +210,22 @@ void Journal::PublishLossMetrics() const {
   static std::atomic<uint64_t> published_appended{0};
   static std::atomic<uint64_t> published_dropped{0};
   static std::atomic<uint64_t> published_overwritten{0};
-  auto publish = [](const char* name, std::atomic<uint64_t>& last,
+  auto publish = [](Counter* counter, std::atomic<uint64_t>& last,
                     uint64_t now) {
     uint64_t prev = last.load(std::memory_order_relaxed);
     while (prev < now &&
            !last.compare_exchange_weak(prev, now,
                                        std::memory_order_relaxed)) {
     }
-    if (prev < now) Registry::Global().counter(name)->Add(now - prev);
+    if (prev < now) counter->Add(now - prev);
   };
-  publish("obs.journal.appended", published_appended, appended());
-  publish("obs.journal.dropped", published_dropped, dropped());
-  publish("obs.journal.overwritten", published_overwritten, overwritten());
+  Registry& registry = Registry::Global();
+  publish(registry.counter("obs.journal.appended"), published_appended,
+          appended());
+  publish(registry.counter("obs.journal.dropped"), published_dropped,
+          dropped());
+  publish(registry.counter("obs.journal.overwritten"),
+          published_overwritten, overwritten());
 }
 
 std::string Journal::RenderText(size_t max_records) const {

@@ -152,6 +152,9 @@ const std::vector<LockRankInfo>& LockRankTable() {
       // WAL durability while inside the shard. Never held across the
       // group-commit fsync (the leader syncs with the mutex dropped).
       {LockRank::kWal, "wal.buffer_lock", false, false},
+      // The Wal serializes every mutating store call under rank 75, so
+      // the store's own mutex only ever nests directly beneath it.
+      {LockRank::kWalStore, "wal.store_lock", false, false},
       // MemPager's mutex and FilePager's extend lock share the rank:
       // one pager backs a pool, so the two are never nested.
       {LockRank::kPager, "pager.lock", false, false},

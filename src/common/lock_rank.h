@@ -31,6 +31,7 @@ enum class LockRank : uint16_t {
   kPoolFrameLatch = 60,  ///< internal::Frame::latch (page content)
   kPoolShard = 70,       ///< BufferPool::Shard::mu (frame table/LRU)
   kWal = 75,             ///< Wal::mu_ (log append / group-commit state)
+  kWalStore = 78,        ///< MemWalStore::mu_ (in-memory log bytes)
   kPager = 80,           ///< MemPager::mu_ / FilePager::extend_mu_
   kBackgroundWorker = 90,   ///< BackgroundWorker::mu_ (task queue)
   kWatchdogScan = 100,      ///< Watchdog::scan_mu_ (flag sets)

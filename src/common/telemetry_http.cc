@@ -120,6 +120,21 @@ void WriteResponse(int fd, const Response& response) {
 
 }  // namespace
 
+std::string_view ParseRequestPath(std::string_view request) {
+  // Only the request line matters; anything past the first CRLF (or
+  // bare LF from sloppy clients) is headers a scrape endpoint ignores.
+  size_t line_end = request.find('\n');
+  std::string_view line =
+      line_end == std::string_view::npos ? request : request.substr(0, line_end);
+  size_t method_end = line.find(' ');
+  if (method_end == std::string_view::npos || method_end == 0) return "/";
+  size_t path_end = line.find(' ', method_end + 1);
+  if (path_end == std::string_view::npos || path_end == method_end + 1) {
+    return "/";
+  }
+  return line.substr(method_end + 1, path_end - method_end - 1);
+}
+
 TelemetryServer::~TelemetryServer() { Stop(); }
 
 Status TelemetryServer::Start(uint16_t port) {
@@ -208,16 +223,9 @@ void TelemetryServer::Serve() {
     if (oversized) {
       WriteResponse(client, BadRequest("request line too long"));
     } else if (line_complete) {
-      std::string_view request(buffer, filled);
-      std::string_view path = "/";
-      size_t method_end = request.find(' ');
-      if (method_end != std::string_view::npos) {
-        size_t path_end = request.find(' ', method_end + 1);
-        if (path_end != std::string_view::npos) {
-          path = request.substr(method_end + 1, path_end - method_end - 1);
-        }
-      }
-      WriteResponse(client, HandleRequest(path));
+      WriteResponse(client,
+                    HandleRequest(ParseRequestPath(
+                        std::string_view(buffer, filled))));
     }
     ::close(client);
   }

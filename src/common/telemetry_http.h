@@ -6,9 +6,18 @@
 #include <string>
 #include <thread>
 
+#include <string_view>
+
 #include "common/status.h"
 
 namespace ode::obs {
+
+/// Extracts the request path from a raw HTTP request ("GET /metrics
+/// HTTP/1.0\r\n..."). Returns "/" when the request line does not carry
+/// a well-formed `METHOD SP path SP` prefix — the caller then answers
+/// 404/400 rather than guessing. Pure function over untrusted network
+/// bytes (fuzzed by `fuzz/fuzz_http_request.cc`).
+std::string_view ParseRequestPath(std::string_view request);
 
 /// A minimal HTTP/1.0 scrape endpoint for the flight recorder:
 ///

@@ -223,6 +223,19 @@ class DdlParser {
   }
 
   Result<TypeRef> ParseType() {
+    // `set<` / `array<` recurse per nesting level; untrusted DDL can
+    // nest arbitrarily deep, so bound it before the stack does.
+    if (++type_depth_ > kMaxTypeDepth) {
+      --type_depth_;
+      return cursor_.ErrorHere("type nesting exceeds limit (" +
+                               std::to_string(kMaxTypeDepth) + ")");
+    }
+    Result<TypeRef> type = ParseTypeInner();
+    --type_depth_;
+    return type;
+  }
+
+  Result<TypeRef> ParseTypeInner() {
     const Token& tok = cursor_.Peek();
     if (!tok.Is(TokenKind::kIdent)) {
       return cursor_.ErrorHere("expected a type name");
@@ -280,8 +293,11 @@ class DdlParser {
 
   Status FinishStatement() { return cursor_.ExpectPunct(";"); }
 
+  static constexpr int kMaxTypeDepth = 32;
+
   std::string_view input_;
   TokenCursor cursor_;
+  int type_depth_ = 0;
 };
 
 }  // namespace

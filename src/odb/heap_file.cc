@@ -1,5 +1,7 @@
 #include "odb/heap_file.h"
 
+#include <set>
+
 #include "common/coding.h"
 #include "common/metrics.h"
 #include "common/op_profile.h"
@@ -116,10 +118,19 @@ bool HeapFile::Contains(uint64_t local_id) const {
 Status HeapFile::ScanChain() {
   directory_.clear();
   PageId current = first_page_;
+  std::set<PageId> visited;  // a corrupt chain must not loop forever
   while (current != kNoPage) {
+    if (!visited.insert(current).second) {
+      return Status::Corruption("heap chain cycles back to page " +
+                                std::to_string(current));
+    }
     ODE_ASSIGN_OR_RETURN(PageHandle handle,
                          pool_->Fetch(current, PageIntent::kRead));
     SlottedPage sp(handle.page());
+    // The chain walk is the first time a page loaded from disk is
+    // interpreted, so structural corruption is rejected here once
+    // instead of checked on every later access.
+    ODE_RETURN_IF_ERROR(sp.Validate());
     for (uint16_t s = 0; s < sp.slot_count(); ++s) {
       Result<std::string_view> record = sp.Get(s);
       if (!record.ok()) continue;  // tombstone

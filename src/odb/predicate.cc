@@ -274,6 +274,19 @@ class PredicateParser {
   }
 
   Result<Predicate> ParseUnary() {
+    // `!` and `(` recurse per level; a condition box pasted from an
+    // untrusted source can nest arbitrarily, so bound the stack.
+    if (++depth_ > kMaxDepth) {
+      --depth_;
+      return cursor_.ErrorHere("predicate nesting exceeds limit (" +
+                               std::to_string(kMaxDepth) + ")");
+    }
+    Result<Predicate> p = ParseUnaryInner();
+    --depth_;
+    return p;
+  }
+
+  Result<Predicate> ParseUnaryInner() {
     if (cursor_.TryConsumePunct("!")) {
       ODE_ASSIGN_OR_RETURN(Predicate inner, ParseUnary());
       return Predicate::Not(std::move(inner));
@@ -380,7 +393,10 @@ class PredicateParser {
     return cursor_.ErrorHere("expected an operand");
   }
 
+  static constexpr int kMaxDepth = 128;
+
   TokenCursor cursor_;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -25,6 +25,43 @@ void SlottedPage::Init() {
   set_live_count(0);
 }
 
+Status SlottedPage::Validate() const {
+  const size_t count = slot_count();
+  const size_t slots_end = kHeaderSize + count * kSlotSize;
+  const size_t end = free_end();
+  if (end > kPageUsableSize) {
+    return Status::Corruption("slotted page free_end " +
+                              std::to_string(end) + " beyond usable size");
+  }
+  if (slots_end > end) {
+    return Status::Corruption("slotted page slot array (" +
+                              std::to_string(count) +
+                              " slots) overlaps the record area");
+  }
+  size_t live = 0;
+  for (size_t s = 0; s < count; ++s) {
+    const size_t offset = slot_offset(static_cast<uint16_t>(s));
+    if (offset == 0) continue;  // tombstone
+    const size_t length = slot_length(static_cast<uint16_t>(s));
+    if (offset < slots_end || offset + length > kPageUsableSize) {
+      return Status::Corruption("slot " + std::to_string(s) + " [" +
+                                std::to_string(offset) + ", " +
+                                std::to_string(offset + length) +
+                                ") outside the record area");
+    }
+    if (offset < end) {
+      return Status::Corruption("slot " + std::to_string(s) +
+                                " starts below free_end");
+    }
+    ++live;
+  }
+  if (live != live_count()) {
+    return Status::Corruption("live_count " + std::to_string(live_count()) +
+                              " != " + std::to_string(live) + " live slots");
+  }
+  return Status::OK();
+}
+
 PageId SlottedPage::next_page() const {
   return DecodeFixed32(page_->bytes());
 }
@@ -35,6 +72,12 @@ void SlottedPage::set_next_page(PageId id) {
 
 uint16_t SlottedPage::slot_count() const {
   return DecodeFixed16(page_->bytes() + 4);
+}
+
+uint16_t SlottedPage::bounded_slot_count() const {
+  const uint16_t count = slot_count();
+  return count > kMaxSlotCount ? static_cast<uint16_t>(kMaxSlotCount)
+                               : count;
 }
 
 void SlottedPage::set_slot_count(uint16_t v) {
@@ -71,7 +114,7 @@ void SlottedPage::set_slot(uint16_t slot, uint16_t offset, uint16_t length) {
 }
 
 size_t SlottedPage::ContiguousFreeSpace() const {
-  size_t slots_end = kHeaderSize + slot_count() * kSlotSize;
+  size_t slots_end = kHeaderSize + bounded_slot_count() * kSlotSize;
   size_t end = free_end();
   return end > slots_end ? end - slots_end : 0;
 }
@@ -80,10 +123,10 @@ size_t SlottedPage::FreeSpace() const {
   // Live bytes + slot array + header subtracted from the page: the
   // space Compact() can recover.
   size_t live_bytes = 0;
-  for (uint16_t s = 0; s < slot_count(); ++s) {
+  for (uint16_t s = 0; s < bounded_slot_count(); ++s) {
     if (slot_offset(s) != 0) live_bytes += slot_length(s);
   }
-  size_t used = kHeaderSize + slot_count() * kSlotSize + live_bytes;
+  size_t used = kHeaderSize + bounded_slot_count() * kSlotSize + live_bytes;
   return used < kPageUsableSize ? kPageUsableSize - used : 0;
 }
 
@@ -95,7 +138,7 @@ Result<uint16_t> SlottedPage::Insert(std::string_view record) {
   size_t needed = record.size() + kSlotSize;
   // Reuse a tombstone slot when possible (no new slot entry needed).
   int reuse = -1;
-  for (uint16_t s = 0; s < slot_count(); ++s) {
+  for (uint16_t s = 0; s < bounded_slot_count(); ++s) {
     if (slot_offset(s) == 0) {
       reuse = s;
       needed = record.size();
@@ -125,7 +168,7 @@ Result<uint16_t> SlottedPage::Insert(std::string_view record) {
 }
 
 Result<std::string_view> SlottedPage::Get(uint16_t slot) const {
-  if (slot >= slot_count()) {
+  if (slot >= bounded_slot_count()) {
     return Status::NotFound("slot " + std::to_string(slot) +
                             " out of range");
   }
@@ -133,11 +176,18 @@ Result<std::string_view> SlottedPage::Get(uint16_t slot) const {
   if (offset == 0) {
     return Status::NotFound("slot " + std::to_string(slot) + " deleted");
   }
-  return std::string_view(page_->bytes() + offset, slot_length(slot));
+  const size_t length = slot_length(slot);
+  if (offset < kHeaderSize || offset + length > kPageUsableSize) {
+    return Status::Corruption("slot " + std::to_string(slot) + " [" +
+                              std::to_string(offset) + ", " +
+                              std::to_string(offset + length) +
+                              ") outside the page");
+  }
+  return std::string_view(page_->bytes() + offset, length);
 }
 
 Status SlottedPage::Delete(uint16_t slot) {
-  if (slot >= slot_count()) {
+  if (slot >= bounded_slot_count()) {
     return Status::NotFound("slot " + std::to_string(slot) +
                             " out of range");
   }
@@ -151,7 +201,7 @@ Status SlottedPage::Delete(uint16_t slot) {
 }
 
 Status SlottedPage::Update(uint16_t slot, std::string_view record) {
-  if (slot >= slot_count() || slot_offset(slot) == 0) {
+  if (slot >= bounded_slot_count() || slot_offset(slot) == 0) {
     return Status::NotFound("slot " + std::to_string(slot) + " not live");
   }
   uint16_t old_len = slot_length(slot);
@@ -187,7 +237,7 @@ void SlottedPage::Compact() {
   };
   std::vector<LiveRecord> live;
   live.reserve(live_count());
-  for (uint16_t s = 0; s < slot_count(); ++s) {
+  for (uint16_t s = 0; s < bounded_slot_count(); ++s) {
     if (slot_offset(s) != 0) {
       live.push_back(
           {s, std::string(page_->bytes() + slot_offset(s),

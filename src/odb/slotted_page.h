@@ -26,6 +26,11 @@ class SlottedPage {
  public:
   static constexpr size_t kHeaderSize = 12;
   static constexpr size_t kSlotSize = 4;
+  /// Most slots a page can physically hold; any stored `slot_count`
+  /// beyond this is a forgery, and accessors clamp to it so that even
+  /// an unvalidated page never drives a slot-array read off the page.
+  static constexpr size_t kMaxSlotCount =
+      (kPageUsableSize - kHeaderSize) / kSlotSize;
   /// Largest record a single page can hold. Record data stops at
   /// `kPageUsableSize`: the page's LSN trailer is not ours to use.
   static constexpr size_t kMaxRecordSize =
@@ -36,6 +41,15 @@ class SlottedPage {
 
   /// Formats the page as empty.
   void Init();
+
+  /// Structural check of an untrusted page image (a page read from
+  /// disk, a WAL redo image, a wire-transferred page): header fields
+  /// in range, the slot array ending before the record area, and every
+  /// live slot's [offset, offset+length) inside the record area.
+  /// Accessors assume a validated page; `Get()` additionally re-checks
+  /// the one slot it touches (defense in depth — a page can be
+  /// corrupted after load by a buggy writer).
+  Status Validate() const;
 
   /// Chain pointer used by heap files; `kNoPage` terminates the chain.
   PageId next_page() const;
@@ -72,6 +86,9 @@ class SlottedPage {
   void Compact();
 
  private:
+  /// `slot_count()` clamped to what fits in the page; iteration and
+  /// per-slot bounds checks use this, never the raw header field.
+  uint16_t bounded_slot_count() const;
   uint16_t slot_offset(uint16_t slot) const;
   uint16_t slot_length(uint16_t slot) const;
   void set_slot(uint16_t slot, uint16_t offset, uint16_t length);

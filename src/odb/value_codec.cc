@@ -1,11 +1,24 @@
 #include "odb/value_codec.h"
 
+#include <algorithm>
+
 #include "common/coding.h"
 
 namespace ode::odb {
 
 namespace {
 constexpr int kMaxDepth = 64;  // guards against corrupt deeply-nested input
+
+/// Clamp for container-count `reserve()` calls: a decoded count is
+/// untrusted input, but every field/element costs at least one input
+/// byte, so the bytes left in the decoder bound any count a valid
+/// buffer can deliver. A forged count (e.g. varint 2^60 followed by a
+/// torn buffer) then reserves at most the input size instead of
+/// throwing `length_error`/`bad_alloc` before the per-item reads fail.
+size_t ClampReserve(uint64_t count, const Decoder& decoder) {
+  return static_cast<size_t>(
+      std::min<uint64_t>(count, decoder.remaining().size()));
+}
 }  // namespace
 
 void EncodeValue(const Value& value, std::string* dst) {
@@ -106,7 +119,7 @@ Result<Value> DecodeValueImpl(Decoder* decoder, int depth) {
       uint64_t n = 0;
       ODE_RETURN_IF_ERROR(decoder->GetVarint64(&n));
       std::vector<Value::Field> fields;
-      fields.reserve(static_cast<size_t>(n));
+      fields.reserve(ClampReserve(n, *decoder));
       for (uint64_t i = 0; i < n; ++i) {
         std::string_view name;
         ODE_RETURN_IF_ERROR(decoder->GetLengthPrefixed(&name));
@@ -120,7 +133,7 @@ Result<Value> DecodeValueImpl(Decoder* decoder, int depth) {
       uint64_t n = 0;
       ODE_RETURN_IF_ERROR(decoder->GetVarint64(&n));
       std::vector<Value> elements;
-      elements.reserve(static_cast<size_t>(n));
+      elements.reserve(ClampReserve(n, *decoder));
       for (uint64_t i = 0; i < n; ++i) {
         ODE_ASSIGN_OR_RETURN(Value v, DecodeValueImpl(decoder, depth + 1));
         elements.push_back(std::move(v));

@@ -247,25 +247,25 @@ Status FdWalStore::TruncateTo(uint64_t size) {
 // --- MemWalStore ------------------------------------------------------
 
 Status MemWalStore::Append(std::string_view bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   bytes_.append(bytes);
   return Status::OK();
 }
 
 Status MemWalStore::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (fail_syncs_) return Status::IOError("injected wal sync failure");
   synced_ = bytes_.size();
   return Status::OK();
 }
 
 Result<std::string> MemWalStore::ReadAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return bytes_;
 }
 
 Status MemWalStore::Reset(std::string_view header) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (fail_syncs_) return Status::IOError("injected wal sync failure");
   bytes_.assign(header.data(), header.size());
   synced_ = bytes_.size();
@@ -273,29 +273,29 @@ Status MemWalStore::Reset(std::string_view header) {
 }
 
 Status MemWalStore::TruncateTo(uint64_t size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (size < bytes_.size()) bytes_.resize(size);
   synced_ = std::min<uint64_t>(synced_, bytes_.size());
   return Status::OK();
 }
 
 uint64_t MemWalStore::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return bytes_.size();
 }
 
 void MemWalStore::set_fail_syncs(bool fail) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   fail_syncs_ = fail;
 }
 
 std::string MemWalStore::durable_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return bytes_.substr(0, synced_);
 }
 
 std::string MemWalStore::contents() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return bytes_;
 }
 
@@ -382,6 +382,19 @@ Result<std::unique_ptr<Wal>> Wal::OpenAndRecover(
   // Redo: replay committed after-images in log order. Loser images are
   // skipped; under no-steal none of their bytes ever reached the data
   // file, so skipping *is* the undo phase.
+  //
+  // Growth bound: pages are allocated contiguously, so any page this
+  // log can legally mention is below the data file's current page
+  // count plus one page per image record (a freshly-allocated page has
+  // at least one image in the log that created it). A forged page id
+  // past that bound would otherwise make EnsureAllocated grow the data
+  // file by up to 4 billion pages.
+  uint64_t image_records = 0;
+  for (const ScannedRecord& rec : records) {
+    if (rec.info.type == WalRecordType::kPageImage) ++image_records;
+  }
+  const uint64_t max_page_bound =
+      (pager != nullptr ? pager->page_count() : 0) + image_records;
   uint64_t max_txn = 0;
   for (const ScannedRecord& rec : records) {
     max_txn = std::max(max_txn, rec.info.txn);
@@ -390,7 +403,12 @@ Result<std::unique_ptr<Wal>> Wal::OpenAndRecover(
     if (rec.payload.size() != sizeof(uint32_t) + kPageSize) {
       return Status::Corruption("wal page-image payload size mismatch");
     }
-    if (pager == nullptr) continue;
+    if (pager == nullptr) continue;  // no file to bound or redo against
+    if (rec.info.page >= max_page_bound) {
+      return Status::Corruption(
+          "wal page image for page " + std::to_string(rec.info.page) +
+          " exceeds the file growth bound " + std::to_string(max_page_bound));
+    }
     Page image;
     std::memcpy(image.bytes(), rec.payload.data() + sizeof(uint32_t),
                 kPageSize);

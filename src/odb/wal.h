@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -100,10 +99,13 @@ class MemWalStore final : public WalStore {
   std::string contents() const;
 
  private:
-  mutable std::mutex mu_;
-  std::string bytes_;
-  uint64_t synced_ = 0;
-  bool fail_syncs_ = false;
+  /// Rank kWalStore (78): the owning `Wal` serializes every mutating
+  /// call under rank 75, so this only ever nests directly beneath it
+  /// (and above nothing — store calls never call out).
+  mutable Mutex mu_{LockRank::kWalStore};
+  std::string bytes_ ODE_GUARDED_BY(mu_);
+  uint64_t synced_ ODE_GUARDED_BY(mu_) = 0;
+  bool fail_syncs_ ODE_GUARDED_BY(mu_) = false;
 };
 
 struct WalOptions {

@@ -1,0 +1,98 @@
+/// Keeps docs/LOCKING.md's rank table in lockstep with the code table
+/// in `src/common/lock_rank.cc`. The markdown is the prose copy the
+/// analyzer (`tools/ode_lint`) and humans read; this test makes doc
+/// drift a build failure instead of a surprise during a deadlock
+/// postmortem. It parses the `| rank | name | ... |` rows out of the
+/// markdown and requires an exact rank<->name bijection with
+/// `LockRankTable()`.
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/lock_rank.h"
+
+#ifndef ODE_SOURCE_DIR
+#error "ODE_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace ode {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Extracts `rank -> name` from markdown table rows shaped
+/// `| 75 | `wal.buffer_lock` | ... |`. Rows whose first cell is not
+/// an integer (the header, the separator) are skipped.
+std::map<unsigned, std::string> ParseDocRankTable(const std::string& doc) {
+  std::map<unsigned, std::string> ranks;
+  std::istringstream lines(doc);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] != '|') continue;
+    std::istringstream cells(line.substr(1));
+    std::string rank_cell, name_cell;
+    if (!std::getline(cells, rank_cell, '|') ||
+        !std::getline(cells, name_cell, '|')) {
+      continue;
+    }
+    // Trim and require a pure integer rank cell.
+    size_t begin = rank_cell.find_first_not_of(" \t");
+    size_t end = rank_cell.find_last_not_of(" \t");
+    if (begin == std::string::npos) continue;
+    std::string rank_text = rank_cell.substr(begin, end - begin + 1);
+    if (rank_text.find_first_not_of("0123456789") != std::string::npos ||
+        rank_text.empty()) {
+      continue;
+    }
+    unsigned rank = static_cast<unsigned>(std::stoul(rank_text));
+    // The name sits in backticks: strip everything outside them.
+    size_t tick1 = name_cell.find('`');
+    size_t tick2 = name_cell.rfind('`');
+    if (tick1 == std::string::npos || tick1 == tick2) {
+      ADD_FAILURE() << "malformed name cell in row: " << line;
+      continue;
+    }
+    std::string name = name_cell.substr(tick1 + 1, tick2 - tick1 - 1);
+    EXPECT_EQ(ranks.count(rank), 0u)
+        << "rank " << rank << " documented twice";
+    ranks[rank] = name;
+  }
+  return ranks;
+}
+
+TEST(LockDocTest, RankTableMatchesLockingMd) {
+  const std::string doc =
+      ReadFileOrDie(std::string(ODE_SOURCE_DIR) + "/docs/LOCKING.md");
+  std::map<unsigned, std::string> documented = ParseDocRankTable(doc);
+  ASSERT_FALSE(documented.empty()) << "no rank table rows parsed";
+
+  const std::vector<LockRankInfo>& code = LockRankTable();
+  EXPECT_EQ(documented.size(), code.size())
+      << "docs/LOCKING.md documents " << documented.size()
+      << " ranks but LockRankTable() has " << code.size()
+      << " — update both together";
+
+  for (const LockRankInfo& info : code) {
+    const auto rank = static_cast<unsigned>(info.rank);
+    auto it = documented.find(rank);
+    ASSERT_NE(it, documented.end())
+        << "rank " << rank << " (" << info.name
+        << ") missing from docs/LOCKING.md";
+    EXPECT_EQ(it->second, info.name)
+        << "rank " << rank << " named '" << it->second
+        << "' in docs/LOCKING.md but '" << info.name << "' in code";
+  }
+}
+
+}  // namespace
+}  // namespace ode

@@ -44,7 +44,8 @@ const std::vector<LockRank>& AllRanks() {
       LockRank::kCatalogId,       LockRank::kDbTrigger,
       LockRank::kDbPredicate,     LockRank::kFreeList,
       LockRank::kPoolFrameLatch,  LockRank::kPoolShard,
-      LockRank::kWal,             LockRank::kPager,
+      LockRank::kWal,             LockRank::kWalStore,
+      LockRank::kPager,
       LockRank::kBackgroundWorker, LockRank::kWatchdogScan,
       LockRank::kWatchdogWake,    LockRank::kWatchdogRefresh,
       LockRank::kTimeSeries,      LockRank::kAccessCapture,

@@ -1,0 +1,26 @@
+/// In-memory store with a power-loss model for tests: `Sync()` rolls
+/// the durable watermark forward (or fails when a failure budget is
+/// armed), and `durable_bytes()` is what a crash would leave behind.
+class MemWalStore final : public WalStore {
+ public:
+  Status Append(std::string_view bytes) override;
+  Status Sync() override;
+  Result<std::string> ReadAll() override;
+  Status Reset(std::string_view header) override;
+  Status TruncateTo(uint64_t size) override;
+  uint64_t size() const override;
+
+  /// When true every `Sync()` fails (appends still succeed).
+  void set_fail_syncs(bool fail);
+  /// The durable prefix — what survives a simulated power loss.
+  std::string durable_bytes() const;
+  /// The full volatile contents (synced or not).
+  std::string contents() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::string bytes_;
+  uint64_t synced_ = 0;
+  bool fail_syncs_ = false;
+};
+

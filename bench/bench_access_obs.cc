@@ -17,6 +17,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_scatter.h"
 #include "bench/bench_util.h"
 #include "common/access_log.h"
 
@@ -141,6 +142,26 @@ void BM_ProfileSnapshot(benchmark::State& state) {
   log.Stop();
 }
 BENCHMARK(BM_ProfileSnapshot);
+
+/// Full-rate recorder over the scattered hot-chain chase — the exact
+/// workload whose profile feeds the clustering advisor. Uses the same
+/// fixture as bench_cluster_reorg.cc so recorder overhead and reorg
+/// payoff are measured against an identical layout.
+void BM_ScatteredChaseRecorderFull(benchmark::State& state) {
+  obs::AccessLog& log = obs::AccessLog::Global();
+  log.ResetForTest();
+  ScatteredBenchDb lab =
+      MakeScatteredBenchDb(/*hot_count=*/64, /*cold_per_hot=*/4,
+                           /*pool_pages=*/16);
+  odb::Session db_session = lab.db->OpenSession();
+  log.Start(/*sample_period=*/1);
+  for (auto _ : state) {
+    ChaseHotChain(db_session, lab.hot);
+  }
+  state.counters["recorded"] = static_cast<double>(log.recorded());
+  log.Stop();
+}
+BENCHMARK(BM_ScatteredChaseRecorderFull);
 
 }  // namespace
 }  // namespace ode::bench

@@ -1,0 +1,97 @@
+// Payoff and cost matrix for access-driven re-clustering.
+//
+// The same hot-chain chase runs against two layouts of an identical
+// database:
+//   BM_ChaseScattered    — hot records interleaved with cold ones, one
+//     page fetch per hot record once the pool thrashes.
+//   BM_ChaseReclustered  — after the advisor's plan is applied, the
+//     hot chain shares a handful of pages. CI gates
+//     BM_ChaseReclustered : BM_ChaseScattered on the `pool_misses`
+//     counter at 0.5x — re-clustering must at least halve the page
+//     fetches on the workload it was planned from.
+// Plus the mechanism's own cost:
+//   BM_ClusterPlanBuild  — advisor over a browse-shaped profile.
+//   BM_ReclusterApply    — plan + apply on a freshly scattered heap.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_scatter.h"
+#include "bench/bench_util.h"
+#include "odb/buffer_pool.h"
+#include "odb/cluster/advisor.h"
+#include "odb/cluster/plan.h"
+
+namespace ode::bench {
+namespace {
+
+constexpr size_t kHot = 64;
+constexpr size_t kColdPerHot = 4;
+// Small enough that the scattered chase thrashes (one miss per hot
+// record), big enough that the reclustered hot pages all stay cached.
+constexpr size_t kPoolPages = 16;
+
+/// Chases the hot chain once per iteration and exports the average
+/// buffer-pool misses per chase as the `pool_misses` counter — the
+/// number the CI ratio gate compares across layouts.
+void ChaseLoop(benchmark::State& state, ScatteredBenchDb& lab) {
+  odb::Session session = lab.db->OpenSession();
+  // Prime the pool so the first iteration's cold start does not count.
+  ChaseHotChain(session, lab.hot);
+  const uint64_t misses_before = lab.db->buffer_pool()->stats().misses;
+  for (auto _ : state) {
+    ChaseHotChain(session, lab.hot);
+  }
+  const uint64_t misses =
+      lab.db->buffer_pool()->stats().misses - misses_before;
+  state.counters["pool_misses"] = benchmark::Counter(
+      static_cast<double>(misses), benchmark::Counter::kAvgIterations);
+}
+
+void BM_ChaseScattered(benchmark::State& state) {
+  ScatteredBenchDb lab = MakeScatteredBenchDb(kHot, kColdPerHot, kPoolPages);
+  ChaseLoop(state, lab);
+}
+BENCHMARK(BM_ChaseScattered);
+
+void BM_ChaseReclustered(benchmark::State& state) {
+  ScatteredBenchDb lab = MakeScatteredBenchDb(kHot, kColdPerHot, kPoolPages);
+  obs::AccessProfile profile = ChainProfile(lab.hot, /*weight=*/8);
+  odb::cluster::ClusterPlan plan = ValueOrDie(
+      odb::cluster::BuildClusterPlan(lab.db.get(), profile), "plan");
+  CheckOk(lab.db->Recluster(plan), "recluster");
+  ChaseLoop(state, lab);
+}
+BENCHMARK(BM_ChaseReclustered);
+
+void BM_ClusterPlanBuild(benchmark::State& state) {
+  ScatteredBenchDb lab = MakeScatteredBenchDb(kHot, kColdPerHot, kPoolPages);
+  obs::AccessProfile profile = ChainProfile(lab.hot, /*weight=*/8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ValueOrDie(
+        odb::cluster::BuildClusterPlan(lab.db.get(), profile), "plan"));
+  }
+}
+BENCHMARK(BM_ClusterPlanBuild);
+
+void BM_ReclusterApply(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    ScatteredBenchDb lab =
+        MakeScatteredBenchDb(kHot, kColdPerHot, kPoolPages);
+    obs::AccessProfile profile = ChainProfile(lab.hot, /*weight=*/8);
+    odb::cluster::ClusterPlan plan = ValueOrDie(
+        odb::cluster::BuildClusterPlan(lab.db.get(), profile), "plan");
+    state.ResumeTiming();
+    CheckOk(lab.db->Recluster(plan), "recluster");
+    state.PauseTiming();
+    // Destruction outside the timed region.
+    lab.db.reset();
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_ReclusterApply);
+
+}  // namespace
+}  // namespace ode::bench
+
+ODE_BENCH_MAIN();

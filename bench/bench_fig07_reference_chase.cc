@@ -3,7 +3,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_scatter.h"
 #include "bench/bench_util.h"
+#include "odb/buffer_pool.h"
+#include "odb/cluster/advisor.h"
+#include "odb/cluster/plan.h"
 
 namespace ode::bench {
 namespace {
@@ -79,6 +83,56 @@ void BM_NullReferenceHandling(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NullReferenceHandling);
+
+// --- Reference chase vs physical layout --------------------------------
+//
+// The same Fig. 7 access mix (fetch employee, chase dept_ref, fetch
+// dept) over a deliberately scattered heap, before and after the
+// clustering advisor's plan is applied. Both run in one process so the
+// `pool_misses` counter ratio is machine-independent; CI gates
+// Reclustered : Scattered at 0.5x — re-clustering must at least halve
+// the page fetches on the workload it was planned from.
+
+void ReferenceChaseLoop(benchmark::State& state, ScatteredBenchDb& lab) {
+  odb::Session session = lab.db->OpenSession();
+  auto chase = [&] {
+    for (odb::Oid oid : lab.hot) {
+      odb::ObjectBuffer emp =
+          ValueOrDie(session.GetObject(oid), "employee");
+      odb::Oid dept = emp.value.FindField("dept_ref")->AsRef();
+      benchmark::DoNotOptimize(ValueOrDie(session.GetObject(dept), "dept"));
+    }
+  };
+  chase();  // prime the pool so cold-start misses do not count
+  const uint64_t misses_before = lab.db->buffer_pool()->stats().misses;
+  for (auto _ : state) {
+    chase();
+  }
+  state.counters["pool_misses"] = benchmark::Counter(
+      static_cast<double>(lab.db->buffer_pool()->stats().misses -
+                          misses_before),
+      benchmark::Counter::kAvgIterations);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(lab.hot.size()) * 2);
+}
+
+void BM_ReferenceChaseScattered(benchmark::State& state) {
+  ScatteredBenchDb lab = MakeScatteredBenchDb(
+      /*hot_count=*/64, /*cold_per_hot=*/4, /*pool_pages=*/16);
+  ReferenceChaseLoop(state, lab);
+}
+BENCHMARK(BM_ReferenceChaseScattered);
+
+void BM_ReferenceChaseReclustered(benchmark::State& state) {
+  ScatteredBenchDb lab = MakeScatteredBenchDb(
+      /*hot_count=*/64, /*cold_per_hot=*/4, /*pool_pages=*/16);
+  obs::AccessProfile profile = ChainProfile(lab.hot, /*weight=*/8);
+  odb::cluster::ClusterPlan plan = ValueOrDie(
+      odb::cluster::BuildClusterPlan(lab.db.get(), profile), "plan");
+  CheckOk(lab.db->Recluster(plan), "recluster");
+  ReferenceChaseLoop(state, lab);
+}
+BENCHMARK(BM_ReferenceChaseReclustered);
 
 }  // namespace
 }  // namespace ode::bench

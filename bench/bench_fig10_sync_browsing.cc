@@ -4,7 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_scatter.h"
 #include "bench/bench_util.h"
+#include "odb/buffer_pool.h"
+#include "odb/cluster/advisor.h"
+#include "odb/cluster/plan.h"
+#include "odb/cluster/prefetch.h"
 
 namespace ode::bench {
 namespace {
@@ -90,6 +95,57 @@ void BM_UnsynchronizedBaseline(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_UnsynchronizedBaseline);
+
+// --- Browse cascade vs physical layout ---------------------------------
+//
+// The storage-level shape of a synchronized-browsing cascade: each
+// `next` refreshes a network of windows, touching a chain of related
+// objects in affinity order. Over a scattered heap every hop is a page
+// fetch; after the advisor's plan is applied (and its affinity
+// prefetcher installed) the chain shares pages and upcoming ones are
+// scheduled ahead. Both flavors export `pool_misses` so the payoff is
+// a same-run counter ratio, immune to machine noise.
+
+void CascadeLoop(benchmark::State& state, ScatteredBenchDb& lab) {
+  odb::Session session = lab.db->OpenSession();
+  ChaseHotChain(session, lab.hot);  // prime: cold start does not count
+  lab.db->buffer_pool()->WaitForPrefetches();
+  const uint64_t misses_before = lab.db->buffer_pool()->stats().misses;
+  for (auto _ : state) {
+    ChaseHotChain(session, lab.hot);
+  }
+  lab.db->buffer_pool()->WaitForPrefetches();
+  odb::BufferPool::Stats stats = lab.db->buffer_pool()->stats();
+  state.counters["pool_misses"] = benchmark::Counter(
+      static_cast<double>(stats.misses - misses_before),
+      benchmark::Counter::kAvgIterations);
+  state.counters["prefetched"] =
+      static_cast<double>(stats.cluster_prefetches);
+}
+
+void BM_SyncCascadeScattered(benchmark::State& state) {
+  ScatteredBenchDb lab = MakeScatteredBenchDb(
+      /*hot_count=*/64, /*cold_per_hot=*/4, /*pool_pages=*/16);
+  CascadeLoop(state, lab);
+}
+BENCHMARK(BM_SyncCascadeScattered);
+
+void BM_SyncCascadeReclustered(benchmark::State& state) {
+  ScatteredBenchDb lab = MakeScatteredBenchDb(
+      /*hot_count=*/64, /*cold_per_hot=*/4, /*pool_pages=*/16);
+  obs::AccessProfile profile = ChainProfile(lab.hot, /*weight=*/8);
+  odb::cluster::ClusterPlan plan = ValueOrDie(
+      odb::cluster::BuildClusterPlan(lab.db.get(), profile), "plan");
+  CheckOk(lab.db->Recluster(plan), "recluster");
+  auto source = ValueOrDie(
+      odb::cluster::BuildAffinityPrefetchSource(lab.db.get(), profile),
+      "prefetch source");
+  lab.db->buffer_pool()->SetPrefetchSource(source);
+  lab.db->buffer_pool()->SetReadAheadPolicy(
+      odb::ReadAheadPolicy::kAffinity);
+  CascadeLoop(state, lab);
+}
+BENCHMARK(BM_SyncCascadeReclustered);
 
 }  // namespace
 }  // namespace ode::bench

@@ -1,0 +1,113 @@
+#ifndef ODEVIEW_BENCH_BENCH_SCATTER_H_
+#define ODEVIEW_BENCH_BENCH_SCATTER_H_
+
+// Shared scattered-heap fixture for the clustering benchmarks: hot
+// (small) employee records interleaved with bulky cold ones so that
+// consecutive hot records land on different heap pages. A chase over
+// the hot chain then touches one page per record — the worst case the
+// re-clusterer exists to fix. bench_access_obs.cc uses the same
+// fixture so recorder-overhead numbers and reorg-payoff numbers are
+// measured against an identical storage layout.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/access_log.h"
+#include "odb/database.h"
+#include "odb/oid.h"
+
+namespace ode::bench {
+
+inline constexpr char kScatterSchema[] = R"(
+persistent class dept {
+public:
+  string name;
+};
+persistent class employee {
+public:
+  string name;
+  string pad;
+  dept* dept_ref;
+};
+)";
+
+/// A database whose hot employees are deliberately scattered across
+/// heap pages by interleaved cold records.
+struct ScatteredBenchDb {
+  std::unique_ptr<odb::Database> db;
+  odb::Oid dept;
+  std::vector<odb::Oid> hot;  ///< creation order
+};
+
+inline ScatteredBenchDb MakeScatteredBenchDb(size_t hot_count,
+                                             size_t cold_per_hot,
+                                             size_t pool_pages) {
+  ScatteredBenchDb out;
+  odb::DatabaseOptions options;
+  options.buffer_pool_pages = pool_pages;
+  out.db = ValueOrDie(odb::Database::CreateInMemory("scatter", options),
+                      "create scatter db");
+  CheckOk(out.db->DefineSchema(kScatterSchema), "scatter schema");
+  out.dept = ValueOrDie(
+      out.db->CreateObject(
+          "dept", odb::Value::Struct({{"name",
+                                       odb::Value::String("research")}})),
+      "create dept");
+  const std::string cold_pad(900, 'x');
+  for (size_t i = 0; i < hot_count; ++i) {
+    out.hot.push_back(ValueOrDie(
+        out.db->CreateObject(
+            "employee",
+            odb::Value::Struct(
+                {{"name", odb::Value::String("hot" + std::to_string(i))},
+                 {"pad", odb::Value::String("h")},
+                 {"dept_ref", odb::Value::Ref(out.dept, "dept")}})),
+        "create hot employee"));
+    for (size_t j = 0; j < cold_per_hot; ++j) {
+      (void)ValueOrDie(
+          out.db->CreateObject(
+              "employee",
+              odb::Value::Struct(
+                  {{"name", odb::Value::String(
+                                "cold" + std::to_string(i) + "_" +
+                                std::to_string(j))},
+                   {"pad", odb::Value::String(cold_pad)},
+                   {"dept_ref", odb::Value::Ref(out.dept, "dept")}})),
+          "create cold employee");
+    }
+  }
+  return out;
+}
+
+/// An AccessProfile holding a chain of direct intra-cluster affinity
+/// edges over consecutive hot records — the shape a browse cascade
+/// leaves in the access recorder.
+inline obs::AccessProfile ChainProfile(const std::vector<odb::Oid>& hot,
+                                       uint64_t weight) {
+  obs::AccessProfile profile;
+  for (size_t i = 0; i + 1 < hot.size(); ++i) {
+    obs::AffinityEdge edge;
+    edge.src_cluster = hot[i].cluster;
+    edge.src_local = hot[i].local;
+    edge.dst_cluster = hot[i + 1].cluster;
+    edge.dst_local = hot[i + 1].local;
+    edge.count = weight;
+    profile.edges.push_back(edge);
+  }
+  return profile;
+}
+
+/// One pass over the hot chain (point reads in affinity order).
+inline void ChaseHotChain(odb::Session& session,
+                          const std::vector<odb::Oid>& hot) {
+  for (odb::Oid oid : hot) {
+    benchmark::DoNotOptimize(ValueOrDie(session.GetObject(oid), "chase"));
+  }
+}
+
+}  // namespace ode::bench
+
+#endif  // ODEVIEW_BENCH_BENCH_SCATTER_H_

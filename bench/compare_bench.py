@@ -18,6 +18,12 @@ benchmarks come from the *same* run, so the gate holds on any machine;
 it's how CI bounds profiling-on overhead relative to profiling-off.
 --ratio may repeat.
 
+With --counter NAME the ratio is taken over that user counter (a
+`state.counters[NAME]` value in the run JSON) instead of real_time —
+how CI asserts the reclustered chase does fewer page fetches than the
+scattered one (`--counter pool_misses --max-ratio 0.5`), a gate that
+no amount of machine noise can flip because it counts work, not time.
+
 Caveat: the committed baseline was captured on one specific machine
 and build type. Cross-machine absolute comparisons are meaningless —
 CI re-captures or uses a generous tolerance on stable runners; local
@@ -57,8 +63,12 @@ def warn_build_type_mismatch(run_path, baseline):
               f"across build flavors are unreliable", file=sys.stderr)
 
 
-def check_ratios(run_benches, specs, max_ratio):
-    """Same-run numerator:denominator gates. Returns the exit code."""
+def check_ratios(run_benches, specs, max_ratio, counter=None):
+    """Same-run numerator:denominator gates. Returns the exit code.
+
+    With counter=NAME the gate divides that user counter instead of
+    real_time. A zero-valued denominator counter is an error (the gate
+    would be vacuous); a zero numerator is the best possible result."""
     failures = []
     for spec in specs:
         try:
@@ -74,18 +84,36 @@ def check_ratios(run_benches, specs, max_ratio):
             print(f"compare_bench: --ratio benchmark '{missing}' not in "
                   f"the run", file=sys.stderr)
             return 1
-        if num["time_unit"] != den["time_unit"]:
-            print(f"compare_bench: unit mismatch in '{spec}'",
-                  file=sys.stderr)
-            return 1
-        ratio = num["real_time"] / den["real_time"]
+        if counter is not None:
+            unit = counter
+            num_value = num.get(counter)
+            den_value = den.get(counter)
+            if num_value is None or den_value is None:
+                missing = num_name if num_value is None else den_name
+                print(f"compare_bench: benchmark '{missing}' has no "
+                      f"counter '{counter}'", file=sys.stderr)
+                return 1
+            if den_value == 0:
+                print(f"compare_bench: counter '{counter}' is zero in "
+                      f"denominator '{den_name}'; ratio gate is vacuous",
+                      file=sys.stderr)
+                return 1
+        else:
+            if num["time_unit"] != den["time_unit"]:
+                print(f"compare_bench: unit mismatch in '{spec}'",
+                      file=sys.stderr)
+                return 1
+            unit = num["time_unit"]
+            num_value = num["real_time"]
+            den_value = den["real_time"]
+        ratio = num_value / den_value
         verdict = "OK"
         if ratio > max_ratio:
             verdict = "REGRESSION"
             failures.append(spec)
         print(f"  {verdict:10s} {num_name} / {den_name}: "
-              f"{num['real_time']:.0f} / {den['real_time']:.0f} "
-              f"{num['time_unit']} = {ratio:.2f}x (max {max_ratio:.2f}x)")
+              f"{num_value:.0f} / {den_value:.0f} "
+              f"{unit} = {ratio:.2f}x (max {max_ratio:.2f}x)")
     if failures:
         print(f"compare_bench: {len(failures)} ratio gate(s) exceeded: "
               f"{', '.join(failures)}", file=sys.stderr)
@@ -112,10 +140,19 @@ def main():
                         help="same-run ratio gate; may repeat")
     parser.add_argument("--max-ratio", type=float, default=1.5,
                         help="fail when a --ratio pair exceeds this")
+    parser.add_argument("--counter", default=None, metavar="NAME",
+                        help="ratio over this user counter instead of "
+                             "real_time (only with --ratio)")
     args = parser.parse_args()
 
+    if args.counter and not args.ratio:
+        print("compare_bench: --counter only applies to --ratio mode",
+              file=sys.stderr)
+        return 1
+
     if args.ratio:
-        return check_ratios(load_run(args.run), args.ratio, args.max_ratio)
+        return check_ratios(load_run(args.run), args.ratio, args.max_ratio,
+                            args.counter)
 
     if args.baseline is None:
         print("compare_bench: --baseline is required unless --ratio is "

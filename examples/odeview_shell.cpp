@@ -27,6 +27,9 @@
 #include "common/timeseries.h"
 #include "common/watchdog.h"
 #include "dynlink/lab_modules.h"
+#include "odb/cluster/advisor.h"
+#include "odb/cluster/plan.h"
+#include "odb/cluster/prefetch.h"
 #include "odb/database.h"
 #include "odb/exec/executor.h"
 #include "odb/exec/explain.h"
@@ -69,6 +72,13 @@ void Help() {
                                --telemetry-port, or at 'record start')
   record start <file>          capture the access stream to <file>
   record stop                  close the capture; prints records written
+  cluster-plan [trace-file]    compute a co-location plan from the access
+                               recorder's affinity edges (or from a
+                               captured ODEACC01 trace file)
+  recluster                    apply the last cluster-plan (builds one if
+                               needed), then install the affinity
+                               prefetch source and enable affinity
+                               read-ahead
   journal                      print the flight-recorder journal tail
   watchdog [start [ms]|stop]   stall watchdog status / control
   screen                       print the composed screen
@@ -134,6 +144,9 @@ int main(int argc, char** argv) {
   // and a session held open so /sessions and /slow have live content.
   std::unique_ptr<odb::Database> demo_db;
   std::optional<odb::Session> demo_session;
+
+  // The last advisor output; `recluster` applies (and consumes) it.
+  std::optional<odb::cluster::ClusterPlan> last_plan;
 
   auto interactor = [&]() -> view::DbInteractor* {
     return app.FindInteractor("lab");
@@ -262,6 +275,61 @@ int main(int argc, char** argv) {
         }
       } else {
         std::puts("usage: record start <file> | record stop");
+      }
+    } else if (cmd == "cluster-plan") {
+      std::string trace;
+      in >> trace;
+      Result<odb::cluster::ClusterPlan> plan =
+          trace.empty()
+              ? odb::cluster::BuildClusterPlan(
+                    db.get(), obs::AccessLog::Global().SnapshotProfile())
+              : odb::cluster::BuildClusterPlanFromTrace(db.get(), trace);
+      if (!plan.ok()) {
+        report(plan.status());
+        continue;
+      }
+      last_plan = std::move(*plan);
+      std::fputs(last_plan->Summary().c_str(), stdout);
+      if (last_plan->empty()) {
+        std::puts(
+            "no co-location opportunities found — browse some references "
+            "with the access recorder on, then retry");
+      }
+    } else if (cmd == "recluster") {
+      if (!last_plan.has_value() || last_plan->empty()) {
+        Result<odb::cluster::ClusterPlan> plan = odb::cluster::BuildClusterPlan(
+            db.get(), obs::AccessLog::Global().SnapshotProfile());
+        if (!plan.ok()) {
+          report(plan.status());
+          continue;
+        }
+        last_plan = std::move(*plan);
+      }
+      if (last_plan->empty()) {
+        std::puts("nothing to recluster (empty plan)");
+        last_plan.reset();
+        continue;
+      }
+      Status applied = db->Recluster(*last_plan);
+      if (!applied.ok()) {
+        report(applied);
+        continue;
+      }
+      std::printf("recluster applied: %llu move(s)\n",
+                  static_cast<unsigned long long>(last_plan->planned_moves));
+      last_plan.reset();
+      // Re-project the affinity edges onto the new placement and turn
+      // on affinity read-ahead so cascades ride the new layout.
+      auto source = odb::cluster::BuildAffinityPrefetchSource(
+          db.get(), obs::AccessLog::Global().SnapshotProfile());
+      if (source.ok()) {
+        db->buffer_pool()->SetPrefetchSource(*source);
+        db->buffer_pool()->SetReadAheadPolicy(odb::ReadAheadPolicy::kAffinity);
+        std::printf(
+            "affinity prefetch installed: %zu page(s) with neighbors\n",
+            (*source)->page_count());
+      } else {
+        report(source.status());
       }
     } else if (interactor() == nullptr) {
       std::puts("open a database first ('open lab')");

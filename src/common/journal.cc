@@ -88,6 +88,12 @@ const char* JournalEventName(JournalEvent type) {
       return "access_recorder_stop";
     case JournalEvent::kAccessRingOverflow:
       return "access_ring_overflow";
+    case JournalEvent::kReclusterStart:
+      return "recluster_start";
+    case JournalEvent::kReclusterEnd:
+      return "recluster_end";
+    case JournalEvent::kPrefetchIssued:
+      return "prefetch_issued";
   }
   return "unknown";
 }

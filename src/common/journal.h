@@ -35,6 +35,11 @@ enum class JournalEvent : uint32_t {
   kAccessRecorderStart = 17,  ///< arg0 = sample period
   kAccessRecorderStop = 18,   ///< arg0 = events recorded so far
   kAccessRingOverflow = 19,   ///< arg0 = ring capacity (first wrap only)
+  kReclusterStart = 20,       ///< arg0 = planned moves, detail = class
+  kReclusterEnd = 21,         ///< arg0 = moves applied, arg1 = 0 ok /
+                              ///< 1 failed, detail = class
+  kPrefetchIssued = 22,       ///< arg0 = pages scheduled, arg1 = source
+                              ///< page (affinity read-ahead batch)
 };
 
 /// Wire name of a journal event type ("session_open", ...).

@@ -147,6 +147,11 @@ const std::vector<LockRankInfo>& LockRankTable() {
       // Same-rank stacking: a single thread may pin several pages at
       // once (fuzz harnesses, blob chains); see docs/LOCKING.md.
       {LockRank::kPoolFrameLatch, "pool.frame_latch", true, true},
+      // Between the frame latch and the shard mutex: heap read-ahead
+      // sites may hold a latch when they consult the affinity prefetch
+      // source, and the source pointer swap never enters a shard.
+      {LockRank::kClusterPrefetchSource, "pool.prefetch_source_lock", false,
+       false},
       {LockRank::kPoolShard, "pool.shard_lock", false, false},
       // Above the shard mutex: eviction gates a dirty write-back on
       // WAL durability while inside the shard. Never held across the

@@ -29,6 +29,7 @@ enum class LockRank : uint16_t {
   kDbPredicate = 37,     ///< Database::predicate_mu_ (predicate cache)
   kFreeList = 50,        ///< FreeList::mu_ (free page chain)
   kPoolFrameLatch = 60,  ///< internal::Frame::latch (page content)
+  kClusterPrefetchSource = 65,  ///< BufferPool::prefetch_source_mu_
   kPoolShard = 70,       ///< BufferPool::Shard::mu (frame table/LRU)
   kWal = 75,             ///< Wal::mu_ (log append / group-commit state)
   kWalStore = 78,        ///< MemWalStore::mu_ (in-memory log bytes)

@@ -30,6 +30,7 @@ void AppendOpProfileStatsJson(std::ostringstream& os,
      << ",\"pager_writes\":" << s.pager_writes
      << ",\"heap_records\":" << s.heap_records
      << ",\"arena_bytes\":" << s.arena_bytes
+     << ",\"cluster_prefetches\":" << s.cluster_prefetches
      << ",\"rows_scanned\":" << s.rows_scanned
      << ",\"rows_matched\":" << s.rows_matched
      << ",\"rows_skipped_decode\":" << s.rows_skipped_decode
@@ -52,6 +53,7 @@ OpProfileStats& OpProfileStats::operator+=(const OpProfileStats& other) {
   pager_writes += other.pager_writes;
   heap_records += other.heap_records;
   arena_bytes += other.arena_bytes;
+  cluster_prefetches += other.cluster_prefetches;
   rows_scanned += other.rows_scanned;
   rows_matched += other.rows_matched;
   rows_skipped_decode += other.rows_skipped_decode;
@@ -76,6 +78,7 @@ OpProfileStats OpProfile::Snapshot() const {
   s.pager_writes = pager_writes_.load(std::memory_order_relaxed);
   s.heap_records = heap_records_.load(std::memory_order_relaxed);
   s.arena_bytes = arena_bytes_.load(std::memory_order_relaxed);
+  s.cluster_prefetches = cluster_prefetches_.load(std::memory_order_relaxed);
   s.rows_scanned = rows_scanned_.load(std::memory_order_relaxed);
   s.rows_matched = rows_matched_.load(std::memory_order_relaxed);
   s.rows_skipped_decode =
@@ -102,6 +105,8 @@ void OpProfile::MergeInto(OpProfile* dest) const {
   dest->pager_writes_.fetch_add(s.pager_writes, std::memory_order_relaxed);
   dest->heap_records_.fetch_add(s.heap_records, std::memory_order_relaxed);
   dest->arena_bytes_.fetch_add(s.arena_bytes, std::memory_order_relaxed);
+  dest->cluster_prefetches_.fetch_add(s.cluster_prefetches,
+                                      std::memory_order_relaxed);
   dest->rows_scanned_.fetch_add(s.rows_scanned, std::memory_order_relaxed);
   dest->rows_matched_.fetch_add(s.rows_matched, std::memory_order_relaxed);
   dest->rows_skipped_decode_.fetch_add(s.rows_skipped_decode,

@@ -28,6 +28,8 @@ struct OpProfileStats {
   // Heap layer.
   uint64_t heap_records = 0;  ///< records served by the batch read paths
   uint64_t arena_bytes = 0;   ///< raw record bytes appended to scan arenas
+  // Clustering / prefetch.
+  uint64_t cluster_prefetches = 0;  ///< affinity read-ahead pages issued
   // Executor.
   uint64_t rows_scanned = 0;
   uint64_t rows_matched = 0;
@@ -80,6 +82,9 @@ class OpProfile {
     heap_records_.fetch_add(records, std::memory_order_relaxed);
     arena_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   }
+  void ChargeClusterPrefetch(uint64_t pages) {
+    cluster_prefetches_.fetch_add(pages, std::memory_order_relaxed);
+  }
   void ChargeScan(uint64_t scanned, uint64_t matched, uint64_t skipped,
                   uint64_t evals, uint64_t batches, uint64_t partitions) {
     rows_scanned_.fetch_add(scanned, std::memory_order_relaxed);
@@ -119,6 +124,7 @@ class OpProfile {
   std::atomic<uint64_t> pager_writes_{0};
   std::atomic<uint64_t> heap_records_{0};
   std::atomic<uint64_t> arena_bytes_{0};
+  std::atomic<uint64_t> cluster_prefetches_{0};
   std::atomic<uint64_t> rows_scanned_{0};
   std::atomic<uint64_t> rows_matched_{0};
   std::atomic<uint64_t> rows_skipped_decode_{0};

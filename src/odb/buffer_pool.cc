@@ -23,6 +23,11 @@ constexpr size_t kMaxAutoShards = 8;
 /// prefetch requests are dropped rather than queued.
 constexpr size_t kMaxPendingPrefetches = 64;
 
+/// Affinity read-ahead fan-out per fetch miss. Small on purpose: each
+/// neighbor costs a pool frame, and a mispredicted batch must not
+/// evict the working set it was meant to serve.
+constexpr size_t kAffinityReadAheadFanout = 4;
+
 size_t ResolveShardCount(size_t capacity, size_t requested) {
   if (requested == 0) {
     requested = capacity / kFramesPerAutoShard;
@@ -132,12 +137,19 @@ BufferPool::BufferPool(Pager* pager, size_t capacity, size_t shards)
     shards_[i].writebacks = registry.NewOwnedCounter("pool.writebacks");
   }
   prefetches_ = registry.NewOwnedCounter("pool.prefetches");
+  cluster_prefetch_issued_ =
+      registry.NewOwnedCounter("cluster.prefetch.issued");
   fetch_latency_ = registry.NewOwnedHistogram("pool.fetch.latency_ns");
 }
 
 BufferPool::~BufferPool() { prefetcher_.Stop(); }
 
 Result<PageHandle> BufferPool::Fetch(PageId id, PageIntent intent) {
+  return FetchInternal(id, intent, /*allow_read_ahead=*/true);
+}
+
+Result<PageHandle> BufferPool::FetchInternal(PageId id, PageIntent intent,
+                                             bool allow_read_ahead) {
   ODE_TRACE_SPAN("pool.fetch");
   obs::ScopedLatencyTimer timer(fetch_latency_.get());
   Shard& shard = ShardOf(id);
@@ -170,6 +182,15 @@ Result<PageHandle> BufferPool::Fetch(PageId id, PageIntent intent) {
   }
   if (auto* profile = obs::CurrentOpProfile()) profile->ChargePoolFetch(hit);
   obs::AccessLog::Global().RecordPageTouch(id);
+  // Affinity read-ahead rides on fetch misses: the page just faulted
+  // is the signal that its chase-neighbors come next. No locks are
+  // held here (the shard block above closed; the latch comes below),
+  // and prefetcher-initiated fetches pass allow_read_ahead = false so
+  // speculation never cascades.
+  if (!hit && allow_read_ahead &&
+      read_ahead_policy() == ReadAheadPolicy::kAffinity) {
+    AffinityReadAhead(id);
+  }
   // Latch outside the shard lock: a blocked latch acquisition must not
   // stall unrelated fetches in this shard, and the documented rank
   // order (frame latch 60 < shard 70) forbids blocking on a latch
@@ -280,10 +301,57 @@ void BufferPool::Prefetch(PageId id) {
     obs::TraceContextScope adopt(ctx);
     obs::OpProfileScope adopt_profile(profile);
     // Pin briefly with read intent so the page lands in its shard;
-    // errors (e.g. a speculative id past the end) are ignored.
-    Result<PageHandle> handle = Fetch(id, PageIntent::kRead);
+    // errors (e.g. a speculative id past the end) are ignored. The
+    // fetch never triggers further read-ahead (no cascades).
+    Result<PageHandle> handle =
+        FetchInternal(id, PageIntent::kRead, /*allow_read_ahead=*/false);
     (void)handle;
   });
+}
+
+void BufferPool::ReadAhead(PageId next_sequential, bool point_lookup) {
+  ReadAheadPolicy policy = read_ahead_policy();
+  if (policy == ReadAheadPolicy::kOff) return;
+  // Point lookups never warm the next chain page: a browse cascade
+  // resolving one reference has no sequential future, so the seed's
+  // unconditional prefetch only polluted the pool. Their locality is
+  // served by the kAffinity fetch-miss trigger instead.
+  if (point_lookup) return;
+  Prefetch(next_sequential);
+}
+
+void BufferPool::SetPrefetchSource(
+    std::shared_ptr<const PrefetchSource> source) {
+  MutexLock lock(prefetch_source_mu_);
+  prefetch_source_ = std::move(source);
+}
+
+void BufferPool::AffinityReadAhead(PageId page) {
+  std::shared_ptr<const PrefetchSource> source;
+  {
+    MutexLock lock(prefetch_source_mu_);
+    source = prefetch_source_;
+  }
+  if (source == nullptr) return;
+  PageId neighbors[kAffinityReadAheadFanout];
+  size_t n = source->TopNeighbors(page, neighbors,
+                                  kAffinityReadAheadFanout);
+  if (n == 0) return;
+  size_t issued = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (neighbors[i] == kNoPage || neighbors[i] == page) continue;
+    if (Cached(neighbors[i])) continue;
+    Prefetch(neighbors[i]);
+    ++issued;
+  }
+  if (issued == 0) return;
+  cluster_prefetch_issued_->Add(issued);
+  if (auto* profile = obs::CurrentOpProfile()) {
+    profile->ChargeClusterPrefetch(issued);
+  }
+  obs::Journal::Global().Append(obs::JournalEvent::kPrefetchIssued,
+                                static_cast<int64_t>(issued),
+                                static_cast<int64_t>(page));
 }
 
 void BufferPool::WaitForPrefetches() { prefetcher_.Drain(); }
@@ -305,6 +373,7 @@ BufferPool::Stats BufferPool::stats() const {
     total.writebacks += shard.writebacks->value();
   }
   total.prefetches = prefetches_->value();
+  total.cluster_prefetches = cluster_prefetch_issued_->value();
   return total;
 }
 

@@ -27,6 +27,31 @@ class Wal;
 /// must fetch with `kWrite`.
 enum class PageIntent : uint8_t { kRead, kWrite };
 
+/// What the pool's read-ahead does when a consumer signals upcoming
+/// sequential work (`ReadAhead`) or faults a page (`Fetch` miss):
+///  * kOff — no speculative I/O at all.
+///  * kSequential — scans and batch reads warm the next chain page;
+///    point lookups (single-record reads) schedule nothing. This is
+///    the default and matches the seed behaviour minus the point-
+///    lookup leak (see DESIGN.md §11).
+///  * kAffinity — sequential read-ahead as above, plus every fetch
+///    miss schedules the faulted page's top affinity neighbors from
+///    the installed `PrefetchSource` (charged to `cluster.prefetch.*`).
+enum class ReadAheadPolicy : uint8_t { kOff, kSequential, kAffinity };
+
+/// Supplies affinity neighbors for `ReadAheadPolicy::kAffinity`.
+/// Implementations must be immutable after construction (the pool
+/// queries them from arbitrary threads without a lock beyond the
+/// shared_ptr copy) and must not call back into the pool.
+class PrefetchSource {
+ public:
+  virtual ~PrefetchSource() = default;
+  /// Writes up to `max` pages most strongly affine to `page` into
+  /// `out`, strongest first; returns how many were written.
+  virtual size_t TopNeighbors(PageId page, PageId* out,
+                              size_t max) const = 0;
+};
+
 namespace internal {
 
 /// One buffer frame. Pin count and dirty flag are atomic so a
@@ -121,6 +146,7 @@ class BufferPool {
     uint64_t evictions = 0;
     uint64_t writebacks = 0;
     uint64_t prefetches = 0;  ///< pages scheduled on the prefetch thread
+    uint64_t cluster_prefetches = 0;  ///< of those, affinity-triggered
   };
 
   /// `capacity` is the total number of frames; must be >= 1.
@@ -157,8 +183,31 @@ class BufferPool {
 
   /// Schedules `id` to be read into the pool by the background
   /// prefetch thread. Cheap and non-blocking; already-cached pages and
-  /// backpressure overflows are skipped silently.
+  /// backpressure overflows are skipped silently. Prefetch fetches
+  /// never cascade (they do not trigger affinity read-ahead).
   void Prefetch(PageId id);
+
+  /// Policy-gated read-ahead hint from a storage consumer about the
+  /// page a sequential walk needs next. `point_lookup` marks a
+  /// single-record read (browse-cascade reference resolution); point
+  /// lookups schedule no sequential read-ahead under any policy —
+  /// affinity coverage for them comes from the fetch-miss trigger.
+  void ReadAhead(PageId next_sequential, bool point_lookup);
+
+  /// The current read-ahead policy (default kSequential).
+  ReadAheadPolicy read_ahead_policy() const {
+    return static_cast<ReadAheadPolicy>(
+        read_ahead_policy_.load(std::memory_order_relaxed));
+  }
+  void SetReadAheadPolicy(ReadAheadPolicy policy) {
+    read_ahead_policy_.store(static_cast<uint8_t>(policy),
+                             std::memory_order_relaxed);
+  }
+
+  /// Installs (or clears, with nullptr) the affinity neighbor map that
+  /// `kAffinity` consults on fetch misses. Thread-safe; the previous
+  /// source stays alive until in-flight queries drop their reference.
+  void SetPrefetchSource(std::shared_ptr<const PrefetchSource> source);
 
   /// Blocks until all scheduled prefetches finished (test hook).
   void WaitForPrefetches();
@@ -183,6 +232,16 @@ class BufferPool {
 
  private:
   friend class PageHandle;
+
+  /// Fetch body. `allow_read_ahead` is false on the prefetcher's own
+  /// fetches so speculative reads never fan out into further
+  /// speculative reads.
+  Result<PageHandle> FetchInternal(PageId id, PageIntent intent,
+                                   bool allow_read_ahead);
+
+  /// kAffinity fetch-miss trigger: schedules `page`'s top affinity
+  /// neighbors from the installed source. Called with no locks held.
+  void AffinityReadAhead(PageId page);
 
   /// One lock-sharded sub-pool. The statistics counters are
   /// registry-owned instruments (one instance per shard, so counting
@@ -232,7 +291,16 @@ class BufferPool {
   size_t shard_count_;
   std::unique_ptr<Shard[]> shards_;
   std::shared_ptr<obs::Counter> prefetches_;
+  std::shared_ptr<obs::Counter> cluster_prefetch_issued_;
   std::shared_ptr<obs::Histogram> fetch_latency_;
+  std::atomic<uint8_t> read_ahead_policy_{
+      static_cast<uint8_t>(ReadAheadPolicy::kSequential)};
+  /// Guards only the source pointer: readers copy the shared_ptr and
+  /// query outside the lock. Rank 65 — heap read-ahead sites may hold
+  /// a frame latch (60), and the holder never enters a shard (70).
+  mutable Mutex prefetch_source_mu_{LockRank::kClusterPrefetchSource};
+  std::shared_ptr<const PrefetchSource> prefetch_source_
+      ODE_GUARDED_BY(prefetch_source_mu_);
   BackgroundWorker prefetcher_;
 };
 

@@ -1,0 +1,266 @@
+#include "odb/cluster/advisor.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "odb/page.h"
+#include "odb/slotted_page.h"
+
+namespace ode::odb::cluster {
+namespace {
+
+/// Unordered pair of local ids within one cluster (key.first < key.second).
+using IdPair = std::pair<uint64_t, uint64_t>;
+
+IdPair MakePair(uint64_t a, uint64_t b) {
+  return a < b ? IdPair{a, b} : IdPair{b, a};
+}
+
+/// Co-location votes per cluster: id pair -> accumulated weight.
+using PairWeights = std::map<IdPair, uint64_t>;
+
+/// One sibling reference hanging off a hub object: a record of
+/// `cluster` reached from the hub `count` times.
+struct Sibling {
+  uint64_t cluster = 0;
+  uint64_t local = 0;
+  uint64_t count = 0;
+};
+
+/// Accumulates direct and induced co-location votes from the edge list.
+///
+/// Direct: an intra-cluster edge is a vote between its endpoints.
+/// Induced: records referenced from the same other object (all
+/// employees of one department) are sorted by traversal count and
+/// chained pairwise — linear in the sibling count, so a hub with a
+/// thousand references never induces a half-million-pair clique.
+std::map<ClusterId, PairWeights> AccumulateVotes(
+    const std::vector<obs::AffinityEdge>& edges, uint64_t min_edge_weight,
+    uint64_t* edges_considered) {
+  std::map<ClusterId, PairWeights> votes;
+  /// hub (cluster, local) -> records it references / is referenced by.
+  std::map<IdPair, std::vector<Sibling>> hubs;
+  for (const obs::AffinityEdge& edge : edges) {
+    if (edge.count < min_edge_weight) continue;
+    ++*edges_considered;
+    if (edge.src_cluster == edge.dst_cluster) {
+      if (edge.src_local == edge.dst_local) continue;
+      votes[static_cast<ClusterId>(edge.src_cluster)]
+           [MakePair(edge.src_local, edge.dst_local)] += edge.count;
+      continue;
+    }
+    hubs[{edge.src_cluster, edge.src_local}].push_back(
+        Sibling{edge.dst_cluster, edge.dst_local, edge.count});
+    hubs[{edge.dst_cluster, edge.dst_local}].push_back(
+        Sibling{edge.src_cluster, edge.src_local, edge.count});
+  }
+  for (auto& [hub, siblings] : hubs) {
+    // Group the hub's references by the cluster they land in, then
+    // chain each group's members strongest-first.
+    std::sort(siblings.begin(), siblings.end(),
+              [](const Sibling& a, const Sibling& b) {
+                return std::tie(a.cluster, b.count, a.local) <
+                       std::tie(b.cluster, a.count, b.local);
+              });
+    for (size_t i = 0; i + 1 < siblings.size(); ++i) {
+      const Sibling& a = siblings[i];
+      const Sibling& b = siblings[i + 1];
+      if (a.cluster != b.cluster || a.local == b.local) continue;
+      votes[static_cast<ClusterId>(a.cluster)][MakePair(a.local, b.local)] +=
+          std::min(a.count, b.count);
+    }
+  }
+  return votes;
+}
+
+/// On-page cost of keeping one record in a group.
+uint64_t RecordCost(const HeapFile::Placement& placement) {
+  return placement.stored_bytes + SlottedPage::kSlotSize;
+}
+
+/// Plans one cluster: greedy byte-budgeted grouping over its votes.
+ClusterPlanEntry PlanCluster(ClusterId cluster, std::string class_name,
+                             const PairWeights& votes,
+                             const std::vector<HeapFile::Placement>& current) {
+  ClusterPlanEntry entry;
+  entry.cluster = cluster;
+  entry.class_name = std::move(class_name);
+
+  std::unordered_map<uint64_t, const HeapFile::Placement*> placed;
+  placed.reserve(current.size());
+  for (const HeapFile::Placement& p : current) placed[p.local_id] = &p;
+
+  // Strongest votes first; endpoints deleted since the profile was
+  // taken (no placement) drop out here.
+  struct Vote {
+    IdPair pair;
+    uint64_t weight;
+  };
+  std::vector<Vote> ordered;
+  ordered.reserve(votes.size());
+  for (const auto& [pair, weight] : votes) {
+    if (placed.count(pair.first) == 0 || placed.count(pair.second) == 0) {
+      continue;
+    }
+    ordered.push_back(Vote{pair, weight});
+  }
+  std::sort(ordered.begin(), ordered.end(), [](const Vote& a, const Vote& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.pair < b.pair;
+  });
+
+  // A group never outgrows one slotted page's usable space.
+  constexpr uint64_t kBudget = kPageUsableSize - SlottedPage::kHeaderSize;
+  std::vector<PageGroup> groups;
+  std::unordered_map<uint64_t, size_t> group_of;
+  auto append = [&](size_t g, uint64_t id) {
+    groups[g].members.push_back(id);
+    groups[g].bytes += RecordCost(*placed[id]);
+    group_of[id] = g;
+  };
+  for (const Vote& vote : ordered) {
+    auto [a, b] = vote.pair;
+    auto ita = group_of.find(a);
+    auto itb = group_of.find(b);
+    if (ita == group_of.end() && itb == group_of.end()) {
+      uint64_t bytes = RecordCost(*placed[a]) + RecordCost(*placed[b]);
+      if (bytes > kBudget) continue;
+      groups.push_back(PageGroup{});
+      append(groups.size() - 1, a);
+      append(groups.size() - 1, b);
+    } else if (ita == group_of.end() || itb == group_of.end()) {
+      size_t g = ita == group_of.end() ? itb->second : ita->second;
+      uint64_t id = ita == group_of.end() ? a : b;
+      if (groups[g].bytes + RecordCost(*placed[id]) > kBudget) continue;
+      append(g, id);
+    } else if (ita->second != itb->second) {
+      size_t ga = ita->second, gb = itb->second;
+      if (groups[ga].bytes + groups[gb].bytes > kBudget) continue;
+      if (groups[ga].members.size() < groups[gb].members.size()) {
+        std::swap(ga, gb);
+      }
+      for (uint64_t id : groups[gb].members) {
+        groups[ga].members.push_back(id);
+        group_of[id] = ga;
+      }
+      groups[ga].bytes += groups[gb].bytes;
+      groups[gb].members.clear();
+      groups[gb].bytes = 0;
+    }
+  }
+
+  // Compact away groups emptied by merging; singletons cannot occur
+  // (groups start with two members and only ever grow).
+  for (PageGroup& group : groups) {
+    if (group.members.size() < 2) continue;
+    entry.groups.push_back(std::move(group));
+  }
+
+  // Cost model: affinity weight crossing a page boundary now vs. under
+  // the plan. A kept group becomes one page; everything else keeps its
+  // current placement.
+  std::unordered_map<uint64_t, size_t> final_group;
+  for (size_t g = 0; g < entry.groups.size(); ++g) {
+    for (uint64_t id : entry.groups[g].members) final_group[id] = g;
+  }
+  auto planned_page = [&](uint64_t id) -> std::pair<bool, uint64_t> {
+    auto it = final_group.find(id);
+    if (it != final_group.end()) return {true, it->second};
+    return {false, placed[id]->page};
+  };
+  for (const Vote& vote : ordered) {
+    auto [a, b] = vote.pair;
+    if (placed[a]->page != placed[b]->page) {
+      entry.cross_page_before += vote.weight;
+    }
+    if (planned_page(a) != planned_page(b)) {
+      entry.cross_page_after += vote.weight;
+    }
+  }
+  return entry;
+}
+
+}  // namespace
+
+Result<ClusterPlan> BuildClusterPlan(Database* db,
+                                     const obs::AccessProfile& profile,
+                                     const AdvisorOptions& options) {
+  ClusterPlan plan;
+  std::map<ClusterId, PairWeights> votes = AccumulateVotes(
+      profile.edges, options.min_edge_weight, &plan.edges_considered);
+  for (const auto& [cluster, pair_weights] : votes) {
+    ODE_ASSIGN_OR_RETURN(std::string class_name, db->ClassOfCluster(cluster));
+    ODE_ASSIGN_OR_RETURN(std::vector<HeapFile::Placement> current,
+                         db->ClusterPlacements(class_name));
+    ClusterPlanEntry entry =
+        PlanCluster(cluster, std::move(class_name), pair_weights, current);
+    if (entry.groups.empty()) continue;
+    plan.cross_page_before += entry.cross_page_before;
+    plan.cross_page_after += entry.cross_page_after;
+    for (const PageGroup& group : entry.groups) {
+      plan.planned_moves += group.members.size();
+    }
+    plan.clusters.push_back(std::move(entry));
+  }
+  static obs::Counter* builds =
+      obs::Registry::Global().counter("cluster.plan.builds");
+  builds->Increment();
+  return plan;
+}
+
+Result<ClusterPlan> BuildClusterPlanFromTrace(Database* db,
+                                              const std::string& trace_path,
+                                              const AdvisorOptions& options) {
+  ODE_ASSIGN_OR_RETURN(obs::AccessTrace trace,
+                       obs::ReadAccessTrace(trace_path));
+  // Fold the capture's affinity records into an edge list; event
+  // records only feed heat, which the advisor does not use.
+  std::map<std::tuple<uint64_t, uint64_t, uint64_t, uint64_t>, uint64_t>
+      counts;
+  for (const obs::AccessTraceRecord& record : trace.records) {
+    if (record.kind != obs::AccessTraceRecord::Kind::kAffinity) continue;
+    counts[{record.src_cluster, record.src_local, record.dst_cluster,
+            record.dst_local}] += 1;
+  }
+  obs::AccessProfile profile;
+  profile.edges.reserve(counts.size());
+  for (const auto& [key, count] : counts) {
+    obs::AffinityEdge edge;
+    edge.src_cluster = std::get<0>(key);
+    edge.src_local = std::get<1>(key);
+    edge.dst_cluster = std::get<2>(key);
+    edge.dst_local = std::get<3>(key);
+    edge.count = count;
+    profile.edges.push_back(edge);
+  }
+  return BuildClusterPlan(db, profile, options);
+}
+
+std::string ClusterPlan::Summary() const {
+  std::ostringstream os;
+  size_t groups = 0;
+  for (const ClusterPlanEntry& entry : clusters) groups += entry.groups.size();
+  os << "clustering plan: " << clusters.size() << " cluster(s), " << groups
+     << " page group(s), " << planned_moves << " move(s) planned\n";
+  os << "  cross-page affinity: before=" << cross_page_before
+     << " after=" << cross_page_after << " predicted_saving="
+     << static_cast<int>(PredictedSavingRatio() * 100.0 + 0.5) << "%\n";
+  for (const ClusterPlanEntry& entry : clusters) {
+    size_t moves = 0;
+    for (const PageGroup& group : entry.groups) moves += group.members.size();
+    os << "  " << entry.class_name << ": " << entry.groups.size()
+       << " group(s), " << moves << " move(s), before="
+       << entry.cross_page_before << " after=" << entry.cross_page_after
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ode::odb::cluster

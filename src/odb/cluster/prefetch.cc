@@ -1,0 +1,85 @@
+#include "odb/cluster/prefetch.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace ode::odb::cluster {
+namespace {
+
+/// Lazily-fetched local-id → page maps, one per cluster.
+class PlacementIndex {
+ public:
+  explicit PlacementIndex(Database* db) : db_(db) {}
+
+  /// The page currently holding (`cluster`, `local`), or kNoPage when
+  /// the record (or its whole cluster) no longer exists.
+  PageId Resolve(uint64_t cluster, uint64_t local) {
+    auto it = by_cluster_.find(cluster);
+    if (it == by_cluster_.end()) {
+      it = by_cluster_.emplace(cluster, Load(cluster)).first;
+    }
+    auto found = it->second.find(local);
+    return found == it->second.end() ? kNoPage : found->second;
+  }
+
+ private:
+  std::unordered_map<uint64_t, PageId> Load(uint64_t cluster) {
+    std::unordered_map<uint64_t, PageId> pages;
+    Result<std::string> class_name =
+        db_->ClassOfCluster(static_cast<ClusterId>(cluster));
+    if (!class_name.ok()) return pages;  // cluster dropped since capture
+    Result<std::vector<HeapFile::Placement>> placements =
+        db_->ClusterPlacements(*class_name);
+    if (!placements.ok()) return pages;
+    pages.reserve(placements->size());
+    for (const HeapFile::Placement& p : *placements) {
+      pages[p.local_id] = p.page;
+    }
+    return pages;
+  }
+
+  Database* db_;
+  std::map<uint64_t, std::unordered_map<uint64_t, PageId>> by_cluster_;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<AffinityPrefetchSource>> BuildAffinityPrefetchSource(
+    Database* db, const obs::AccessProfile& profile, size_t top_k) {
+  PlacementIndex index(db);
+  /// Directed page-pair weights: src page -> (dst page -> weight).
+  /// Affinity is followed in traversal order, so prefetch is directed
+  /// too — but each edge also votes the reverse direction at half
+  /// weight (a browse that goes A→B often comes back).
+  std::map<PageId, std::map<PageId, uint64_t>> weights;
+  for (const obs::AffinityEdge& edge : profile.edges) {
+    PageId src = index.Resolve(edge.src_cluster, edge.src_local);
+    PageId dst = index.Resolve(edge.dst_cluster, edge.dst_local);
+    if (src == kNoPage || dst == kNoPage || src == dst) continue;
+    weights[src][dst] += edge.count * 2;
+    weights[dst][src] += edge.count;
+  }
+
+  std::unordered_map<PageId, std::vector<PageId>> neighbors;
+  neighbors.reserve(weights.size());
+  for (const auto& [page, out_edges] : weights) {
+    std::vector<std::pair<PageId, uint64_t>> ranked(out_edges.begin(),
+                                                    out_edges.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    if (ranked.size() > top_k) ranked.resize(top_k);
+    std::vector<PageId> top;
+    top.reserve(ranked.size());
+    for (const auto& [neighbor, weight] : ranked) top.push_back(neighbor);
+    neighbors.emplace(page, std::move(top));
+  }
+  return std::make_shared<AffinityPrefetchSource>(std::move(neighbors));
+}
+
+}  // namespace ode::odb::cluster

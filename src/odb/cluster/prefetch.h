@@ -1,0 +1,61 @@
+#ifndef ODEVIEW_ODB_CLUSTER_PREFETCH_H_
+#define ODEVIEW_ODB_CLUSTER_PREFETCH_H_
+
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/access_log.h"
+#include "common/result.h"
+#include "odb/buffer_pool.h"
+#include "odb/database.h"
+
+namespace ode::odb::cluster {
+
+/// An immutable page-affinity table driving the pool's affinity
+/// read-ahead: for each heap page, the pages most often touched next
+/// by the same reference cascades, strongest first. Built from an
+/// access-recorder snapshot with `BuildAffinityPrefetchSource` and
+/// installed with `BufferPool::SetPrefetchSource`; the pool then
+/// schedules the top neighbors whenever a listed page misses (policy
+/// `kAffinity`).
+///
+/// The table is a placement-time snapshot: rebuild it after a
+/// `Database::Recluster` (record→page assignments changed) or after
+/// significant churn.
+class AffinityPrefetchSource : public PrefetchSource {
+ public:
+  explicit AffinityPrefetchSource(
+      std::unordered_map<PageId, std::vector<PageId>> neighbors)
+      : neighbors_(std::move(neighbors)) {}
+
+  size_t TopNeighbors(PageId page, PageId* out,
+                      size_t max) const override {
+    auto it = neighbors_.find(page);
+    if (it == neighbors_.end()) return 0;
+    size_t n = std::min(max, it->second.size());
+    for (size_t i = 0; i < n; ++i) out[i] = it->second[i];
+    return n;
+  }
+
+  /// Pages with at least one neighbor (for tests / the shell report).
+  size_t page_count() const { return neighbors_.size(); }
+
+ private:
+  const std::unordered_map<PageId, std::vector<PageId>> neighbors_;
+};
+
+/// Projects the profile's object-level affinity edges onto the current
+/// physical placement: each edge's endpoints resolve (via the heap
+/// directories) to the pages holding them now, page-pair weights
+/// accumulate, and every page keeps its `top_k` strongest distinct
+/// neighbors. Edges whose endpoints died, and edges that resolve to a
+/// single page (already co-located — nothing to prefetch), are
+/// dropped.
+Result<std::shared_ptr<AffinityPrefetchSource>> BuildAffinityPrefetchSource(
+    Database* db, const obs::AccessProfile& profile, size_t top_k = 4);
+
+}  // namespace ode::odb::cluster
+
+#endif  // ODEVIEW_ODB_CLUSTER_PREFETCH_H_

@@ -1,0 +1,95 @@
+/// Database::Recluster — the online plan applicator. Lives in the
+/// cluster/ subsystem (not database.cc) so the odb core never includes
+/// a cluster header; being a member definition it still has full
+/// access to the database's locking and WAL machinery.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/journal.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "odb/cluster/plan.h"
+#include "odb/database.h"
+#include "odb/wal.h"
+
+namespace ode::odb {
+namespace {
+
+obs::Counter& ReorgRuns() {
+  static obs::Counter* counter =
+      obs::Registry::Global().counter("cluster.reorg.runs");
+  return *counter;
+}
+
+obs::Counter& ReorgMoves() {
+  static obs::Counter* counter =
+      obs::Registry::Global().counter("cluster.reorg.moves");
+  return *counter;
+}
+
+}  // namespace
+
+Status Database::Recluster(const cluster::ClusterPlan& plan) {
+  // Shared, not exclusive: a recluster runs beside readers (lookups go
+  // via the heap directory, which RelocateRecord updates under the
+  // heap's writer lock) and beside writers (ordinary DML serializes on
+  // the same WAL transaction mutex each group takes below).
+  ReaderMutexLock lock(schema_mu_);
+  uint64_t total_applied = 0;
+  for (const cluster::ClusterPlanEntry& entry : plan.clusters) {
+    const char* label = obs::Journal::InternLabel(entry.class_name);
+    uint64_t planned = 0;
+    for (const cluster::PageGroup& group : entry.groups) {
+      planned += group.members.size();
+    }
+    obs::Journal::Global().Append(obs::JournalEvent::kReclusterStart,
+                                  static_cast<int64_t>(planned), 0, label);
+    ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(entry.cluster));
+    uint64_t applied = 0;
+    for (const cluster::PageGroup& group : entry.groups) {
+      // One WAL transaction per page group: every relocation inside it
+      // (insert-on-target + tombstone) is covered by full-page redo
+      // images, so a kill -9 recovers to a group boundary — records
+      // are never duplicated or lost, only partially-regrouped.
+      WalTransactionScope txn(wal_.get(), &wal_txn_mu_);
+      ODE_ASSIGN_OR_RETURN(PageId target, heap->AllocateTailPage());
+      for (uint64_t local_id : group.members) {
+        Status moved = heap->RelocateRecord(local_id, target);
+        if (moved.ok()) {
+          ++applied;
+          continue;
+        }
+        // Deleted since the plan was built: stale entry, skip.
+        if (moved.code() == StatusCode::kNotFound) continue;
+        // Target filled up (records grew since planning): spill the
+        // rest of the group onto a fresh page and retry once.
+        if (moved.code() == StatusCode::kOutOfRange) {
+          ODE_ASSIGN_OR_RETURN(target, heap->AllocateTailPage());
+          Status retried = heap->RelocateRecord(local_id, target);
+          if (retried.ok()) {
+            ++applied;
+            continue;
+          }
+          if (retried.code() == StatusCode::kNotFound) continue;
+          moved = retried;
+        }
+        obs::Journal::Global().Append(obs::JournalEvent::kReclusterEnd,
+                                      static_cast<int64_t>(applied), 1,
+                                      label);
+        return moved;
+      }
+      ODE_RETURN_IF_ERROR(txn.Commit());
+    }
+    obs::Journal::Global().Append(obs::JournalEvent::kReclusterEnd,
+                                  static_cast<int64_t>(applied), 0, label);
+    total_applied += applied;
+  }
+  if (total_applied != 0) BumpMutationEpoch();
+  ReorgRuns().Increment();
+  ReorgMoves().Add(total_applied);
+  return MaybeCheckpointLocked();
+}
+
+}  // namespace ode::odb

@@ -745,6 +745,15 @@ Status Database::ScanRawRecords(const std::string& class_name, uint64_t after,
   return status;
 }
 
+Result<std::vector<HeapFile::Placement>> Database::ClusterPlacements(
+    const std::string& class_name) {
+  ReaderMutexLock lock(schema_mu_);
+  ODE_ASSIGN_OR_RETURN(const ClusterInfo* info,
+                       catalog_->FindCluster(class_name));
+  ODE_ASSIGN_OR_RETURN(HeapFile * heap, GetHeap(info->id));
+  return heap->RecordPlacements();
+}
+
 Status Database::Sync() {
   WriterMutexLock lock(schema_mu_);
   {

@@ -36,6 +36,14 @@ namespace exec {
 struct ExplainResult;
 }  // namespace exec
 
+namespace cluster {
+// Defined in odb/cluster/plan.h. The odb core only forward-declares
+// the clustering subsystem (ode-lint enforces that no core file
+// includes odb/cluster/); Database::Recluster's body lives in
+// odb/cluster/reorganizer.cc.
+struct ClusterPlan;
+}  // namespace cluster
+
 /// The in-memory copy of a persistent object — the paper's "object
 /// buffer" that the object manager hands to display functions.
 struct ObjectBuffer {
@@ -269,6 +277,20 @@ class Database {
   }
 
   // --- Maintenance -----------------------------------------------------
+
+  /// Applies a clustering plan online: moves records page-by-page so
+  /// each plan group shares a heap page. Runs under the shared schema
+  /// lock with one WAL transaction per page group (full-page redo
+  /// images — a kill -9 mid-recluster recovers to a group boundary),
+  /// and OIDs stay stable because lookups resolve through the heap's
+  /// id→location directory. Records deleted since the plan was built
+  /// are skipped. Defined in odb/cluster/reorganizer.cc.
+  Status Recluster(const cluster::ClusterPlan& plan);
+
+  /// Physical placement (page, slot, stored bytes) of every record of
+  /// `class_name`'s cluster — the clustering advisor's packing input.
+  Result<std::vector<HeapFile::Placement>> ClusterPlacements(
+      const std::string& class_name);
 
   /// Flushes dirty pages, persists the catalog, and (on-disk) runs a
   /// checkpoint so the data file alone holds the full state.

@@ -70,6 +70,9 @@ void AppendActualText(std::ostringstream& os, const std::string& indent,
   if (a.wal_commit_wait_ns != 0) {
     os << " wal_wait=" << FormatMs(a.wal_commit_wait_ns);
   }
+  if (a.cluster_prefetches != 0) {
+    os << " cluster_prefetches=" << a.cluster_prefetches;
+  }
   os << "\n";
 }
 
@@ -170,7 +173,11 @@ std::string ExplainResult::RenderText() const {
        << " pages_read=" << t.pool_misses << " pool_hits=" << t.pool_hits
        << " pager_reads=" << t.pager_reads
        << " rows_scanned=" << t.rows_scanned
-       << " lock_wait=" << FormatMs(t.lock_wait_ns) << "\n";
+       << " lock_wait=" << FormatMs(t.lock_wait_ns);
+    if (t.cluster_prefetches != 0) {
+      os << " cluster_prefetches=" << t.cluster_prefetches;
+    }
+    os << "\n";
   }
   return os.str();
 }

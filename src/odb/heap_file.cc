@@ -396,10 +396,12 @@ Result<uint64_t> HeapFile::NextIdLocked(uint64_t after) const {
   }
   // Read-ahead: while the caller materializes `it`, warm the page the
   // *following* record lives on — the page `next` will need next.
+  // Sequencing is the control panel's next/previous button, an
+  // explicitly sequential walk, so it is not a point lookup.
   auto follow = std::next(it);
   if (follow != directory_.end() &&
       follow->second.page != it->second.page) {
-    pool_->Prefetch(follow->second.page);
+    pool_->ReadAhead(follow->second.page, /*point_lookup=*/false);
   }
   HeapSeqSteps().Increment();
   return it->first;
@@ -420,7 +422,7 @@ Result<uint64_t> HeapFile::PrevIdLocked(uint64_t before) const {
   if (it != directory_.begin()) {
     auto follow = std::prev(it);
     if (follow->second.page != it->second.page) {
-      pool_->Prefetch(follow->second.page);
+      pool_->ReadAhead(follow->second.page, /*point_lookup=*/false);
     }
   }
   HeapSeqSteps().Increment();
@@ -446,9 +448,11 @@ Result<std::vector<std::pair<uint64_t, std::string>>> HeapFile::NextRecords(
         ReadRecordLocked(it->first, it->second, &handle, &held));
     out.emplace_back(it->first, std::move(payload));
   }
-  // Read-ahead: warm the page the record after the batch lives on.
+  // Read-ahead: warm the page the record after the batch lives on. A
+  // limit-1 batch is a point lookup (the browse cascade's fused step),
+  // not a scan — the policy keeps those out of the prefetch queue.
   if (it != directory_.end() && it->second.page != held) {
-    pool_->Prefetch(it->second.page);
+    pool_->ReadAhead(it->second.page, /*point_lookup=*/limit == 1);
   }
   HeapBatchRecords().Add(out.size());
   if (auto* profile = obs::CurrentOpProfile()) {
@@ -481,9 +485,10 @@ Status HeapFile::NextRecordsInto(uint64_t after, size_t limit,
         AppendRecordLocked(it->first, it->second, &handle, &held, arena));
     spans->push_back(RecordSpan{it->first, offset, length});
   }
-  // Read-ahead: warm the page the record after the batch lives on.
+  // Read-ahead: warm the page the record after the batch lives on
+  // (limit-1 batches are point lookups; see NextRecords).
   if (it != directory_.end() && it->second.page != held) {
-    pool_->Prefetch(it->second.page);
+    pool_->ReadAhead(it->second.page, /*point_lookup=*/limit == 1);
   }
   HeapBatchRecords().Add(spans->size());
   if (auto* profile = obs::CurrentOpProfile()) {
@@ -515,7 +520,9 @@ Result<std::vector<std::pair<uint64_t, std::string>>> HeapFile::PrevRecords(
   }
   if (it != directory_.begin()) {
     auto follow = std::prev(it);
-    if (follow->second.page != held) pool_->Prefetch(follow->second.page);
+    if (follow->second.page != held) {
+      pool_->ReadAhead(follow->second.page, /*point_lookup=*/limit == 1);
+    }
   }
   HeapBatchRecords().Add(out.size());
   if (auto* profile = obs::CurrentOpProfile()) {
@@ -524,6 +531,81 @@ Result<std::vector<std::pair<uint64_t, std::string>>> HeapFile::PrevRecords(
     profile->ChargeHeapBatch(out.size(), bytes);
   }
   return out;
+}
+
+Result<std::vector<HeapFile::Placement>> HeapFile::RecordPlacements() const {
+  ReaderMutexLock lock(*mu_);
+  std::vector<Placement> out;
+  out.reserve(directory_.size());
+  PageHandle handle;
+  PageId held = kNoPage;
+  for (const auto& [id, loc] : directory_) {
+    if (held != loc.page) {
+      ODE_ASSIGN_OR_RETURN(handle, pool_->Fetch(loc.page, PageIntent::kRead));
+      held = loc.page;
+    }
+    SlottedPage sp(handle.page());
+    ODE_ASSIGN_OR_RETURN(std::string_view record, sp.Get(loc.slot));
+    out.push_back(Placement{id, loc.page, loc.slot,
+                            static_cast<uint32_t>(record.size())});
+  }
+  return out;
+}
+
+Status HeapFile::RelocateRecord(uint64_t local_id, PageId target_page) {
+  WriterMutexLock lock(*mu_);
+  auto it = directory_.find(local_id);
+  if (it == directory_.end()) {
+    return Status::NotFound("record id " + std::to_string(local_id));
+  }
+  if (it->second.page == target_page) return Status::OK();
+  // Copy the stored record off its current page (one handle at a time).
+  std::string record;
+  {
+    ODE_ASSIGN_OR_RETURN(PageHandle handle,
+                         pool_->Fetch(it->second.page, PageIntent::kRead));
+    SlottedPage sp(handle.page());
+    ODE_ASSIGN_OR_RETURN(std::string_view stored, sp.Get(it->second.slot));
+    record.assign(stored.data(), stored.size());
+  }
+  // Insert on the target first: the record is reachable at every
+  // moment (under WAL the insert and the delete below commit in one
+  // transaction, so a crash never exposes the duplicate to ScanChain).
+  uint16_t new_slot = 0;
+  {
+    ODE_ASSIGN_OR_RETURN(PageHandle handle,
+                         pool_->Fetch(target_page, PageIntent::kWrite));
+    SlottedPage sp(handle.page());
+    ODE_RETURN_IF_ERROR(sp.Validate());
+    ODE_ASSIGN_OR_RETURN(new_slot, sp.Insert(record));
+    handle.MarkDirty();
+  }
+  {
+    ODE_ASSIGN_OR_RETURN(PageHandle handle,
+                         pool_->Fetch(it->second.page, PageIntent::kWrite));
+    SlottedPage sp(handle.page());
+    ODE_RETURN_IF_ERROR(sp.Delete(it->second.slot));
+    handle.MarkDirty();
+  }
+  it->second = Location{target_page, new_slot};
+  return Status::OK();
+}
+
+Result<PageId> HeapFile::AllocateTailPage() {
+  WriterMutexLock lock(*mu_);
+  ODE_ASSIGN_OR_RETURN(PageHandle fresh, pool_->NewPage());
+  SlottedPage fresh_sp(fresh.page());
+  fresh_sp.Init();
+  fresh.MarkDirty();
+  PageId fresh_id = fresh.id();
+  fresh.Release();
+  ODE_ASSIGN_OR_RETURN(PageHandle tail,
+                       pool_->Fetch(last_page_, PageIntent::kWrite));
+  SlottedPage tail_sp(tail.page());
+  tail_sp.set_next_page(fresh_id);
+  tail.MarkDirty();
+  last_page_ = fresh_id;
+  return fresh_id;
 }
 
 std::vector<uint64_t> HeapFile::AllIds() const {

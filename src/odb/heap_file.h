@@ -57,6 +57,15 @@ class HeapFile {
     size_t length = 0;
   };
 
+  /// One record's current physical placement plus its stored (on-page)
+  /// size — the clustering advisor's packing input.
+  struct Placement {
+    uint64_t local_id = 0;
+    PageId page = kNoPage;
+    uint16_t slot = 0;
+    uint32_t stored_bytes = 0;  ///< bytes the record occupies on-page
+  };
+
   /// Creates an empty heap (allocates the first page). `free_list`
   /// supplies/reclaims overflow pages and must outlive the heap.
   static Result<HeapFile> Create(BufferPool* pool, FreeList* free_list);
@@ -117,6 +126,24 @@ class HeapFile {
 
   /// All ids in ascending order (for tests and bulk operations).
   std::vector<uint64_t> AllIds() const;
+
+  /// Current placement (page, slot, stored size) of every record,
+  /// ascending id — the snapshot the clustering advisor packs from.
+  Result<std::vector<Placement>> RecordPlacements() const;
+
+  /// Moves the record for `local_id` onto `target_page` (which must be
+  /// a chain page with room). The record is inserted on the target
+  /// first and tombstoned at its old location second, and the OID stays
+  /// valid throughout because lookups go via the id→location directory
+  /// — the move is invisible to readers. No-op when the record already
+  /// lives on `target_page`. Fails OutOfRange when the target page is
+  /// full (the reorganizer then asks for a fresh tail page).
+  Status RelocateRecord(uint64_t local_id, PageId target_page);
+
+  /// Appends a fresh empty page to the chain (even when the current
+  /// tail still has room) and returns its id — the reorganizer's
+  /// destination allocator, so each plan group starts on its own page.
+  Result<PageId> AllocateTailPage();
 
   /// Number of pages in the chain.
   Result<uint32_t> PageCount() const;

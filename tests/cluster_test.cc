@@ -1,0 +1,426 @@
+// Clustering & prefetch battery: the advisor (direct + induced-sibling
+// affinity votes, byte-budgeted greedy grouping, the cost model), the
+// online reorganizer (RelocateRecord, Database::Recluster — OIDs and
+// payloads survive, group members co-locate), the affinity prefetch
+// source, and the pool's read-ahead policy gates (point lookups
+// schedule nothing; kAffinity misses fan out to neighbors and charge
+// `cluster.prefetch.*`).
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/access_log.h"
+#include "common/journal.h"
+#include "common/metrics.h"
+#include "odb/cluster/advisor.h"
+#include "odb/cluster/plan.h"
+#include "odb/cluster/prefetch.h"
+#include "odb/database.h"
+#include "odb/pager.h"
+#include "odb/slotted_page.h"
+
+namespace ode::odb {
+namespace {
+
+using cluster::AdvisorOptions;
+using cluster::BuildAffinityPrefetchSource;
+using cluster::BuildClusterPlan;
+using cluster::ClusterPlan;
+using obs::AccessProfile;
+using obs::AffinityEdge;
+
+constexpr char kClusterSchema[] = R"(
+persistent class dept {
+public:
+  string name;
+};
+persistent class employee {
+public:
+  string name;
+  string pad;
+  dept* dept_ref;
+};
+)";
+
+Value Employee(std::string name, std::string pad, Oid dept = Oid::Null()) {
+  return Value::Struct({
+      {"name", Value::String(std::move(name))},
+      {"pad", Value::String(std::move(pad))},
+      {"dept_ref", Value::Ref(dept, "dept")},
+  });
+}
+
+Value Dept(std::string name) {
+  return Value::Struct({{"name", Value::String(std::move(name))}});
+}
+
+/// A database whose employees are deliberately scattered: each hot
+/// (small) employee is followed by `cold_per_hot` bulky cold ones, so
+/// consecutive hot records land on different heap pages.
+struct ScatteredDb {
+  std::unique_ptr<Database> db;
+  Oid dept;
+  std::vector<Oid> hot;  ///< creation order
+};
+
+ScatteredDb MakeScatteredDb(size_t hot_count, size_t cold_per_hot,
+                            size_t pool_pages = 64) {
+  ScatteredDb out;
+  DatabaseOptions options;
+  options.buffer_pool_pages = pool_pages;
+  out.db = std::move(*Database::CreateInMemory("cluster-lab", options));
+  EXPECT_TRUE(out.db->DefineSchema(kClusterSchema).ok());
+  out.dept = *out.db->CreateObject("dept", Dept("research"));
+  std::string cold_pad(900, 'x');
+  for (size_t i = 0; i < hot_count; ++i) {
+    out.hot.push_back(*out.db->CreateObject(
+        "employee",
+        Employee("hot" + std::to_string(i), "h", out.dept)));
+    for (size_t j = 0; j < cold_per_hot; ++j) {
+      (void)*out.db->CreateObject(
+          "employee",
+          Employee("cold" + std::to_string(i) + "_" + std::to_string(j),
+                   cold_pad, out.dept));
+    }
+  }
+  return out;
+}
+
+/// An AccessProfile holding only a chain of direct intra-cluster edges
+/// over consecutive `hot` records (the shape a browse cascade leaves).
+AccessProfile ChainProfile(const std::vector<Oid>& hot, uint64_t weight) {
+  AccessProfile profile;
+  for (size_t i = 0; i + 1 < hot.size(); ++i) {
+    AffinityEdge edge;
+    edge.src_cluster = hot[i].cluster;
+    edge.src_local = hot[i].local;
+    edge.dst_cluster = hot[i + 1].cluster;
+    edge.dst_local = hot[i + 1].local;
+    edge.count = weight;
+    profile.edges.push_back(edge);
+  }
+  return profile;
+}
+
+std::map<uint64_t, PageId> PageOf(Database* db, const std::string& cls) {
+  std::map<uint64_t, PageId> out;
+  Result<std::vector<HeapFile::Placement>> placements =
+      db->ClusterPlacements(cls);
+  EXPECT_TRUE(placements.ok()) << placements.status().ToString();
+  if (!placements.ok()) return out;
+  for (const HeapFile::Placement& p : *placements) {
+    out[p.local_id] = p.page;
+  }
+  return out;
+}
+
+// --- Advisor -----------------------------------------------------------
+
+TEST(ClusterAdvisorTest, DirectEdgesGroupScatteredRecords) {
+  ScatteredDb lab = MakeScatteredDb(/*hot_count=*/8, /*cold_per_hot=*/4);
+  std::map<uint64_t, PageId> before = PageOf(lab.db.get(), "employee");
+  // The scattering worked: the hot chain spans several pages.
+  std::set<PageId> hot_pages;
+  for (const Oid& oid : lab.hot) hot_pages.insert(before[oid.local]);
+  ASSERT_GT(hot_pages.size(), 1u);
+
+  Result<ClusterPlan> plan =
+      BuildClusterPlan(lab.db.get(), ChainProfile(lab.hot, 10));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->clusters.size(), 1u);
+  EXPECT_FALSE(plan->empty());
+  // All eight small hot records fit one page, so the greedy pass merges
+  // the whole chain into a single group.
+  ASSERT_EQ(plan->clusters[0].groups.size(), 1u);
+  EXPECT_EQ(plan->clusters[0].groups[0].members.size(), lab.hot.size());
+  // The chain crosses pages now and would not under the plan.
+  EXPECT_GT(plan->cross_page_before, 0u);
+  EXPECT_LT(plan->cross_page_after, plan->cross_page_before);
+  EXPECT_GT(plan->PredictedSavingRatio(), 0.0);
+}
+
+TEST(ClusterAdvisorTest, SharedHubInducesSiblingGroups) {
+  ScatteredDb lab = MakeScatteredDb(/*hot_count=*/4, /*cold_per_hot=*/4);
+  // No direct employee-employee edges: only employee->dept traversals,
+  // all through one shared dept hub.
+  AccessProfile profile;
+  for (const Oid& oid : lab.hot) {
+    AffinityEdge edge;
+    edge.src_cluster = oid.cluster;
+    edge.src_local = oid.local;
+    edge.dst_cluster = lab.dept.cluster;
+    edge.dst_local = lab.dept.local;
+    edge.count = 5;
+    profile.edges.push_back(edge);
+  }
+  Result<ClusterPlan> plan = BuildClusterPlan(lab.db.get(), profile);
+  ASSERT_TRUE(plan.ok());
+  // The siblings chain into one employee group even though no edge
+  // connects them directly.
+  ASSERT_EQ(plan->clusters.size(), 1u);
+  EXPECT_EQ(plan->clusters[0].class_name, "employee");
+  ASSERT_EQ(plan->clusters[0].groups.size(), 1u);
+  EXPECT_EQ(plan->clusters[0].groups[0].members.size(), lab.hot.size());
+}
+
+TEST(ClusterAdvisorTest, GroupsRespectThePageByteBudget) {
+  ScatteredDb lab = MakeScatteredDb(/*hot_count=*/2, /*cold_per_hot=*/0);
+  // Two bulky employees that cannot share a page: no group forms.
+  std::string huge(SlottedPage::kMaxRecordSize / 2 + 100, 'y');
+  Oid a = *lab.db->CreateObject("employee", Employee("big_a", huge));
+  Oid b = *lab.db->CreateObject("employee", Employee("big_b", huge));
+  AccessProfile profile;
+  AffinityEdge edge;
+  edge.src_cluster = a.cluster;
+  edge.src_local = a.local;
+  edge.dst_cluster = b.cluster;
+  edge.dst_local = b.local;
+  edge.count = 100;
+  profile.edges.push_back(edge);
+  Result<ClusterPlan> plan = BuildClusterPlan(lab.db.get(), profile);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->empty());
+}
+
+TEST(ClusterAdvisorTest, DeletedEndpointsDropOut) {
+  ScatteredDb lab = MakeScatteredDb(/*hot_count=*/4, /*cold_per_hot=*/2);
+  AccessProfile profile = ChainProfile(lab.hot, 10);
+  // Delete every hot record after profiling: nothing left to plan.
+  for (const Oid& oid : lab.hot) {
+    ASSERT_TRUE(lab.db->DeleteObject(oid).ok());
+  }
+  Result<ClusterPlan> plan = BuildClusterPlan(lab.db.get(), profile);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->empty());
+}
+
+TEST(ClusterAdvisorTest, PlanBuildsCounterTicks) {
+  ScatteredDb lab = MakeScatteredDb(/*hot_count=*/2, /*cold_per_hot=*/1);
+  obs::Counter* builds =
+      obs::Registry::Global().counter("cluster.plan.builds");
+  uint64_t before = builds->value();
+  ASSERT_TRUE(BuildClusterPlan(lab.db.get(), AccessProfile{}).ok());
+  EXPECT_EQ(builds->value(), before + 1);
+}
+
+// --- Relocation (heap layer) ------------------------------------------
+
+TEST(ClusterRelocateTest, PayloadAndOidSurviveAMove) {
+  ScatteredDb lab = MakeScatteredDb(/*hot_count=*/6, /*cold_per_hot=*/4);
+  std::map<uint64_t, PageId> before = PageOf(lab.db.get(), "employee");
+  // Build + apply a plan; every hot record keeps its OID and value.
+  Result<ClusterPlan> plan =
+      BuildClusterPlan(lab.db.get(), ChainProfile(lab.hot, 10));
+  ASSERT_TRUE(plan.ok());
+  ASSERT_FALSE(plan->empty());
+  ASSERT_TRUE(lab.db->Recluster(*plan).ok());
+
+  std::map<uint64_t, PageId> after = PageOf(lab.db.get(), "employee");
+  std::set<PageId> group_pages;
+  for (size_t i = 0; i < lab.hot.size(); ++i) {
+    Result<ObjectBuffer> buffer = lab.db->GetObject(lab.hot[i]);
+    ASSERT_TRUE(buffer.ok()) << "hot record " << i << " lost its OID";
+    const Value* name = buffer->value.FindField("name");
+    ASSERT_NE(name, nullptr);
+    EXPECT_EQ(name->AsString(), "hot" + std::to_string(i));
+    group_pages.insert(after[lab.hot[i].local]);
+  }
+  // The whole chain now shares one page (it fit one group), and moved
+  // off its scattered placement.
+  EXPECT_EQ(group_pages.size(), 1u);
+  EXPECT_NE(before[lab.hot[0].local], after[lab.hot[0].local]);
+}
+
+TEST(ClusterRelocateTest, ReclusterIsIdempotentAndSkipsDeleted) {
+  ScatteredDb lab = MakeScatteredDb(/*hot_count=*/6, /*cold_per_hot=*/3);
+  Result<ClusterPlan> plan =
+      BuildClusterPlan(lab.db.get(), ChainProfile(lab.hot, 10));
+  ASSERT_TRUE(plan.ok());
+  // One plan member dies between planning and application: skipped.
+  ASSERT_TRUE(lab.db->DeleteObject(lab.hot.back()).ok());
+  ASSERT_TRUE(lab.db->Recluster(*plan).ok());
+  // Applying the same (now stale) plan again is safe.
+  ASSERT_TRUE(lab.db->Recluster(*plan).ok());
+  for (size_t i = 0; i + 1 < lab.hot.size(); ++i) {
+    EXPECT_TRUE(lab.db->GetObject(lab.hot[i]).ok());
+  }
+  EXPECT_TRUE(lab.db->GetObject(lab.hot.back()).status().IsNotFound());
+}
+
+TEST(ClusterRelocateTest, ReclusterJournalsStartAndEnd) {
+  ScatteredDb lab = MakeScatteredDb(/*hot_count=*/4, /*cold_per_hot=*/3);
+  Result<ClusterPlan> plan =
+      BuildClusterPlan(lab.db.get(), ChainProfile(lab.hot, 10));
+  ASSERT_TRUE(plan.ok());
+  ASSERT_FALSE(plan->empty());
+  ASSERT_TRUE(lab.db->Recluster(*plan).ok());
+  bool saw_start = false, saw_end = false;
+  for (const obs::JournalRecord& record : obs::Journal::Global().Snapshot()) {
+    if (record.type == obs::JournalEvent::kReclusterStart) saw_start = true;
+    if (record.type == obs::JournalEvent::kReclusterEnd) {
+      saw_end = true;
+      EXPECT_EQ(record.arg1, 0);  // clean completion
+      EXPECT_GT(record.arg0, 0);  // moves applied
+    }
+  }
+  EXPECT_TRUE(saw_start);
+  EXPECT_TRUE(saw_end);
+}
+
+// --- Recluster actually pays (page-fetch cost drops) -------------------
+
+TEST(ClusterReorgTest, ChaseMissesDropAfterRecluster) {
+  // Pool smaller than the scattered hot working set: every chase pass
+  // faults. After reclustering the chain fits a page or two.
+  ScatteredDb lab = MakeScatteredDb(/*hot_count=*/24, /*cold_per_hot=*/4,
+                                    /*pool_pages=*/8);
+  auto chase = [&]() -> uint64_t {
+    BufferPool::Stats before = lab.db->buffer_pool()->stats();
+    for (int pass = 0; pass < 4; ++pass) {
+      for (const Oid& oid : lab.hot) {
+        EXPECT_TRUE(lab.db->GetObject(oid).ok()) << "chase read failed";
+      }
+    }
+    return lab.db->buffer_pool()->stats().misses - before.misses;
+  };
+  uint64_t scattered_misses = 0;
+  { SCOPED_TRACE("scattered"); scattered_misses = chase(); }
+  Result<ClusterPlan> plan =
+      BuildClusterPlan(lab.db.get(), ChainProfile(lab.hot, 10));
+  ASSERT_TRUE(plan.ok());
+  ASSERT_FALSE(plan->empty());
+  ASSERT_TRUE(lab.db->Recluster(*plan).ok());
+  uint64_t clustered_misses = 0;
+  { SCOPED_TRACE("clustered"); clustered_misses = chase(); }
+  ASSERT_GT(scattered_misses, 0u);
+  // The acceptance bar: at least 2x fewer page fetch misses.
+  EXPECT_LE(clustered_misses * 2, scattered_misses)
+      << "scattered=" << scattered_misses
+      << " clustered=" << clustered_misses;
+}
+
+// --- Prefetch source ---------------------------------------------------
+
+TEST(AffinityPrefetchSourceTest, TopNeighborsAreStrongestFirst) {
+  std::unordered_map<PageId, std::vector<PageId>> neighbors;
+  neighbors[7] = {9, 11, 13};
+  cluster::AffinityPrefetchSource source(std::move(neighbors));
+  PageId out[4] = {kNoPage, kNoPage, kNoPage, kNoPage};
+  EXPECT_EQ(source.TopNeighbors(7, out, 4), 3u);
+  EXPECT_EQ(out[0], 9u);
+  EXPECT_EQ(out[1], 11u);
+  EXPECT_EQ(out[2], 13u);
+  EXPECT_EQ(source.TopNeighbors(8, out, 4), 0u);
+  // A tighter max truncates.
+  EXPECT_EQ(source.TopNeighbors(7, out, 2), 2u);
+}
+
+TEST(AffinityPrefetchSourceTest, BuilderProjectsEdgesOntoPages) {
+  ScatteredDb lab = MakeScatteredDb(/*hot_count=*/8, /*cold_per_hot=*/4);
+  Result<std::shared_ptr<cluster::AffinityPrefetchSource>> source =
+      BuildAffinityPrefetchSource(lab.db.get(), ChainProfile(lab.hot, 10));
+  ASSERT_TRUE(source.ok());
+  // The hot chain crosses pages, so at least one page got neighbors.
+  EXPECT_GT((*source)->page_count(), 0u);
+  std::map<uint64_t, PageId> pages = PageOf(lab.db.get(), "employee");
+  PageId out[4];
+  size_t n = (*source)->TopNeighbors(pages[lab.hot[0].local], out, 4);
+  ASSERT_GT(n, 0u);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NE(out[i], pages[lab.hot[0].local]) << "self-edge leaked";
+  }
+}
+
+// --- Pool read-ahead policy gates --------------------------------------
+
+TEST(ReadAheadPolicyTest, PointLookupsScheduleNothing) {
+  MemPager pager;
+  BufferPool pool(&pager, 8);
+  PageId a = *pager.Allocate();
+  PageId b = *pager.Allocate();
+  (void)a;
+  ASSERT_EQ(pool.read_ahead_policy(), ReadAheadPolicy::kSequential);
+  pool.ReadAhead(b, /*point_lookup=*/true);
+  pool.WaitForPrefetches();
+  EXPECT_FALSE(pool.Cached(b));
+  // A sequential hint does warm the page.
+  pool.ReadAhead(b, /*point_lookup=*/false);
+  pool.WaitForPrefetches();
+  EXPECT_TRUE(pool.Cached(b));
+}
+
+TEST(ReadAheadPolicyTest, OffPolicySchedulesNothing) {
+  MemPager pager;
+  BufferPool pool(&pager, 8);
+  pool.SetReadAheadPolicy(ReadAheadPolicy::kOff);
+  PageId b = *pager.Allocate();
+  pool.ReadAhead(b, /*point_lookup=*/false);
+  pool.WaitForPrefetches();
+  EXPECT_FALSE(pool.Cached(b));
+}
+
+namespace {
+/// A canned neighbor table for pool-level tests.
+class FixedSource : public PrefetchSource {
+ public:
+  explicit FixedSource(std::map<PageId, std::vector<PageId>> table)
+      : table_(std::move(table)) {}
+  size_t TopNeighbors(PageId page, PageId* out,
+                      size_t max) const override {
+    auto it = table_.find(page);
+    if (it == table_.end()) return 0;
+    size_t n = std::min(max, it->second.size());
+    for (size_t i = 0; i < n; ++i) out[i] = it->second[i];
+    return n;
+  }
+
+ private:
+  const std::map<PageId, std::vector<PageId>> table_;
+};
+}  // namespace
+
+TEST(ReadAheadPolicyTest, AffinityMissFansOutToNeighbors) {
+  MemPager pager;
+  BufferPool pool(&pager, 8);
+  PageId p = *pager.Allocate();
+  PageId n1 = *pager.Allocate();
+  PageId n2 = *pager.Allocate();
+  pool.SetReadAheadPolicy(ReadAheadPolicy::kAffinity);
+  pool.SetPrefetchSource(std::make_shared<FixedSource>(
+      std::map<PageId, std::vector<PageId>>{{p, {n1, n2}}}));
+  uint64_t issued_before = pool.stats().cluster_prefetches;
+  { ASSERT_TRUE(pool.Fetch(p).ok()); }  // miss -> affinity trigger
+  pool.WaitForPrefetches();
+  EXPECT_TRUE(pool.Cached(n1));
+  EXPECT_TRUE(pool.Cached(n2));
+  EXPECT_EQ(pool.stats().cluster_prefetches, issued_before + 2);
+  // A hit on the now-cached page does not re-trigger.
+  uint64_t issued_after = pool.stats().cluster_prefetches;
+  { ASSERT_TRUE(pool.Fetch(p).ok()); }
+  pool.WaitForPrefetches();
+  EXPECT_EQ(pool.stats().cluster_prefetches, issued_after);
+}
+
+TEST(ReadAheadPolicyTest, SequentialPolicyIgnoresTheSource) {
+  MemPager pager;
+  BufferPool pool(&pager, 8);
+  PageId p = *pager.Allocate();
+  PageId n1 = *pager.Allocate();
+  pool.SetPrefetchSource(std::make_shared<FixedSource>(
+      std::map<PageId, std::vector<PageId>>{{p, {n1}}}));
+  ASSERT_EQ(pool.read_ahead_policy(), ReadAheadPolicy::kSequential);
+  { ASSERT_TRUE(pool.Fetch(p).ok()); }
+  pool.WaitForPrefetches();
+  EXPECT_FALSE(pool.Cached(n1));
+  EXPECT_EQ(pool.stats().cluster_prefetches, 0u);
+}
+
+}  // namespace
+}  // namespace ode::odb

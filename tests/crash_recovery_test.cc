@@ -42,6 +42,7 @@
 #include "common/journal.h"
 #include "common/metrics.h"
 #include "common/telemetry_http.h"
+#include "odb/cluster/plan.h"
 #include "odb/database.h"
 #include "odb/integrity.h"
 #include "odb/value.h"
@@ -133,6 +134,82 @@ int RunCrashChild(const std::string& path, int threads,
   return 0;
 }
 
+/// Reorganizer child: seeds a fixed record set, then re-clusters it in
+/// a loop with alternating groupings (so every round really moves
+/// records), streaming `ACK <round> 0` after each completed recluster
+/// until killed. Crashes land mid-seed (before the first ack) or mid-
+/// recluster; either way recovery must keep every committed object
+/// readable with a bit-exact payload.
+int RunReclusterChild(const std::string& path, uint64_t checkpoint_bytes) {
+  constexpr uint64_t kSeedCount = 200;
+  DatabaseOptions options;
+  options.buffer_pool_pages = 24;  // keep eviction in play
+  options.wal_checkpoint_bytes = checkpoint_bytes;
+
+  Result<std::unique_ptr<Database>> opened =
+      FileExists(path) ? Database::OpenOnDisk(path, options)
+                       : Database::CreateOnDisk(path, "crash", options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "child open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 2;
+  }
+  std::unique_ptr<Database> db = std::move(*opened);
+  if (!db->GetClass("rec").ok()) {
+    if (!db->DefineSchema(kSchema).ok()) return 3;
+  }
+  {
+    const char ready[] = "READY\n";
+    if (::write(1, ready, sizeof(ready) - 1) < 0) return 4;
+  }
+
+  // Top the record set up to kSeedCount (a prior incarnation may have
+  // been killed mid-seed; ids continue from the surviving watermark).
+  Result<uint64_t> count = db->ClusterCount("rec");
+  if (!count.ok()) return 5;
+  for (int64_t idx = static_cast<int64_t>(*count);
+       idx < static_cast<int64_t>(kSeedCount); ++idx) {
+    Result<Oid> oid = db->CreateObject(
+        "rec", Value::Struct({{"idx", Value::Int(idx)},
+                              {"payload", Value::String(PayloadFor(idx))}}));
+    if (!oid.ok()) std::abort();
+  }
+
+  Result<std::vector<Oid>> scan = db->ScanCluster("rec");
+  if (!scan.ok() || scan->empty()) return 6;
+  std::vector<uint64_t> ids;
+  for (Oid oid : *scan) ids.push_back(oid.local);
+
+  for (uint64_t round = 1; round < 100000; ++round) {
+    cluster::ClusterPlan plan;
+    cluster::ClusterPlanEntry entry;
+    entry.cluster = scan->front().cluster;
+    entry.class_name = "rec";
+    // Shift the grouping every other round so each recluster moves
+    // records instead of re-packing them in place.
+    for (size_t start = (round % 2) * 4; start < ids.size(); start += 8) {
+      cluster::PageGroup group;
+      for (size_t j = start; j < std::min(start + 8, ids.size()); ++j) {
+        group.members.push_back(ids[j]);
+      }
+      if (group.members.size() < 2) continue;
+      plan.planned_moves += group.members.size();
+      entry.groups.push_back(std::move(group));
+    }
+    plan.clusters.push_back(std::move(entry));
+    if (Status applied = db->Recluster(plan); !applied.ok()) {
+      std::fprintf(stderr, "recluster failed: %s\n",
+                   applied.ToString().c_str());
+      std::abort();
+    }
+    char line[64];
+    int n = std::snprintf(line, sizeof(line), "ACK %llu 0\n",
+                          static_cast<unsigned long long>(round));
+    if (::write(1, line, static_cast<size_t>(n)) < 0) std::abort();
+  }
+  return 0;
+}
+
 // --- Parent harness ---------------------------------------------------------
 
 struct TrialOutcome {
@@ -147,7 +224,8 @@ struct TrialOutcome {
 /// reaps it.
 TrialOutcome SpawnAndKill(const std::string& path, int threads,
                           uint64_t checkpoint_bytes, int kill_after_acks,
-                          unsigned sleep_us) {
+                          unsigned sleep_us,
+                          const char* mode = "--crash-child") {
   int fds[2];
   EXPECT_EQ(::pipe(fds), 0);
   pid_t pid = ::fork();
@@ -155,7 +233,7 @@ TrialOutcome SpawnAndKill(const std::string& path, int threads,
     ::close(fds[0]);
     ::dup2(fds[1], 1);
     ::close(fds[1]);
-    ::execl("/proc/self/exe", "ode_crash_recovery_tests", "--crash-child",
+    ::execl("/proc/self/exe", "ode_crash_recovery_tests", mode,
             path.c_str(), std::to_string(threads).c_str(),
             std::to_string(checkpoint_bytes).c_str(),
             static_cast<char*>(nullptr));
@@ -432,6 +510,50 @@ TEST_F(CrashRecoveryTest, HealthzReportsRecoveryAfterCrash) {
   std::remove((path + ".wal").c_str());
 }
 
+TEST_F(CrashRecoveryTest, ReclusterKillPointsKeepEveryObject) {
+  // Kills land mid-recluster (after N completed rounds plus a random
+  // sleep) or mid-seed (kill_after=0). The reorganizer runs one WAL
+  // transaction per page group, so recovery lands on a group boundary:
+  // every committed object stays readable with a bit-exact payload,
+  // and the id space keeps its no-holes/no-duplicates shape (a lost or
+  // doubled record after a crashed move would trip VerifyRecovered's
+  // prefix and payload checks).
+  std::string path = NewDbPath("recluster");
+  std::mt19937_64 rng(0xF6);
+  uint64_t max_acked = 0;  ///< record ids, not recluster rounds
+  int completed = 0;
+  int attempts = 0;
+  while (completed < 12 && attempts < 36) {
+    ++attempts;
+    const bool mid_seed = rng() % 5 == 0;
+    const int kill_after = mid_seed ? 0 : 1 + static_cast<int>(rng() % 5);
+    const unsigned sleep_us = static_cast<unsigned>(rng() % 8000);
+    std::printf("[lineage recluster] trial %d kill_after=%d sleep_us=%u\n",
+                completed, kill_after, sleep_us);
+    TrialOutcome outcome =
+        SpawnAndKill(path, /*threads=*/0, /*checkpoint_bytes=*/256u << 10,
+                     kill_after, sleep_us, "--recluster-child");
+    if (!outcome.ready) {
+      std::remove(path.c_str());
+      std::remove((path + ".wal").c_str());
+      max_acked = 0;
+      continue;
+    }
+    // An ack means the child finished seeding before its first
+    // recluster: all 200 records were committed and must survive
+    // every kill from here on.
+    if (outcome.acks > 0 && max_acked < 200) max_acked = 200;
+    uint64_t surviving = 0;
+    VerifyRecovered(path, max_acked, &surviving);
+    if (::testing::Test::HasFatalFailure()) return;
+    max_acked = surviving;
+    ++completed;
+  }
+  EXPECT_EQ(completed, 12) << "too many pre-READY kills";
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
 TEST_F(CrashRecoveryTest, ImmediateKillAfterOpen) {
   // Kill straight after the handshake: crashes land during the first
   // commits and — on later trials — right after restart recovery
@@ -449,6 +571,11 @@ int main(int argc, char** argv) {
     return ode::odb::RunCrashChild(
         argv[2], std::atoi(argv[3]),
         std::strtoull(argv[4], nullptr, 10));
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "--recluster-child") == 0) {
+    if (argc < 5) return 64;
+    return ode::odb::RunReclusterChild(
+        argv[2], std::strtoull(argv[4], nullptr, 10));
   }
   ::testing::InitGoogleTest(&argc, argv);
   return RUN_ALL_TESTS();

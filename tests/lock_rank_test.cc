@@ -43,7 +43,8 @@ const std::vector<LockRank>& AllRanks() {
       LockRank::kDbHeaps,         LockRank::kHeapFile,
       LockRank::kCatalogId,       LockRank::kDbTrigger,
       LockRank::kDbPredicate,     LockRank::kFreeList,
-      LockRank::kPoolFrameLatch,  LockRank::kPoolShard,
+      LockRank::kPoolFrameLatch,  LockRank::kClusterPrefetchSource,
+      LockRank::kPoolShard,
       LockRank::kWal,             LockRank::kWalStore,
       LockRank::kPager,
       LockRank::kBackgroundWorker, LockRank::kWatchdogScan,

@@ -32,7 +32,10 @@ rule id:
   journal-event-name       JournalEventName wire names are snake_case
                            and unique.
   include-layering         common < {odb, dag, owl} < dynlink < odeview;
-                           no layer includes a higher layer.
+                           no layer includes a higher layer. The
+                           clustering subsystem (odb/cluster/) is a
+                           leaf over the odb core: no file outside it
+                           may include odb/cluster/ headers.
 
 Usage:
   python3 tools/ode_lint/ode_lint.py [--root REPO] [--json]
@@ -514,8 +517,21 @@ def check_include_layering(root, findings):
         # Raw lines: the comment stripper blanks string contents, and
         # the include path lives inside the quotes. A leading-`#` match
         # cannot sit in a comment that matters here.
+        in_cluster = parts[:2] == ["odb", "cluster"]
         raw = read_text(path)
         for lineno, line in enumerate(raw.splitlines(), 1):
+            # The clustering subsystem is a leaf: it may include the odb
+            # core, but no core file (odb, common, or any other layer)
+            # may include odb/cluster/ — the core interacts with it only
+            # through the forward declarations in database.h.
+            if not in_cluster and re.match(
+                    r'\s*#\s*include\s*"odb/cluster/', line):
+                findings.append(Finding(
+                    "include-layering", relpath, lineno,
+                    f"{relpath} must not include odb/cluster/ — the "
+                    f"clustering subsystem is a leaf over the odb core "
+                    f"(core sees it via forward declarations only)"))
+                continue
             m = re.match(r'\s*#\s*include\s*"(\w+)/', line)
             if not m:
                 continue

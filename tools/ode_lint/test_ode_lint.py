@@ -275,6 +275,31 @@ class OdeLintTree(unittest.TestCase):
         self.assertTrue(
             any("layering_specimen2" in f.file for f in findings))
 
+    def test_core_including_cluster_is_flagged(self):
+        # odb/cluster/ is a leaf: the odb core (and every other layer)
+        # must reach it through forward declarations only.
+        self.write('#include "odb/cluster/plan.h"\n',
+                   "src", "odb", "cluster_specimen.h")
+        self.write('#include "odb/cluster/advisor.h"\n',
+                   "src", "common", "cluster_specimen2.h")
+        findings = [f for f in ode_lint.run_all(self.tmp)
+                    if f.rule == "include-layering"]
+        self.assertTrue(
+            any("cluster_specimen.h" in f.file and
+                "odb/cluster" in f.message for f in findings))
+        self.assertTrue(
+            any("cluster_specimen2" in f.file for f in findings))
+
+    def test_cluster_internal_include_is_clean(self):
+        # The subsystem's own files may include each other and the core.
+        self.write('#include "odb/cluster/plan.h"\n'
+                   '#include "odb/database.h"\n',
+                   "src", "odb", "cluster", "internal_specimen.h")
+        findings = [f for f in ode_lint.run_all(self.tmp)
+                    if f.rule == "include-layering"
+                    and "internal_specimen" in f.file]
+        self.assertEqual(findings, [])
+
 
 class OdeLintBaseline(unittest.TestCase):
     def test_stale_baseline_entry_is_reported(self):
